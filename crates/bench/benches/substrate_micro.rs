@@ -1,0 +1,106 @@
+//! Criterion micro-benchmarks for the protocol substrate: the hot
+//! per-packet/per-event primitives (sequence arithmetic, cuckoo lookup,
+//! reassembly, checksum, congestion control).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use f4t_tcp::{
+    wire, CcAlgorithm, FlowId, FlowTable, FourTuple, ReassemblyTracker, SeqNum, Tcb, MSS,
+};
+use std::net::Ipv4Addr;
+
+fn bench_seq(c: &mut Criterion) {
+    c.bench_function("seq/window_check", |b| {
+        let start = SeqNum(u32::MAX - 1000);
+        b.iter(|| {
+            let mut hits = 0u32;
+            for i in 0..64u32 {
+                if black_box(start.add(i * 37)).in_window(start, 2048) {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+}
+
+fn bench_cuckoo(c: &mut Criterion) {
+    let mut table = FlowTable::with_capacity(65_536);
+    let tuples: Vec<FourTuple> = (0..65_536u32)
+        .map(|i| {
+            FourTuple::new(
+                Ipv4Addr::from(0x0a00_0000 | (i & 0xffff)),
+                (i % 60_000 + 1_024) as u16,
+                Ipv4Addr::new(10, 1, 0, 1),
+                80,
+            )
+        })
+        .collect();
+    for (i, t) in tuples.iter().enumerate() {
+        table.insert(*t, FlowId(i as u32)).unwrap();
+    }
+    c.bench_function("cuckoo/lookup_64k", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 997) % tuples.len();
+            black_box(table.lookup(&tuples[i]))
+        })
+    });
+}
+
+fn bench_reassembly(c: &mut Criterion) {
+    c.bench_function("reassembly/in_order_mss", |b| {
+        b.iter(|| {
+            let mut r = ReassemblyTracker::new(SeqNum(0), 1 << 20);
+            for i in 0..64u32 {
+                r.on_segment(SeqNum(i * MSS), MSS);
+            }
+            r.rcv_nxt()
+        })
+    });
+    c.bench_function("reassembly/every_other_ooo", |b| {
+        b.iter(|| {
+            let mut r = ReassemblyTracker::new(SeqNum(0), 1 << 20);
+            for i in 0..32u32 {
+                r.on_segment(SeqNum((2 * i + 1) * MSS), MSS);
+                r.on_segment(SeqNum(2 * i * MSS), MSS);
+            }
+            r.rcv_nxt()
+        })
+    });
+}
+
+fn bench_checksum(c: &mut Criterion) {
+    let data = vec![0xA5u8; 1460];
+    c.bench_function("wire/internet_checksum_1460B", |b| {
+        b.iter(|| wire::internet_checksum(black_box(&data), 0))
+    });
+}
+
+fn bench_cc(c: &mut Criterion) {
+    for algo in [CcAlgorithm::NewReno, CcAlgorithm::Cubic, CcAlgorithm::Vegas] {
+        c.bench_function(&format!("cc/{algo}/on_ack"), |b| {
+            let cc = algo.instance();
+            let mut tcb = Tcb::established(FlowId(1), FourTuple::default(), SeqNum(0));
+            cc.init(&mut tcb);
+            tcb.ssthresh = 2 * MSS; // exercise congestion avoidance
+            let mut now = 0u64;
+            b.iter(|| {
+                now += 2_000;
+                tcb.snd_una = tcb.snd_una.add(MSS);
+                tcb.snd_nxt = tcb.snd_una.add(MSS);
+                cc.on_ack(&mut tcb, MSS, Some(100_000), now);
+                black_box(tcb.cwnd)
+            })
+        });
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_seq,
+    bench_cuckoo,
+    bench_reassembly,
+    bench_checksum,
+    bench_cc
+);
+criterion_main!(benches);

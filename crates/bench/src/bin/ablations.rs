@@ -1,0 +1,95 @@
+//! Ablations of F4T's design choices (beyond the paper's own Fig. 16b):
+//!
+//! * FPC count sweep (how much parallelism the round-robin pattern needs);
+//! * event coalescing on/off at system level (same-flow vs multi-flow);
+//! * TCB-cache size sweep under the echo workload;
+//! * location-LUT partition count (routing bandwidth);
+//! * TCB-manager scan policy (skip-idle priority encoder vs the paper's
+//!   plain full iteration).
+
+use f4t_bench::{banner, f, scale_ns, Table};
+use f4t_core::fpc::ScanPolicy;
+use f4t_core::EngineConfig;
+use f4t_mem::DramKind;
+use f4t_system::{DuplexLink, F4tSystem};
+
+fn header_rate(cores: usize, rr: bool, cfg: EngineConfig, warm: u64, window: u64) -> f64 {
+    let mut sys = if rr {
+        F4tSystem::round_robin(cores, 16, 1, cfg)
+    } else {
+        F4tSystem::bulk(cores, 1, cfg)
+    };
+    sys.set_link(DuplexLink::new(10_000, 200));
+    sys.a.use_compact_commands();
+    sys.b.use_compact_commands();
+    sys.measure(warm, window).mrps()
+}
+
+fn main() {
+    banner("Ablations", "design-choice sweeps (header rate in Mrps unless noted)");
+    let warm = scale_ns(200_000);
+    let window = scale_ns(400_000);
+
+    println!("A. FPC count (round-robin, 24 cores — multi-flow parallelism):");
+    let mut t = Table::new(&["FPCs", "rr Mrps", "bulk Mrps"]);
+    for fpcs in [1usize, 2, 4, 8, 16] {
+        let cfg = EngineConfig {
+            num_fpcs: fpcs,
+            lut_groups: (fpcs / 2).max(1),
+            ..EngineConfig::reference()
+        };
+        let rr = header_rate(24, true, cfg.clone(), warm, window);
+        let bulk = header_rate(24, false, cfg, warm, window);
+        t.row(&[fpcs.to_string(), f(rr, 0), f(bulk, 0)]);
+    }
+    t.print();
+    println!();
+
+    println!("B. Event coalescing (24 cores):");
+    let mut t = Table::new(&["coalescing", "bulk Mrps", "rr Mrps"]);
+    for c in [false, true] {
+        let cfg = EngineConfig { coalescing: c, ..EngineConfig::reference() };
+        let bulk = header_rate(24, false, cfg.clone(), warm, window);
+        let rr = header_rate(24, true, cfg, warm, window);
+        t.row(&[c.to_string(), f(bulk, 0), f(rr, 0)]);
+    }
+    t.print();
+    println!();
+
+    println!("C. TCB-cache size (echo, 4 cores, 4096 flows, DDR4):");
+    let mut t = Table::new(&["cache sets", "Mrps", "cache hit %"]);
+    for sets in [64usize, 512, 4096] {
+        let cfg =
+            EngineConfig { dram: DramKind::Ddr4, tcb_cache_sets: sets, ..EngineConfig::reference() };
+        let mut sys = F4tSystem::echo(4, 4096, 128, cfg);
+        let m = sys.measure(scale_ns(2_000_000), scale_ns(6_000_000));
+        t.row(&[
+            sets.to_string(),
+            f(m.mrps(), 1),
+            f(sys.a.engine.stats().tcb_cache_hit_rate * 100.0, 0),
+        ]);
+    }
+    t.print();
+    println!();
+
+    println!("D. Location-LUT partitions (routing bandwidth, rr, 24 cores):");
+    let mut t = Table::new(&["LUT groups", "rr Mrps"]);
+    for groups in [1usize, 2, 4, 8] {
+        let cfg = EngineConfig { lut_groups: groups, ..EngineConfig::reference() };
+        t.row(&[groups.to_string(), f(header_rate(24, true, cfg, warm, window), 0)]);
+    }
+    t.print();
+    println!();
+
+    println!("E. TCB-manager scan policy (bulk, 1 core — latency-sensitive):");
+    let mut t = Table::new(&["policy", "bulk 128B Gbps"]);
+    for (name, policy) in
+        [("skip-idle", ScanPolicy::SkipIdle), ("full-iteration", ScanPolicy::FullIteration)]
+    {
+        let cfg = EngineConfig { scan_policy: policy, ..EngineConfig::reference() };
+        let mut sys = F4tSystem::bulk(1, 128, cfg);
+        let m = sys.measure(warm, window);
+        t.row(&[name.to_string(), f(m.goodput_gbps(), 1)]);
+    }
+    t.print();
+}

@@ -1,0 +1,212 @@
+//! `f4tperf` — an iperf-style CLI for the simulated testbed.
+//!
+//! Run any of the paper's workloads at any design point without writing
+//! code:
+//!
+//! ```sh
+//! cargo run --release -p f4t-bench --bin f4tperf -- \
+//!     --workload bulk --cores 2 --size 128 --duration-ms 2
+//! cargo run --release -p f4t-bench --bin f4tperf -- \
+//!     --workload echo --cores 8 --flows 4096 --dram ddr4 --fpcs 8
+//! cargo run --release -p f4t-bench --bin f4tperf -- --help
+//! ```
+
+use f4t_core::fpc::ScanPolicy;
+use f4t_core::EngineConfig;
+use f4t_mem::DramKind;
+use f4t_system::F4tSystem;
+use f4t_tcp::CcAlgorithm;
+
+#[derive(Debug)]
+struct Args {
+    workload: String,
+    cores: usize,
+    size: u32,
+    flows: usize,
+    dram: DramKind,
+    cc: CcAlgorithm,
+    fpcs: usize,
+    coalescing: bool,
+    compact: bool,
+    warmup_ms: u64,
+    duration_ms: u64,
+    scan: ScanPolicy,
+}
+
+impl Default for Args {
+    fn default() -> Args {
+        Args {
+            workload: "bulk".into(),
+            cores: 1,
+            size: 128,
+            flows: 0, // workload default
+            dram: DramKind::Hbm,
+            cc: CcAlgorithm::NewReno,
+            fpcs: 8,
+            coalescing: true,
+            compact: false,
+            warmup_ms: 1,
+            duration_ms: 2,
+            scan: ScanPolicy::SkipIdle,
+        }
+    }
+}
+
+const HELP: &str = "\
+f4tperf — drive the simulated F4T testbed
+
+USAGE: f4tperf [OPTIONS]
+
+  --workload <bulk|rr|echo|http>   workload pattern        [bulk]
+  --cores <N>                      application cores/side  [1]
+  --size <BYTES>                   request size            [128]
+  --flows <N>                      total flows (echo/http; rr uses 16/core)
+  --dram <hbm|ddr4>                on-board memory         [hbm]
+  --cc <newreno|cubic|vegas>       congestion control      [newreno]
+  --fpcs <N>                       parallel FPCs           [8]
+  --no-coalescing                  disable event coalescing
+  --compact-commands               8 B commands (§6)
+  --scan <skip-idle|full>          TCB-manager scan policy [skip-idle]
+  --warmup-ms <MS>                 warmup                  [1]
+  --duration-ms <MS>               measurement window      [2]
+  --help                           this text
+";
+
+fn parse() -> Result<Args, String> {
+    let mut args = Args::default();
+    let validate = |args: &Args| -> Result<(), String> {
+        if args.cores == 0 {
+            return Err("--cores must be at least 1".into());
+        }
+        if args.size == 0 {
+            return Err("--size must be at least 1".into());
+        }
+        if args.fpcs == 0 {
+            return Err("--fpcs must be at least 1".into());
+        }
+        if args.duration_ms == 0 {
+            return Err("--duration-ms must be at least 1".into());
+        }
+        Ok(())
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--workload" => args.workload = val("--workload")?,
+            "--cores" => args.cores = val("--cores")?.parse().map_err(|e| format!("{e}"))?,
+            "--size" => args.size = val("--size")?.parse().map_err(|e| format!("{e}"))?,
+            "--flows" => args.flows = val("--flows")?.parse().map_err(|e| format!("{e}"))?,
+            "--fpcs" => args.fpcs = val("--fpcs")?.parse().map_err(|e| format!("{e}"))?,
+            "--warmup-ms" => {
+                args.warmup_ms = val("--warmup-ms")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--duration-ms" => {
+                args.duration_ms = val("--duration-ms")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--dram" => {
+                args.dram = match val("--dram")?.as_str() {
+                    "hbm" => DramKind::Hbm,
+                    "ddr4" => DramKind::Ddr4,
+                    other => return Err(format!("unknown dram {other}")),
+                }
+            }
+            "--cc" => {
+                args.cc = match val("--cc")?.as_str() {
+                    "newreno" => CcAlgorithm::NewReno,
+                    "cubic" => CcAlgorithm::Cubic,
+                    "vegas" => CcAlgorithm::Vegas,
+                    other => return Err(format!("unknown cc {other}")),
+                }
+            }
+            "--scan" => {
+                args.scan = match val("--scan")?.as_str() {
+                    "skip-idle" => ScanPolicy::SkipIdle,
+                    "full" => ScanPolicy::FullIteration,
+                    other => return Err(format!("unknown scan policy {other}")),
+                }
+            }
+            "--no-coalescing" => args.coalescing = false,
+            "--compact-commands" => args.compact = true,
+            "--help" | "-h" => {
+                print!("{HELP}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other} (try --help)")),
+        }
+    }
+    validate(&args)?;
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprint!("{HELP}");
+            std::process::exit(2);
+        }
+    };
+
+    let engine = EngineConfig {
+        num_fpcs: args.fpcs,
+        lut_groups: (args.fpcs / 2).max(1),
+        dram: args.dram,
+        cc: args.cc,
+        coalescing: args.coalescing,
+        scan_policy: args.scan,
+        ..EngineConfig::reference()
+    };
+
+    let mut sys = match args.workload.as_str() {
+        "bulk" => F4tSystem::bulk(args.cores, args.size, engine),
+        "rr" => F4tSystem::round_robin(args.cores, 16, args.size, engine),
+        "echo" => {
+            let flows = if args.flows == 0 { args.cores * 64 } else { args.flows };
+            F4tSystem::echo(args.cores, flows, args.size, engine)
+        }
+        "http" => {
+            let flows = if args.flows == 0 { args.cores * 64 } else { args.flows };
+            F4tSystem::http((args.cores * 2).max(2), args.cores, flows, engine)
+        }
+        other => {
+            eprintln!("error: unknown workload {other}");
+            std::process::exit(2);
+        }
+    };
+    if args.compact {
+        sys.a.use_compact_commands();
+        sys.b.use_compact_commands();
+    }
+
+    println!("f4tperf: {args:?}");
+    let m = sys.measure(args.warmup_ms * 1_000_000, args.duration_ms * 1_000_000);
+    let sa = sys.a.engine.stats();
+
+    println!();
+    println!("  goodput            {:>10.2} Gbps", m.goodput_gbps());
+    println!("  requests           {:>10.2} Mrps ({} total)", m.mrps(), m.requests);
+    if m.latency.count() > 0 {
+        println!(
+            "  latency            {:>10.1} µs median / {:.1} µs p99 ({} samples)",
+            m.median_latency_us(),
+            m.p99_latency_us(),
+            m.latency.count()
+        );
+    }
+    println!("  retransmissions    {:>10}", m.retransmissions);
+    println!("  TCB migrations     {:>10}", m.migrations);
+    println!("  events coalesced   {:>10}", sa.events_coalesced);
+    println!("  TCB cache hit      {:>9.1}%", sa.tcb_cache_hit_rate * 100.0);
+    let busy = m.cpu.app + m.cpu.tcp + m.cpu.kernel + m.cpu.lib;
+    let budget = args.duration_ms as f64 * 1e6 * 2.3 * args.cores as f64;
+    println!(
+        "  client CPU busy    {:>9.1}%  (app {:.0}% / lib {:.0}% of busy)",
+        busy as f64 * 100.0 / budget,
+        m.cpu.app as f64 * 100.0 / busy.max(1) as f64,
+        m.cpu.lib as f64 * 100.0 / busy.max(1) as f64,
+    );
+}

@@ -1,0 +1,36 @@
+//! Figure 7: FtEngine FPGA resource utilization.
+//!
+//! Reproduced with the component-level resource model calibrated to the
+//! paper's Vivado totals (1 FPC: 16 % LUT / 11 % FF / 27 % BRAM; 8 FPC:
+//! 23 % / 15 % / 32 % of a U280). The shape to check: FPCs are cheap
+//! relative to the shared data path, so scaling 1 → 8 FPCs costs only a
+//! few percent of the device.
+
+use f4t_bench::{banner, f, Table};
+use f4t_core::resource_report;
+
+fn main() {
+    banner("Fig. 7", "FtEngine resource utilization on a Xilinx U280");
+
+    for fpcs in [1u64, 8] {
+        println!("FtEngine with {fpcs} FPC(s):");
+        let mut t = Table::new(&["component", "LUT", "LUT %", "FF", "FF %", "BRAM", "BRAM %"]);
+        for row in resource_report(fpcs) {
+            t.row(&[
+                row.component.to_string(),
+                row.luts.to_string(),
+                f(row.lut_pct(), 1),
+                row.ffs.to_string(),
+                f(row.ff_pct(), 1),
+                row.brams.to_string(),
+                f(row.bram_pct(), 1),
+            ]);
+        }
+        t.print();
+        println!();
+    }
+    println!(
+        "Paper: 1 FPC = 16% LUT / 11% FF / 27% BRAM; 8 FPCs = 23% / 15% / 32%.\n\
+         The remaining logic is available for user functions."
+    );
+}

@@ -1,0 +1,102 @@
+//! Figure 16: header processing rate without the link bottleneck (§6).
+//!
+//! The paper connects two FtEngines inside one FPGA and strips payloads
+//! to study raw header/command processing. We reproduce it by running the
+//! system with 1-byte requests over an effectively infinite link:
+//!
+//! * (a) rate vs CPU core count, 16 B vs 8 B commands — 16 B saturates
+//!   PCIe, 8 B scales to ~900 Mrps;
+//! * (b) intermediate designs at 24 cores — Baseline (17-cycle stalls),
+//!   1FPC, 1FPC-C (+ event coalescing), F4T (8 FPCs + coalescing), for
+//!   bulk and round-robin patterns.
+
+use f4t_baseline::StallingEngine;
+use f4t_bench::{banner, f, scale_ns, Table};
+use f4t_core::EngineConfig;
+use f4t_system::{DuplexLink, F4tSystem};
+
+fn run(
+    cores: usize,
+    rr: bool,
+    cfg: EngineConfig,
+    compact: bool,
+    warm: u64,
+    window: u64,
+) -> f64 {
+    let mut sys = if rr {
+        F4tSystem::round_robin(cores, 16, 1, cfg)
+    } else {
+        F4tSystem::bulk(cores, 1, cfg)
+    };
+    // Remove the link bottleneck (10 Tbps, 200 ns).
+    sys.set_link(DuplexLink::new(10_000, 200));
+    if compact {
+        sys.a.use_compact_commands();
+        sys.b.use_compact_commands();
+    }
+    let m = sys.measure(warm, window);
+    m.mrps()
+}
+
+fn main() {
+    banner("Fig. 16", "header processing rate (no link bottleneck)");
+    let warm = scale_ns(200_000);
+    let window = scale_ns(400_000);
+
+    println!("(a) rate vs core count, bulk pattern (Mrps):");
+    let mut t = Table::new(&["cores", "16B commands", "8B commands"]);
+    for cores in [1usize, 4, 8, 16, 24] {
+        let m16 = run(cores, false, EngineConfig::reference(), false, warm, window);
+        let m8 = run(cores, false, EngineConfig::reference(), true, warm, window);
+        t.row(&[cores.to_string(), f(m16, 0), f(m8, 0)]);
+    }
+    t.print();
+    println!();
+
+    println!("(b) intermediate designs at 24 cores (Mrps, 8B commands):");
+    let cores = 24usize;
+    let baseline = {
+        // The stalling design absorbs commands at 250 MHz / 17.
+        let mut e = StallingEngine::baseline_250mhz();
+        let cyc = scale_ns(1_000_000) / 4;
+        for _ in 0..cyc {
+            e.offer_event();
+            e.tick();
+        }
+        e.measured_rate() / 1e6
+    };
+    let one_fpc =
+        EngineConfig { num_fpcs: 1, lut_groups: 1, coalescing: false, ..EngineConfig::reference() };
+    let one_fpc_c =
+        EngineConfig { num_fpcs: 1, lut_groups: 1, coalescing: true, ..EngineConfig::reference() };
+    let full = EngineConfig::reference();
+
+    let mut t = Table::new(&["design", "bulk", "bulk gain", "round-robin", "rr gain"]);
+    t.row(&[
+        "Baseline (w-RMW, 17 cyc)".to_string(),
+        f(baseline, 1),
+        "1.0x".to_string(),
+        f(baseline, 1),
+        "1.0x".to_string(),
+    ]);
+    for (name, cfg) in
+        [("1FPC", one_fpc), ("1FPC-C (+coalescing)", one_fpc_c), ("F4T (8 FPCs + C)", full)]
+    {
+        let bulk = run(cores, false, cfg.clone(), true, warm, window);
+        let rr = run(cores, true, cfg, true, warm, window);
+        t.row(&[
+            name.to_string(),
+            f(bulk, 1),
+            format!("{:.1}x", bulk / baseline),
+            f(rr, 1),
+            format!("{:.1}x", rr / baseline),
+        ]);
+    }
+    t.print();
+    println!();
+    println!(
+        "Paper: 1FPC = 8.6x/8.4x over Baseline; coalescing lifts bulk to\n\
+         62.3x (but rr only 8.6x); 8 parallel FPCs lift both to 63.1x/71.3x.\n\
+         (a): 16 B commands saturate PCIe; 8 B scale linearly to ~900 Mrps."
+    );
+}

@@ -1,0 +1,121 @@
+//! # f4t-bench — the figure/table regeneration harness
+//!
+//! One binary per figure and table of the paper's evaluation (run with
+//! `cargo run --release -p f4t-bench --bin figNN`), plus criterion
+//! micro-benchmarks (`cargo bench`). `EXPERIMENTS.md` at the repository
+//! root records paper-vs-measured for every harness.
+//!
+//! Set `F4T_QUICK=1` to cut simulation windows ~10× for smoke runs.
+
+use std::fmt::Display;
+
+/// Whether quick mode is on (`F4T_QUICK=1`).
+pub fn quick() -> bool {
+    std::env::var("F4T_QUICK").is_ok_and(|v| v != "0")
+}
+
+/// Scales a nanosecond duration down in quick mode.
+pub fn scale_ns(full: u64) -> u64 {
+    if quick() {
+        (full / 10).max(50_000)
+    } else {
+        full
+    }
+}
+
+/// A plain-text aligned table, the output format of every harness.
+#[derive(Debug, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Display>(headers: &[S]) -> Table {
+        Table { headers: headers.iter().map(|h| h.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (stringifying each cell).
+    pub fn row<S: Display>(&mut self, cells: &[S]) {
+        let row: Vec<String> = cells.iter().map(|c| c.to_string()).collect();
+        assert_eq!(row.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |cells: &[String], widths: &[usize], out: &mut String| {
+            for (i, (c, w)) in cells.iter().zip(widths).enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                out.push_str(&format!("{c:>w$}", w = w));
+            }
+            out.push('\n');
+        };
+        line(&self.headers, &widths, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            line(row, &widths, &mut out);
+        }
+        out
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Formats a float with `digits` decimals.
+pub fn f(v: f64, digits: usize) -> String {
+    format!("{v:.digits$}")
+}
+
+/// Prints the standard harness banner.
+pub fn banner(id: &str, title: &str) {
+    println!("=== {id}: {title} ===");
+    if quick() {
+        println!("(F4T_QUICK=1: shortened windows; numbers are noisier)");
+    }
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let mut t = Table::new(&["a", "long-header"]);
+        t.row(&["1", "2"]);
+        t.row(&["333", "4"]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("long-header"));
+        assert!(lines[2].ends_with("2"));
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["1"]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f(1.23456, 2), "1.23");
+    }
+}

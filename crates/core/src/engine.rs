@@ -1,0 +1,993 @@
+//! The FtEngine top level: composition of every module in Fig. 3.
+//!
+//! One [`Engine::tick`] advances the whole accelerator by one 250 MHz
+//! cycle. The engine exposes three boundaries:
+//!
+//! * **host interface** — [`Engine::push_event`] accepts user-request
+//!   events (the decoded 16 B commands of §4.1.1) and
+//!   [`Engine::pop_notification`] yields ACKed-data / received-data
+//!   pointers and connection notifications going the other way;
+//! * **network interface** — [`Engine::push_rx`] and [`Engine::pop_tx`]
+//!   move [`Segment`]s; the system layer applies link pacing;
+//! * **control** — flow setup ([`Engine::open_established`],
+//!   [`Engine::open_active`], [`Engine::listen`]) and diagnostics
+//!   ([`Engine::peek_tcb`], [`Engine::stats`]).
+
+use crate::event::{EventKind, FlowEvent, TimeoutKind, TxRequest};
+use crate::fpc::{Fpc, FpcOutput, ScanPolicy};
+use crate::fpu::FpuOutcome;
+use crate::memory_manager::{MemoryManager, MmOutput};
+use crate::packet_gen::PacketGenerator;
+use crate::rx_parser::{RxOutput, RxParser};
+use crate::scheduler::Scheduler;
+use crate::timers::TimerWheel;
+use f4t_mem::DramKind;
+use f4t_tcp::wire::{ArpMessage, IcmpEcho};
+use f4t_tcp::{
+    CcAlgorithm, CongestionControl, FlowId, FourTuple, MacAddr, Segment, SeqNum, Tcb, TcpState,
+    MSS,
+};
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// Engine configuration. [`EngineConfig::reference`] is the paper's
+/// shipped design point: eight FPCs of 128 flows each, HBM, New Reno,
+/// coalescing on.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Number of parallel FPCs (§4.4.2).
+    pub num_fpcs: usize,
+    /// TCB slots per FPC.
+    pub flows_per_fpc: usize,
+    /// Total flows supported (location LUT / flow table size).
+    pub max_flows: usize,
+    /// On-board memory for overflow TCBs.
+    pub dram: DramKind,
+    /// Congestion-control algorithm programmed into the FPU.
+    pub cc: CcAlgorithm,
+    /// Event coalescing in the scheduler (§4.4.1) — the 1FPC-C knob of
+    /// Fig. 16b.
+    pub coalescing: bool,
+    /// Location-LUT partitions (4 routes 4 events/cycle for 8 FPCs).
+    pub lut_groups: usize,
+    /// Override the FPU pipeline latency (Fig. 15's sweep); `None` uses
+    /// the algorithm's natural latency.
+    pub fpu_latency_override: Option<u32>,
+    /// Packet-generator parallelism (segments per 322 MHz cycle).
+    pub tx_parallelism: u32,
+    /// RX-parser parallelism (segments per 322 MHz cycle).
+    pub rx_parallelism: u32,
+    /// Maximum segment size.
+    pub mss: u32,
+    /// Direct-mapped TCB-cache sets in the memory manager.
+    pub tcb_cache_sets: usize,
+    /// TCB-manager scan policy.
+    pub scan_policy: ScanPolicy,
+}
+
+impl EngineConfig {
+    /// The paper's reference design (§4.4.2, §4.7).
+    pub fn reference() -> EngineConfig {
+        EngineConfig {
+            num_fpcs: 8,
+            flows_per_fpc: 128,
+            max_flows: 65_536,
+            dram: DramKind::Hbm,
+            cc: CcAlgorithm::NewReno,
+            coalescing: true,
+            lut_groups: 4,
+            fpu_latency_override: None,
+            tx_parallelism: 4,
+            rx_parallelism: 4,
+            mss: MSS,
+            tcb_cache_sets: 512,
+            scan_policy: ScanPolicy::SkipIdle,
+        }
+    }
+
+    /// A single-FPC engine (the `1FPC` ablation point of Fig. 16b).
+    pub fn single_fpc() -> EngineConfig {
+        EngineConfig { num_fpcs: 1, lut_groups: 1, ..EngineConfig::reference() }
+    }
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig::reference()
+    }
+}
+
+/// A hardware-to-software notification (the 16 B completion commands of
+/// §4.1.1: "FtEngine sends ACKed data and received data pointers to the
+/// software").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HostNotification {
+    /// The connection is established.
+    Connected {
+        /// The flow.
+        flow: FlowId,
+    },
+    /// The peer acknowledged our data up to this pointer: the library may
+    /// reclaim send-buffer space.
+    DataAcked {
+        /// The flow.
+        flow: FlowId,
+        /// Cumulative ACKed pointer.
+        upto: SeqNum,
+    },
+    /// In-order data is available up to this pointer: `recv()` may return
+    /// it.
+    DataReceived {
+        /// The flow.
+        flow: FlowId,
+        /// Cumulative received pointer.
+        upto: SeqNum,
+    },
+    /// The peer closed its direction (EOF).
+    PeerFin {
+        /// The flow.
+        flow: FlowId,
+    },
+    /// The connection fully closed.
+    Closed {
+        /// The flow.
+        flow: FlowId,
+    },
+    /// A new inbound connection arrived on a listening port (`accept()`
+    /// can return it once `Connected` follows).
+    NewConnection {
+        /// Newly allocated flow.
+        flow: FlowId,
+        /// Our 4-tuple for it.
+        tuple: FourTuple,
+    },
+}
+
+/// Aggregate counters for the harnesses.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineStats {
+    /// Engine cycles elapsed.
+    pub cycles: u64,
+    /// Events accepted at the host interface.
+    pub host_events: u64,
+    /// Segments received from the network.
+    pub segments_in: u64,
+    /// Segments emitted to the network.
+    pub segments_out: u64,
+    /// Wire bytes emitted (payload + overhead).
+    pub bytes_out: u64,
+    /// Payload bytes DMAed toward the host.
+    pub rx_dma_bytes: u64,
+    /// Events merged by the scheduler's coalesce FIFOs.
+    pub events_coalesced: u64,
+    /// TCB migrations initiated.
+    pub migrations: u64,
+    /// Retransmitted segments.
+    pub retransmissions: u64,
+    /// Memory-manager events handled in DRAM.
+    pub dram_events: u64,
+    /// Events dropped for unallocated flows (teardown races, stale
+    /// segments after close).
+    pub events_dropped: u64,
+    /// TCB-cache hit rate in the memory manager.
+    pub tcb_cache_hit_rate: f64,
+}
+
+/// The FtEngine accelerator.
+#[derive(Debug)]
+pub struct Engine {
+    config: EngineConfig,
+    cycle: u64,
+    fpcs: Vec<Fpc>,
+    scheduler: Scheduler,
+    mm: MemoryManager,
+    pkt_gen: PacketGenerator,
+    rx_parser: RxParser,
+    timers: TimerWheel,
+    /// Skid buffer between FPU output and the packet-generator FIFO.
+    tx_overflow: VecDeque<TxRequest>,
+    /// Segments awaiting the link (the MAC-side output buffer).
+    tx_out: VecDeque<Segment>,
+    notifications: VecDeque<HostNotification>,
+    flows: HashMap<FlowId, FourTuple>,
+    /// Reused per-tick scratch buffers (hot path; avoids reallocating).
+    fpc_scratch: FpcOutput,
+    seg_scratch: Vec<Segment>,
+    next_flow: u32,
+    /// Flow ids released by closed connections, reused before new ids
+    /// are minted. Flow ids are a bounded hardware resource: the
+    /// location LUT is indexed by `id % max_flows`, so letting ids grow
+    /// without reuse would alias live flows after enough churn.
+    free_flow_ids: Vec<u32>,
+    host_events: u64,
+    /// Our MAC address (for ARP answers).
+    pub mac: MacAddr,
+}
+
+/// Engine-core period in nanoseconds (250 MHz).
+const CYCLE_NS: u64 = 4;
+/// MAC output buffer cap; beyond this the packet generator stalls and
+/// backpressure propagates to FPC dispatch.
+const TX_OUT_CAP: usize = 256;
+
+impl Engine {
+    /// Builds an engine from `config` with the configured built-in
+    /// congestion-control algorithm.
+    pub fn new(config: EngineConfig) -> Engine {
+        let cc: Arc<dyn CongestionControl> = match config.cc {
+            CcAlgorithm::NewReno => Arc::new(f4t_tcp::NewReno),
+            CcAlgorithm::Cubic => Arc::new(f4t_tcp::Cubic),
+            CcAlgorithm::Vegas => Arc::new(f4t_tcp::Vegas),
+        };
+        Engine::with_cc(config, cc)
+    }
+
+    /// Builds an engine running a custom congestion-control algorithm —
+    /// the paper's programmability story (§4.5): "users need to modify
+    /// only the FPU to program the TCP stack".
+    pub fn with_cc(config: EngineConfig, cc: Arc<dyn CongestionControl>) -> Engine {
+        assert!(config.num_fpcs > 0, "need at least one FPC");
+        let fpcs = (0..config.num_fpcs)
+            .map(|i| {
+                Fpc::new(
+                    i as u8,
+                    config.flows_per_fpc,
+                    Arc::clone(&cc),
+                    config.fpu_latency_override,
+                    config.mss,
+                    config.scan_policy,
+                )
+            })
+            .collect();
+        Engine {
+            scheduler: Scheduler::new(config.max_flows, config.lut_groups, config.coalescing),
+            mm: MemoryManager::new(config.dram, config.tcb_cache_sets),
+            pkt_gen: PacketGenerator::new(config.mss, config.tx_parallelism),
+            rx_parser: RxParser::new(config.max_flows, config.rx_parallelism),
+            timers: TimerWheel::new(),
+            tx_overflow: VecDeque::new(),
+            tx_out: VecDeque::new(),
+            notifications: VecDeque::new(),
+            flows: HashMap::new(),
+            fpc_scratch: FpcOutput::default(),
+            seg_scratch: Vec::new(),
+            next_flow: 0,
+            free_flow_ids: Vec::new(),
+            host_events: 0,
+            mac: MacAddr([0x02, 0xf4, 0x70, 0, 0, 1]),
+            fpcs,
+            cycle: 0,
+            config,
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Current simulation time in nanoseconds.
+    pub fn now_ns(&self) -> u64 {
+        self.cycle * CYCLE_NS
+    }
+
+    /// Elapsed cycles.
+    pub fn cycles(&self) -> u64 {
+        self.cycle
+    }
+
+    fn alloc_flow(&mut self) -> Option<FlowId> {
+        if self.flows.len() >= self.config.max_flows {
+            return None;
+        }
+        if let Some(id) = self.free_flow_ids.pop() {
+            return Some(FlowId(id));
+        }
+        let flow = FlowId(self.next_flow);
+        self.next_flow += 1;
+        Some(flow)
+    }
+
+    /// Opens a flow in the established state (both endpoints must use the
+    /// same `isn`; the system layer's `open_pair` helper does). Returns
+    /// `None` when the engine is at its flow limit.
+    pub fn open_established(&mut self, tuple: FourTuple, isn: SeqNum) -> Option<FlowId> {
+        let flow = self.alloc_flow()?;
+        let mut tcb = Tcb::established(flow, tuple, isn);
+        self.config.cc.instance().init(&mut tcb);
+        self.rx_parser.register_flow(tuple, flow, isn).ok()?;
+        self.flows.insert(flow, tuple);
+        self.scheduler.place_new_flow(tcb, &mut self.fpcs, &mut self.mm);
+        Some(flow)
+    }
+
+    /// Opens a flow for an active connect; the host follows with a
+    /// [`EventKind::Connect`] event to launch the handshake.
+    pub fn open_active(&mut self, tuple: FourTuple) -> Option<FlowId> {
+        let flow = self.alloc_flow()?;
+        let isn = Self::isn_for(flow);
+        let mut tcb = Tcb::new(flow);
+        tcb.tuple = tuple;
+        tcb.snd_una = isn;
+        tcb.snd_nxt = isn;
+        tcb.req = isn;
+        tcb.recover = isn;
+        // Peer ISN unknown: the tracker re-anchors on the SYN|ACK.
+        self.rx_parser.register_flow(tuple, flow, SeqNum::ZERO).ok()?;
+        self.flows.insert(flow, tuple);
+        self.scheduler.place_new_flow(tcb, &mut self.fpcs, &mut self.mm);
+        Some(flow)
+    }
+
+    /// Starts listening on a TCP port (passive open / SO_REUSEPORT).
+    pub fn listen(&mut self, port: u16) {
+        self.rx_parser.listen(port);
+    }
+
+    fn isn_for(flow: FlowId) -> SeqNum {
+        SeqNum(flow.0.wrapping_mul(2_654_435_761).wrapping_add(0x1000))
+    }
+
+    /// Whether the host interface can accept another event this cycle.
+    pub fn can_accept_event(&self) -> bool {
+        self.scheduler.can_accept()
+    }
+
+    /// Offers a host event (decoded command); `false` when the intake is
+    /// full — the library retries, which is exactly the doorbell
+    /// backpressure a real queue pair exhibits.
+    pub fn push_event(&mut self, ev: FlowEvent) -> bool {
+        if self.scheduler.push_event(ev) {
+            self.host_events += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Convenience: build and push a host event stamped with `now`.
+    pub fn push_host(&mut self, flow: FlowId, kind: EventKind) -> bool {
+        let now = self.now_ns();
+        self.push_event(FlowEvent::new(flow, kind, now))
+    }
+
+    /// Offers a segment from the network; `false` = NIC buffer overflow
+    /// (the segment is lost).
+    pub fn push_rx(&mut self, seg: Segment) -> bool {
+        self.rx_parser.push_segment(seg)
+    }
+
+    /// Takes the next outbound segment, if any (the link model drains at
+    /// line rate).
+    pub fn pop_tx(&mut self) -> Option<Segment> {
+        self.tx_out.pop_front()
+    }
+
+    /// Peeks the next outbound segment without taking it (the link model
+    /// checks its serialization budget against the wire length first).
+    pub fn peek_tx(&self) -> Option<&Segment> {
+        self.tx_out.front()
+    }
+
+    /// Outbound segments waiting for the link.
+    pub fn tx_backlog(&self) -> usize {
+        self.tx_out.len()
+    }
+
+    /// Takes the next host notification, if any. The host side must
+    /// drain this every tick (as `f4t-system`'s nodes do): the queue
+    /// models the DMA completion ring and is not bounded here.
+    pub fn pop_notification(&mut self) -> Option<HostNotification> {
+        self.notifications.pop_front()
+    }
+
+    /// Copies a flow's TCB wherever it lives (FPC SRAM or DRAM) — the
+    /// Fig. 14 congestion-window probe.
+    pub fn peek_tcb(&self, flow: FlowId) -> Option<Tcb> {
+        for f in &self.fpcs {
+            if let Some(t) = f.peek_tcb(flow) {
+                return Some(*t);
+            }
+        }
+        self.mm.peek_tcb(flow).copied()
+    }
+
+    /// Answers an ARP request addressed to us (hardware ARP, §4.1.2).
+    pub fn handle_arp(&self, req: &ArpMessage) -> Option<ArpMessage> {
+        req.is_request.then(|| req.reply_from(self.mac))
+    }
+
+    /// Answers an ICMP echo request (hardware ping, §4.1.2).
+    pub fn handle_ping(&self, req: &IcmpEcho) -> Option<IcmpEcho> {
+        req.is_request.then(|| req.reply())
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> EngineStats {
+        let s = self.scheduler.stats();
+        EngineStats {
+            cycles: self.cycle,
+            host_events: self.host_events,
+            segments_in: self.rx_parser.segments_in(),
+            segments_out: self.pkt_gen.segments_out(),
+            bytes_out: self.pkt_gen.bytes_out(),
+            rx_dma_bytes: self.rx_parser.payload_dma_bytes(),
+            events_coalesced: s.coalesced,
+            migrations: s.migrations,
+            retransmissions: self.pkt_gen.retransmissions(),
+            dram_events: self.mm.events_handled(),
+            events_dropped: s.dropped,
+            tcb_cache_hit_rate: self.mm.cache_hit_rate(),
+        }
+    }
+
+    /// Scheduler queue diagnostics: `(intake backlog, swap-in backlog,
+    /// migrations in flight)`.
+    pub fn scheduler_backlogs(&self) -> (usize, usize, usize) {
+        (
+            self.scheduler.backlog(),
+            self.scheduler.swap_in_backlog(),
+            self.scheduler.migrations_in_flight(),
+        )
+    }
+
+    /// Total events handled by all FPC event handlers (the Fig. 15/16
+    /// event-rate metric).
+    pub fn fpc_events_handled(&self) -> u64 {
+        self.fpcs.iter().map(Fpc::events_handled).sum()
+    }
+
+    fn accept_new_connection(&mut self, syn: Segment) {
+        let Some(flow) = self.alloc_flow() else { return };
+        let tuple = syn.tuple.reversed();
+        let isn = Self::isn_for(flow);
+        let mut tcb = Tcb::new(flow);
+        tcb.state = TcpState::Listen;
+        tcb.tuple = tuple;
+        tcb.snd_una = isn;
+        tcb.snd_nxt = isn;
+        tcb.req = isn;
+        tcb.recover = isn;
+        if self.rx_parser.register_flow(tuple, flow, SeqNum::ZERO).is_err() {
+            return;
+        }
+        self.flows.insert(flow, tuple);
+        self.scheduler.place_new_flow(tcb, &mut self.fpcs, &mut self.mm);
+        self.notifications.push_back(HostNotification::NewConnection { flow, tuple });
+        // Re-offer the SYN now that the flow exists.
+        self.rx_parser.push_segment(syn);
+    }
+
+    fn process_outcome(&mut self, flow: FlowId, outcome: &FpuOutcome, tcb: &Tcb) {
+        if outcome.connected {
+            self.notifications.push_back(HostNotification::Connected { flow });
+        }
+        if let Some(upto) = outcome.acked_upto {
+            self.notifications.push_back(HostNotification::DataAcked { flow, upto });
+        }
+        if let Some(upto) = outcome.rcvd_upto {
+            self.notifications.push_back(HostNotification::DataReceived { flow, upto });
+        }
+        if outcome.peer_fin {
+            self.notifications.push_back(HostNotification::PeerFin { flow });
+        }
+        if outcome.closed {
+            self.notifications.push_back(HostNotification::Closed { flow });
+            // Full teardown: release the flow-table entry, reassembly
+            // state, routing state and the flow-count slot. (TIME_WAIT is
+            // skipped in the prototype model; see DESIGN.md §6.)
+            if let Some(tuple) = self.flows.remove(&flow) {
+                self.rx_parser.remove_flow(&tuple, flow);
+            }
+            self.scheduler.on_flow_closed(flow);
+            self.timers.disarm(flow, TimeoutKind::Rto);
+            self.timers.disarm(flow, TimeoutKind::Probe);
+            self.free_flow_ids.push(flow.0);
+            return;
+        }
+        match tcb.rto_deadline {
+            Some(d) => self.timers.arm(flow, TimeoutKind::Rto, d),
+            None => self.timers.disarm(flow, TimeoutKind::Rto),
+        }
+        match tcb.probe_deadline {
+            Some(d) => self.timers.arm(flow, TimeoutKind::Probe, d),
+            None => self.timers.disarm(flow, TimeoutKind::Probe),
+        }
+    }
+
+    /// Advances the engine by one 250 MHz cycle.
+    pub fn tick(&mut self) {
+        let cycle = self.cycle;
+        let now = self.now_ns();
+
+        // 0. Drain the TX skid buffer into the packet generator.
+        while let Some(&req) = self.tx_overflow.front() {
+            if self.pkt_gen.can_accept() {
+                self.pkt_gen.push(req);
+                self.tx_overflow.pop_front();
+            } else {
+                break;
+            }
+        }
+
+        // 1. Timers → timeout events.
+        for (flow, kind) in self.timers.expired(now) {
+            let ev = FlowEvent::new(flow, EventKind::Timeout { kind }, now);
+            if !self.scheduler.push_event(ev) {
+                // Intake full: re-arm slightly later rather than lose it.
+                self.timers.arm(flow, kind, now + 2_000);
+            }
+        }
+
+        // 2. RX parser → events, gated on intake space so bursts back
+        //    up into the parser's (bounded) input buffer instead of
+        //    losing protocol events; only genuine NIC-buffer overflow
+        //    drops packets.
+        if self.scheduler.intake_free() >= 8 {
+            let mut rx_out = RxOutput::default();
+            self.rx_parser.tick(now, &mut rx_out);
+            for ev in rx_out.events {
+                let accepted = self.scheduler.push_event(ev);
+                debug_assert!(accepted, "intake_free checked");
+            }
+            for syn in rx_out.new_connections {
+                self.accept_new_connection(syn);
+            }
+        }
+
+        // 3. Scheduler: coalesce + route + migrations + swap-ins.
+        self.scheduler.tick(cycle, &mut self.fpcs, &mut self.mm);
+
+        // 4. FPCs (scratch output buffers are reused across ticks: this
+        //    is the simulator's hottest loop).
+        let gate = self.tx_overflow.is_empty() && self.pkt_gen.free() >= 16;
+        for i in 0..self.fpcs.len() {
+            let mut out = std::mem::take(&mut self.fpc_scratch);
+            out.tx.clear();
+            out.outcomes.clear();
+            out.evicted.clear();
+            out.installed.clear();
+            let fpc_id = self.fpcs[i].id();
+            self.fpcs[i].tick(cycle, now, gate, &mut out);
+            for req in out.tx.drain(..) {
+                if self.pkt_gen.can_accept() {
+                    self.pkt_gen.push(req);
+                } else {
+                    self.tx_overflow.push_back(req);
+                }
+            }
+            for (flow, outcome, tcb) in &out.outcomes {
+                self.process_outcome(*flow, outcome, tcb);
+            }
+            for tcb in out.evicted.drain(..) {
+                self.scheduler.on_evicted(tcb, &mut self.fpcs, &mut self.mm);
+            }
+            for flow in out.installed.drain(..) {
+                self.scheduler.on_installed(flow, fpc_id);
+            }
+            self.fpc_scratch = out;
+        }
+
+        // 5. Memory manager.
+        let mut mo = MmOutput::default();
+        self.mm.tick(&mut mo);
+        for flow in mo.swap_in_requests {
+            self.scheduler.request_swap_in(flow);
+        }
+        for flow in mo.evict_done {
+            self.scheduler.on_evict_done(flow);
+        }
+        for ev in mo.bounced {
+            if !self.scheduler.push_event(ev) {
+                // Intake full: treat like a dropped packet; TCP recovers.
+                break;
+            }
+        }
+
+        // 6. Packet generator → MAC buffer (with output backpressure).
+        if self.tx_out.len() < TX_OUT_CAP {
+            let mut segs = std::mem::take(&mut self.seg_scratch);
+            segs.clear();
+            self.pkt_gen.tick(now, &mut segs);
+            self.tx_out.extend(segs.drain(..));
+            self.seg_scratch = segs;
+        }
+
+        self.cycle += 1;
+    }
+
+    /// Runs `n` cycles.
+    pub fn run(&mut self, n: u64) {
+        for _ in 0..n {
+            self.tick();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn tuple_ab() -> FourTuple {
+        FourTuple::new(Ipv4Addr::new(10, 0, 0, 1), 40_000, Ipv4Addr::new(10, 0, 0, 2), 80)
+    }
+
+    /// Two engines wired back-to-back with an ideal (infinite) link.
+    fn run_pair(a: &mut Engine, b: &mut Engine, cycles: u64) {
+        for _ in 0..cycles {
+            a.tick();
+            b.tick();
+            while let Some(seg) = a.pop_tx() {
+                b.push_rx(seg);
+            }
+            while let Some(seg) = b.pop_tx() {
+                a.push_rx(seg);
+            }
+        }
+    }
+
+    #[test]
+    fn reference_config_shape() {
+        let e = Engine::new(EngineConfig::reference());
+        assert_eq!(e.config().num_fpcs, 8);
+        assert_eq!(e.config().flows_per_fpc, 128);
+        assert_eq!(e.config().max_flows, 65_536);
+        assert_eq!(e.now_ns(), 0);
+    }
+
+    #[test]
+    fn end_to_end_bulk_transfer() {
+        let mut a = Engine::new(EngineConfig::single_fpc());
+        let mut b = Engine::new(EngineConfig::single_fpc());
+        let t = tuple_ab();
+        let isn = SeqNum(1000);
+        let fa = a.open_established(t, isn).unwrap();
+        let fb = b.open_established(t.reversed(), isn).unwrap();
+        run_pair(&mut a, &mut b, 50);
+
+        // A sends 10 KB.
+        assert!(a.push_host(fa, EventKind::SendReq { req: isn.add(10_000) }));
+        run_pair(&mut a, &mut b, 3000);
+
+        // B's host saw the data arrive in order.
+        let mut rcvd = SeqNum::ZERO;
+        while let Some(n) = b.pop_notification() {
+            if let HostNotification::DataReceived { flow, upto } = n {
+                assert_eq!(flow, fb);
+                rcvd = upto;
+            }
+        }
+        assert_eq!(rcvd, isn.add(10_000), "all 10 KB delivered in order");
+
+        // A's host saw everything ACKed.
+        let mut acked = SeqNum::ZERO;
+        while let Some(n) = a.pop_notification() {
+            if let HostNotification::DataAcked { upto, .. } = n {
+                acked = upto;
+            }
+        }
+        assert_eq!(acked, isn.add(10_000), "all data acknowledged");
+        assert_eq!(a.stats().retransmissions, 0, "clean link: no retransmits");
+    }
+
+    #[test]
+    fn end_to_end_handshake() {
+        let mut client = Engine::new(EngineConfig::single_fpc());
+        let mut server = Engine::new(EngineConfig::single_fpc());
+        server.listen(80);
+        let t = tuple_ab();
+        let fc = client.open_active(t).unwrap();
+        assert!(client.push_host(fc, EventKind::Connect));
+        run_pair(&mut client, &mut server, 2000);
+
+        let mut client_connected = false;
+        while let Some(n) = client.pop_notification() {
+            if matches!(n, HostNotification::Connected { flow } if flow == fc) {
+                client_connected = true;
+            }
+        }
+        assert!(client_connected, "client completed the handshake");
+
+        let mut server_new = None;
+        let mut server_connected = false;
+        while let Some(n) = server.pop_notification() {
+            match n {
+                HostNotification::NewConnection { flow, tuple } => {
+                    assert_eq!(tuple, t.reversed());
+                    server_new = Some(flow);
+                }
+                HostNotification::Connected { flow } => {
+                    assert_eq!(Some(flow), server_new);
+                    server_connected = true;
+                }
+                _ => {}
+            }
+        }
+        assert!(server_connected, "server reached established");
+
+        // Data flows over the handshaken connection.
+        let tcb = client.peek_tcb(fc).unwrap();
+        client.push_host(fc, EventKind::SendReq { req: tcb.snd_nxt.add(256) });
+        run_pair(&mut client, &mut server, 2000);
+        let srv_flow = server_new.unwrap();
+        let srv_tcb = server.peek_tcb(srv_flow).unwrap();
+        assert_eq!(srv_tcb.rcv_nxt.since(srv_tcb.rcv_consumed), 256, "payload arrived");
+    }
+
+    #[test]
+    fn loss_recovers_via_retransmission() {
+        let mut a = Engine::new(EngineConfig::single_fpc());
+        let mut b = Engine::new(EngineConfig::single_fpc());
+        let t = tuple_ab();
+        let isn = SeqNum(0);
+        let fa = a.open_established(t, isn).unwrap();
+        let _fb = b.open_established(t.reversed(), isn).unwrap();
+        run_pair(&mut a, &mut b, 50);
+        a.push_host(fa, EventKind::SendReq { req: isn.add(50_000) });
+
+        // Drop the 3rd data segment once.
+        let mut dropped = false;
+        let mut seen = 0;
+        for _ in 0..1_000_000u64 {
+            a.tick();
+            b.tick();
+            while let Some(seg) = a.pop_tx() {
+                if seg.has_payload() {
+                    seen += 1;
+                    if seen == 3 && !dropped {
+                        dropped = true;
+                        continue; // lost on the wire
+                    }
+                }
+                b.push_rx(seg);
+            }
+            while let Some(seg) = b.pop_tx() {
+                a.push_rx(seg);
+            }
+            if a.peek_tcb(fa).map(|t| t.snd_una) == Some(isn.add(50_000)) {
+                break;
+            }
+        }
+        assert!(dropped);
+        let tcb = a.peek_tcb(fa).unwrap();
+        assert_eq!(tcb.snd_una, isn.add(50_000), "transfer completed despite loss");
+        assert!(a.stats().retransmissions >= 1, "loss repaired by retransmission");
+    }
+
+    #[test]
+    fn flows_overflow_to_dram() {
+        let mut cfg = EngineConfig::single_fpc();
+        cfg.flows_per_fpc = 4;
+        let mut e = Engine::new(cfg);
+        for i in 0..10u32 {
+            let t = FourTuple::new(
+                Ipv4Addr::new(10, 0, 0, 1),
+                10_000 + i as u16,
+                Ipv4Addr::new(10, 0, 0, 2),
+                80,
+            );
+            e.open_established(t, SeqNum(0)).unwrap();
+            e.run(10);
+        }
+        e.run(100);
+        let in_dram = (0..10).filter(|&i| e.mm.peek_tcb(FlowId(i)).is_some()).count();
+        assert_eq!(in_dram, 6, "4 SRAM-resident, 6 in DRAM");
+        // peek_tcb finds them regardless of residence.
+        for i in 0..10u32 {
+            assert!(e.peek_tcb(FlowId(i)).is_some(), "flow {i} visible");
+        }
+    }
+
+    #[test]
+    fn flow_limit_enforced() {
+        let mut cfg = EngineConfig::single_fpc();
+        cfg.max_flows = 2;
+        let mut e = Engine::new(cfg);
+        assert!(e.open_established(tuple_ab(), SeqNum(0)).is_some());
+        let t2 = FourTuple::new(Ipv4Addr::new(10, 0, 0, 3), 1, Ipv4Addr::new(10, 0, 0, 4), 2);
+        assert!(e.open_established(t2, SeqNum(0)).is_some());
+        let t3 = FourTuple::new(Ipv4Addr::new(10, 0, 0, 5), 1, Ipv4Addr::new(10, 0, 0, 6), 2);
+        assert!(e.open_established(t3, SeqNum(0)).is_none(), "65K-style cap");
+    }
+
+    #[test]
+    fn zero_window_closes_and_probe_reopens() {
+        // Fill the receiver's 512 KB buffer without consuming: the
+        // advertised window closes and the sender stalls; once the app
+        // consumes, the window-update (or probe) restarts the transfer.
+        let mut a = Engine::new(EngineConfig::single_fpc());
+        let mut b = Engine::new(EngineConfig::single_fpc());
+        let t = tuple_ab();
+        let isn = SeqNum(0);
+        let fa = a.open_established(t, isn).unwrap();
+        let fb = b.open_established(t.reversed(), isn).unwrap();
+        run_pair(&mut a, &mut b, 50);
+        // Ask for 600 KB — more than the 512 KB receive buffer.
+        a.push_host(fa, EventKind::SendReq { req: isn.add(600_000) });
+        run_pair(&mut a, &mut b, 60_000);
+        let tcb_a = a.peek_tcb(fa).unwrap();
+        assert!(
+            tcb_a.snd_una.since(isn) < 600_000,
+            "sender stalled before finishing: {} B acked",
+            tcb_a.snd_una.since(isn)
+        );
+        assert_eq!(tcb_a.snd_wnd, 0, "peer advertised a closed window");
+        assert!(tcb_a.probe_deadline.is_some(), "probe timer armed");
+        // The receiving app finally consumes everything buffered.
+        let tcb_b = b.peek_tcb(fb).unwrap();
+        b.push_host(fb, EventKind::RecvConsumed { consumed: tcb_b.rcv_nxt });
+        run_pair(&mut a, &mut b, 40_000);
+        // Keep consuming until the stream completes.
+        for _ in 0..20 {
+            let tcb_b = b.peek_tcb(fb).unwrap();
+            b.push_host(fb, EventKind::RecvConsumed { consumed: tcb_b.rcv_nxt });
+            run_pair(&mut a, &mut b, 20_000);
+            if a.peek_tcb(fa).unwrap().snd_una == isn.add(600_000) {
+                break;
+            }
+        }
+        assert_eq!(
+            a.peek_tcb(fa).unwrap().snd_una,
+            isn.add(600_000),
+            "transfer completed after the window reopened"
+        );
+    }
+
+    #[test]
+    fn load_imbalance_triggers_fpc_migration() {
+        // Two FPCs; hammer one flow hard enough to backpressure its FPC's
+        // input FIFO while coalescing is off: the scheduler must migrate
+        // flows toward the idler FPC (§4.4.2).
+        let mut cfg = EngineConfig::reference();
+        cfg.num_fpcs = 2;
+        cfg.lut_groups = 2;
+        cfg.flows_per_fpc = 8;
+        cfg.coalescing = false;
+        let mut e = Engine::new(cfg);
+        // Open 8 flows; with least-loaded placement they spread 4/4.
+        let mut flows = Vec::new();
+        for i in 0..8u16 {
+            let t = FourTuple::new(
+                Ipv4Addr::new(10, 0, 0, 1),
+                30_000 + i,
+                Ipv4Addr::new(10, 0, 0, 2),
+                80,
+            );
+            flows.push(e.open_established(t, SeqNum(0)).unwrap());
+            e.run(8);
+        }
+        // Flood dup-ack-style distinct events to all flows faster than
+        // one FPC drains (0.5 events/cycle), creating backpressure.
+        let mut req = vec![SeqNum(0); flows.len()];
+        for c in 0..200_000u64 {
+            for (i, &f) in flows.iter().enumerate() {
+                req[i] = req[i].add(1);
+                e.push_host(f, EventKind::SendReq { req: req[i] });
+            }
+            e.tick();
+            while e.pop_tx().is_some() {}
+            let _ = c;
+        }
+        assert!(
+            e.stats().migrations > 0,
+            "backpressure triggered load-balance migration"
+        );
+    }
+
+    #[test]
+    fn orderly_close_tears_down_and_tuple_is_reusable() {
+        let mut a = Engine::new(EngineConfig::single_fpc());
+        let mut b = Engine::new(EngineConfig::single_fpc());
+        let t = tuple_ab();
+        let isn = SeqNum(0);
+        let fa = a.open_established(t, isn).unwrap();
+        let fb = b.open_established(t.reversed(), isn).unwrap();
+        run_pair(&mut a, &mut b, 50);
+        // Transfer then close from both sides.
+        a.push_host(fa, EventKind::SendReq { req: isn.add(1_000) });
+        run_pair(&mut a, &mut b, 2_000);
+        a.push_host(fa, EventKind::Close);
+        b.push_host(fb, EventKind::Close);
+        let mut a_closed = false;
+        let mut b_closed = false;
+        // TIME_WAIT holds the active closer for 100 µs (25 k cycles).
+        for _ in 0..80 {
+            run_pair(&mut a, &mut b, 1_000);
+            while let Some(n) = a.pop_notification() {
+                a_closed |= matches!(n, HostNotification::Closed { flow } if flow == fa);
+            }
+            while let Some(n) = b.pop_notification() {
+                b_closed |= matches!(n, HostNotification::Closed { flow } if flow == fb);
+            }
+            if a_closed && b_closed {
+                break;
+            }
+        }
+        assert!(a_closed && b_closed, "both directions closed");
+        assert!(a.peek_tcb(fa).is_none(), "TCB slot reclaimed");
+        // The same 4-tuple opens a NEW connection (no stale flow-table
+        // entry in the way), and capacity was released.
+        let fa2 = a.open_established(t, SeqNum(50_000)).expect("tuple reusable");
+        // Flow ids are a bounded pool and may be recycled after close.
+        assert_eq!(fa2, fa, "freed flow id recycled");
+        let fb2 = b.open_established(t.reversed(), SeqNum(50_000)).unwrap();
+        run_pair(&mut a, &mut b, 50);
+        a.push_host(fa2, EventKind::SendReq { req: SeqNum(50_000).add(500) });
+        run_pair(&mut a, &mut b, 2_000);
+        let tcb = b.peek_tcb(fb2).unwrap();
+        assert_eq!(tcb.rcv_nxt, SeqNum(50_500), "new connection moves data");
+    }
+
+    #[test]
+    fn rst_tears_down_immediately() {
+        let mut e = Engine::new(EngineConfig::single_fpc());
+        let flow = e.open_established(tuple_ab(), SeqNum(0)).unwrap();
+        e.run(50);
+        let mut rst = f4t_tcp::Segment::pure_ack(tuple_ab().reversed(), SeqNum(0), SeqNum(0), 0);
+        rst.flags = f4t_tcp::TcpFlags::RST | f4t_tcp::TcpFlags::ACK;
+        e.push_rx(rst);
+        e.run(500);
+        let mut closed = false;
+        while let Some(n) = e.pop_notification() {
+            closed |= matches!(n, HostNotification::Closed { flow: f } if f == flow);
+        }
+        assert!(closed, "RST closed the connection");
+        assert!(e.peek_tcb(flow).is_none(), "state reclaimed");
+    }
+
+    #[test]
+    fn arp_and_ping_answered_in_hardware() {
+        let e = Engine::new(EngineConfig::single_fpc());
+        let req = ArpMessage {
+            is_request: true,
+            sender_mac: MacAddr([1; 6]),
+            sender_ip: Ipv4Addr::new(10, 0, 0, 2),
+            target_mac: MacAddr::default(),
+            target_ip: Ipv4Addr::new(10, 0, 0, 1),
+        };
+        let reply = e.handle_arp(&req).expect("ARP answered");
+        assert_eq!(reply.sender_mac, e.mac);
+        assert!(e.handle_arp(&reply).is_none(), "replies are not re-answered");
+
+        let ping = IcmpEcho { is_request: true, ident: 1, seq: 9, payload: vec![0xAA; 16] };
+        let pong = e.handle_ping(&ping).expect("ping answered");
+        assert!(!pong.is_request);
+        assert_eq!(pong.payload, ping.payload);
+        assert!(e.handle_ping(&pong).is_none());
+    }
+
+    #[test]
+    fn backpressured_link_grows_packet_size() {
+        // §5.1: when the network bottlenecks, events accumulate and the
+        // emitted packets become larger.
+        let mut cfg = EngineConfig::single_fpc();
+        cfg.coalescing = false; // isolate the FPC-accumulation effect
+        let mut e = Engine::new(cfg);
+        let fa = e.open_established(tuple_ab(), SeqNum(0)).unwrap();
+        e.run(50);
+        // Feed 128 B requests but drain the link slowly.
+        let mut req_ptr = SeqNum(0);
+        let mut drained: Vec<Segment> = Vec::new();
+        for c in 0..30_000u64 {
+            req_ptr = req_ptr.add(128);
+            e.push_host(fa, EventKind::SendReq { req: req_ptr });
+            e.tick();
+            // Slow link: one segment every 100 cycles.
+            if c % 100 == 0 {
+                if let Some(seg) = e.pop_tx() {
+                    drained.push(seg);
+                }
+            }
+        }
+        // Early packets left before backlog built; judge the steady
+        // state by the second half of the drain.
+        let tail = &drained[drained.len() / 2..];
+        let avg_payload: f64 =
+            tail.iter().map(|s| f64::from(s.payload_len)).sum::<f64>() / tail.len() as f64;
+        assert!(
+            avg_payload > 512.0,
+            "accumulation grew packets well beyond 128 B, got {avg_payload:.0} B"
+        );
+    }
+}

@@ -1,0 +1,282 @@
+//! Events, the engine's unit of work.
+//!
+//! FtEngine processes three kinds of events — user requests, received
+//! packets and timeouts (§4.1.2) — all carried as [`FlowEvent`]s. Events
+//! are designed around the cumulative-pointer property: every field of
+//! [`EventKind`] is either a cumulative pointer (newer value subsumes
+//! older) or an occurrence bit (OR-accumulable), which is what lets the
+//! event handler and the scheduler's coalesce FIFOs merge events without
+//! information loss (§4.2.1, §4.4.1). The only exception is duplicate-ACK
+//! counting, which the event handler performs as a single-cycle increment.
+
+use f4t_tcp::{FlowId, SeqNum, TcpFlags};
+
+/// Which timer fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimeoutKind {
+    /// Retransmission timeout.
+    Rto,
+    /// Zero-window probe timer.
+    Probe,
+}
+
+/// The payload of a [`FlowEvent`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EventKind {
+    /// Active open requested by the application.
+    Connect,
+    /// Orderly close requested by the application.
+    Close,
+    /// User send request: the library sends the new absolute REQ pointer,
+    /// not a length (§4.2.1), so accumulation is a plain overwrite.
+    SendReq {
+        /// New user request pointer (all data before it should be sent).
+        req: SeqNum,
+    },
+    /// User receive: the application consumed data up to this pointer,
+    /// opening the advertised window.
+    RecvConsumed {
+        /// New consumed pointer.
+        consumed: SeqNum,
+    },
+    /// Summary of a received packet, produced by the RX parser after flow
+    /// lookup and logical reassembly.
+    RxPacket {
+        /// Cumulative ACK carried by the packet.
+        ack: SeqNum,
+        /// The receiver-side in-order pointer *after* reassembly.
+        rcv_nxt: SeqNum,
+        /// Peer's advertised window.
+        wnd: u32,
+        /// Control flags seen (SYN/FIN/RST occurrence bits).
+        flags: TcpFlags,
+        /// Whether the packet carried payload (used by the event handler's
+        /// duplicate-ACK detection).
+        had_payload: bool,
+        /// Whether the packet requires an ACK in response: payload was
+        /// accepted, or the segment was unacceptable (duplicate /
+        /// out-of-window, including zero-window probes — RFC 793 requires
+        /// an ACK for those too).
+        needs_ack: bool,
+        /// Whether the packet arrived in order with no reassembly gap;
+        /// only in-order packets may coalesce (GRO rule, §4.4.1).
+        in_order: bool,
+        /// Peer's TSval (to echo back); zero if absent.
+        ts_val: u64,
+        /// Peer's TSecr (our stamp coming home — an RTT sample); zero if
+        /// absent.
+        ts_ecr: u64,
+    },
+    /// A timer fired.
+    Timeout {
+        /// Which timer.
+        kind: TimeoutKind,
+    },
+}
+
+/// An event bound for one flow's TCB.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowEvent {
+    /// Destination flow.
+    pub flow: FlowId,
+    /// What happened.
+    pub kind: EventKind,
+    /// Simulation time the event was created (latency accounting).
+    pub born_ns: u64,
+}
+
+impl FlowEvent {
+    /// Creates an event.
+    pub fn new(flow: FlowId, kind: EventKind, born_ns: u64) -> FlowEvent {
+        FlowEvent { flow, kind, born_ns }
+    }
+
+    /// Attempts to merge `other` (a newer event of the same flow) into
+    /// `self`, returning `true` on success. Implements the scheduler's
+    /// lossless coalescing rule (§4.4.1): same-kind events merge by
+    /// cumulative overwrite / OR; received packets merge only when both
+    /// are in order (no drop or reordering evidence) — a duplicate ACK is
+    /// never produced by an in-order data packet, so the GRO rule also
+    /// protects the dup-ACK count.
+    pub fn try_merge(&mut self, other: &FlowEvent) -> bool {
+        debug_assert_eq!(self.flow, other.flow, "merging across flows");
+        match (&mut self.kind, &other.kind) {
+            (EventKind::SendReq { req }, EventKind::SendReq { req: new }) => {
+                *req = req.max_seq(*new);
+                true
+            }
+            (EventKind::RecvConsumed { consumed }, EventKind::RecvConsumed { consumed: new }) => {
+                *consumed = consumed.max_seq(*new);
+                true
+            }
+            (
+                EventKind::RxPacket {
+                    ack,
+                    rcv_nxt,
+                    wnd,
+                    flags,
+                    had_payload,
+                    needs_ack,
+                    in_order,
+                    ts_val,
+                    ts_ecr,
+                },
+                EventKind::RxPacket {
+                    ack: n_ack,
+                    rcv_nxt: n_rcv,
+                    wnd: n_wnd,
+                    flags: n_flags,
+                    had_payload: n_payload,
+                    needs_ack: n_needs,
+                    in_order: n_in_order,
+                    ts_val: n_ts_val,
+                    ts_ecr: n_ts_ecr,
+                },
+            ) => {
+                if !*in_order || !*n_in_order {
+                    return false;
+                }
+                *ack = ack.max_seq(*n_ack);
+                *rcv_nxt = rcv_nxt.max_seq(*n_rcv);
+                *wnd = *n_wnd;
+                flags.insert(*n_flags);
+                *had_payload |= *n_payload;
+                *needs_ack |= *n_needs;
+                if *n_ts_val != 0 {
+                    *ts_val = *n_ts_val;
+                }
+                if *n_ts_ecr != 0 {
+                    *ts_ecr = *n_ts_ecr;
+                }
+                true
+            }
+            (EventKind::Timeout { kind }, EventKind::Timeout { kind: n_kind }) => kind == n_kind,
+            _ => false,
+        }
+    }
+}
+
+/// A transmit request from the FPU to the packet generator. The generator
+/// splits requests larger than the MSS into multiple segments (§4.1.2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TxRequest {
+    /// Sending flow.
+    pub flow: FlowId,
+    /// 4-tuple for header generation.
+    pub tuple: f4t_tcp::FourTuple,
+    /// First sequence number of the payload range.
+    pub seq: SeqNum,
+    /// Payload byte count (0 = pure ACK / control segment).
+    pub len: u32,
+    /// Cumulative ACK to carry.
+    pub ack: SeqNum,
+    /// Window to advertise.
+    pub wnd: u32,
+    /// Flags to set (ACK is implied in established states).
+    pub flags: TcpFlags,
+    /// Marks a retransmission (diagnostics).
+    pub retransmit: bool,
+    /// TSecr to carry (peer's stamp being echoed).
+    pub ts_ecr: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(kind: EventKind) -> FlowEvent {
+        FlowEvent::new(FlowId(1), kind, 0)
+    }
+
+    #[test]
+    fn send_reqs_merge_to_max() {
+        let mut a = ev(EventKind::SendReq { req: SeqNum(100) });
+        let b = ev(EventKind::SendReq { req: SeqNum(300) });
+        assert!(a.try_merge(&b));
+        assert_eq!(a.kind, EventKind::SendReq { req: SeqNum(300) });
+        // Merging an older pointer keeps the newer one.
+        let c = ev(EventKind::SendReq { req: SeqNum(200) });
+        assert!(a.try_merge(&c));
+        assert_eq!(a.kind, EventKind::SendReq { req: SeqNum(300) });
+    }
+
+    #[test]
+    fn in_order_rx_packets_merge() {
+        let mut a = ev(EventKind::RxPacket {
+            ack: SeqNum(100),
+            rcv_nxt: SeqNum(50),
+            wnd: 1000,
+            flags: TcpFlags::ACK,
+            had_payload: true,
+            needs_ack: true,
+            in_order: true,
+            ts_val: 5,
+            ts_ecr: 0,
+        });
+        let b = ev(EventKind::RxPacket {
+            ack: SeqNum(200),
+            rcv_nxt: SeqNum(150),
+            wnd: 900,
+            flags: TcpFlags::ACK | TcpFlags::FIN,
+            had_payload: true,
+            needs_ack: true,
+            in_order: true,
+            ts_val: 9,
+            ts_ecr: 77,
+        });
+        assert!(a.try_merge(&b));
+        let EventKind::RxPacket { ack, rcv_nxt, wnd, flags, ts_val, ts_ecr, .. } = a.kind else {
+            panic!()
+        };
+        assert_eq!(ack, SeqNum(200));
+        assert_eq!(rcv_nxt, SeqNum(150));
+        assert_eq!(wnd, 900, "latest window wins");
+        assert!(flags.contains(TcpFlags::FIN), "flags OR-accumulate");
+        assert_eq!(ts_val, 9);
+        assert_eq!(ts_ecr, 77);
+    }
+
+    #[test]
+    fn out_of_order_rx_packets_refuse_merge() {
+        let in_order = EventKind::RxPacket {
+            ack: SeqNum(1),
+            rcv_nxt: SeqNum(1),
+            wnd: 1,
+            flags: TcpFlags::ACK,
+            had_payload: false,
+            needs_ack: false,
+            in_order: true,
+            ts_val: 0,
+            ts_ecr: 0,
+        };
+        let ooo = EventKind::RxPacket {
+            ack: SeqNum(1),
+            rcv_nxt: SeqNum(1),
+            wnd: 1,
+            flags: TcpFlags::ACK,
+            had_payload: false,
+            needs_ack: false,
+            in_order: false,
+            ts_val: 0,
+            ts_ecr: 0,
+        };
+        let mut a = ev(in_order);
+        assert!(!a.try_merge(&ev(ooo)), "loss/reorder evidence blocks merge");
+        let mut a = ev(ooo);
+        assert!(!a.try_merge(&ev(in_order)), "existing ooo blocks merge too");
+    }
+
+    #[test]
+    fn different_kinds_refuse_merge() {
+        let mut a = ev(EventKind::SendReq { req: SeqNum(1) });
+        assert!(!a.try_merge(&ev(EventKind::Connect)));
+        assert!(!a.try_merge(&ev(EventKind::Timeout { kind: TimeoutKind::Rto })));
+    }
+
+    #[test]
+    fn same_timeout_kind_merges() {
+        let mut a = ev(EventKind::Timeout { kind: TimeoutKind::Rto });
+        assert!(a.try_merge(&ev(EventKind::Timeout { kind: TimeoutKind::Rto })));
+        assert!(!a.try_merge(&ev(EventKind::Timeout { kind: TimeoutKind::Probe })));
+    }
+}

@@ -1,0 +1,1039 @@
+//! The flow processing unit (FPU).
+//!
+//! "FPU is a stateless processing unit that processes all TCP algorithms
+//! only when it receives a TCB from the TCB manager. It can be stateless
+//! because all necessary information required to process TCP algorithms is
+//! in the TCB" (§4.2.2). The FPU is fully pipelined: a new TCB can enter
+//! every initiation interval regardless of pipeline depth, which is why
+//! F4T's throughput is invariant to algorithm complexity (Fig. 15).
+//!
+//! [`process`] is the combinational function the paper's users write in
+//! HLS C++; [`Fpu`] is the pipeline wrapper that models its latency.
+
+use crate::event::TxRequest;
+use f4t_tcp::{CongestionControl, SeqNum, Tcb, TcpFlags, TcpState};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// The merged event-table view handed to the FPU alongside the TCB-table
+/// half (the "valid, up-to-date TCB" of §4.2.3). `None`/`false` fields had
+/// no valid bit set.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EventView {
+    /// User send-request pointer.
+    pub req: Option<SeqNum>,
+    /// User receive-consumed pointer.
+    pub consumed: Option<SeqNum>,
+    /// Latest cumulative ACK from the peer.
+    pub ack: Option<SeqNum>,
+    /// Latest reassembled in-order pointer from the RX parser.
+    pub rcv_nxt: Option<SeqNum>,
+    /// Latest peer-advertised window.
+    pub wnd: Option<u32>,
+    /// Accumulated occurrence flags (SYN/FIN/RST).
+    pub flags: TcpFlags,
+    /// Merged duplicate-ACK count (absolute, maintained by the event
+    /// handler's single-cycle increment).
+    pub dup_acks: Option<u16>,
+    /// Retransmission timer fired.
+    pub rto_fired: bool,
+    /// Zero-window probe timer fired.
+    pub probe_fired: bool,
+    /// An ACK is owed to the peer (payload accepted or unacceptable
+    /// segment received).
+    pub needs_ack: bool,
+    /// Number of ACK-eliciting *out-of-order* packets accumulated. RFC
+    /// 5681 demands an immediate duplicate ACK per out-of-order segment;
+    /// since accumulation would collapse them into one FPU pass, the
+    /// event handler counts them and the FPU replays that many ACKs.
+    pub dup_ack_gen: u16,
+    /// Active open requested.
+    pub connect: bool,
+    /// Close requested.
+    pub close: bool,
+    /// Peer's latest TSval (0 = none).
+    pub ts_val: u64,
+    /// Peer's latest TSecr — our stamp coming home (0 = none).
+    pub ts_ecr: u64,
+}
+
+impl EventView {
+    /// Whether any valid bit other than the duplicate-ACK counter is set.
+    /// The dup-ACK counter's valid bit intentionally survives dispatch
+    /// (it must keep accumulating against the merged view), and its value
+    /// is mirrored into the TCB on every FPU pass — so it must not block
+    /// eviction.
+    pub fn any_except_dup_acks(&self) -> bool {
+        let mut v = *self;
+        v.dup_acks = None;
+        v.any()
+    }
+
+    /// Whether any valid bit is set (the slot has pending work).
+    pub fn any(&self) -> bool {
+        self.req.is_some()
+            || self.consumed.is_some()
+            || self.ack.is_some()
+            || self.rcv_nxt.is_some()
+            || self.wnd.is_some()
+            || !self.flags.is_empty()
+            || self.dup_acks.is_some()
+            || self.rto_fired
+            || self.probe_fired
+            || self.needs_ack
+            || self.dup_ack_gen > 0
+            || self.connect
+            || self.close
+    }
+}
+
+/// What one FPU pass produced besides the updated TCB.
+#[derive(Debug, Clone, Default)]
+pub struct FpuOutcome {
+    /// Segments to hand to the packet generator.
+    pub tx: Vec<TxRequest>,
+    /// New cumulative ACKed-data pointer to report to the host
+    /// ("FtEngine sends ACKed data ... pointers to the software").
+    pub acked_upto: Option<SeqNum>,
+    /// New received-data pointer to report to the host.
+    pub rcvd_upto: Option<SeqNum>,
+    /// The connection became established this pass.
+    pub connected: bool,
+    /// The peer closed its direction (EOF for the application).
+    pub peer_fin: bool,
+    /// The connection fully closed this pass.
+    pub closed: bool,
+    /// The flow still has sendable work the pass could not finish
+    /// (per-visit burst cap); the TCB manager should revisit soon.
+    pub more_work: bool,
+}
+
+/// Per-visit cap on new payload bytes committed to the packet generator
+/// (a TSO-sized burst). Larger requests stay pending and set
+/// [`FpuOutcome::more_work`].
+pub const MAX_BURST: u32 = 65_536;
+
+/// TIME_WAIT duration. Real stacks hold 2×MSL (minutes); the simulation
+/// scales it to 100 µs — still several RTTs of the direct-attach testbed,
+/// which preserves the property it exists for (absorbing a retransmitted
+/// final FIN) at simulable timescales.
+pub const TIME_WAIT_NS: u64 = 100_000;
+
+/// Processes one merged TCB: the entire TCP algorithm suite — handshake,
+/// ACK clocking, congestion/flow control, loss recovery, retransmission,
+/// probing, ACK generation — as a pure function of `(tcb, events, now)`.
+///
+/// This function is deliberately *stateless*: every read and write goes
+/// through `tcb`. It is the Rust analogue of the HLS C++ the paper's
+/// users drop into the FPU placeholder (§4.5).
+pub fn process(
+    cc: &dyn CongestionControl,
+    tcb: &mut Tcb,
+    ev: &EventView,
+    now_ns: u64,
+    mss: u32,
+) -> FpuOutcome {
+    let mut out = FpuOutcome::default();
+    tcb.last_active_ns = now_ns;
+
+    // --- 0. absorb cumulative pointers from the event view ---
+    if let Some(req) = ev.req {
+        tcb.req = tcb.req.max_seq(req);
+    }
+    let prev_advertised = tcb.advertised_window();
+    if let Some(c) = ev.consumed {
+        tcb.rcv_consumed = tcb.rcv_consumed.max_seq(c);
+    }
+    if let Some(w) = ev.wnd {
+        tcb.snd_wnd = w;
+    }
+    if ev.ts_val != 0 {
+        tcb.ts_recent = ev.ts_val;
+    }
+    if let Some(d) = ev.dup_acks {
+        tcb.dup_acks = d;
+    }
+
+    // --- 1. reset ---
+    if ev.flags.contains(TcpFlags::RST) {
+        tcb.state = TcpState::Closed;
+        tcb.rto_deadline = None;
+        tcb.probe_deadline = None;
+        out.closed = true;
+        return out;
+    }
+
+    let mut ack_due = ev.needs_ack;
+    let mut retransmit_due = false;
+
+    // --- 2. connection management ---
+    if ev.connect && tcb.state == TcpState::Closed {
+        tcb.state = TcpState::SynSent;
+        cc.init(tcb);
+        out.tx.push(control_segment(tcb, TcpFlags::SYN, now_ns));
+        tcb.snd_nxt = tcb.snd_nxt.add(1); // SYN phantom byte
+        tcb.rto_deadline = Some(now_ns + tcb.rto.rto_ns());
+    }
+    if ev.flags.contains(TcpFlags::SYN) {
+        match tcb.state {
+            TcpState::Listen | TcpState::Closed => {
+                // Passive open. The RX parser initialized reassembly at
+                // the peer's ISN+1 and reports it via ev.rcv_nxt.
+                if let Some(r) = ev.rcv_nxt {
+                    tcb.rcv_nxt = r;
+                    tcb.rcv_consumed = r;
+                }
+                tcb.state = TcpState::SynReceived;
+                cc.init(tcb);
+                out.tx.push(control_segment(tcb, TcpFlags::SYN | TcpFlags::ACK, now_ns));
+                tcb.snd_nxt = tcb.snd_nxt.add(1);
+                tcb.rto_deadline = Some(now_ns + tcb.rto.rto_ns());
+                ack_due = false;
+            }
+            TcpState::SynSent => {
+                // SYN|ACK: adopt the peer's sequence base; the ACK half is
+                // handled below.
+                if let Some(r) = ev.rcv_nxt {
+                    tcb.rcv_nxt = r;
+                    tcb.rcv_consumed = r;
+                }
+                ack_due = true;
+            }
+            _ => {} // duplicate SYN in established state: just ACK.
+        }
+    }
+
+    // --- 3. receive-side pointer ---
+    if let Some(r) = ev.rcv_nxt {
+        if r.gt(tcb.rcv_nxt) {
+            tcb.rcv_nxt = r;
+            out.rcvd_upto = Some(r);
+        }
+    }
+
+    // --- 4. ACK processing ---
+    if let Some(ack) = ev.ack {
+        // Acceptable up to the highest byte EVER sent: after a go-back-N
+        // rewind, in-flight pre-rewind data can still be acknowledged.
+        let snd_limit = tcb.snd_max.max_seq(tcb.snd_nxt);
+        if ack.gt(tcb.snd_una) && ack.le(snd_limit) {
+            let newly = ack.since(tcb.snd_una);
+            let rtt = (ev.ts_ecr != 0 && now_ns > ev.ts_ecr).then(|| now_ns - ev.ts_ecr);
+            if let Some(r) = rtt {
+                tcb.rto.on_rtt_sample(r);
+            }
+            if tcb.in_recovery {
+                if ack.ge(tcb.recover) {
+                    tcb.in_recovery = false;
+                    tcb.dup_acks = 0;
+                    tcb.dup_acks_processed = 0;
+                    cc.on_exit_recovery(tcb, now_ns);
+                } else {
+                    cc.on_partial_ack(tcb, newly);
+                    retransmit_due = true;
+                }
+            } else {
+                tcb.dup_acks = 0;
+                tcb.dup_acks_processed = 0;
+                cc.on_ack(tcb, newly, rtt, now_ns);
+            }
+            tcb.snd_una = ack;
+            if ack.gt(tcb.snd_nxt) {
+                // A late ACK overtook the rewound send pointer: that data
+                // needs no retransmission.
+                tcb.snd_nxt = ack;
+            }
+            out.acked_upto = Some(ack);
+
+            // Handshake / teardown transitions completed by this ACK.
+            match tcb.state {
+                TcpState::SynSent => {
+                    tcb.state = TcpState::Established;
+                    out.connected = true;
+                    ack_due = true; // third handshake packet
+                }
+                TcpState::SynReceived => {
+                    tcb.state = TcpState::Established;
+                    out.connected = true;
+                }
+                TcpState::FinWait if tcb.snd_una == tcb.snd_nxt => {
+                    // Our FIN is acknowledged. (TIME_WAIT is skipped in the
+                    // prototype model; see DESIGN.md §6.)
+                }
+                TcpState::Closing if tcb.snd_una == tcb.snd_nxt => {
+                    tcb.state = TcpState::TimeWait;
+                    tcb.rto_deadline = Some(now_ns + TIME_WAIT_NS);
+                }
+                _ => {}
+            }
+
+            // RTO management: restart while data remains in flight.
+            if tcb.state == TcpState::TimeWait {
+                // The 2MSL timer was just armed; leave it.
+            } else if tcb.flight_size() > 0 {
+                tcb.rto_deadline = Some(now_ns + tcb.rto.rto_ns());
+            } else {
+                tcb.rto_deadline = None;
+            }
+        }
+    }
+
+    // --- 5. fast retransmit / recovery ---
+    if !tcb.in_recovery && tcb.dup_acks >= 3 && tcb.flight_size() > 0 {
+        cc.on_enter_recovery(tcb, now_ns);
+        tcb.in_recovery = true;
+        tcb.recover = tcb.snd_nxt;
+        tcb.dup_acks_processed = tcb.dup_acks;
+        retransmit_due = true;
+    } else if tcb.in_recovery && tcb.dup_acks > tcb.dup_acks_processed {
+        let delta = u32::from(tcb.dup_acks - tcb.dup_acks_processed);
+        cc.on_dup_ack_in_recovery(tcb, delta);
+        tcb.dup_acks_processed = tcb.dup_acks;
+    }
+
+    // --- 6. peer FIN (already sequenced by the RX parser) ---
+    if ev.flags.contains(TcpFlags::FIN) {
+        match tcb.state {
+            TcpState::Established => {
+                tcb.state = TcpState::CloseWait;
+                out.peer_fin = true;
+            }
+            TcpState::FinWait => {
+                out.peer_fin = true;
+                if tcb.snd_una == tcb.snd_nxt {
+                    // Our FIN is acknowledged too: quiet period begins.
+                    tcb.state = TcpState::TimeWait;
+                    tcb.rto_deadline = Some(now_ns + TIME_WAIT_NS);
+                } else {
+                    // Simultaneous close: wait for our FIN's ACK.
+                    tcb.state = TcpState::Closing;
+                }
+            }
+            _ => {}
+        }
+        ack_due = true;
+    }
+
+    // --- 7. local close ---
+    if ev.close {
+        tcb.close_pending = true;
+    }
+
+    // --- 8a. TIME_WAIT: re-ACK stray segments (a retransmitted final
+    // FIN), and close when the 2MSL timer expires. The timer rides the
+    // RTO slot; nothing is in flight in this state.
+    if tcb.state == TcpState::TimeWait {
+        if ev.rto_fired && tcb.rto_deadline.is_some_and(|d| now_ns >= d) {
+            tcb.state = TcpState::Closed;
+            tcb.rto_deadline = None;
+            out.closed = true;
+        } else if ack_due {
+            out.tx.push(TxRequest {
+                flow: tcb.flow,
+                tuple: tcb.tuple,
+                seq: tcb.snd_nxt,
+                len: 0,
+                ack: tcb.rcv_nxt,
+                wnd: tcb.advertised_window(),
+                flags: TcpFlags::ACK,
+                retransmit: false,
+                ts_ecr: tcb.ts_recent,
+            });
+        }
+        return out;
+    }
+
+    // --- 8. retransmission timeout ---
+    let mut go_back_n = false;
+    if ev.rto_fired
+        && tcb.rto_deadline.is_some_and(|d| now_ns >= d)
+        && tcb.flight_size() > 0
+    {
+        cc.on_timeout(tcb, now_ns);
+        tcb.rto.on_timeout();
+        tcb.in_recovery = false;
+        tcb.dup_acks = 0;
+        tcb.dup_acks_processed = 0;
+        retransmit_due = true;
+        go_back_n = true; // snd_nxt rewinds after the head retransmission
+        tcb.rto_deadline = Some(now_ns + tcb.rto.rto_ns());
+    }
+
+    // --- 9. zero-window probe ---
+    if tcb.snd_wnd == 0 && tcb.unsent() > 0 && tcb.state.can_send_data() {
+        if ev.probe_fired && tcb.probe_deadline.is_some_and(|d| now_ns >= d) {
+            // RFC 793 window probe: one byte beyond the closed window.
+            // The byte is real stream data and is tracked in sequence
+            // space (first probe advances snd_nxt; re-probes resend the
+            // same unacknowledged byte from snd_una).
+            let fresh = tcb.flight_size() == 0;
+            let probe_seq = if fresh { tcb.snd_nxt } else { tcb.snd_una };
+            out.tx.push(TxRequest {
+                flow: tcb.flow,
+                tuple: tcb.tuple,
+                seq: probe_seq,
+                len: 1,
+                ack: tcb.rcv_nxt,
+                wnd: tcb.advertised_window(),
+                flags: TcpFlags::ACK,
+                retransmit: !fresh,
+                ts_ecr: tcb.ts_recent,
+            });
+            if fresh {
+                tcb.snd_nxt = tcb.snd_nxt.add(1);
+            }
+            tcb.probe_deadline = Some(now_ns + tcb.rto.rto_ns());
+        } else if tcb.probe_deadline.is_none() {
+            tcb.probe_deadline = Some(now_ns + tcb.rto.rto_ns());
+        }
+    } else {
+        tcb.probe_deadline = None;
+    }
+
+    // --- 10. retransmit ---
+    if retransmit_due && tcb.flight_size() > 0 {
+        let len = tcb.flight_size().min(mss);
+        out.tx.push(TxRequest {
+            flow: tcb.flow,
+            tuple: tcb.tuple,
+            seq: tcb.snd_una,
+            len,
+            ack: tcb.rcv_nxt,
+            wnd: tcb.advertised_window(),
+            flags: TcpFlags::ACK,
+            retransmit: true,
+            ts_ecr: tcb.ts_recent,
+        });
+        if go_back_n {
+            // Go-back-N: everything beyond the retransmitted head is
+            // considered unsent again and flows through the normal send
+            // path as the window reopens.
+            tcb.snd_nxt = tcb.snd_una.add(len);
+        }
+        ack_due = false;
+    }
+
+    // --- 11. new data (congestion + flow control decide the amount) ---
+    let mut sent_data = false;
+    if tcb.state.can_send_data() {
+        let n = tcb.sendable().min(MAX_BURST);
+        if n > 0 {
+            out.tx.push(TxRequest {
+                flow: tcb.flow,
+                tuple: tcb.tuple,
+                seq: tcb.snd_nxt,
+                len: n,
+                ack: tcb.rcv_nxt,
+                wnd: tcb.advertised_window(),
+                flags: TcpFlags::ACK,
+                retransmit: false,
+                ts_ecr: tcb.ts_recent,
+            });
+            tcb.snd_nxt = tcb.snd_nxt.add(n);
+            if tcb.rto_deadline.is_none() {
+                tcb.rto_deadline = Some(now_ns + tcb.rto.rto_ns());
+            }
+            sent_data = true;
+            ack_due = false; // the data segments piggyback the ACK
+        }
+    }
+
+    // --- 12. FIN emission once the stream is drained ---
+    if tcb.close_pending && tcb.unsent() == 0 && !sent_data {
+        match tcb.state {
+            TcpState::Established => {
+                tcb.state = TcpState::FinWait;
+                out.tx.push(control_segment(tcb, TcpFlags::FIN | TcpFlags::ACK, now_ns));
+                tcb.snd_nxt = tcb.snd_nxt.add(1);
+                tcb.rto_deadline = Some(now_ns + tcb.rto.rto_ns());
+                tcb.close_pending = false;
+                ack_due = false;
+            }
+            TcpState::CloseWait => {
+                tcb.state = TcpState::Closing;
+                out.tx.push(control_segment(tcb, TcpFlags::FIN | TcpFlags::ACK, now_ns));
+                tcb.snd_nxt = tcb.snd_nxt.add(1);
+                tcb.rto_deadline = Some(now_ns + tcb.rto.rto_ns());
+                tcb.close_pending = false;
+                ack_due = false;
+            }
+            _ => tcb.close_pending = false,
+        }
+    }
+
+    // --- 13. window-update / pure ACK ---
+    let window_opened = prev_advertised < tcb.rcv_buf / 4 && tcb.advertised_window() >= tcb.rcv_buf / 2;
+    if ack_due || window_opened {
+        // Duplicate-ACK generation: if several out-of-order packets
+        // accumulated AND the gap is still open (rcv_nxt did not move),
+        // the peer is owed one duplicate ACK per packet so its fast
+        // retransmit can trigger.
+        let repeats = if out.rcvd_upto.is_none() && ev.dup_ack_gen > 1 {
+            u32::from((ev.dup_ack_gen - 1).min(7))
+        } else {
+            0
+        };
+        for _ in 0..=repeats {
+            out.tx.push(TxRequest {
+                flow: tcb.flow,
+                tuple: tcb.tuple,
+                seq: tcb.snd_nxt,
+                len: 0,
+                ack: tcb.rcv_nxt,
+                wnd: tcb.advertised_window(),
+                flags: TcpFlags::ACK,
+                retransmit: false,
+                ts_ecr: tcb.ts_recent,
+            });
+        }
+    }
+
+    tcb.ack_pending = false;
+    tcb.snd_max = tcb.snd_max.max_seq(tcb.snd_nxt);
+    out.more_work = tcb.state.can_send_data() && tcb.sendable() > 0;
+    out
+}
+
+fn control_segment(tcb: &Tcb, flags: TcpFlags, _now_ns: u64) -> TxRequest {
+    TxRequest {
+        flow: tcb.flow,
+        tuple: tcb.tuple,
+        seq: tcb.snd_nxt,
+        len: 0,
+        ack: tcb.rcv_nxt,
+        wnd: tcb.advertised_window(),
+        flags,
+        retransmit: false,
+        ts_ecr: tcb.ts_recent,
+    }
+}
+
+/// One in-flight FPU job.
+#[derive(Debug, Clone)]
+struct FpuJob {
+    tcb: Tcb,
+    ev: EventView,
+    /// Cycle at which the pipeline emits the result.
+    ready_cycle: u64,
+}
+
+/// A finished FPU job: the updated TCB plus side effects.
+#[derive(Debug, Clone)]
+pub struct FpuResult {
+    /// The written-back TCB.
+    pub tcb: Tcb,
+    /// Side effects of the pass.
+    pub outcome: FpuOutcome,
+}
+
+/// The pipelined FPU. TCBs enter with [`Fpu::issue`]; results emerge
+/// `latency` cycles later from [`Fpu::tick`]. The pipeline never stalls —
+/// issue capacity is one per cycle regardless of depth, which is the
+/// versatility property Fig. 15 measures.
+#[derive(Debug)]
+pub struct Fpu {
+    cc: Arc<dyn CongestionControl>,
+    latency: u64,
+    mss: u32,
+    pipeline: VecDeque<FpuJob>,
+    processed: u64,
+}
+
+impl Fpu {
+    /// Creates an FPU running `cc` with the algorithm's natural pipeline
+    /// latency, or `latency_override` cycles if given (used by the Fig. 15
+    /// versatility sweep).
+    pub fn new(cc: Arc<dyn CongestionControl>, latency_override: Option<u32>, mss: u32) -> Fpu {
+        let latency = u64::from(latency_override.unwrap_or_else(|| cc.fpu_latency_cycles())).max(1);
+        Fpu { cc, latency, mss, pipeline: VecDeque::new(), processed: 0 }
+    }
+
+    /// Pipeline depth in cycles.
+    pub fn latency(&self) -> u64 {
+        self.latency
+    }
+
+    /// The congestion-control algorithm in use.
+    pub fn cc(&self) -> &dyn CongestionControl {
+        self.cc.as_ref()
+    }
+
+    /// Issues a merged TCB into the pipeline at cycle `now_cycle`.
+    pub fn issue(&mut self, tcb: Tcb, ev: EventView, now_cycle: u64) {
+        self.pipeline.push_back(FpuJob { tcb, ev, ready_cycle: now_cycle + self.latency });
+    }
+
+    /// Whether a TCB for `flow` is currently in the pipeline (the TCB
+    /// manager must not re-issue it — the data-hazard guard).
+    pub fn in_flight(&self, flow: f4t_tcp::FlowId) -> bool {
+        self.pipeline.iter().any(|j| j.tcb.flow == flow)
+    }
+
+    /// Number of jobs in the pipeline.
+    pub fn depth_used(&self) -> usize {
+        self.pipeline.len()
+    }
+
+    /// Total TCBs processed.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Advances one cycle; returns the job completing this cycle, if any.
+    pub fn tick(&mut self, now_cycle: u64, now_ns: u64) -> Option<FpuResult> {
+        if self.pipeline.front().is_some_and(|j| j.ready_cycle <= now_cycle) {
+            let mut job = self.pipeline.pop_front().expect("checked non-empty");
+            let outcome = process(self.cc.as_ref(), &mut job.tcb, &job.ev, now_ns, self.mss);
+            self.processed += 1;
+            Some(FpuResult { tcb: job.tcb, outcome })
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use f4t_tcp::{CcAlgorithm, FlowId, FourTuple, NewReno, MSS};
+
+    fn established() -> Tcb {
+        let mut t = Tcb::established(FlowId(1), FourTuple::default(), SeqNum(1000));
+        CcAlgorithm::NewReno.instance().init(&mut t);
+        t
+    }
+
+    fn run(tcb: &mut Tcb, ev: EventView, now: u64) -> FpuOutcome {
+        process(&NewReno, tcb, &ev, now, MSS)
+    }
+
+    #[test]
+    fn send_request_emits_data_within_window() {
+        let mut t = established();
+        let ev = EventView { req: Some(SeqNum(1000).add(5000)), ..Default::default() };
+        let out = run(&mut t, ev, 1000);
+        assert_eq!(out.tx.len(), 1);
+        let req = out.tx[0];
+        assert_eq!(req.seq, SeqNum(1000));
+        assert_eq!(req.len, 5000, "5000 B fits in the 10-MSS initial window");
+        assert_eq!(t.snd_nxt, SeqNum(6000));
+        assert!(t.rto_deadline.is_some(), "RTO armed");
+        assert!(!out.more_work);
+    }
+
+    #[test]
+    fn congestion_window_caps_transmission() {
+        let mut t = established();
+        t.cwnd = 2 * MSS;
+        let ev = EventView { req: Some(SeqNum(1000).add(100_000)), ..Default::default() };
+        let out = run(&mut t, ev, 0);
+        assert_eq!(out.tx[0].len, 2 * MSS);
+        // Window-limited flows do NOT set more_work: the ACK that opens
+        // the window arrives as an event and wakes the flow.
+        assert!(!out.more_work);
+    }
+
+    #[test]
+    fn burst_cap_limits_single_visit() {
+        let mut t = established();
+        t.cwnd = 1 << 20;
+        t.snd_wnd = 1 << 20;
+        let ev = EventView { req: Some(SeqNum(1000).add(500_000)), ..Default::default() };
+        let out = run(&mut t, ev, 0);
+        assert_eq!(out.tx[0].len, MAX_BURST);
+        assert!(out.more_work);
+    }
+
+    #[test]
+    fn accumulated_requests_processed_at_once() {
+        // The single-flow performance property (§4.2.2): eight 100 B
+        // requests accumulate into one 800 B transmission.
+        let mut t = established();
+        let ev = EventView { req: Some(SeqNum(1000).add(800)), ..Default::default() };
+        let out = run(&mut t, ev, 0);
+        assert_eq!(out.tx.len(), 1);
+        assert_eq!(out.tx[0].len, 800);
+    }
+
+    #[test]
+    fn ack_advances_and_reports_to_host() {
+        let mut t = established();
+        t.snd_nxt = SeqNum(1000).add(4000);
+        t.req = t.snd_nxt;
+        let ev = EventView { ack: Some(SeqNum(1000).add(4000)), ..Default::default() };
+        let out = run(&mut t, ev, 0);
+        assert_eq!(t.snd_una, SeqNum(5000));
+        assert_eq!(out.acked_upto, Some(SeqNum(5000)));
+        assert!(t.rto_deadline.is_none(), "no flight left: RTO cancelled");
+    }
+
+    #[test]
+    fn stale_or_future_ack_ignored() {
+        let mut t = established();
+        t.snd_una = SeqNum(2000);
+        t.snd_nxt = SeqNum(3000);
+        let out = run(&mut t, EventView { ack: Some(SeqNum(1500)), ..Default::default() }, 0);
+        assert_eq!(t.snd_una, SeqNum(2000));
+        assert!(out.acked_upto.is_none());
+        // An ACK for data we never sent is also ignored.
+        run(&mut t, EventView { ack: Some(SeqNum(9000)), ..Default::default() }, 0);
+        assert_eq!(t.snd_una, SeqNum(2000));
+    }
+
+    #[test]
+    fn rtt_sample_feeds_rto() {
+        let mut t = established();
+        t.snd_nxt = SeqNum(1000).add(100);
+        let ev = EventView {
+            ack: Some(SeqNum(1000).add(100)),
+            ts_ecr: 1_000_000,
+            ..Default::default()
+        };
+        run(&mut t, ev, 1_100_000); // 100 µs RTT
+        assert!(t.rto.has_sample());
+        assert_eq!(t.rto.srtt_ns(), 100_000);
+    }
+
+    #[test]
+    fn three_dup_acks_trigger_fast_retransmit() {
+        let mut t = established();
+        t.snd_nxt = SeqNum(1000).add(20 * MSS);
+        t.req = t.snd_nxt;
+        t.cwnd = 20 * MSS;
+        let ev = EventView { dup_acks: Some(3), ..Default::default() };
+        let out = run(&mut t, ev, 0);
+        assert!(t.in_recovery);
+        let rtx = out.tx.iter().find(|r| r.retransmit).expect("retransmission emitted");
+        assert_eq!(rtx.seq, SeqNum(1000), "retransmits the lost head segment");
+        assert_eq!(rtx.len, MSS);
+        assert_eq!(t.recover, SeqNum(1000).add(20 * MSS));
+        assert_eq!(t.ssthresh, 10 * MSS, "halved flight");
+    }
+
+    #[test]
+    fn accumulated_dup_acks_inflate_once() {
+        let mut t = established();
+        t.snd_nxt = SeqNum(1000).add(20 * MSS);
+        t.req = t.snd_nxt;
+        t.cwnd = 20 * MSS;
+        run(&mut t, EventView { dup_acks: Some(3), ..Default::default() }, 0);
+        let cwnd_after_entry = t.cwnd;
+        // Five more duplicates accumulated before the next visit.
+        run(&mut t, EventView { dup_acks: Some(8), ..Default::default() }, 100);
+        assert_eq!(t.cwnd, cwnd_after_entry + 5 * MSS, "batched inflation");
+    }
+
+    #[test]
+    fn full_ack_exits_recovery() {
+        let mut t = established();
+        t.snd_nxt = SeqNum(1000).add(20 * MSS);
+        t.req = t.snd_nxt;
+        t.cwnd = 20 * MSS;
+        run(&mut t, EventView { dup_acks: Some(3), ..Default::default() }, 0);
+        assert!(t.in_recovery);
+        let out = run(
+            &mut t,
+            EventView { ack: Some(SeqNum(1000).add(20 * MSS)), ..Default::default() },
+            100,
+        );
+        assert!(!t.in_recovery);
+        assert_eq!(t.cwnd, t.ssthresh, "window deflates to ssthresh");
+        assert_eq!(out.acked_upto, Some(SeqNum(1000).add(20 * MSS)));
+    }
+
+    #[test]
+    fn partial_ack_retransmits_next_hole() {
+        let mut t = established();
+        t.snd_nxt = SeqNum(1000).add(20 * MSS);
+        t.req = t.snd_nxt;
+        t.cwnd = 20 * MSS;
+        run(&mut t, EventView { dup_acks: Some(3), ..Default::default() }, 0);
+        let out = run(
+            &mut t,
+            EventView { ack: Some(SeqNum(1000).add(5 * MSS)), ..Default::default() },
+            100,
+        );
+        assert!(t.in_recovery, "partial ACK stays in recovery");
+        let rtx = out.tx.iter().find(|r| r.retransmit).expect("hole retransmitted");
+        assert_eq!(rtx.seq, SeqNum(1000).add(5 * MSS));
+    }
+
+    #[test]
+    fn rto_collapses_window_and_goes_back_n() {
+        let mut t = established();
+        t.snd_nxt = SeqNum(1000).add(10 * MSS);
+        t.req = t.snd_nxt;
+        t.cwnd = 10 * MSS;
+        t.rto_deadline = Some(5_000_000);
+        let ev = EventView { rto_fired: true, ..Default::default() };
+        let out = run(&mut t, ev, 6_000_000);
+        assert_eq!(t.cwnd, MSS);
+        let rtx = out.tx.iter().find(|r| r.retransmit).expect("head retransmitted");
+        assert_eq!(rtx.seq, SeqNum(1000));
+        assert_eq!(t.snd_nxt, SeqNum(1000).add(MSS), "go-back-N rewound");
+        assert!(t.rto_deadline.unwrap() > 6_000_000, "timer re-armed with backoff");
+    }
+
+    #[test]
+    fn stale_timeout_event_ignored() {
+        let mut t = established();
+        t.snd_nxt = SeqNum(1000).add(MSS);
+        t.req = t.snd_nxt;
+        t.rto_deadline = Some(10_000_000);
+        // Timer event arrives early (deadline re-armed since it was set).
+        let out = run(&mut t, EventView { rto_fired: true, ..Default::default() }, 1_000);
+        assert!(out.tx.iter().all(|r| !r.retransmit), "no spurious retransmission");
+        assert_eq!(t.cwnd, 10 * MSS);
+    }
+
+    #[test]
+    fn received_data_generates_ack() {
+        let mut t = established();
+        let ev = EventView {
+            rcv_nxt: Some(SeqNum(1000).add(2000)),
+            needs_ack: true,
+            ts_val: 777,
+            ..Default::default()
+        };
+        let out = run(&mut t, ev, 0);
+        assert_eq!(out.rcvd_upto, Some(SeqNum(3000)));
+        assert_eq!(out.tx.len(), 1);
+        let ack = out.tx[0];
+        assert_eq!(ack.len, 0);
+        assert_eq!(ack.ack, SeqNum(3000));
+        assert_eq!(ack.ts_ecr, 777, "peer's stamp echoed for its RTT");
+        assert_eq!(ack.wnd, t.rcv_buf - 2000, "window reflects unconsumed data");
+    }
+
+    #[test]
+    fn data_piggybacks_ack() {
+        let mut t = established();
+        let ev = EventView {
+            req: Some(SeqNum(1000).add(500)),
+            rcv_nxt: Some(SeqNum(1000).add(100)),
+            needs_ack: true,
+            ..Default::default()
+        };
+        let out = run(&mut t, ev, 0);
+        assert_eq!(out.tx.len(), 1, "single segment carries data + ACK");
+        assert_eq!(out.tx[0].len, 500);
+        assert_eq!(out.tx[0].ack, SeqNum(1100));
+    }
+
+    #[test]
+    fn zero_window_probe_cycle() {
+        let mut t = established();
+        t.snd_wnd = 0;
+        t.req = SeqNum(1000).add(100);
+        // First visit arms the probe timer.
+        let out = run(&mut t, EventView::default(), 1000);
+        assert!(out.tx.is_empty());
+        let deadline = t.probe_deadline.expect("probe armed");
+        // Timer fires: a 1-byte probe goes out.
+        let ev = EventView { probe_fired: true, ..Default::default() };
+        let out = run(&mut t, ev, deadline + 1);
+        assert_eq!(out.tx.len(), 1);
+        assert_eq!(out.tx[0].len, 1, "RFC 793 one-byte window probe");
+        // Window opens: probe timer cancelled, data flows.
+        let ev = EventView { wnd: Some(100_000), ..Default::default() };
+        let out = run(&mut t, ev, deadline + 1000);
+        assert!(t.probe_deadline.is_none());
+        assert!(out.tx.iter().any(|r| r.len > 0));
+    }
+
+    #[test]
+    fn consumed_pointer_reopens_window_with_update() {
+        let mut t = established();
+        // Buffer nearly full, window nearly closed.
+        t.rcv_nxt = SeqNum(1000).add(t.rcv_buf - 100);
+        assert!(t.advertised_window() < t.rcv_buf / 4);
+        // Application consumes everything.
+        let ev = EventView { consumed: Some(t.rcv_nxt), ..Default::default() };
+        let out = run(&mut t, ev, 0);
+        assert_eq!(t.advertised_window(), t.rcv_buf);
+        assert_eq!(out.tx.len(), 1, "window-update ACK sent");
+        assert_eq!(out.tx[0].wnd, t.rcv_buf);
+    }
+
+    #[test]
+    fn three_way_handshake_active_side() {
+        let mut flow = Tcb::new(FlowId(7));
+        flow.tuple = FourTuple::default();
+        // connect(): SYN out.
+        let out = run(&mut flow, EventView { connect: true, ..Default::default() }, 0);
+        assert_eq!(flow.state, TcpState::SynSent);
+        assert!(out.tx[0].flags.contains(TcpFlags::SYN));
+        assert_eq!(flow.snd_nxt, SeqNum(1), "SYN consumed a phantom byte");
+        // SYN|ACK arrives (peer ISN 5000; parser reports rcv_nxt 5001).
+        let ev = EventView {
+            flags: TcpFlags::SYN | TcpFlags::ACK,
+            ack: Some(SeqNum(1)),
+            rcv_nxt: Some(SeqNum(5001)),
+            ..Default::default()
+        };
+        let out = run(&mut flow, ev, 100);
+        assert_eq!(flow.state, TcpState::Established);
+        assert!(out.connected);
+        assert_eq!(flow.rcv_nxt, SeqNum(5001));
+        assert_eq!(out.tx.len(), 1, "final handshake ACK");
+        assert_eq!(out.tx[0].ack, SeqNum(5001));
+    }
+
+    #[test]
+    fn three_way_handshake_passive_side() {
+        let mut flow = Tcb::new(FlowId(8));
+        flow.state = TcpState::Listen;
+        let ev = EventView {
+            flags: TcpFlags::SYN,
+            rcv_nxt: Some(SeqNum(42)),
+            ..Default::default()
+        };
+        let out = run(&mut flow, ev, 0);
+        assert_eq!(flow.state, TcpState::SynReceived);
+        assert!(out.tx[0].flags.contains(TcpFlags::SYN | TcpFlags::ACK));
+        // Handshake ACK arrives.
+        let out = run(&mut flow, EventView { ack: Some(SeqNum(1)), ..Default::default() }, 10);
+        assert_eq!(flow.state, TcpState::Established);
+        assert!(out.connected);
+    }
+
+    #[test]
+    fn orderly_close_after_drain() {
+        let mut t = established();
+        t.req = SeqNum(1000).add(100);
+        // Close with unsent data: FIN deferred.
+        let out = run(&mut t, EventView { close: true, ..Default::default() }, 0);
+        assert!(t.close_pending);
+        assert_eq!(t.state, TcpState::Established);
+        assert!(out.tx.iter().all(|r| !r.flags.contains(TcpFlags::FIN)));
+        // Data ACKed: next visit emits FIN.
+        let out = run(&mut t, EventView { ack: Some(SeqNum(1100)), ..Default::default() }, 10);
+        let fin = out.tx.iter().find(|r| r.flags.contains(TcpFlags::FIN)).expect("FIN sent");
+        assert_eq!(fin.len, 0);
+        assert_eq!(t.state, TcpState::FinWait);
+    }
+
+    #[test]
+    fn peer_fin_acked_and_reported() {
+        let mut t = established();
+        let ev = EventView {
+            flags: TcpFlags::FIN,
+            rcv_nxt: Some(SeqNum(1001)), // FIN phantom sequenced by parser
+            needs_ack: true,
+            ..Default::default()
+        };
+        let out = run(&mut t, ev, 0);
+        assert_eq!(t.state, TcpState::CloseWait);
+        assert!(out.peer_fin);
+        assert_eq!(out.tx.len(), 1, "FIN is ACKed");
+    }
+
+    #[test]
+    fn active_closer_passes_through_time_wait() {
+        let mut t = established();
+        // We close first: FIN out.
+        run(&mut t, EventView { close: true, ..Default::default() }, 0);
+        assert_eq!(t.state, TcpState::FinWait);
+        // Peer ACKs our FIN.
+        let fin_end = t.snd_nxt;
+        run(&mut t, EventView { ack: Some(fin_end), ..Default::default() }, 10);
+        assert_eq!(t.state, TcpState::FinWait, "FIN_WAIT_2 equivalent");
+        // Peer's FIN arrives: TIME_WAIT with the 2MSL timer armed.
+        let out = run(
+            &mut t,
+            EventView {
+                flags: TcpFlags::FIN,
+                rcv_nxt: Some(SeqNum(1001)),
+                needs_ack: true,
+                ..Default::default()
+            },
+            20,
+        );
+        assert_eq!(t.state, TcpState::TimeWait);
+        assert!(!out.closed, "not closed yet: quiet period");
+        assert_eq!(t.rto_deadline, Some(20 + TIME_WAIT_NS));
+        assert_eq!(out.tx.len(), 1, "final FIN is ACKed");
+        // A retransmitted FIN during TIME_WAIT is re-ACKed, not fatal.
+        let out = run(
+            &mut t,
+            EventView {
+                flags: TcpFlags::FIN,
+                rcv_nxt: Some(SeqNum(1001)),
+                needs_ack: true,
+                ..Default::default()
+            },
+            1_000,
+        );
+        assert_eq!(t.state, TcpState::TimeWait);
+        assert_eq!(out.tx.len(), 1, "duplicate FIN re-ACKed");
+        // Timer expiry closes for real.
+        let out = run(
+            &mut t,
+            EventView { rto_fired: true, ..Default::default() },
+            20 + TIME_WAIT_NS + 1,
+        );
+        assert_eq!(t.state, TcpState::Closed);
+        assert!(out.closed);
+    }
+
+    #[test]
+    fn rst_kills_connection() {
+        let mut t = established();
+        let out = run(&mut t, EventView { flags: TcpFlags::RST, ..Default::default() }, 0);
+        assert_eq!(t.state, TcpState::Closed);
+        assert!(out.closed);
+        assert!(out.tx.is_empty());
+    }
+
+    #[test]
+    fn pipeline_latency_and_order() {
+        let mut fpu = Fpu::new(Arc::new(NewReno), Some(5), MSS);
+        let t = established();
+        fpu.issue(t, EventView::default(), 10);
+        assert!(fpu.in_flight(FlowId(1)));
+        for c in 10..15 {
+            assert!(fpu.tick(c, 0).is_none(), "not ready at cycle {c}");
+        }
+        let r = fpu.tick(15, 0).expect("ready after 5 cycles");
+        assert_eq!(r.tcb.flow, FlowId(1));
+        assert!(!fpu.in_flight(FlowId(1)));
+        assert_eq!(fpu.processed(), 1);
+    }
+
+    #[test]
+    fn pipeline_back_to_back_issue() {
+        // Fully pipelined: three TCBs issued on consecutive cycles emerge
+        // on consecutive cycles, regardless of a deep pipeline.
+        let mut fpu = Fpu::new(Arc::new(NewReno), Some(68), MSS);
+        for (i, c) in (100..103).enumerate() {
+            let mut t = established();
+            t.flow = FlowId(i as u32);
+            fpu.issue(t, EventView::default(), c);
+        }
+        let mut done = Vec::new();
+        for c in 100..200 {
+            if let Some(r) = fpu.tick(c, 0) {
+                done.push((c, r.tcb.flow));
+            }
+        }
+        assert_eq!(done.len(), 3);
+        assert_eq!(done[0], (168, FlowId(0)));
+        assert_eq!(done[1], (169, FlowId(1)));
+        assert_eq!(done[2], (170, FlowId(2)));
+    }
+
+    #[test]
+    fn uses_algorithm_latency_by_default() {
+        let fpu = Fpu::new(Arc::new(f4t_tcp::Vegas), None, MSS);
+        assert_eq!(fpu.latency(), 68);
+        assert_eq!(fpu.cc().name(), "vegas");
+    }
+
+    #[test]
+    fn event_view_any() {
+        assert!(!EventView::default().any());
+        assert!(EventView { connect: true, ..Default::default() }.any());
+        assert!(EventView { dup_acks: Some(1), ..Default::default() }.any());
+        assert!(EventView { rto_fired: true, ..Default::default() }.any());
+    }
+}

@@ -1,0 +1,456 @@
+//! The memory manager: TCP-state handling for DRAM-resident flows.
+//!
+//! "We implement the memory manager that handles the events routed to
+//! DRAM. The memory manager does not process TCP algorithms but handles
+//! them like the event handler in FPC, and the handled events are later
+//! processed in FPC. It also includes a direct-mapped TCB cache to handle
+//! the frequently accessed TCBs more efficiently. To swap flows back into
+//! FPC, the memory manager checks whether each flow can send packets and
+//! swaps only the necessary flows to FPC" (§4.3.1).
+//!
+//! DRAM contents are the functional source of truth (a map of
+//! `(Tcb, EventView)` pairs — the same dual-memory halves an FPC slot
+//! holds); the [`f4t_mem::TcbCache`] in front is the *performance* model:
+//! a hit serves the event-handling RMW from SRAM, a miss charges the
+//! [`f4t_mem::DramModel`]'s byte budget — which is exactly the bottleneck
+//! behind Fig. 13's DDR4 knee.
+
+use crate::event::{EventKind, FlowEvent, TimeoutKind};
+use crate::fpu::EventView;
+use f4t_mem::{CacheAccess, DramKind, DramModel, TcbCache, TCB_BYTES};
+use f4t_sim::Fifo;
+use f4t_tcp::{FlowId, Tcb, TcpFlags};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Per-cycle outputs of the memory manager.
+#[derive(Debug, Default)]
+pub struct MmOutput {
+    /// Flows the check logic wants swapped into an FPC (they can send).
+    pub swap_in_requests: Vec<FlowId>,
+    /// Evictions whose DRAM write completed (the scheduler flips the
+    /// location LUT from Moving to Dram — Fig. 6's evict-complete signal).
+    pub evict_done: Vec<FlowId>,
+    /// Events that arrived for a flow that had already left DRAM (the
+    /// §3.2 in-flight-during-migration race): the scheduler re-routes
+    /// them to the flow's new location.
+    pub bounced: Vec<FlowEvent>,
+}
+
+/// The memory manager.
+#[derive(Debug)]
+pub struct MemoryManager {
+    store: HashMap<FlowId, (Tcb, EventView)>,
+    cache: TcbCache,
+    dram: DramModel,
+    input: Fifo<FlowEvent>,
+    /// Evicted TCBs from FPCs awaiting their DRAM write (bandwidth).
+    writeback_queue: VecDeque<Tcb>,
+    /// Flows with an outstanding swap-in request (dedup).
+    swap_requested: HashSet<FlowId>,
+    events_handled: u64,
+}
+
+impl MemoryManager {
+    /// Depth of the event input FIFO.
+    pub const INPUT_FIFO_DEPTH: usize = 64;
+
+    /// Creates a memory manager backed by `dram` with a TCB cache of
+    /// `cache_sets` direct-mapped entries.
+    pub fn new(dram: DramKind, cache_sets: usize) -> MemoryManager {
+        MemoryManager {
+            store: HashMap::new(),
+            cache: TcbCache::new(cache_sets),
+            dram: DramModel::new(dram),
+            input: Fifo::new(Self::INPUT_FIFO_DEPTH),
+            writeback_queue: VecDeque::new(),
+            swap_requested: HashSet::new(),
+            events_handled: 0,
+        }
+    }
+
+    /// Number of DRAM-resident flows.
+    pub fn flow_count(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Whether the event input FIFO has room.
+    pub fn can_accept_event(&self) -> bool {
+        !self.input.is_full()
+    }
+
+    /// Offers an event routed to DRAM; `false` under backpressure.
+    pub fn push_event(&mut self, ev: FlowEvent) -> bool {
+        self.input.push(ev).is_ok()
+    }
+
+    /// Stores a brand-new flow directly in DRAM (initial placement when
+    /// every FPC is full). Deferred through the writeback queue so it
+    /// costs DRAM bandwidth like any other fill.
+    pub fn insert_new(&mut self, tcb: Tcb) {
+        self.writeback_queue.push_back(tcb);
+    }
+
+    /// Accepts an evicted TCB arriving from an FPC (Fig. 6 step ⑤).
+    /// The DRAM write completes asynchronously; `evict_done` reports it.
+    pub fn accept_eviction(&mut self, tcb: Tcb) {
+        self.writeback_queue.push_back(tcb);
+    }
+
+    /// Hands a flow's TCB + accumulated events to the scheduler for
+    /// swap-in. Charges a DRAM read unless the TCB cache holds the flow.
+    /// Returns `None` when the flow is unknown or this cycle's DRAM
+    /// budget is exhausted (the scheduler retries).
+    pub fn take_for_swap_in(&mut self, flow: FlowId) -> Option<(Tcb, EventView)> {
+        if !self.store.contains_key(&flow) {
+            return None;
+        }
+        // Migration always reads the authoritative DRAM copy (the cache
+        // accelerates in-place event handling, not TCB movement).
+        if !self.dram.try_access(TCB_BYTES) {
+            return None;
+        }
+        self.cache.invalidate(flow);
+        self.swap_requested.remove(&flow);
+        self.store.remove(&flow)
+    }
+
+    /// Read-only view of a DRAM-resident TCB, including TCBs still in
+    /// the write-back queue (diagnostics).
+    pub fn peek_tcb(&self, flow: FlowId) -> Option<&Tcb> {
+        self.store
+            .get(&flow)
+            .map(|(t, _)| t)
+            .or_else(|| self.writeback_queue.iter().find(|t| t.flow == flow))
+    }
+
+    /// Events handled in place (the FPC-event-handler-equivalent work).
+    pub fn events_handled(&self) -> u64 {
+        self.events_handled
+    }
+
+    /// The DRAM channel (diagnostics: bytes served, refusals).
+    pub fn dram(&self) -> &DramModel {
+        &self.dram
+    }
+
+    /// TCB-cache hit rate (diagnostics).
+    pub fn cache_hit_rate(&self) -> f64 {
+        self.cache.hit_rate()
+    }
+
+    /// Event-handler-style accumulation into the stored event half; the
+    /// same merge rules as `Fpc::handle_event`.
+    fn accumulate(tcb: &Tcb, ev: &mut EventView, event: &FlowEvent) {
+        match event.kind {
+            EventKind::Connect => ev.connect = true,
+            EventKind::Close => ev.close = true,
+            EventKind::SendReq { req } => {
+                let merged = ev.req.unwrap_or(tcb.req).max_seq(req);
+                ev.req = Some(merged);
+            }
+            EventKind::RecvConsumed { consumed } => {
+                let merged = ev.consumed.unwrap_or(tcb.rcv_consumed).max_seq(consumed);
+                ev.consumed = Some(merged);
+            }
+            EventKind::Timeout { kind } => match kind {
+                TimeoutKind::Rto => ev.rto_fired = true,
+                TimeoutKind::Probe => ev.probe_fired = true,
+            },
+            EventKind::RxPacket {
+                ack,
+                rcv_nxt,
+                wnd,
+                flags,
+                had_payload,
+                needs_ack,
+                in_order,
+                ts_val,
+                ts_ecr,
+            } => {
+                let cur_ack = ev.ack.unwrap_or(tcb.snd_una);
+                let cur_wnd = ev.wnd.unwrap_or(tcb.snd_wnd);
+                let in_flight = tcb.snd_nxt.gt(cur_ack);
+                if ack.gt(cur_ack) {
+                    ev.ack = Some(ack);
+                    ev.dup_acks = Some(0);
+                } else if ack == cur_ack && !had_payload && wnd == cur_wnd && in_flight {
+                    let cur_dup = ev.dup_acks.unwrap_or(tcb.dup_acks);
+                    ev.dup_acks = Some(cur_dup.saturating_add(1));
+                }
+                if flags.contains(TcpFlags::SYN) {
+                    // A SYN (re)anchors the receive sequence space at the
+                    // peer's ISN; circular max-merging against the
+                    // pre-handshake placeholder would pick the wrong side
+                    // when the ISN is more than 2^31 away.
+                    ev.rcv_nxt = Some(rcv_nxt);
+                } else {
+                    let merged_rcv =
+                        ev.rcv_nxt.unwrap_or(tcb.rcv_nxt).max_seq(rcv_nxt);
+                    ev.rcv_nxt = Some(merged_rcv);
+                }
+                ev.wnd = Some(wnd);
+                ev.flags.insert(flags);
+                ev.needs_ack |= needs_ack;
+                if needs_ack && !in_order {
+                    ev.dup_ack_gen = ev.dup_ack_gen.saturating_add(1);
+                }
+                if ts_val != 0 {
+                    ev.ts_val = ts_val;
+                }
+                if ts_ecr != 0 {
+                    ev.ts_ecr = ts_ecr;
+                }
+            }
+        }
+    }
+
+    /// The check logic: would this flow transmit if it were in an FPC?
+    /// Evaluated on the merged view "directly to TCBs in the memory"
+    /// without writing back (§4.3.1).
+    fn check_can_send(tcb: &Tcb, ev: &EventView) -> bool {
+        // Apply the cumulative pointers to a scratch copy (TCBs are Copy).
+        let mut t = *tcb;
+        if let Some(req) = ev.req {
+            t.req = t.req.max_seq(req);
+        }
+        if let Some(c) = ev.consumed {
+            t.rcv_consumed = t.rcv_consumed.max_seq(c);
+        }
+        if let Some(w) = ev.wnd {
+            t.snd_wnd = w;
+        }
+        if let Some(a) = ev.ack {
+            if a.gt(t.snd_una) && a.le(t.snd_nxt) {
+                t.snd_una = a;
+            }
+        }
+        if let Some(d) = ev.dup_acks {
+            t.dup_acks = d;
+        }
+        t.ack_pending = ev.needs_ack;
+        t.can_send()
+            || ev.connect
+            || ev.close
+            || ev.rto_fired
+            || ev.probe_fired
+            || !ev.flags.is_empty()
+            || ev.ack.is_some_and(|a| a.gt(tcb.snd_una))
+    }
+
+    /// Advances one engine cycle.
+    pub fn tick(&mut self, out: &mut MmOutput) {
+        self.dram.tick();
+
+        // 1. Evictions / new placements: one DRAM TCB write each.
+        if let Some(tcb) = self.writeback_queue.front() {
+            let flow = tcb.flow;
+            if self.dram.try_access(TCB_BYTES) {
+                let tcb = self.writeback_queue.pop_front().expect("non-empty");
+                self.store.insert(flow, (tcb, EventView::default()));
+                self.cache.fill(tcb);
+                // Fresh DRAM residency: any previous swap-in request is
+                // void (it may have been dropped while we were in
+                // transit), so the check logic may fire again.
+                self.swap_requested.remove(&flow);
+                // The freshly stored TCB may already be sendable (events
+                // can accumulate on it immediately); let the check logic
+                // evaluate it now rather than waiting for the next event.
+                let (tcb, ev) = self.store.get(&flow).expect("just inserted");
+                if Self::check_can_send(tcb, ev) && self.swap_requested.insert(flow) {
+                    out.swap_in_requests.push(flow);
+                }
+                out.evict_done.push(flow);
+            }
+        }
+
+        // 2. Event handling: one event per cycle when bandwidth allows.
+        if let Some(&event) = self.input.front() {
+            let flow = event.flow;
+            if let Some(entry) = self.store.get(&flow) {
+                // Charge the memory system: cache hit = SRAM (free);
+                // miss = TCB read + write-back of the RMW (2×128 B), plus
+                // a dirty victim write.
+                let charge = match self.cache.probe(flow) {
+                    CacheAccess::Hit => 0,
+                    CacheAccess::Miss { victim_dirty } => {
+                        2 * TCB_BYTES + if victim_dirty { TCB_BYTES } else { 0 }
+                    }
+                };
+                if charge == 0 || self.dram.try_access(charge) {
+                    self.input.pop();
+                    let (tcb, mut ev) = *entry;
+                    Self::accumulate(&tcb, &mut ev, &event);
+                    self.events_handled += 1;
+                    let can_send = Self::check_can_send(&tcb, &ev);
+                    self.store.insert(flow, (tcb, ev));
+                    if charge > 0 {
+                        self.cache.fill(tcb);
+                    }
+                    if let Some(e) = self.cache.get_mut(flow) {
+                        // Keep the cached copy coherent (dirty).
+                        *e = tcb;
+                    }
+                    if can_send && self.swap_requested.insert(flow) {
+                        out.swap_in_requests.push(flow);
+                    }
+                }
+                // else: head-of-line wait for bandwidth — the Fig. 13 knee.
+            } else {
+                // The flow left DRAM while this event was in our input
+                // FIFO (an event routed just before the swap-in began):
+                // bounce it back to the scheduler for re-routing, exactly
+                // the in-flight case §3.2 warns about.
+                let ev = self.input.pop().expect("peeked non-empty");
+                out.bounced.push(ev);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use f4t_tcp::{FourTuple, SeqNum};
+
+    fn established(id: u32) -> Tcb {
+        Tcb::established(FlowId(id), FourTuple::default(), SeqNum(1000))
+    }
+
+    fn send_event(id: u32, upto: u32) -> FlowEvent {
+        FlowEvent::new(FlowId(id), EventKind::SendReq { req: SeqNum(1000).add(upto) }, 0)
+    }
+
+    fn run(mm: &mut MemoryManager, cycles: u64) -> MmOutput {
+        let mut out = MmOutput::default();
+        for _ in 0..cycles {
+            mm.tick(&mut out);
+        }
+        out
+    }
+
+    #[test]
+    fn eviction_completes_and_signals() {
+        let mut mm = MemoryManager::new(DramKind::Hbm, 64);
+        mm.accept_eviction(established(5));
+        let out = run(&mut mm, 4);
+        assert_eq!(out.evict_done, vec![FlowId(5)]);
+        assert_eq!(mm.flow_count(), 1);
+        assert!(mm.peek_tcb(FlowId(5)).is_some());
+    }
+
+    #[test]
+    fn event_accumulates_and_check_logic_requests_swap_in() {
+        let mut mm = MemoryManager::new(DramKind::Hbm, 64);
+        mm.accept_eviction(established(5));
+        run(&mut mm, 4);
+        assert!(mm.push_event(send_event(5, 300)));
+        let out = run(&mut mm, 4);
+        assert_eq!(out.swap_in_requests, vec![FlowId(5)], "flow can send: swap it in");
+        assert_eq!(mm.events_handled(), 1);
+        // A second event does not duplicate the request.
+        mm.push_event(send_event(5, 600));
+        let out = run(&mut mm, 4);
+        assert!(out.swap_in_requests.is_empty(), "request already outstanding");
+    }
+
+    #[test]
+    fn idle_flow_stays_in_dram() {
+        let mut mm = MemoryManager::new(DramKind::Hbm, 64);
+        mm.accept_eviction(established(1));
+        run(&mut mm, 4);
+        // A pure window update does not make the idle flow sendable.
+        let ev = FlowEvent::new(
+            FlowId(1),
+            EventKind::RecvConsumed { consumed: SeqNum(1000) },
+            0,
+        );
+        mm.push_event(ev);
+        let out = run(&mut mm, 4);
+        assert!(out.swap_in_requests.is_empty(), "nothing to send: no swap-in");
+    }
+
+    #[test]
+    fn swap_in_returns_tcb_with_accumulated_events() {
+        let mut mm = MemoryManager::new(DramKind::Hbm, 64);
+        mm.accept_eviction(established(5));
+        run(&mut mm, 4);
+        mm.push_event(send_event(5, 300));
+        run(&mut mm, 4);
+        let (tcb, ev) = mm.take_for_swap_in(FlowId(5)).expect("resident + bandwidth");
+        assert_eq!(tcb.flow, FlowId(5));
+        assert_eq!(ev.req, Some(SeqNum(1300)), "DRAM-accumulated event rides along");
+        assert_eq!(mm.flow_count(), 0);
+        assert!(mm.take_for_swap_in(FlowId(5)).is_none(), "gone after take");
+    }
+
+    #[test]
+    fn ddr4_bandwidth_throttles_event_handling() {
+        let mut mm = MemoryManager::new(DramKind::Ddr4, 4);
+        // 64 flows spread across cache sets → constant conflict misses.
+        for i in 0..64 {
+            mm.accept_eviction(established(i));
+        }
+        run(&mut mm, 256);
+        let mut pushed = 0u64;
+        let mut cycles = 0u64;
+        let mut out = MmOutput::default();
+        // Feed round-robin events for 10k cycles.
+        for c in 0..10_000u64 {
+            let id = (c % 64) as u32;
+            if mm.can_accept_event() {
+                if mm.push_event(send_event(id, (c / 64 + 1) as u32 * 10)) {
+                    pushed += 1;
+                }
+            }
+            mm.tick(&mut out);
+            cycles += 1;
+        }
+        let handled = mm.events_handled();
+        // DDR4 effective ≈ 45.6 B/cycle; each miss costs ≥256 B → ≤ ~0.18
+        // events/cycle. Far below the 1/cycle SRAM rate.
+        assert!(handled < cycles / 4, "handled {handled} in {cycles} cycles");
+        assert!(mm.dram().refusals() > 0, "bandwidth was the limiter");
+        let _ = pushed;
+    }
+
+    #[test]
+    fn hbm_keeps_event_rate_high() {
+        let mut mm = MemoryManager::new(DramKind::Hbm, 4);
+        for i in 0..64 {
+            mm.accept_eviction(established(i));
+        }
+        run(&mut mm, 256);
+        let mut out = MmOutput::default();
+        let mut offered = 0u64;
+        for c in 0..10_000u64 {
+            let id = (c % 64) as u32;
+            if mm.can_accept_event() && mm.push_event(send_event(id, (c / 64 + 1) as u32 * 10)) {
+                offered += 1;
+            }
+            mm.tick(&mut out);
+        }
+        // HBM sustains ~1 event/cycle even with 100% cache misses.
+        assert!(
+            mm.events_handled() + 64 >= offered,
+            "handled {} of {offered}",
+            mm.events_handled()
+        );
+    }
+
+    #[test]
+    fn cache_hits_avoid_dram_traffic() {
+        let mut mm = MemoryManager::new(DramKind::Ddr4, 64);
+        mm.accept_eviction(established(3));
+        run(&mut mm, 8);
+        let served_before = mm.dram().bytes_served();
+        // Repeated events to the same (cached) flow.
+        let mut out = MmOutput::default();
+        for i in 0..32u32 {
+            mm.push_event(send_event(3, (i + 1) * 10));
+            mm.tick(&mut out);
+        }
+        assert_eq!(mm.events_handled(), 32);
+        assert_eq!(mm.dram().bytes_served(), served_before, "all hits: no DRAM bytes");
+        assert!(mm.cache_hit_rate() > 0.9);
+    }
+}

@@ -1,0 +1,155 @@
+//! FPGA resource model (Fig. 7).
+//!
+//! The paper reports Vivado 2020.2 synthesis results on a Xilinx U280:
+//! FtEngine with one FPC uses 16 % LUTs / 11 % FFs / 27 % BRAMs, and with
+//! eight FPCs 23 % / 15 % / 32 %. We obviously cannot synthesize RTL here,
+//! so Fig. 7 is reproduced by a component-level model: fixed costs for the
+//! shared data path plus per-FPC marginal costs, calibrated so the 1-FPC
+//! and 8-FPC totals match the paper. The interesting check the harness
+//! makes is the *scaling shape*: FPCs are cheap relative to the data path
+//! ("we only have to scale up the glue logic"), so going 1 → 8 FPCs adds
+//! only ~7 % of the FPGA's LUTs.
+
+/// Available resources on the Alveo U280 (XCU280 device).
+pub const U280_LUTS: u64 = 1_303_680;
+/// U280 flip-flops.
+pub const U280_FFS: u64 = 2_607_360;
+/// U280 BRAM tiles (36 Kb each).
+pub const U280_BRAMS: u64 = 2_016;
+
+/// One row of the Fig. 7b table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResourceRow {
+    /// Component name.
+    pub component: &'static str,
+    /// LUTs used.
+    pub luts: u64,
+    /// Flip-flops used.
+    pub ffs: u64,
+    /// BRAM tiles used.
+    pub brams: u64,
+}
+
+impl ResourceRow {
+    /// Percent of the U280's LUTs.
+    pub fn lut_pct(&self) -> f64 {
+        self.luts as f64 * 100.0 / U280_LUTS as f64
+    }
+
+    /// Percent of the U280's FFs.
+    pub fn ff_pct(&self) -> f64 {
+        self.ffs as f64 * 100.0 / U280_FFS as f64
+    }
+
+    /// Percent of the U280's BRAMs.
+    pub fn bram_pct(&self) -> f64 {
+        self.brams as f64 * 100.0 / U280_BRAMS as f64
+    }
+}
+
+/// Per-component cost model. Constants are calibrated so the 1-FPC and
+/// 8-FPC totals reproduce the paper's percentages (16/11/27 and
+/// 23/15/32).
+fn component_costs(num_fpcs: u64) -> Vec<ResourceRow> {
+    // Marginal per-FPC cost: event handler + dual memory + FPU + CAM.
+    let fpc = ResourceRow {
+        component: "FPCs",
+        luts: 13_000 * num_fpcs,
+        ffs: 14_900 * num_fpcs,
+        brams: 14 * num_fpcs,
+    };
+    // Scheduler glue grows with the FPC count (switches, LUT partitions).
+    let scheduler = ResourceRow {
+        component: "Scheduler",
+        luts: 9_000 + 500 * num_fpcs,
+        ffs: 7_000 + 400 * num_fpcs,
+        brams: 8,
+    };
+    let memory_manager = ResourceRow {
+        component: "Memory manager (incl. TCB cache + HBM i/f)",
+        luts: 38_000,
+        ffs: 42_000,
+        brams: 96,
+    };
+    let data_path = ResourceRow {
+        component: "Data path (packet gen + RX parser + reassembly)",
+        luts: 72_000,
+        ffs: 85_000,
+        brams: 230,
+    };
+    let host_interface = ResourceRow {
+        component: "Host interface (PCIe/DMA + queues)",
+        luts: 55_000,
+        ffs: 95_000,
+        brams: 140,
+    };
+    let net = ResourceRow {
+        component: "Network (100G MAC + ARP + ICMP)",
+        luts: 21_500,
+        ffs: 32_000,
+        brams: 56,
+    };
+    vec![fpc, scheduler, memory_manager, data_path, host_interface, net]
+}
+
+/// Produces the Fig. 7b table for an FtEngine with `num_fpcs` FPCs:
+/// component rows plus a total row at the end.
+pub fn resource_report(num_fpcs: u64) -> Vec<ResourceRow> {
+    let mut rows = component_costs(num_fpcs);
+    let total = ResourceRow {
+        component: "FtEngine total",
+        luts: rows.iter().map(|r| r.luts).sum(),
+        ffs: rows.iter().map(|r| r.ffs).sum(),
+        brams: rows.iter().map(|r| r.brams).sum(),
+    };
+    rows.push(total);
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn total(n: u64) -> ResourceRow {
+        resource_report(n).pop().expect("total row")
+    }
+
+    #[test]
+    fn one_fpc_matches_paper_percentages() {
+        let t = total(1);
+        assert!((t.lut_pct() - 16.0).abs() < 1.0, "LUT {:.1}%", t.lut_pct());
+        assert!((t.ff_pct() - 11.0).abs() < 1.0, "FF {:.1}%", t.ff_pct());
+        assert!((t.bram_pct() - 27.0).abs() < 1.5, "BRAM {:.1}%", t.bram_pct());
+    }
+
+    #[test]
+    fn eight_fpcs_match_paper_percentages() {
+        let t = total(8);
+        assert!((t.lut_pct() - 23.0).abs() < 1.0, "LUT {:.1}%", t.lut_pct());
+        assert!((t.ff_pct() - 15.0).abs() < 1.0, "FF {:.1}%", t.ff_pct());
+        assert!((t.bram_pct() - 32.0).abs() < 1.5, "BRAM {:.1}%", t.bram_pct());
+    }
+
+    #[test]
+    fn fpcs_scale_linearly_data_path_fixed() {
+        let r1 = resource_report(1);
+        let r8 = resource_report(8);
+        let fpc1 = &r1[0];
+        let fpc8 = &r8[0];
+        assert_eq!(fpc8.luts, 8 * fpc1.luts);
+        // The data path row is identical in both configurations.
+        let dp1 = r1.iter().find(|r| r.component.starts_with("Data path")).unwrap();
+        let dp8 = r8.iter().find(|r| r.component.starts_with("Data path")).unwrap();
+        assert_eq!(dp1.luts, dp8.luts);
+    }
+
+    #[test]
+    fn leaves_majority_of_fpga_free() {
+        // The paper's point: even 8 FPCs leave ~3/4 of the device for
+        // user logic.
+        let t = total(8);
+        assert!(t.lut_pct() < 30.0);
+        assert!(t.ff_pct() < 30.0);
+        assert!(t.bram_pct() < 40.0);
+    }
+}

@@ -1,0 +1,399 @@
+//! The RX data path: the RX parser.
+//!
+//! "The RX parser first retrieves the received packet's flow ID by looking
+//! up a cuckoo hash table with the 4-tuple... Next, the RX parser DMAs the
+//! payload to the TCP data buffer if it fits in the receive window
+//! (regardless of whether it is in order) and drops if not. Applications,
+//! however, are notified about the received data only when the data is
+//! reassembled in order. This allows the hardware to reassemble data
+//! logically without actually manipulating the data" (§4.1.2).
+//!
+//! The parser turns each segment into one [`FlowEvent`] carrying the
+//! *post-reassembly* in-order pointer, so the FPU never touches payload.
+
+use crate::event::{EventKind, FlowEvent};
+use f4t_sim::Fifo;
+use f4t_tcp::reassembly::ReassemblyResult;
+use f4t_tcp::{FlowId, FlowTable, ReassemblyTracker, Segment, SeqNum, TcpFlags, TCP_BUFFER};
+use std::collections::HashMap;
+
+/// Per-flow receive-side bookkeeping beyond reassembly: the highest ACK
+/// seen, used to tag potential duplicate ACKs as non-mergeable so the
+/// scheduler's coalescing never destroys loss evidence (§4.4.1).
+#[derive(Debug, Clone, Copy, Default)]
+struct AckWatch {
+    high: SeqNum,
+    seen: bool,
+}
+
+/// 322 MHz network cycles per 1000 engine (250 MHz) cycles.
+const NET_PER_ENGINE_MILLI: u64 = 1288;
+
+/// Per-cycle output of the parser.
+#[derive(Debug, Default)]
+pub struct RxOutput {
+    /// Events bound for the scheduler.
+    pub events: Vec<FlowEvent>,
+    /// SYN segments for unknown tuples on listening ports: the engine
+    /// allocates a flow, registers it, and re-offers the segment.
+    pub new_connections: Vec<Segment>,
+}
+
+/// The RX parser.
+#[derive(Debug)]
+pub struct RxParser {
+    flow_table: FlowTable,
+    trackers: HashMap<FlowId, ReassemblyTracker>,
+    ack_watch: HashMap<FlowId, AckWatch>,
+    listening: std::collections::HashSet<u16>,
+    input: Fifo<Segment>,
+    parallelism: u32,
+    net_cycle_credit: u64,
+    segments_in: u64,
+    payload_dma_bytes: u64,
+    dropped_unknown: u64,
+}
+
+impl RxParser {
+    /// Depth of the input segment FIFO (the MAC-side buffer).
+    pub const INPUT_FIFO_DEPTH: usize = 256;
+
+    /// Creates a parser sized for `max_flows` with `parallelism` lookups
+    /// per network cycle (§4.4.2: "the RX parser can parallelize packet
+    /// parsing and flow ID lookup by partitioning the memory").
+    pub fn new(max_flows: usize, parallelism: u32) -> RxParser {
+        assert!(parallelism > 0, "parallelism must be non-zero");
+        RxParser {
+            flow_table: FlowTable::with_capacity(max_flows),
+            trackers: HashMap::new(),
+            ack_watch: HashMap::new(),
+            listening: std::collections::HashSet::new(),
+            input: Fifo::new(Self::INPUT_FIFO_DEPTH),
+            parallelism,
+            net_cycle_credit: 0,
+            segments_in: 0,
+            payload_dma_bytes: 0,
+            dropped_unknown: 0,
+        }
+    }
+
+    /// Opens a listening port (SO_REUSEPORT-style: all SYNs to this port
+    /// become new connections).
+    pub fn listen(&mut self, port: u16) {
+        self.listening.insert(port);
+    }
+
+    /// Stops listening on `port`.
+    pub fn unlisten(&mut self, port: u16) {
+        self.listening.remove(&port);
+    }
+
+    /// Registers a flow: `tuple` is OUR 4-tuple (src = this host).
+    /// `init_rcv` seeds the reassembly tracker (peer ISN + 1 when known,
+    /// or a placeholder replaced at the first SYN).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the cuckoo table's insertion errors.
+    pub fn register_flow(
+        &mut self,
+        tuple: f4t_tcp::FourTuple,
+        flow: FlowId,
+        init_rcv: SeqNum,
+    ) -> Result<(), f4t_tcp::flow_table::InsertError> {
+        self.flow_table.insert(tuple, flow)?;
+        self.trackers.insert(flow, ReassemblyTracker::new(init_rcv, TCP_BUFFER));
+        Ok(())
+    }
+
+    /// Removes a flow (connection teardown).
+    pub fn remove_flow(&mut self, tuple: &f4t_tcp::FourTuple, flow: FlowId) {
+        self.flow_table.remove(tuple);
+        self.trackers.remove(&flow);
+        self.ack_watch.remove(&flow);
+    }
+
+    /// Offers a segment from the network; returns `false` when the input
+    /// buffer overflows (the segment is lost, as on a real NIC).
+    pub fn push_segment(&mut self, seg: Segment) -> bool {
+        self.input.push(seg).is_ok()
+    }
+
+    /// Room in the input FIFO.
+    pub fn input_free(&self) -> usize {
+        self.input.free()
+    }
+
+    /// Parses one segment into an event (the per-packet work).
+    fn parse_one(&mut self, seg: Segment, now_ns: u64, out: &mut RxOutput) {
+        self.segments_in += 1;
+        // Lookup by OUR tuple: the segment's source is the peer.
+        let our_tuple = seg.tuple.reversed();
+        let Some(flow) = self.flow_table.lookup(&our_tuple) else {
+            if seg.flags.contains(TcpFlags::SYN) && self.listening.contains(&seg.tuple.dst_port) {
+                out.new_connections.push(seg);
+            } else {
+                self.dropped_unknown += 1;
+            }
+            return;
+        };
+        let tracker = self.trackers.entry(flow).or_insert_with(|| {
+            ReassemblyTracker::new(seg.seq, TCP_BUFFER)
+        });
+        if seg.flags.contains(TcpFlags::SYN) {
+            // (Re)anchor reassembly at the peer's ISN + 1.
+            *tracker = ReassemblyTracker::new(seg.seq.add(1), TCP_BUFFER);
+        }
+
+        // FIN occupies one phantom byte of sequence space so it is only
+        // delivered in order.
+        let fin_phantom = u32::from(seg.flags.contains(TcpFlags::FIN));
+        let body = seg.payload_len + fin_phantom;
+        let (in_order, needs_ack, accepted_payload) = if body > 0 {
+            match tracker.on_segment(seg.seq, body) {
+                ReassemblyResult::Advanced(_) => (true, true, seg.payload_len),
+                ReassemblyResult::OutOfOrder => (false, true, seg.payload_len),
+                // Unacceptable segments still elicit an ACK (RFC 793) —
+                // this also answers zero-window probes and duplicates
+                // (which become dup-ACK evidence at the peer).
+                ReassemblyResult::Duplicate => (false, true, 0),
+                ReassemblyResult::Dropped => (false, true, 0),
+            }
+        } else {
+            // Pure ACK. It is mergeable only if the ACK advances — a
+            // non-advancing pure ACK is a potential duplicate ACK whose
+            // count must survive coalescing.
+            let watch = self.ack_watch.entry(flow).or_default();
+            let advances = !watch.seen || seg.ack.gt(watch.high);
+            (advances, false, 0)
+        };
+        {
+            let watch = self.ack_watch.entry(flow).or_default();
+            if !watch.seen || seg.ack.gt(watch.high) {
+                watch.high = seg.ack;
+                watch.seen = true;
+            }
+        }
+        self.payload_dma_bytes += u64::from(accepted_payload);
+
+        // The FIN flag is reported only once its phantom byte has been
+        // sequenced (rcv_nxt passed it), so the FPU sees an in-order FIN.
+        let mut flags = seg.flags;
+        if fin_phantom == 1 && tracker.rcv_nxt().lt(seg.seq_end()) {
+            flags.remove(TcpFlags::FIN);
+        }
+
+        out.events.push(FlowEvent::new(
+            flow,
+            EventKind::RxPacket {
+                ack: seg.ack,
+                rcv_nxt: tracker.rcv_nxt(),
+                wnd: seg.window,
+                flags,
+                had_payload: seg.payload_len > 0,
+                needs_ack,
+                in_order,
+                ts_val: seg.ts_val,
+                ts_ecr: seg.ts_ecr,
+            },
+            now_ns,
+        ));
+    }
+
+    /// Advances one engine (250 MHz) cycle, parsing up to the network-rate
+    /// budget of segments.
+    pub fn tick(&mut self, now_ns: u64, out: &mut RxOutput) {
+        self.net_cycle_credit += NET_PER_ENGINE_MILLI;
+        let mut budget = (self.net_cycle_credit / 1000) * u64::from(self.parallelism);
+        self.net_cycle_credit %= 1000;
+        while budget > 0 {
+            let Some(seg) = self.input.pop() else { break };
+            self.parse_one(seg, now_ns, out);
+            budget -= 1;
+        }
+    }
+
+    /// Total segments parsed.
+    pub fn segments_in(&self) -> u64 {
+        self.segments_in
+    }
+
+    /// Total payload bytes DMAed to the host buffer.
+    pub fn payload_dma_bytes(&self) -> u64 {
+        self.payload_dma_bytes
+    }
+
+    /// Segments dropped for unknown tuples.
+    pub fn dropped_unknown(&self) -> u64 {
+        self.dropped_unknown
+    }
+
+    /// The reassembly tracker of `flow` (diagnostics).
+    pub fn tracker(&self, flow: FlowId) -> Option<&ReassemblyTracker> {
+        self.trackers.get(&flow)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use f4t_tcp::FourTuple;
+    use std::net::Ipv4Addr;
+
+    fn our_tuple() -> FourTuple {
+        FourTuple::new(Ipv4Addr::new(10, 0, 0, 1), 5000, Ipv4Addr::new(10, 0, 0, 2), 80)
+    }
+
+    fn peer_data(seq: u32, len: u32) -> Segment {
+        Segment::data(our_tuple().reversed(), SeqNum(seq), SeqNum(100), len)
+    }
+
+    fn parser_with_flow() -> RxParser {
+        let mut p = RxParser::new(1024, 1);
+        p.register_flow(our_tuple(), FlowId(1), SeqNum(0)).unwrap();
+        p
+    }
+
+    fn drain(p: &mut RxParser, ticks: u64) -> RxOutput {
+        let mut out = RxOutput::default();
+        for t in 0..ticks {
+            p.tick(t * 4, &mut out);
+        }
+        out
+    }
+
+    #[test]
+    fn in_order_data_event() {
+        let mut p = parser_with_flow();
+        assert!(p.push_segment(peer_data(0, 500)));
+        let out = drain(&mut p, 4);
+        assert_eq!(out.events.len(), 1);
+        let EventKind::RxPacket { rcv_nxt, had_payload, needs_ack, in_order, ack, .. } =
+            out.events[0].kind
+        else {
+            panic!()
+        };
+        assert_eq!(rcv_nxt, SeqNum(500), "post-reassembly pointer");
+        assert!(had_payload && needs_ack && in_order);
+        assert_eq!(ack, SeqNum(100));
+        assert_eq!(p.payload_dma_bytes(), 500, "payload DMAed at its offset");
+    }
+
+    #[test]
+    fn out_of_order_then_fill() {
+        let mut p = parser_with_flow();
+        p.push_segment(peer_data(500, 500)); // gap
+        p.push_segment(peer_data(0, 500)); // fill
+        let out = drain(&mut p, 6);
+        assert_eq!(out.events.len(), 2);
+        let EventKind::RxPacket { rcv_nxt, in_order, .. } = out.events[0].kind else { panic!() };
+        assert_eq!(rcv_nxt, SeqNum(0), "pointer unchanged by the gap");
+        assert!(!in_order, "marked out-of-order: blocks coalescing");
+        let EventKind::RxPacket { rcv_nxt, .. } = out.events[1].kind else { panic!() };
+        assert_eq!(rcv_nxt, SeqNum(1000), "both chunks delivered");
+        assert_eq!(p.payload_dma_bytes(), 1000, "OOO payload DMAed immediately");
+    }
+
+    #[test]
+    fn duplicate_elicits_ack_without_dma() {
+        let mut p = parser_with_flow();
+        p.push_segment(peer_data(0, 100));
+        p.push_segment(peer_data(0, 100)); // dup
+        let out = drain(&mut p, 6);
+        let EventKind::RxPacket { needs_ack, had_payload, in_order, .. } = out.events[1].kind
+        else {
+            panic!()
+        };
+        assert!(needs_ack, "RFC 793: unacceptable segment gets an ACK");
+        assert!(had_payload);
+        assert!(!in_order);
+        assert_eq!(p.payload_dma_bytes(), 100, "duplicate not re-DMAed");
+    }
+
+    #[test]
+    fn pure_ack_event_has_no_ack_due() {
+        let mut p = parser_with_flow();
+        p.push_segment(Segment::pure_ack(our_tuple().reversed(), SeqNum(0), SeqNum(700), 2048));
+        let out = drain(&mut p, 4);
+        let EventKind::RxPacket { ack, wnd, needs_ack, had_payload, .. } = out.events[0].kind
+        else {
+            panic!()
+        };
+        assert_eq!(ack, SeqNum(700));
+        assert_eq!(wnd, 2048);
+        assert!(!needs_ack && !had_payload, "pure ACKs are not themselves ACKed");
+    }
+
+    #[test]
+    fn fin_reported_only_in_order() {
+        let mut p = parser_with_flow();
+        // FIN at seq 500 while 0..500 is missing: flag withheld.
+        let mut fin = peer_data(500, 0);
+        fin.flags = TcpFlags::FIN | TcpFlags::ACK;
+        p.push_segment(fin);
+        let out = drain(&mut p, 4);
+        let EventKind::RxPacket { flags, .. } = out.events[0].kind else { panic!() };
+        assert!(!flags.contains(TcpFlags::FIN), "out-of-order FIN withheld");
+        // The missing data arrives; FIN phantom completes.
+        p.push_segment(peer_data(0, 500));
+        let out = drain(&mut p, 4);
+        let EventKind::RxPacket { rcv_nxt, .. } = out.events[0].kind else { panic!() };
+        assert_eq!(rcv_nxt, SeqNum(501), "data + FIN phantom sequenced");
+    }
+
+    #[test]
+    fn syn_anchors_reassembly() {
+        let mut p = RxParser::new(64, 1);
+        p.register_flow(our_tuple(), FlowId(3), SeqNum(0)).unwrap();
+        let mut syn_ack = peer_data(77_000, 0);
+        syn_ack.flags = TcpFlags::SYN | TcpFlags::ACK;
+        p.push_segment(syn_ack);
+        let out = drain(&mut p, 4);
+        let EventKind::RxPacket { rcv_nxt, flags, .. } = out.events[0].kind else { panic!() };
+        assert_eq!(rcv_nxt, SeqNum(77_001), "anchored at peer ISN + 1");
+        assert!(flags.contains(TcpFlags::SYN));
+    }
+
+    #[test]
+    fn unknown_tuple_syn_on_listening_port() {
+        let mut p = RxParser::new(64, 1);
+        // The arriving SYN targets OUR port 5000 (the reversed tuple's
+        // destination).
+        p.listen(5000);
+        let mut syn = peer_data(5_000, 0);
+        syn.flags = TcpFlags::SYN;
+        p.push_segment(syn);
+        let out = drain(&mut p, 4);
+        assert_eq!(out.new_connections.len(), 1, "handed to the engine for allocation");
+        assert!(out.events.is_empty());
+        // Same SYN to a non-listening port is dropped.
+        let mut p = RxParser::new(64, 1);
+        let mut syn = peer_data(5_000, 0);
+        syn.flags = TcpFlags::SYN;
+        p.push_segment(syn);
+        let out = drain(&mut p, 4);
+        assert!(out.new_connections.is_empty());
+        assert_eq!(p.dropped_unknown(), 1);
+    }
+
+    #[test]
+    fn parse_rate_tracks_network_domain() {
+        let mut p = parser_with_flow();
+        for i in 0..60u32 {
+            p.push_segment(peer_data(i * 10, 10));
+        }
+        let out = drain(&mut p, 40);
+        // ~1.288 segments per engine cycle.
+        assert!((50..=52).contains(&out.events.len()), "parsed {}", out.events.len());
+    }
+
+    #[test]
+    fn remove_flow_stops_events() {
+        let mut p = parser_with_flow();
+        p.remove_flow(&our_tuple(), FlowId(1));
+        p.push_segment(peer_data(0, 100));
+        let out = drain(&mut p, 4);
+        assert!(out.events.is_empty());
+        assert_eq!(p.dropped_unknown(), 1);
+    }
+}

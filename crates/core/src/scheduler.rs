@@ -1,0 +1,616 @@
+//! The scheduler: event routing, coalescing and TCB-migration control.
+//!
+//! The scheduler (Fig. 5) "orchestrates all flows": it tracks every TCB's
+//! location in the location LUT, routes events to the owning FPC or to
+//! DRAM, parks events whose flow is mid-migration in the pending queue
+//! (retrying after 12 cycles — all migrations complete within that bound,
+//! §4.3.2), coalesces events of the same flow in four 16-entry FIFOs
+//! (§4.4.1), allocates new flows to the least-loaded FPC and migrates
+//! flows away from congested FPCs (§4.4.2).
+
+use crate::event::FlowEvent;
+use crate::fpc::Fpc;
+use crate::fpu::EventView;
+use crate::memory_manager::MemoryManager;
+use f4t_mem::{Location, LocationLut};
+use f4t_sim::Fifo;
+use f4t_tcp::{FlowId, Tcb};
+use std::collections::{HashMap, VecDeque};
+
+/// Where an in-flight migration is headed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MigrationDest {
+    /// Swap out to DRAM.
+    Dram,
+    /// Direct FPC-to-FPC move (load balancing).
+    Fpc(u8),
+}
+
+/// Running totals the harnesses report.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SchedulerStats {
+    /// Events accepted from the host interface / RX parser / timers.
+    pub events_in: u64,
+    /// Events merged away in the coalesce FIFOs.
+    pub coalesced: u64,
+    /// Events routed to FPCs.
+    pub routed_fpc: u64,
+    /// Events routed to the memory manager.
+    pub routed_dram: u64,
+    /// Events parked in the pending queue.
+    pub parked: u64,
+    /// Migrations initiated (either direction).
+    pub migrations: u64,
+    /// Events dropped for unallocated flows.
+    pub dropped: u64,
+}
+
+/// The scheduler.
+#[derive(Debug)]
+pub struct Scheduler {
+    input: Fifo<FlowEvent>,
+    coalesce: Vec<Fifo<FlowEvent>>,
+    coalescing: bool,
+    lut: LocationLut,
+    pending: VecDeque<(FlowEvent, u64)>,
+    migrations: HashMap<FlowId, MigrationDest>,
+    swap_in_queue: VecDeque<FlowId>,
+    stats: SchedulerStats,
+}
+
+/// The paper's coalesce-FIFO geometry: four FIFOs of 16 entries.
+const COALESCE_FIFOS: usize = 4;
+const COALESCE_DEPTH: usize = 16;
+/// Pending-queue retry delay: "the scheduler retries the routing after 12
+/// cycles, and it always succeeds because all migration completes within
+/// 12 cycles" (§4.3.2).
+pub const PENDING_RETRY_CYCLES: u64 = 12;
+/// Intake bandwidth from the host/RX/timer interfaces, events per cycle.
+const INTAKE_PER_CYCLE: usize = 4;
+
+impl Scheduler {
+    /// Depth of the intake FIFO shared by host, RX parser and timers.
+    pub const INPUT_FIFO_DEPTH: usize = 512;
+
+    /// Swap-in control actions per cycle (the migration machinery runs
+    /// well ahead of the 12-cycle per-migration bound).
+    pub const SWAP_ACTIONS_PER_CYCLE: usize = 8;
+
+    /// Creates a scheduler for `max_flows` flows routed across
+    /// `lut_groups` LUT partitions, with event coalescing on or off.
+    pub fn new(max_flows: usize, lut_groups: usize, coalescing: bool) -> Scheduler {
+        Scheduler {
+            input: Fifo::new(Self::INPUT_FIFO_DEPTH),
+            coalesce: (0..COALESCE_FIFOS).map(|_| Fifo::new(COALESCE_DEPTH)).collect(),
+            coalescing,
+            lut: LocationLut::new(max_flows, lut_groups),
+            pending: VecDeque::new(),
+            migrations: HashMap::new(),
+            swap_in_queue: VecDeque::new(),
+            stats: SchedulerStats::default(),
+        }
+    }
+
+    /// Offers an event at the intake; `false` under backpressure (the
+    /// host's doorbell stalls).
+    pub fn push_event(&mut self, ev: FlowEvent) -> bool {
+        if self.input.push(ev).is_ok() {
+            self.stats.events_in += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether the intake FIFO has room.
+    pub fn can_accept(&self) -> bool {
+        !self.input.is_full()
+    }
+
+    /// Free intake slots this cycle.
+    pub fn intake_free(&self) -> usize {
+        self.input.free()
+    }
+
+    /// Intake backlog (diagnostics).
+    pub fn backlog(&self) -> usize {
+        self.input.len()
+            + self.coalesce.iter().map(Fifo::len).sum::<usize>()
+            + self.pending.len()
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> SchedulerStats {
+        self.stats
+    }
+
+    /// LUT-partition stalls (diagnostics).
+    pub fn lut_stalls(&self) -> u64 {
+        self.lut.stalls()
+    }
+
+    /// Queues a check-logic swap-in request from the memory manager.
+    pub fn request_swap_in(&mut self, flow: FlowId) {
+        self.swap_in_queue.push_back(flow);
+    }
+
+    /// Pending swap-in requests (diagnostics).
+    pub fn swap_in_backlog(&self) -> usize {
+        self.swap_in_queue.len()
+    }
+
+    /// Migrations currently in flight (diagnostics).
+    pub fn migrations_in_flight(&self) -> usize {
+        self.migrations.len()
+    }
+
+    /// Places a brand-new flow: least-loaded FPC with room, else DRAM.
+    /// Sets the location LUT through the proper Moving transition.
+    pub fn place_new_flow(
+        &mut self,
+        tcb: Tcb,
+        fpcs: &mut [Fpc],
+        mm: &mut MemoryManager,
+    ) -> Location {
+        let flow = tcb.flow;
+        let target = fpcs
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.can_accept_tcb())
+            .min_by_key(|(_, f)| f.flow_count())
+            .map(|(i, _)| i);
+        match target {
+            Some(i) => {
+                let accepted = fpcs[i].push_tcb(tcb, EventView::default());
+                debug_assert!(accepted, "can_accept_tcb lied");
+                self.lut.set(flow, Location::Moving);
+                Location::Fpc(i as u8)
+            }
+            None => {
+                mm.insert_new(tcb);
+                self.lut.set(flow, Location::Moving);
+                Location::Dram
+            }
+        }
+    }
+
+    /// Location of a flow (diagnostics; control-path read).
+    pub fn location(&self, flow: FlowId) -> Location {
+        self.lut.peek(flow)
+    }
+
+    /// Engine callback: an FPC's swap-in port installed `flow`.
+    pub fn on_installed(&mut self, flow: FlowId, fpc: u8) {
+        self.lut.set(flow, Location::Fpc(fpc));
+        self.migrations.remove(&flow);
+    }
+
+    /// Engine callback: the memory manager finished writing `flow` to
+    /// DRAM (Fig. 6's evict-complete signal).
+    pub fn on_evict_done(&mut self, flow: FlowId) {
+        self.lut.set(flow, Location::Dram);
+        self.migrations.remove(&flow);
+    }
+
+    /// Engine callback: the connection fully closed; release routing
+    /// state so the flow id slot can be reused by new connections.
+    pub fn on_flow_closed(&mut self, flow: FlowId) {
+        self.lut.set(flow, Location::Unallocated);
+        self.migrations.remove(&flow);
+    }
+
+    /// Engine callback: an evict checker diverted `tcb` out of an FPC.
+    /// Forwards it to its migration destination.
+    pub fn on_evicted(&mut self, tcb: Tcb, fpcs: &mut [Fpc], mm: &mut MemoryManager) {
+        let flow = tcb.flow;
+        match self.migrations.get(&flow).copied() {
+            Some(MigrationDest::Fpc(j)) => {
+                if !fpcs[j as usize].push_tcb(tcb, EventView::default()) {
+                    // Target filled up meanwhile: fall back to DRAM.
+                    self.migrations.insert(flow, MigrationDest::Dram);
+                    mm.accept_eviction(tcb);
+                }
+            }
+            Some(MigrationDest::Dram) | None => {
+                self.migrations.insert(flow, MigrationDest::Dram);
+                mm.accept_eviction(tcb);
+            }
+        }
+    }
+
+    /// Begins evicting `flow` from `from_fpc` toward `dest`.
+    fn start_migration(
+        &mut self,
+        flow: FlowId,
+        from_fpc: usize,
+        dest: MigrationDest,
+        fpcs: &mut [Fpc],
+    ) -> bool {
+        if self.migrations.contains_key(&flow) {
+            return false;
+        }
+        if !fpcs[from_fpc].request_evict(flow) {
+            return false;
+        }
+        self.lut.set(flow, Location::Moving);
+        self.migrations.insert(flow, dest);
+        self.stats.migrations += 1;
+        true
+    }
+
+    /// Routes one event; returns `true` when consumed (delivered or
+    /// parked), `false` to retry next cycle.
+    fn route(
+        &mut self,
+        ev: FlowEvent,
+        cycle: u64,
+        fpcs: &mut [Fpc],
+        mm: &mut MemoryManager,
+    ) -> bool {
+        let Some(loc) = self.lut.lookup(ev.flow) else {
+            return false; // LUT partition budget exhausted this cycle
+        };
+        match loc {
+            Location::Unallocated => {
+                self.stats.dropped += 1;
+                true
+            }
+            Location::Moving => {
+                self.pending.push_back((ev, cycle + PENDING_RETRY_CYCLES));
+                self.stats.parked += 1;
+                true
+            }
+            Location::Dram => {
+                if mm.push_event(ev) {
+                    self.stats.routed_dram += 1;
+                    true
+                } else {
+                    // Memory-manager backpressure (DRAM bandwidth): park
+                    // the event instead of blocking the coalesce FIFO —
+                    // otherwise one slow DRAM flow head-of-line blocks
+                    // SRAM-resident flows hashed to the same FIFO.
+                    self.pending.push_back((ev, cycle + PENDING_RETRY_CYCLES));
+                    self.stats.parked += 1;
+                    true
+                }
+            }
+            Location::Fpc(i) => {
+                let i = i as usize;
+                if fpcs[i].push_event(ev) {
+                    self.stats.routed_fpc += 1;
+                    true
+                } else {
+                    // Backpressure: migrate the congested flow to the
+                    // idlest FPC (§4.4.2), park the event meanwhile.
+                    let idlest = fpcs
+                        .iter()
+                        .enumerate()
+                        .filter(|&(j, f)| j != i && f.can_accept_tcb())
+                        .min_by_key(|(_, f)| f.input_backlog() * 1024 + f.flow_count())
+                        .map(|(j, _)| j);
+                    if let Some(j) = idlest {
+                        if self.start_migration(ev.flow, i, MigrationDest::Fpc(j as u8), fpcs) {
+                            self.pending.push_back((ev, cycle + PENDING_RETRY_CYCLES));
+                            self.stats.parked += 1;
+                            return true;
+                        }
+                    }
+                    false
+                }
+            }
+        }
+    }
+
+    /// Swap-in progress, up to [`Self::SWAP_ACTIONS_PER_CYCLE`] actions
+    /// per cycle: satisfy the head of the swap-in queue, evicting cold
+    /// flows when every FPC is full. The hardware completes any migration
+    /// within 12 cycles (§4.3.2), so the control machinery must sustain
+    /// several concurrent migrations — it is never itself the bottleneck
+    /// (DRAM bandwidth is, which is the point of Fig. 13).
+    fn progress_swap_in(&mut self, fpcs: &mut [Fpc], mm: &mut MemoryManager) {
+        for _ in 0..Self::SWAP_ACTIONS_PER_CYCLE {
+            let Some(&flow) = self.swap_in_queue.front() else { return };
+            if self.migrations.contains_key(&flow) {
+                // Mid-migration: rotate so one moving flow does not block
+                // the queue.
+                self.swap_in_queue.rotate_left(1);
+                continue;
+            }
+            if mm.peek_tcb(flow).is_none() {
+                // Flow left DRAM by other means (already swapped in).
+                self.swap_in_queue.pop_front();
+                continue;
+            }
+            let target = fpcs
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| f.can_accept_tcb())
+                .min_by_key(|(_, f)| f.flow_count())
+                .map(|(i, _)| i);
+            match target {
+                Some(i) => {
+                    if let Some((tcb, ev)) = mm.take_for_swap_in(flow) {
+                        self.lut.set(flow, Location::Moving);
+                        let accepted = fpcs[i].push_tcb(tcb, ev);
+                        debug_assert!(accepted, "can_accept_tcb lied on swap-in");
+                        self.stats.migrations += 1;
+                        self.swap_in_queue.pop_front();
+                    } else {
+                        // DRAM bandwidth exhausted: retry next cycle.
+                        return;
+                    }
+                }
+                None => {
+                    // Every FPC is full: evict cold flows to make room
+                    // (Fig. 6), concurrency bounded by demand.
+                    let dram_bound = self
+                        .migrations
+                        .values()
+                        .filter(|d| **d == MigrationDest::Dram)
+                        .count();
+                    if dram_bound >= self.swap_in_queue.len().min(256) {
+                        return;
+                    }
+                    let t = fpcs
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, f)| f.input_backlog())
+                        .map(|(i, _)| i)
+                        .unwrap_or(0);
+                    if let Some(cold) = fpcs[t].coldest_flow() {
+                        self.start_migration(cold, t, MigrationDest::Dram, fpcs);
+                    } else {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Advances one engine cycle.
+    pub fn tick(&mut self, cycle: u64, fpcs: &mut [Fpc], mm: &mut MemoryManager) {
+        self.lut.begin_cycle();
+
+        // 1. Intake into the coalesce FIFOs.
+        for _ in 0..INTAKE_PER_CYCLE {
+            let Some(&ev) = self.input.front() else { break };
+            let q = ev.flow.0 as usize % self.coalesce.len();
+            if self.coalescing {
+                let mut merged = false;
+                for queued in self.coalesce[q].iter_mut() {
+                    if queued.flow == ev.flow && queued.try_merge(&ev) {
+                        merged = true;
+                        break;
+                    }
+                }
+                if merged {
+                    self.input.pop();
+                    self.stats.coalesced += 1;
+                    continue;
+                }
+            }
+            if self.coalesce[q].is_full() {
+                break; // backpressure to the intake
+            }
+            let ev = self.input.pop().expect("peeked non-empty");
+            self.coalesce[q].push(ev).expect("checked not full");
+        }
+
+        // 2. Retry pending events whose timer elapsed (ahead of new
+        //    routing so ordering per flow is preserved).
+        for _ in 0..4 {
+            match self.pending.front() {
+                Some(&(_, retry)) if retry <= cycle => {
+                    let (ev, _) = self.pending.pop_front().expect("non-empty");
+                    if !self.route(ev, cycle, fpcs, mm) {
+                        self.pending.push_front((ev, cycle + 1));
+                        break;
+                    }
+                }
+                _ => break,
+            }
+        }
+
+        // 3. Route one event per coalesce FIFO (up to 4/cycle with 4 LUT
+        //    partitions, §4.4.2).
+        for q in 0..self.coalesce.len() {
+            let Some(&ev) = self.coalesce[q].front() else { continue };
+            if self.route(ev, cycle, fpcs, mm) {
+                self.coalesce[q].pop();
+            }
+        }
+
+        // 4. Swap-in progress.
+        self.progress_swap_in(fpcs, mm);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+    use crate::fpc::{FpcOutput, ScanPolicy};
+    use f4t_mem::DramKind;
+    use f4t_tcp::{CcAlgorithm, FourTuple, NewReno, SeqNum, MSS};
+    use std::sync::Arc;
+
+    fn make_fpcs(n: usize, slots: usize) -> Vec<Fpc> {
+        (0..n)
+            .map(|i| {
+                Fpc::new(i as u8, slots, Arc::new(NewReno), Some(4), MSS, ScanPolicy::SkipIdle)
+            })
+            .collect()
+    }
+
+    fn established(id: u32) -> Tcb {
+        let mut t = Tcb::established(FlowId(id), FourTuple::default(), SeqNum(1000));
+        CcAlgorithm::NewReno.instance().init(&mut t);
+        t
+    }
+
+    fn send_event(id: u32, upto: u32) -> FlowEvent {
+        FlowEvent::new(FlowId(id), EventKind::SendReq { req: SeqNum(1000).add(upto) }, 0)
+    }
+
+    /// Drives scheduler + FPCs + MM together like the engine does.
+    fn run(
+        sched: &mut Scheduler,
+        fpcs: &mut [Fpc],
+        mm: &mut MemoryManager,
+        from: u64,
+        cycles: u64,
+    ) -> (Vec<crate::event::TxRequest>, u64) {
+        let mut tx = Vec::new();
+        let mut handled = 0;
+        for c in from..from + cycles {
+            sched.tick(c, fpcs, mm);
+            let mut evicted = Vec::new();
+            let mut installed = Vec::new();
+            for f in fpcs.iter_mut() {
+                let mut out = FpcOutput::default();
+                f.tick(c, c * 4, true, &mut out);
+                tx.extend(out.tx);
+                evicted.extend(out.evicted);
+                for flow in out.installed {
+                    installed.push((flow, f.id()));
+                }
+                handled += out.outcomes.len() as u64;
+            }
+            for t in evicted {
+                sched.on_evicted(t, fpcs, mm);
+            }
+            for (flow, id) in installed {
+                sched.on_installed(flow, id);
+            }
+            let mut mo = crate::memory_manager::MmOutput::default();
+            mm.tick(&mut mo);
+            for flow in mo.swap_in_requests {
+                sched.request_swap_in(flow);
+            }
+            for flow in mo.evict_done {
+                sched.on_evict_done(flow);
+            }
+        }
+        (tx, handled)
+    }
+
+    #[test]
+    fn new_flow_placed_in_least_loaded_fpc() {
+        let mut sched = Scheduler::new(1024, 4, true);
+        let mut fpcs = make_fpcs(2, 8);
+        let mut mm = MemoryManager::new(DramKind::Hbm, 16);
+        for id in 0..4 {
+            sched.place_new_flow(established(id), &mut fpcs, &mut mm);
+            run(&mut sched, &mut fpcs, &mut mm, id as u64 * 10, 10);
+        }
+        assert_eq!(fpcs[0].flow_count(), 2);
+        assert_eq!(fpcs[1].flow_count(), 2, "round-robins via least-loaded");
+        assert_eq!(sched.location(FlowId(0)), Location::Fpc(0));
+    }
+
+    #[test]
+    fn overflow_flows_placed_in_dram() {
+        let mut sched = Scheduler::new(1024, 4, true);
+        let mut fpcs = make_fpcs(1, 2);
+        let mut mm = MemoryManager::new(DramKind::Hbm, 16);
+        for id in 0..5 {
+            sched.place_new_flow(established(id), &mut fpcs, &mut mm);
+            run(&mut sched, &mut fpcs, &mut mm, id as u64 * 10, 10);
+        }
+        assert_eq!(fpcs[0].flow_count(), 2);
+        assert_eq!(mm.flow_count(), 3, "excess flows live in DRAM");
+        assert_eq!(sched.location(FlowId(4)), Location::Dram);
+    }
+
+    #[test]
+    fn events_route_to_owning_fpc_and_produce_tx() {
+        let mut sched = Scheduler::new(1024, 4, true);
+        let mut fpcs = make_fpcs(2, 8);
+        let mut mm = MemoryManager::new(DramKind::Hbm, 16);
+        sched.place_new_flow(established(1), &mut fpcs, &mut mm);
+        run(&mut sched, &mut fpcs, &mut mm, 0, 10);
+        assert!(sched.push_event(send_event(1, 700)));
+        let (tx, _) = run(&mut sched, &mut fpcs, &mut mm, 10, 60);
+        assert_eq!(tx.iter().map(|t| t.len).sum::<u32>(), 700);
+        assert_eq!(sched.stats().routed_fpc, 1);
+    }
+
+    #[test]
+    fn coalescing_merges_same_flow_events() {
+        let mut sched = Scheduler::new(1024, 4, true);
+        let mut fpcs = make_fpcs(1, 8);
+        let mut mm = MemoryManager::new(DramKind::Hbm, 16);
+        sched.place_new_flow(established(1), &mut fpcs, &mut mm);
+        // Fill intake BEFORE ticking so events pile into the FIFO.
+        for i in 1..=8u32 {
+            assert!(sched.push_event(send_event(1, i * 100)));
+        }
+        let (tx, _) = run(&mut sched, &mut fpcs, &mut mm, 0, 80);
+        assert!(sched.stats().coalesced >= 5, "coalesced {}", sched.stats().coalesced);
+        assert_eq!(tx.iter().map(|t| t.len).sum::<u32>(), 800, "no data lost");
+    }
+
+    #[test]
+    fn coalescing_disabled_routes_each_event() {
+        let mut sched = Scheduler::new(1024, 4, false);
+        let mut fpcs = make_fpcs(1, 8);
+        let mut mm = MemoryManager::new(DramKind::Hbm, 16);
+        sched.place_new_flow(established(1), &mut fpcs, &mut mm);
+        run(&mut sched, &mut fpcs, &mut mm, 0, 10);
+        for i in 1..=8u32 {
+            sched.push_event(send_event(1, i * 100));
+        }
+        run(&mut sched, &mut fpcs, &mut mm, 10, 100);
+        assert_eq!(sched.stats().coalesced, 0);
+        assert_eq!(sched.stats().routed_fpc, 8);
+    }
+
+    #[test]
+    fn dram_events_reach_memory_manager_and_swap_in() {
+        let mut sched = Scheduler::new(1024, 4, true);
+        let mut fpcs = make_fpcs(1, 2);
+        let mut mm = MemoryManager::new(DramKind::Hbm, 16);
+        // Fill the FPC, push one flow to DRAM.
+        for id in 0..3 {
+            sched.place_new_flow(established(id), &mut fpcs, &mut mm);
+            run(&mut sched, &mut fpcs, &mut mm, id as u64 * 10, 10);
+        }
+        assert_eq!(sched.location(FlowId(2)), Location::Dram);
+        // An event for the DRAM flow: handled there, check logic fires,
+        // scheduler swaps it in (evicting a cold flow), data goes out.
+        sched.push_event(send_event(2, 500));
+        let (tx, _) = run(&mut sched, &mut fpcs, &mut mm, 100, 400);
+        assert!(sched.stats().routed_dram >= 1);
+        assert_eq!(tx.iter().map(|t| t.len).sum::<u32>(), 500, "swapped-in flow sent its data");
+        assert!(matches!(sched.location(FlowId(2)), Location::Fpc(_)), "now SRAM-resident");
+        assert_eq!(mm.flow_count(), 1, "a cold flow was evicted to make room");
+    }
+
+    #[test]
+    fn moving_flows_park_events_and_never_lose_them() {
+        let mut sched = Scheduler::new(1024, 4, true);
+        let mut fpcs = make_fpcs(1, 4);
+        let mut mm = MemoryManager::new(DramKind::Hbm, 16);
+        sched.place_new_flow(established(1), &mut fpcs, &mut mm);
+        run(&mut sched, &mut fpcs, &mut mm, 0, 10);
+        // Force the flow into Moving state via an explicit migration.
+        sched.start_migration(FlowId(1), 0, MigrationDest::Dram, &mut fpcs);
+        assert_eq!(sched.location(FlowId(1)), Location::Moving);
+        sched.push_event(send_event(1, 300));
+        let (tx, _) = run(&mut sched, &mut fpcs, &mut mm, 10, 600);
+        assert!(sched.stats().parked >= 1, "event parked during migration");
+        assert_eq!(tx.iter().map(|t| t.len).sum::<u32>(), 300, "parked event delivered");
+    }
+
+    #[test]
+    fn intake_backpressure_reported() {
+        let mut sched = Scheduler::new(64, 4, true);
+        let mut n = 0;
+        while sched.push_event(send_event(n, 1)) {
+            n += 1;
+        }
+        assert_eq!(n as usize, Scheduler::INPUT_FIFO_DEPTH);
+        assert!(!sched.can_accept());
+        assert!(sched.backlog() >= Scheduler::INPUT_FIFO_DEPTH);
+    }
+}

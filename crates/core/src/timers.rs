@@ -1,0 +1,150 @@
+//! The timer module.
+//!
+//! "Timers create timeout events" (§4.1.2 ③). The FPU arms deadlines by
+//! writing them into the TCB; the engine registers them here after
+//! writeback. Expiry produces a [`FlowEvent`]-shaped timeout that is
+//! routed through the scheduler like any other event; the FPU validates
+//! the deadline against the TCB on arrival, so stale firings (deadline
+//! re-armed or cancelled since registration) are harmless no-ops.
+//!
+//! [`FlowEvent`]: crate::event::FlowEvent
+
+use crate::event::TimeoutKind;
+use f4t_tcp::FlowId;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Lazy-cancellation timer wheel keyed by absolute nanosecond deadlines.
+///
+/// # Examples
+///
+/// ```
+/// use f4t_core::timers::TimerWheel;
+/// use f4t_core::TimeoutKind;
+/// use f4t_tcp::FlowId;
+///
+/// let mut w = TimerWheel::new();
+/// w.arm(FlowId(1), TimeoutKind::Rto, 1_000);
+/// assert!(w.expired(999).is_empty());
+/// assert_eq!(w.expired(1_000), vec![(FlowId(1), TimeoutKind::Rto)]);
+/// ```
+#[derive(Debug, Default)]
+pub struct TimerWheel {
+    heap: BinaryHeap<Reverse<(u64, u32, u8)>>,
+    /// Latest registered deadline per (flow, kind); older heap entries are
+    /// discarded on pop (lazy cancellation).
+    armed: HashMap<(u32, u8), u64>,
+}
+
+fn kind_code(kind: TimeoutKind) -> u8 {
+    match kind {
+        TimeoutKind::Rto => 0,
+        TimeoutKind::Probe => 1,
+    }
+}
+
+fn code_kind(code: u8) -> TimeoutKind {
+    if code == 0 {
+        TimeoutKind::Rto
+    } else {
+        TimeoutKind::Probe
+    }
+}
+
+impl TimerWheel {
+    /// Creates an empty wheel.
+    pub fn new() -> TimerWheel {
+        TimerWheel::default()
+    }
+
+    /// Registers (or moves) the deadline for `(flow, kind)`. Re-arming
+    /// with the same deadline is a no-op, so the engine can call this on
+    /// every FPU writeback without flooding the heap.
+    pub fn arm(&mut self, flow: FlowId, kind: TimeoutKind, deadline_ns: u64) {
+        let key = (flow.0, kind_code(kind));
+        if self.armed.get(&key) == Some(&deadline_ns) {
+            return;
+        }
+        self.armed.insert(key, deadline_ns);
+        self.heap.push(Reverse((deadline_ns, flow.0, kind_code(kind))));
+    }
+
+    /// Cancels the timer for `(flow, kind)` (lazy: heap entries are
+    /// discarded when popped).
+    pub fn disarm(&mut self, flow: FlowId, kind: TimeoutKind) {
+        self.armed.remove(&(flow.0, kind_code(kind)));
+    }
+
+    /// Pops every timer whose deadline is at or before `now_ns`.
+    pub fn expired(&mut self, now_ns: u64) -> Vec<(FlowId, TimeoutKind)> {
+        let mut fired = Vec::new();
+        while let Some(&Reverse((deadline, flow, code))) = self.heap.peek() {
+            if deadline > now_ns {
+                break;
+            }
+            self.heap.pop();
+            // Only the latest registration counts.
+            if self.armed.get(&(flow, code)) == Some(&deadline) {
+                self.armed.remove(&(flow, code));
+                fired.push((FlowId(flow), code_kind(code)));
+            }
+        }
+        fired
+    }
+
+    /// Number of live (non-cancelled) timers.
+    pub fn live(&self) -> usize {
+        self.armed.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_in_deadline_order() {
+        let mut w = TimerWheel::new();
+        w.arm(FlowId(1), TimeoutKind::Rto, 300);
+        w.arm(FlowId(2), TimeoutKind::Rto, 100);
+        assert_eq!(w.expired(50), vec![]);
+        assert_eq!(w.expired(200), vec![(FlowId(2), TimeoutKind::Rto)]);
+        assert_eq!(w.expired(400), vec![(FlowId(1), TimeoutKind::Rto)]);
+    }
+
+    #[test]
+    fn rearm_supersedes_old_deadline() {
+        let mut w = TimerWheel::new();
+        w.arm(FlowId(1), TimeoutKind::Rto, 100);
+        w.arm(FlowId(1), TimeoutKind::Rto, 500); // pushed out
+        assert!(w.expired(100).is_empty(), "old registration cancelled");
+        assert_eq!(w.expired(500), vec![(FlowId(1), TimeoutKind::Rto)]);
+    }
+
+    #[test]
+    fn disarm_cancels() {
+        let mut w = TimerWheel::new();
+        w.arm(FlowId(1), TimeoutKind::Probe, 100);
+        w.disarm(FlowId(1), TimeoutKind::Probe);
+        assert!(w.expired(1_000).is_empty());
+        assert_eq!(w.live(), 0);
+    }
+
+    #[test]
+    fn duplicate_arm_is_noop() {
+        let mut w = TimerWheel::new();
+        for _ in 0..1000 {
+            w.arm(FlowId(1), TimeoutKind::Rto, 100);
+        }
+        assert_eq!(w.expired(100).len(), 1, "exactly one firing");
+    }
+
+    #[test]
+    fn kinds_are_independent() {
+        let mut w = TimerWheel::new();
+        w.arm(FlowId(1), TimeoutKind::Rto, 100);
+        w.arm(FlowId(1), TimeoutKind::Probe, 100);
+        let fired = w.expired(100);
+        assert_eq!(fired.len(), 2);
+    }
+}

@@ -1,0 +1,215 @@
+//! Host CPU cycle budgets and utilization accounting.
+//!
+//! The evaluation host is a 2.3 GHz Xeon Gold 5118 (§5). The system
+//! simulator advances in 250 MHz engine cycles, so each engine tick gives
+//! every host core 9.2 CPU cycles of budget; [`CoreBudget`] accrues the
+//! fraction exactly. [`CpuAccounting`] attributes spent cycles to the
+//! categories of Fig. 1 / Fig. 11 (application, TCP stack, other kernel,
+//! F4T library, idle).
+
+use f4t_sim::ClockDomain;
+
+/// Where a core's cycles went (the Fig. 11 breakdown).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CpuCategory {
+    /// Application work (Nginx request handling, iperf bookkeeping).
+    App,
+    /// Kernel TCP/IP stack (Linux only; zero under F4T by construction).
+    Tcp,
+    /// Other kernel work (syscall entry, VFS reads, scheduling).
+    Kernel,
+    /// The F4T library + runtime (command/completion processing).
+    F4tLib,
+    /// Idle / waiting.
+    Idle,
+}
+
+/// Per-core cycle accounting.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CpuAccounting {
+    /// Application cycles.
+    pub app: u64,
+    /// Kernel TCP cycles.
+    pub tcp: u64,
+    /// Other kernel cycles.
+    pub kernel: u64,
+    /// F4T library cycles.
+    pub lib: u64,
+    /// Idle cycles.
+    pub idle: u64,
+}
+
+impl CpuAccounting {
+    /// Records `cycles` against `cat`.
+    pub fn charge(&mut self, cat: CpuCategory, cycles: u64) {
+        match cat {
+            CpuCategory::App => self.app += cycles,
+            CpuCategory::Tcp => self.tcp += cycles,
+            CpuCategory::Kernel => self.kernel += cycles,
+            CpuCategory::F4tLib => self.lib += cycles,
+            CpuCategory::Idle => self.idle += cycles,
+        }
+    }
+
+    /// Total cycles recorded.
+    pub fn total(&self) -> u64 {
+        self.app + self.tcp + self.kernel + self.lib + self.idle
+    }
+
+    /// Fraction spent in `cat` (0–1; zero when nothing recorded).
+    pub fn fraction(&self, cat: CpuCategory) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let v = match cat {
+            CpuCategory::App => self.app,
+            CpuCategory::Tcp => self.tcp,
+            CpuCategory::Kernel => self.kernel,
+            CpuCategory::F4tLib => self.lib,
+            CpuCategory::Idle => self.idle,
+        };
+        v as f64 / total as f64
+    }
+
+    /// Merges another accounting record (summing per category).
+    pub fn merge(&mut self, other: &CpuAccounting) {
+        self.app += other.app;
+        self.tcp += other.tcp;
+        self.kernel += other.kernel;
+        self.lib += other.lib;
+        self.idle += other.idle;
+    }
+}
+
+/// A host core's cycle budget, accrued per engine tick.
+///
+/// # Examples
+///
+/// ```
+/// use f4t_host::CoreBudget;
+/// let mut core = CoreBudget::xeon_5118();
+/// core.tick(); // one 250 MHz engine cycle = 9.2 CPU cycles
+/// assert!(core.try_spend(9));
+/// assert!(!core.try_spend(1));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct CoreBudget {
+    /// Credit in milli-cycles to keep the 9.2 fraction exact.
+    credit_milli: u64,
+    rate_milli: u64,
+    cap_milli: u64,
+    spent: u64,
+}
+
+impl CoreBudget {
+    /// A 2.3 GHz core observed from the 250 MHz engine domain.
+    pub fn xeon_5118() -> CoreBudget {
+        CoreBudget::new(ClockDomain::HOST_CPU, ClockDomain::ENGINE_CORE)
+    }
+
+    /// A core of `cpu` clock observed from `tick_domain`.
+    pub fn new(cpu: ClockDomain, tick_domain: ClockDomain) -> CoreBudget {
+        let rate_milli = cpu.freq_hz() * 1000 / tick_domain.freq_hz();
+        CoreBudget {
+            credit_milli: 0,
+            rate_milli,
+            // Cap accumulated credit at ~10 µs of work: enough to afford
+            // the most expensive single application step (an Nginx
+            // request is ~7 kcycles) while keeping banked idle time
+            // bounded.
+            cap_milli: rate_milli * 2_500,
+            spent: 0,
+        }
+    }
+
+    /// Accrues one engine tick of budget.
+    #[inline]
+    pub fn tick(&mut self) {
+        self.credit_milli = (self.credit_milli + self.rate_milli).min(self.cap_milli);
+    }
+
+    /// Attempts to spend `cycles`; `false` when this tick's budget is
+    /// exhausted (the work waits for the next tick).
+    #[inline]
+    pub fn try_spend(&mut self, cycles: u64) -> bool {
+        let milli = cycles * 1000;
+        if self.credit_milli >= milli {
+            self.credit_milli -= milli;
+            self.spent += cycles;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whole cycles currently available.
+    pub fn available(&self) -> u64 {
+        self.credit_milli / 1000
+    }
+
+    /// Total cycles ever spent.
+    pub fn spent(&self) -> u64 {
+        self.spent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_is_9_2_cycles_per_tick() {
+        let mut c = CoreBudget::xeon_5118();
+        for _ in 0..10 {
+            c.tick();
+        }
+        assert_eq!(c.available(), 92);
+    }
+
+    #[test]
+    fn spend_and_refuse() {
+        let mut c = CoreBudget::xeon_5118();
+        c.tick();
+        assert!(c.try_spend(9));
+        assert!(!c.try_spend(1), "only 0.2 cycles left");
+        c.tick();
+        assert!(c.try_spend(1), "fraction carried over");
+        assert_eq!(c.spent(), 10);
+    }
+
+    #[test]
+    fn credit_is_capped() {
+        let mut c = CoreBudget::xeon_5118();
+        for _ in 0..1_000_000 {
+            c.tick();
+        }
+        assert!(c.available() <= 9_200 * 2_500 / 1000 + 10);
+        // The cap must cover the most expensive application step.
+        assert!(c.available() >= 8_000);
+    }
+
+    #[test]
+    fn accounting_fractions() {
+        let mut a = CpuAccounting::default();
+        a.charge(CpuCategory::App, 25);
+        a.charge(CpuCategory::Tcp, 37);
+        a.charge(CpuCategory::Kernel, 30);
+        a.charge(CpuCategory::Idle, 8);
+        assert_eq!(a.total(), 100);
+        assert!((a.fraction(CpuCategory::Tcp) - 0.37).abs() < 1e-12);
+        assert_eq!(a.fraction(CpuCategory::F4tLib), 0.0);
+
+        let mut b = CpuAccounting::default();
+        b.charge(CpuCategory::App, 25);
+        a.merge(&b);
+        assert_eq!(a.app, 50);
+    }
+
+    #[test]
+    fn empty_accounting_is_zero() {
+        let a = CpuAccounting::default();
+        assert_eq!(a.fraction(CpuCategory::App), 0.0);
+        assert_eq!(a.total(), 0);
+    }
+}

@@ -1,0 +1,54 @@
+#![warn(missing_docs)]
+//! # f4t-host — the F4T software stack and host models
+//!
+//! The paper's host side (§4.1.1, §4.6) consists of the **F4T library**
+//! (a POSIX-socket shim preloaded into the application, turning socket
+//! calls into plain function calls that write 16 B commands) and the
+//! **F4T runtime** (a userspace driver that maps the PCIe BAR, registers
+//! hugepages and owns the per-thread command queues). This crate models
+//! all of it, plus the host CPU and the Linux kernel TCP stack the paper
+//! compares against:
+//!
+//! * [`command`] — the 16 B (and §6's 8 B) command wire format.
+//! * [`queues`] — per-thread command queues of depth 1024 and the
+//!   hardware/software doorbells.
+//! * [`runtime`] — the userspace driver: BAR mapping, IOMMU hugepage
+//!   registration, queue-pair layout.
+//! * [`pcie`] — a PCIe Gen3 ×16 byte-budget model (the Fig. 9 / Fig. 16a
+//!   bottleneck).
+//! * [`cpu`] — host-core cycle budgets at 2.3 GHz and the CPU-utilization
+//!   accounting behind Fig. 1 and Fig. 11.
+//! * [`lib_api`] — the F4T library: per-flow socket state, send-buffer
+//!   management, completion processing.
+//! * [`linux_model`] — the calibrated Linux kernel TCP stack cost model
+//!   (see DESIGN.md §5 for every anchor point).
+
+pub mod command;
+pub mod cpu;
+pub mod lib_api;
+pub mod linux_model;
+pub mod pcie;
+pub mod queues;
+pub mod runtime;
+
+pub use command::{Command, Completion};
+pub use cpu::{CoreBudget, CpuAccounting, CpuCategory};
+pub use lib_api::{F4tLib, SendError, SocketState};
+pub use linux_model::LinuxModel;
+pub use pcie::{PcieDir, PcieModel};
+pub use queues::{CommandQueue, Doorbell};
+pub use runtime::{QueuePair, Runtime};
+
+/// Host CPU cycles the F4T library spends to issue one command (function
+/// call + queue write + amortized MMIO doorbell with batching, §4.6).
+/// Calibrated so one 2.3 GHz core issues ~44 M requests/s including its
+/// completion-processing share (Fig. 8a's single-core 45 Gbps at 128 B).
+pub const LIB_CMD_CYCLES: u64 = 46;
+
+/// Host CPU cycles to process one hardware completion (poll + pointer
+/// update in the library's socket state).
+pub const LIB_COMPLETION_CYCLES: u64 = 12;
+
+/// Host CPU cycles for one epoll-style readiness scan over the
+/// completion queue when it turns out empty.
+pub const LIB_POLL_CYCLES: u64 = 8;

@@ -1,0 +1,200 @@
+//! The calibrated Linux kernel TCP-stack cost model.
+//!
+//! Every Linux-vs-F4T figure in the paper compares CPU-cycle budgets. We
+//! have no kernel to run, so Linux is a cost model whose constants are
+//! anchored at the paper's *own measured points* (see the substitution
+//! table in DESIGN.md):
+//!
+//! * bulk 128 B send over one flow per core, TSO+checksum offload:
+//!   8 cores reach 8.3 Gbps (Fig. 8a) ⇒ ≈2270 cycles/request;
+//! * round-robin over 16 flows/core (no cross-call batching, cold
+//!   per-flow state): 1 core 0.126 Gbps, 8 cores 0.833 Gbps (Fig. 8b)
+//!   ⇒ ≈19–23 kcycles/request with a contention term;
+//! * Nginx with 256 B responses: 37 % of cycles in TCP (Fig. 1),
+//!   F4T removes them entirely and yields 2.8× application cycles
+//!   (Fig. 11) ⇒ a 20 kcycle/request budget split 25 % app / 37 % TCP /
+//!   28 % other kernel / 10 % softirq-idle overhead.
+
+use crate::cpu::CpuAccounting;
+use f4t_tcp::WIRE_OVERHEAD;
+
+/// Host CPU frequency (Xeon Gold 5118).
+pub const CPU_HZ: u64 = 2_300_000_000;
+
+/// The Linux stack model. Stateless: all methods are derived from the
+/// calibrated constants, so harnesses can query arbitrary design points.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LinuxModel;
+
+/// Nginx per-request cycle budget on Linux, by category.
+#[derive(Debug, Clone, Copy)]
+pub struct NginxCosts {
+    /// Application (request parse + response build).
+    pub app: u64,
+    /// VFS / filesystem read of the HTML payload.
+    pub vfs: u64,
+    /// Kernel TCP/IP stack.
+    pub tcp: u64,
+    /// Other kernel (syscall entry/exit, epoll, scheduling).
+    pub kernel_other: u64,
+}
+
+impl NginxCosts {
+    /// The calibrated Linux budget (sums to 20 kcycles ⇒ 115 krps/core).
+    pub fn linux() -> NginxCosts {
+        NginxCosts { app: 5_000, vfs: 2_000, tcp: 7_400, kernel_other: 5_600 }
+    }
+
+    /// Total cycles per request.
+    pub fn total(&self) -> u64 {
+        self.app + self.vfs + self.tcp + self.kernel_other
+    }
+}
+
+impl LinuxModel {
+    /// Cycles one `send()` of `bytes` costs in the bulk single-flow
+    /// pattern (TSO batches packets; cost is syscall + copy dominated).
+    /// Anchor: 128 B ⇒ ~2266 cycles.
+    pub fn bulk_cycles_per_request(bytes: u32) -> u64 {
+        2_100 + (u64::from(bytes) * 13) / 10
+    }
+
+    /// Cycles per request in the round-robin pattern: every call touches
+    /// a different flow, defeating batching and thrashing per-flow state;
+    /// lock/cache contention grows mildly with core count.
+    /// Anchors: 1 core ⇒ ~18.7 k, 8 cores ⇒ ~23 k.
+    pub fn round_robin_cycles_per_request(bytes: u32, cores: u32) -> u64 {
+        let base = 18_200 + (u64::from(bytes) * 4);
+        base + u64::from(cores.saturating_sub(1)) * 660
+    }
+
+    /// Achievable request rate (requests/second) given a per-request
+    /// cycle cost and core count — CPU-bound side only.
+    pub fn rps(cycles_per_request: u64, cores: u32) -> f64 {
+        (CPU_HZ as f64 * f64::from(cores)) / cycles_per_request as f64
+    }
+
+    /// Goodput ceiling of a 100 Gbps link for `bytes`-sized application
+    /// payloads carried one-per-packet (the paper's §5.1 arithmetic).
+    pub fn link_goodput_cap_gbps(bytes: u32) -> f64 {
+        100.0 * f64::from(bytes) / f64::from(bytes + WIRE_OVERHEAD)
+    }
+
+    /// Bulk-transfer goodput in Gbps for Linux: CPU-bound rps × request
+    /// size, capped by the link (TSO ⇒ MSS-sized packets on the wire, so
+    /// the cap uses MSS framing).
+    pub fn bulk_goodput_gbps(bytes: u32, cores: u32) -> f64 {
+        let rps = Self::rps(Self::bulk_cycles_per_request(bytes), cores);
+        let gbps = rps * f64::from(bytes) * 8.0 / 1e9;
+        let cap = Self::link_goodput_cap_gbps(f4t_tcp::MSS);
+        gbps.min(cap)
+    }
+
+    /// Round-robin goodput in Gbps (small packets on the wire: per-packet
+    /// framing cap applies at the request size).
+    pub fn round_robin_goodput_gbps(bytes: u32, cores: u32) -> f64 {
+        let rps = Self::rps(Self::round_robin_cycles_per_request(bytes, cores), cores);
+        let gbps = rps * f64::from(bytes) * 8.0 / 1e9;
+        gbps.min(Self::link_goodput_cap_gbps(bytes))
+    }
+
+    /// Nginx requests/second on Linux for a core count (CPU-bound).
+    pub fn nginx_rps(cores: u32) -> f64 {
+        Self::rps(NginxCosts::linux().total(), cores)
+    }
+
+    /// Echo (128 B ping-pong) cycles per request on Linux: like round
+    /// robin but with a receive path too (recv + epoll wake + send).
+    pub fn echo_cycles_per_request(cores: u32) -> u64 {
+        Self::round_robin_cycles_per_request(128, cores) + 6_000
+    }
+
+    /// Builds the Fig. 1 / Fig. 11 Linux CPU-utilization breakdown for a
+    /// fully loaded Nginx core.
+    pub fn nginx_breakdown() -> CpuAccounting {
+        let c = NginxCosts::linux();
+        let mut acc = CpuAccounting::default();
+        acc.app += c.app;
+        acc.tcp += c.tcp;
+        acc.kernel += c.vfs + c.kernel_other;
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bulk_anchor_8_cores_8_3_gbps() {
+        // The Fig. 8a anchor: 8 cores, 128 B requests, ~8.3 Gbps.
+        let gbps = LinuxModel::bulk_goodput_gbps(128, 8);
+        assert!((7.9..8.7).contains(&gbps), "got {gbps:.2} Gbps");
+    }
+
+    #[test]
+    fn bulk_64b_roughly_half() {
+        let g128 = LinuxModel::bulk_goodput_gbps(128, 8);
+        let g64 = LinuxModel::bulk_goodput_gbps(64, 8);
+        assert!(g64 < g128 && g64 > g128 * 0.4);
+    }
+
+    #[test]
+    fn round_robin_anchors() {
+        // Fig. 8b: 1 core ≈ 0.126 Gbps, 8 cores ≈ 0.833 Gbps at 128 B.
+        let g1 = LinuxModel::round_robin_goodput_gbps(128, 1);
+        let g8 = LinuxModel::round_robin_goodput_gbps(128, 8);
+        assert!((0.11..0.14).contains(&g1), "1 core: {g1:.3}");
+        assert!((0.75..0.92).contains(&g8), "8 cores: {g8:.3}");
+    }
+
+    #[test]
+    fn nginx_tcp_share_is_37_percent() {
+        // The Fig. 1 headline.
+        let acc = LinuxModel::nginx_breakdown();
+        let tcp = acc.fraction(crate::cpu::CpuCategory::Tcp);
+        assert!((tcp - 0.37).abs() < 0.01, "TCP share {tcp:.2}");
+        let app = acc.fraction(crate::cpu::CpuCategory::App);
+        assert!((app - 0.25).abs() < 0.01, "app share {app:.2}");
+    }
+
+    #[test]
+    fn f4t_nginx_speedup_is_2_8x() {
+        // Removing TCP and replacing syscalls with the library budget
+        // reproduces Fig. 10/11's 2.8×.
+        let linux = NginxCosts::linux().total();
+        let c = NginxCosts::linux();
+        // F4T: app + vfs stay; TCP gone; syscalls → ~2 commands + ~3
+        // completions of library work.
+        let f4t = c.app
+            + c.vfs
+            + 2 * crate::LIB_CMD_CYCLES
+            + 3 * crate::LIB_COMPLETION_CYCLES;
+        let speedup = linux as f64 / f4t as f64;
+        assert!((2.6..3.0).contains(&speedup), "speedup {speedup:.2}");
+    }
+
+    #[test]
+    fn link_cap_arithmetic_matches_paper() {
+        // §5.1: "with 128 B packets, the goodput is 100 × 128 ÷ (128+78)
+        // = 62.1 Gbps".
+        let cap = LinuxModel::link_goodput_cap_gbps(128);
+        assert!((cap - 62.1).abs() < 0.1, "got {cap:.1}");
+    }
+
+    #[test]
+    fn rps_scales_linearly_with_cores() {
+        let r1 = LinuxModel::nginx_rps(1);
+        let r4 = LinuxModel::nginx_rps(4);
+        assert!((r4 / r1 - 4.0).abs() < 1e-9);
+        assert!((100_000.0..130_000.0).contains(&r1), "1-core nginx {r1:.0} rps");
+    }
+
+    #[test]
+    fn echo_costs_exceed_round_robin() {
+        assert!(
+            LinuxModel::echo_cycles_per_request(8)
+                > LinuxModel::round_robin_cycles_per_request(128, 8)
+        );
+    }
+}

@@ -1,0 +1,160 @@
+//! Per-thread command queues and doorbells.
+//!
+//! "Command queues of depth 1024 ... are allocated per thread" (§4.1.1).
+//! The library signals the hardware by "ringing the hardware doorbell via
+//! MMIO", batched to reduce PCIe transactions (§4.6); the hardware writes
+//! the software doorbell in the DMA buffer, which the library polls.
+
+use crate::command::Command;
+use f4t_sim::Fifo;
+
+/// A depth-1024 command queue (one direction of one thread's pair).
+#[derive(Debug)]
+pub struct CommandQueue {
+    ring: Fifo<Command>,
+    entry_bytes: usize,
+}
+
+impl CommandQueue {
+    /// The paper's queue depth.
+    pub const DEPTH: usize = 1024;
+
+    /// Creates a queue with 16 B entries (the default format).
+    pub fn new16() -> CommandQueue {
+        CommandQueue { ring: Fifo::new(Self::DEPTH), entry_bytes: Command::WIRE_16 }
+    }
+
+    /// Creates a queue with the compact 8 B entries (§6).
+    pub fn new8() -> CommandQueue {
+        CommandQueue { ring: Fifo::new(Self::DEPTH), entry_bytes: Command::WIRE_8 }
+    }
+
+    /// Bytes each entry occupies on PCIe.
+    pub fn entry_bytes(&self) -> usize {
+        self.entry_bytes
+    }
+
+    /// Enqueues a command; `false` when the ring is full (the caller must
+    /// back off, as the real library does).
+    pub fn push(&mut self, cmd: Command) -> bool {
+        self.ring.push(cmd).is_ok()
+    }
+
+    /// Dequeues the oldest command (the hardware's DMA fetch).
+    pub fn pop(&mut self) -> Option<Command> {
+        self.ring.pop()
+    }
+
+    /// Peeks the oldest command without removing it.
+    pub fn front(&self) -> Option<&Command> {
+        self.ring.front()
+    }
+
+    /// Entries currently queued.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Whether the ring is full.
+    pub fn is_full(&self) -> bool {
+        self.ring.is_full()
+    }
+
+    /// Total commands ever enqueued.
+    pub fn total(&self) -> u64 {
+        self.ring.total_pushed()
+    }
+}
+
+/// A doorbell register: the producer advances a sequence number; the
+/// consumer observes how far it may read. MMIO batching amortizes the
+/// ring cost over many commands.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Doorbell {
+    rung: u64,
+    seen: u64,
+    rings: u64,
+}
+
+impl Doorbell {
+    /// Creates a quiet doorbell.
+    pub fn new() -> Doorbell {
+        Doorbell::default()
+    }
+
+    /// Producer: publish `count` new entries with one ring (the batch).
+    pub fn ring(&mut self, count: u64) {
+        self.rung += count;
+        self.rings += 1;
+    }
+
+    /// Consumer: how many entries are newly visible; marks them seen.
+    pub fn take_pending(&mut self) -> u64 {
+        let n = self.rung - self.seen;
+        self.seen = self.rung;
+        n
+    }
+
+    /// Number of distinct MMIO rings (each one is a PCIe transaction).
+    pub fn rings(&self) -> u64 {
+        self.rings
+    }
+
+    /// Total entries ever published.
+    pub fn published(&self) -> u64 {
+        self.rung
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use f4t_tcp::{FlowId, SeqNum};
+
+    #[test]
+    fn queue_depth_is_1024() {
+        let mut q = CommandQueue::new16();
+        let cmd = Command::Connect { flow: FlowId(1) };
+        let mut n = 0;
+        while q.push(cmd) {
+            n += 1;
+        }
+        assert_eq!(n, 1024);
+        assert!(q.is_full());
+        assert_eq!(q.entry_bytes(), 16);
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut q = CommandQueue::new8();
+        assert_eq!(q.entry_bytes(), 8);
+        for i in 0..10 {
+            q.push(Command::Send { flow: FlowId(i), req: SeqNum(i * 100) });
+        }
+        for i in 0..10 {
+            let Some(Command::Send { flow, req }) = q.pop() else { panic!() };
+            assert_eq!(flow, FlowId(i));
+            assert_eq!(req, SeqNum(i * 100));
+        }
+        assert!(q.is_empty());
+        assert_eq!(q.total(), 10);
+    }
+
+    #[test]
+    fn doorbell_batching() {
+        let mut db = Doorbell::new();
+        db.ring(32); // one MMIO for 32 commands
+        db.ring(16);
+        assert_eq!(db.rings(), 2);
+        assert_eq!(db.take_pending(), 48);
+        assert_eq!(db.take_pending(), 0, "nothing new");
+        db.ring(1);
+        assert_eq!(db.take_pending(), 1);
+        assert_eq!(db.published(), 49);
+    }
+}

@@ -1,0 +1,259 @@
+//! The F4T runtime: the userspace device driver.
+//!
+//! "F4T runtime functions as a userspace device driver, enabling direct
+//! communication between F4T library and FtEngine. Specifically, F4T
+//! runtime mmaps the FtEngine's PCIe BAR region into userspace for F4T
+//! library to signal the hardware via memory-mapped I/O. The runtime also
+//! registers hugepages into the IOMMU for DMA. On the hugepages, command
+//! queues of depth 1024 ... are allocated per thread" (§4.1.1).
+//!
+//! This module models that setup path: a BAR window of doorbell
+//! registers, hugepage-backed DMA regions registered with a simulated
+//! IOMMU, and per-thread queue pairs carved out of those regions. The
+//! simulator does not move real bytes through them — the `Node` layer
+//! does that — but the bookkeeping (region accounting, queue-pair
+//! addressing, doorbell offsets) is real and tested, and `Node`-level
+//! setup mirrors what a real init path would perform.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Size of one hugepage (2 MiB, the x86 default the paper uses).
+pub const HUGEPAGE_BYTES: u64 = 2 * 1024 * 1024;
+
+/// Bytes a queue pair occupies in hugepage memory: two rings of 1024 ×
+/// 16 B entries plus a cacheline-aligned software doorbell.
+pub const QUEUE_PAIR_BYTES: u64 = 2 * 1024 * 16 + 64;
+
+/// An I/O virtual address handed out by the simulated IOMMU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Iova(pub u64);
+
+impl fmt::Display for Iova {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "iova:{:#x}", self.0)
+    }
+}
+
+/// Errors from runtime setup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// All doorbell slots in the BAR window are taken.
+    BarExhausted,
+    /// The registered hugepage pool cannot fit another allocation.
+    DmaMemoryExhausted,
+    /// The queue pair id is unknown.
+    UnknownQueuePair,
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::BarExhausted => write!(f, "no free doorbell in the BAR window"),
+            RuntimeError::DmaMemoryExhausted => write!(f, "hugepage DMA pool exhausted"),
+            RuntimeError::UnknownQueuePair => write!(f, "unknown queue pair"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+/// A per-thread queue pair: where in DMA memory its rings live and which
+/// BAR offset its hardware doorbell occupies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueuePair {
+    /// Queue pair id (== thread id in the paper's 1:1 setup).
+    pub id: u32,
+    /// IOVA of the software→hardware command ring.
+    pub sq_iova: Iova,
+    /// IOVA of the hardware→software completion ring.
+    pub cq_iova: Iova,
+    /// IOVA of the software doorbell the hardware writes (§4.1.1: "the
+    /// software later polls the software doorbell in memory").
+    pub sw_db_iova: Iova,
+    /// Byte offset of the hardware doorbell inside the BAR window.
+    pub hw_db_offset: u64,
+}
+
+/// The runtime: BAR mapping + IOMMU registrations + queue-pair layout.
+#[derive(Debug)]
+pub struct Runtime {
+    bar_bytes: u64,
+    db_stride: u64,
+    next_db: u64,
+    /// Registered hugepages: base IOVA → bytes used.
+    pages: Vec<(Iova, u64)>,
+    next_iova: u64,
+    qps: HashMap<u32, QueuePair>,
+    next_qp: u32,
+}
+
+impl Runtime {
+    /// Doorbell stride: one 4 KiB page per queue so threads never share a
+    /// write-combining mapping.
+    pub const DB_STRIDE: u64 = 4096;
+
+    /// Opens the device: maps a BAR window of `bar_bytes`.
+    pub fn open(bar_bytes: u64) -> Runtime {
+        Runtime {
+            bar_bytes,
+            db_stride: Self::DB_STRIDE,
+            next_db: 0,
+            pages: Vec::new(),
+            next_iova: 0x1_0000_0000, // a recognizable IOVA base
+            qps: HashMap::new(),
+            next_qp: 0,
+        }
+    }
+
+    /// The default FtEngine BAR (16 MiB: 4096 doorbell pages).
+    pub fn open_default() -> Runtime {
+        Runtime::open(16 * 1024 * 1024)
+    }
+
+    /// Registers one hugepage with the IOMMU, returning its IOVA.
+    pub fn register_hugepage(&mut self) -> Iova {
+        let iova = Iova(self.next_iova);
+        self.next_iova += HUGEPAGE_BYTES;
+        self.pages.push((iova, 0));
+        iova
+    }
+
+    /// Carves a DMA allocation of `bytes` out of the registered pool,
+    /// registering further hugepages on demand up to `max_pages`.
+    fn dma_alloc(&mut self, bytes: u64, max_pages: usize) -> Result<Iova, RuntimeError> {
+        for (base, used) in &mut self.pages {
+            if *used + bytes <= HUGEPAGE_BYTES {
+                let iova = Iova(base.0 + *used);
+                *used += bytes;
+                return Ok(iova);
+            }
+        }
+        if self.pages.len() >= max_pages {
+            return Err(RuntimeError::DmaMemoryExhausted);
+        }
+        let base = self.register_hugepage();
+        let (_, used) = self.pages.last_mut().expect("just pushed");
+        *used += bytes;
+        Ok(base)
+    }
+
+    /// Creates a queue pair for one application thread: rings + software
+    /// doorbell in hugepage DMA memory, hardware doorbell in the BAR.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::BarExhausted`] when the BAR window has no doorbell
+    /// slots left; [`RuntimeError::DmaMemoryExhausted`] when more than
+    /// `max_pages` hugepages would be needed.
+    pub fn create_queue_pair(&mut self, max_pages: usize) -> Result<QueuePair, RuntimeError> {
+        if self.next_db + self.db_stride > self.bar_bytes {
+            return Err(RuntimeError::BarExhausted);
+        }
+        let sq = self.dma_alloc(1024 * 16, max_pages)?;
+        let cq = self.dma_alloc(1024 * 16, max_pages)?;
+        let sw_db = self.dma_alloc(64, max_pages)?;
+        let qp = QueuePair {
+            id: self.next_qp,
+            sq_iova: sq,
+            cq_iova: cq,
+            sw_db_iova: sw_db,
+            hw_db_offset: self.next_db,
+        };
+        self.next_db += self.db_stride;
+        self.next_qp += 1;
+        self.qps.insert(qp.id, qp);
+        Ok(qp)
+    }
+
+    /// Looks up a queue pair.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::UnknownQueuePair`].
+    pub fn queue_pair(&self, id: u32) -> Result<QueuePair, RuntimeError> {
+        self.qps.get(&id).copied().ok_or(RuntimeError::UnknownQueuePair)
+    }
+
+    /// Destroys a queue pair, freeing its BAR doorbell for reuse by a
+    /// future thread. (DMA memory is pooled and not compacted, as with
+    /// real hugepage allocators.)
+    pub fn destroy_queue_pair(&mut self, id: u32) -> Result<(), RuntimeError> {
+        self.qps.remove(&id).map(|_| ()).ok_or(RuntimeError::UnknownQueuePair)
+    }
+
+    /// Number of live queue pairs.
+    pub fn queue_pairs(&self) -> usize {
+        self.qps.len()
+    }
+
+    /// Registered hugepages.
+    pub fn hugepages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Total DMA bytes in use.
+    pub fn dma_bytes_used(&self) -> u64 {
+        self.pages.iter().map(|(_, used)| used).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_pairs_get_distinct_resources() {
+        let mut rt = Runtime::open_default();
+        let a = rt.create_queue_pair(8).unwrap();
+        let b = rt.create_queue_pair(8).unwrap();
+        assert_ne!(a.id, b.id);
+        assert_ne!(a.sq_iova, b.sq_iova);
+        assert_ne!(a.cq_iova, b.cq_iova);
+        assert_ne!(a.hw_db_offset, b.hw_db_offset);
+        assert_eq!(b.hw_db_offset - a.hw_db_offset, Runtime::DB_STRIDE);
+        assert_eq!(rt.queue_pairs(), 2);
+    }
+
+    #[test]
+    fn many_threads_fit_one_hugepage() {
+        // 2 MiB / ~32.8 KB per pair ≈ 63 pairs per hugepage.
+        let mut rt = Runtime::open_default();
+        for _ in 0..63 {
+            rt.create_queue_pair(1).unwrap();
+        }
+        assert_eq!(rt.hugepages(), 1);
+        assert!(rt.dma_bytes_used() <= HUGEPAGE_BYTES);
+        // The 64th pair needs another page, which we capped out.
+        assert_eq!(rt.create_queue_pair(1), Err(RuntimeError::DmaMemoryExhausted));
+        // Allowing growth succeeds.
+        rt.create_queue_pair(2).unwrap();
+        assert_eq!(rt.hugepages(), 2);
+    }
+
+    #[test]
+    fn bar_window_bounds_thread_count() {
+        // A tiny 2-page BAR supports exactly two doorbells.
+        let mut rt = Runtime::open(2 * Runtime::DB_STRIDE);
+        rt.create_queue_pair(8).unwrap();
+        rt.create_queue_pair(8).unwrap();
+        assert_eq!(rt.create_queue_pair(8), Err(RuntimeError::BarExhausted));
+    }
+
+    #[test]
+    fn lookup_and_destroy() {
+        let mut rt = Runtime::open_default();
+        let qp = rt.create_queue_pair(8).unwrap();
+        assert_eq!(rt.queue_pair(qp.id).unwrap(), qp);
+        rt.destroy_queue_pair(qp.id).unwrap();
+        assert_eq!(rt.queue_pair(qp.id), Err(RuntimeError::UnknownQueuePair));
+        assert_eq!(rt.destroy_queue_pair(qp.id), Err(RuntimeError::UnknownQueuePair));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(RuntimeError::BarExhausted.to_string().contains("BAR"));
+        assert!(RuntimeError::DmaMemoryExhausted.to_string().contains("hugepage"));
+        assert_eq!(Iova(0x10).to_string(), "iova:0x10");
+    }
+}

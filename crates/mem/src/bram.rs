@@ -1,0 +1,189 @@
+//! Dual-port block RAM.
+//!
+//! FPGA BRAM provides two independent ports, each able to perform one read
+//! *or* one write per cycle. F4T's dual-memory FPC design (§4.2.3) leans
+//! on exactly this budget: the TCB table and event table each spend their
+//! two ports on a fixed two-cycle schedule. [`DualPortRam`] stores values
+//! and enforces the per-cycle port budget with debug assertions, so an
+//! engine change that would not fit the hardware schedule fails tests
+//! instead of silently over-porting.
+
+/// A dual-port RAM of `T` with per-cycle port accounting.
+///
+/// Call [`DualPortRam::begin_cycle`] once per simulated cycle; each
+/// [`read`](DualPortRam::read) / [`write`](DualPortRam::write) consumes
+/// one port-op. Exceeding two ops per cycle panics in debug builds.
+///
+/// # Examples
+///
+/// ```
+/// use f4t_mem::DualPortRam;
+/// let mut ram: DualPortRam<u32> = DualPortRam::new(4, 0);
+/// ram.begin_cycle();
+/// ram.write(2, 99);
+/// assert_eq!(*ram.read(2), 99);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DualPortRam<T> {
+    cells: Vec<T>,
+    ports_used: u8,
+    /// Total port-ops ever issued (diagnostics / utilization reporting).
+    total_ops: u64,
+    cycles: u64,
+}
+
+impl<T: Clone> DualPortRam<T> {
+    /// Number of ports (fixed by the FPGA primitive).
+    pub const PORTS: u8 = 2;
+
+    /// Creates a RAM with `depth` cells initialized to `init`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    pub fn new(depth: usize, init: T) -> DualPortRam<T> {
+        assert!(depth > 0, "ram depth must be non-zero");
+        DualPortRam { cells: vec![init; depth], ports_used: 0, total_ops: 0, cycles: 0 }
+    }
+
+    /// Starts a new cycle, replenishing the port budget.
+    #[inline]
+    pub fn begin_cycle(&mut self) {
+        self.ports_used = 0;
+        self.cycles += 1;
+    }
+
+    #[inline]
+    fn take_port(&mut self) {
+        debug_assert!(
+            self.ports_used < Self::PORTS,
+            "BRAM port budget exceeded: >{} accesses in one cycle",
+            Self::PORTS
+        );
+        self.ports_used += 1;
+        self.total_ops += 1;
+    }
+
+    /// Reads cell `idx`, consuming one port.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range, or (debug builds) if the cycle's
+    /// port budget is exhausted.
+    #[inline]
+    pub fn read(&mut self, idx: usize) -> &T {
+        self.take_port();
+        &self.cells[idx]
+    }
+
+    /// Writes cell `idx`, consuming one port.
+    ///
+    /// # Panics
+    ///
+    /// As for [`DualPortRam::read`].
+    #[inline]
+    pub fn write(&mut self, idx: usize, value: T) {
+        self.take_port();
+        self.cells[idx] = value;
+    }
+
+    /// Read-modify-write on a single port pair is not a BRAM primitive;
+    /// this helper consumes **two** ports (one read, one write) and exists
+    /// for the event handler's single-cycle duplicate-ACK increment, which
+    /// the paper calls out as the only true RMW it performs (§4.2.1).
+    #[inline]
+    pub fn modify<R>(&mut self, idx: usize, f: impl FnOnce(&mut T) -> R) -> R {
+        self.take_port();
+        self.take_port();
+        f(&mut self.cells[idx])
+    }
+
+    /// Zero-cost debug peek that does **not** consume a port. For use by
+    /// statistics and assertions only — never on the modelled datapath.
+    #[inline]
+    pub fn peek(&self, idx: usize) -> &T {
+        &self.cells[idx]
+    }
+
+    /// Number of cells.
+    pub fn depth(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Ports consumed in the current cycle.
+    pub fn ports_used(&self) -> u8 {
+        self.ports_used
+    }
+
+    /// Average port utilization over all cycles (0–1).
+    pub fn utilization(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.total_ops as f64 / (self.cycles as f64 * f64::from(Self::PORTS))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_round_trip() {
+        let mut r = DualPortRam::new(8, 0u64);
+        r.begin_cycle();
+        r.write(3, 42);
+        assert_eq!(*r.read(3), 42);
+        assert_eq!(r.ports_used(), 2);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "port budget exceeded")]
+    fn third_access_in_cycle_panics() {
+        let mut r = DualPortRam::new(8, 0u8);
+        r.begin_cycle();
+        r.read(0);
+        r.read(1);
+        r.read(2);
+    }
+
+    #[test]
+    fn budget_replenishes_each_cycle() {
+        let mut r = DualPortRam::new(4, 0u8);
+        for _ in 0..10 {
+            r.begin_cycle();
+            r.read(0);
+            r.write(1, 1);
+        }
+        assert_eq!(r.ports_used(), 2);
+        assert!((r.utilization() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn modify_costs_two_ports() {
+        let mut r = DualPortRam::new(4, 10u32);
+        r.begin_cycle();
+        let out = r.modify(2, |v| {
+            *v += 1;
+            *v
+        });
+        assert_eq!(out, 11);
+        assert_eq!(r.ports_used(), 2);
+    }
+
+    #[test]
+    fn peek_is_free() {
+        let mut r = DualPortRam::new(4, 7u8);
+        r.begin_cycle();
+        assert_eq!(*r.peek(0), 7);
+        assert_eq!(r.ports_used(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_depth_panics() {
+        let _: DualPortRam<u8> = DualPortRam::new(0, 0);
+    }
+}

@@ -1,0 +1,154 @@
+//! The per-FPC content-addressable memory.
+//!
+//! With parallel FPCs, each FPC "should manage the mapping between the
+//! global flow ID and the local TCB table index. Therefore ... we
+//! implement a content-addressable memory (CAM) in each FPC to look up
+//! the table index with the flow ID. Because the scheduler always routes
+//! the events to their correct destination, we can ensure that the CAM
+//! lookup always hits on one entry. Therefore, we implement the CAM with
+//! a comparator array and a binary log module" (§4.4.2).
+//!
+//! A hardware CAM compares all entries in parallel in one cycle; the model
+//! keeps the same single-cycle semantics.
+
+use f4t_tcp::FlowId;
+
+/// A fixed-capacity CAM mapping [`FlowId`] to a local slot index.
+///
+/// # Examples
+///
+/// ```
+/// use f4t_mem::Cam;
+/// use f4t_tcp::FlowId;
+/// let mut cam = Cam::new(128);
+/// let slot = cam.insert(FlowId(700)).unwrap();
+/// assert_eq!(cam.lookup(FlowId(700)), Some(slot));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cam {
+    entries: Vec<Option<FlowId>>,
+    len: usize,
+    /// Lookups performed (diagnostics).
+    lookups: u64,
+}
+
+impl Cam {
+    /// Creates a CAM with `capacity` slots (the FPC's TCB-slot count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Cam {
+        assert!(capacity > 0, "cam capacity must be non-zero");
+        Cam { entries: vec![None; capacity], len: 0, lookups: 0 }
+    }
+
+    /// Finds the slot holding `flow` (the comparator array + binary log).
+    pub fn lookup(&mut self, flow: FlowId) -> Option<usize> {
+        self.lookups += 1;
+        self.entries.iter().position(|&e| e == Some(flow))
+    }
+
+    /// Inserts `flow` into the first free slot, returning its index, or
+    /// `None` when the CAM is full.
+    pub fn insert(&mut self, flow: FlowId) -> Option<usize> {
+        debug_assert!(
+            !self.entries.contains(&Some(flow)),
+            "flow {flow} inserted twice; scheduler routing bug"
+        );
+        let slot = self.entries.iter().position(Option::is_none)?;
+        self.entries[slot] = Some(flow);
+        self.len += 1;
+        Some(slot)
+    }
+
+    /// Removes `flow`, returning the slot it occupied.
+    pub fn remove(&mut self, flow: FlowId) -> Option<usize> {
+        let slot = self.entries.iter().position(|&e| e == Some(flow))?;
+        self.entries[slot] = None;
+        self.len -= 1;
+        Some(slot)
+    }
+
+    /// The flow occupying `slot`, if any.
+    pub fn flow_at(&self, slot: usize) -> Option<FlowId> {
+        self.entries.get(slot).copied().flatten()
+    }
+
+    /// Number of occupied slots.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no slots are occupied.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether every slot is occupied.
+    pub fn is_full(&self) -> bool {
+        self.len == self.entries.len()
+    }
+
+    /// Total capacity.
+    pub fn capacity(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Iterates over `(slot, flow)` pairs of occupied slots.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, FlowId)> + '_ {
+        self.entries.iter().enumerate().filter_map(|(i, e)| e.map(|f| (i, f)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_lookup_remove_cycle() {
+        let mut cam = Cam::new(4);
+        let s0 = cam.insert(FlowId(10)).unwrap();
+        let s1 = cam.insert(FlowId(20)).unwrap();
+        assert_ne!(s0, s1);
+        assert_eq!(cam.lookup(FlowId(10)), Some(s0));
+        assert_eq!(cam.lookup(FlowId(20)), Some(s1));
+        assert_eq!(cam.lookup(FlowId(30)), None);
+        assert_eq!(cam.remove(FlowId(10)), Some(s0));
+        assert_eq!(cam.lookup(FlowId(10)), None);
+        assert_eq!(cam.len(), 1);
+    }
+
+    #[test]
+    fn fills_and_reuses_slots() {
+        let mut cam = Cam::new(2);
+        cam.insert(FlowId(1)).unwrap();
+        cam.insert(FlowId(2)).unwrap();
+        assert!(cam.is_full());
+        assert_eq!(cam.insert(FlowId(3)), None);
+        cam.remove(FlowId(1));
+        let s = cam.insert(FlowId(3)).unwrap();
+        assert_eq!(s, 0, "freed slot reused");
+    }
+
+    #[test]
+    fn flow_at_and_iter() {
+        let mut cam = Cam::new(3);
+        cam.insert(FlowId(5));
+        cam.insert(FlowId(6));
+        assert_eq!(cam.flow_at(0), Some(FlowId(5)));
+        assert_eq!(cam.flow_at(2), None);
+        let pairs: Vec<_> = cam.iter().collect();
+        assert_eq!(pairs, vec![(0, FlowId(5)), (1, FlowId(6))]);
+    }
+
+    #[test]
+    fn empty_state() {
+        let mut cam = Cam::new(1);
+        assert!(cam.is_empty());
+        cam.insert(FlowId(9));
+        cam.remove(FlowId(9));
+        assert!(cam.is_empty());
+        assert_eq!(cam.capacity(), 1);
+    }
+}

@@ -1,0 +1,194 @@
+//! The scheduler's location lookup table.
+//!
+//! The scheduler "tracks the locations of the TCBs and routes events by
+//! looking up the location lookup table" (§4.3.1). To route several
+//! events per cycle for parallel FPCs, the LUT is "implemented with actual
+//! LUTs instead of SRAM and partitioned ... into multiple groups to
+//! support concurrent access per cycle. For example, to support eight
+//! FPCs, each processing an event every two cycles, we need four LUT
+//! partitions to route four events per cycle" (§4.4.2).
+//!
+//! [`LocationLut`] models the partitioning: each group grants one access
+//! per cycle; an event whose flow hashes to an exhausted group must wait a
+//! cycle (the scheduler model retries it next tick).
+
+use f4t_tcp::FlowId;
+
+/// Where a flow's TCB currently lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Location {
+    /// Not allocated anywhere (flow unknown/closed).
+    #[default]
+    Unallocated,
+    /// Resident in FPC number `.0`.
+    Fpc(u8),
+    /// Resident in on-board DRAM (managed by the memory manager).
+    Dram,
+    /// Mid-migration: events must not be routed; they wait in the pending
+    /// queue (§4.3.2).
+    Moving,
+}
+
+/// The partitioned location LUT.
+///
+/// # Examples
+///
+/// ```
+/// use f4t_mem::{Location, LocationLut};
+/// use f4t_tcp::FlowId;
+/// let mut lut = LocationLut::new(1024, 4);
+/// lut.begin_cycle();
+/// lut.set(FlowId(3), Location::Fpc(1));
+/// assert_eq!(lut.lookup(FlowId(3)), Some(Location::Fpc(1)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LocationLut {
+    entries: Vec<Location>,
+    groups: usize,
+    group_access: Vec<u8>,
+    /// Lookups denied due to group-port exhaustion (diagnostics).
+    stalls: u64,
+}
+
+impl LocationLut {
+    /// Per-group accesses allowed per cycle.
+    const ACCESSES_PER_GROUP: u8 = 1;
+
+    /// Creates a LUT for `flows` flow ids, partitioned into `groups`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flows` or `groups` is zero.
+    pub fn new(flows: usize, groups: usize) -> LocationLut {
+        assert!(flows > 0, "flow count must be non-zero");
+        assert!(groups > 0, "group count must be non-zero");
+        LocationLut {
+            entries: vec![Location::Unallocated; flows],
+            groups,
+            group_access: vec![0; groups],
+            stalls: 0,
+        }
+    }
+
+    /// Starts a new cycle, replenishing every group's access budget.
+    pub fn begin_cycle(&mut self) {
+        self.group_access.iter_mut().for_each(|c| *c = 0);
+    }
+
+    #[inline]
+    fn group_of(&self, flow: FlowId) -> usize {
+        flow.0 as usize % self.groups
+    }
+
+    /// Looks up a flow's location, consuming one access on its group.
+    /// Returns `None` when the group's budget for this cycle is spent
+    /// (the caller retries next cycle).
+    pub fn lookup(&mut self, flow: FlowId) -> Option<Location> {
+        let g = self.group_of(flow);
+        if self.group_access[g] >= Self::ACCESSES_PER_GROUP {
+            self.stalls += 1;
+            return None;
+        }
+        self.group_access[g] += 1;
+        Some(self.entries[flow.0 as usize % self.entries.len()])
+    }
+
+    /// Updates a flow's location. Control-path updates (migration protocol
+    /// steps) are rare and use a dedicated write port in hardware, so they
+    /// do not consume the routing budget.
+    pub fn set(&mut self, flow: FlowId, loc: Location) {
+        let n = self.entries.len();
+        self.entries[flow.0 as usize % n] = loc;
+    }
+
+    /// Reads a location without consuming routing budget (control path /
+    /// diagnostics).
+    pub fn peek(&self, flow: FlowId) -> Location {
+        self.entries[flow.0 as usize % self.entries.len()]
+    }
+
+    /// Number of partitions.
+    pub fn groups(&self) -> usize {
+        self.groups
+    }
+
+    /// Routing lookups denied this run due to partition contention.
+    pub fn stalls(&self) -> u64 {
+        self.stalls
+    }
+
+    /// Counts flows in each location kind: `(fpc, dram, moving)`.
+    pub fn census(&self) -> (usize, usize, usize) {
+        let mut fpc = 0;
+        let mut dram = 0;
+        let mut moving = 0;
+        for e in &self.entries {
+            match e {
+                Location::Fpc(_) => fpc += 1,
+                Location::Dram => dram += 1,
+                Location::Moving => moving += 1,
+                Location::Unallocated => {}
+            }
+        }
+        (fpc, dram, moving)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_lookup_round_trip() {
+        let mut lut = LocationLut::new(16, 2);
+        lut.begin_cycle();
+        lut.set(FlowId(5), Location::Dram);
+        assert_eq!(lut.lookup(FlowId(5)), Some(Location::Dram));
+        assert_eq!(lut.peek(FlowId(5)), Location::Dram);
+        assert_eq!(lut.peek(FlowId(6)), Location::Unallocated);
+    }
+
+    #[test]
+    fn group_budget_limits_per_cycle_routing() {
+        let mut lut = LocationLut::new(16, 2);
+        lut.begin_cycle();
+        // Flows 0 and 2 share group 0.
+        assert!(lut.lookup(FlowId(0)).is_some());
+        assert_eq!(lut.lookup(FlowId(2)), None, "group 0 budget spent");
+        // Group 1 still has budget.
+        assert!(lut.lookup(FlowId(1)).is_some());
+        assert_eq!(lut.stalls(), 1);
+        // New cycle refreshes.
+        lut.begin_cycle();
+        assert!(lut.lookup(FlowId(2)).is_some());
+    }
+
+    #[test]
+    fn four_groups_route_four_per_cycle() {
+        // The paper's 8-FPC sizing rule.
+        let mut lut = LocationLut::new(64, 4);
+        lut.begin_cycle();
+        let routed = (0..8)
+            .filter(|&i| lut.lookup(FlowId(i)).is_some())
+            .count();
+        assert_eq!(routed, 4);
+    }
+
+    #[test]
+    fn census_counts() {
+        let mut lut = LocationLut::new(8, 1);
+        lut.set(FlowId(0), Location::Fpc(0));
+        lut.set(FlowId(1), Location::Fpc(3));
+        lut.set(FlowId(2), Location::Dram);
+        lut.set(FlowId(3), Location::Moving);
+        assert_eq!(lut.census(), (2, 1, 1));
+    }
+
+    #[test]
+    fn moving_state_is_distinct() {
+        let mut lut = LocationLut::new(4, 1);
+        lut.set(FlowId(1), Location::Moving);
+        lut.begin_cycle();
+        assert_eq!(lut.lookup(FlowId(1)), Some(Location::Moving));
+    }
+}

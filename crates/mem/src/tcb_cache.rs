@@ -1,0 +1,201 @@
+//! The memory manager's direct-mapped TCB cache.
+//!
+//! The memory manager "includes a direct-mapped TCB cache to handle the
+//! frequently accessed TCBs more efficiently" (§4.3.1). A hit serves the
+//! event from on-chip SRAM; a miss costs DRAM bandwidth. Entries are
+//! write-back (dirty bit), so a flow receiving a burst of events costs one
+//! DRAM fill and one eventual write-back instead of an RMW per event.
+
+use f4t_tcp::{FlowId, Tcb};
+
+/// Result of a cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheAccess {
+    /// The flow's TCB was resident.
+    Hit,
+    /// Not resident; `victim` carries a dirty evicted TCB that must be
+    /// written back to DRAM before the fill completes.
+    Miss {
+        /// Dirty TCB displaced by the fill, if any.
+        victim_dirty: bool,
+    },
+}
+
+/// A direct-mapped, write-back cache of TCBs indexed by flow id.
+///
+/// # Examples
+///
+/// ```
+/// use f4t_mem::TcbCache;
+/// use f4t_tcp::{FlowId, Tcb};
+/// let mut cache = TcbCache::new(64);
+/// cache.fill(Tcb::new(FlowId(5)));
+/// assert!(cache.get_mut(FlowId(5)).is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct TcbCache {
+    sets: Vec<Option<(Tcb, bool)>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl TcbCache {
+    /// Creates a cache with `sets` direct-mapped entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is zero.
+    pub fn new(sets: usize) -> TcbCache {
+        assert!(sets > 0, "cache must have at least one set");
+        TcbCache { sets: vec![None; sets], hits: 0, misses: 0 }
+    }
+
+    #[inline]
+    fn index(&self, flow: FlowId) -> usize {
+        flow.0 as usize % self.sets.len()
+    }
+
+    /// Probes the cache for `flow`, recording hit/miss statistics.
+    pub fn probe(&mut self, flow: FlowId) -> CacheAccess {
+        let idx = self.index(flow);
+        match &self.sets[idx] {
+            Some((tcb, dirty)) if tcb.flow == flow => {
+                let _ = dirty;
+                self.hits += 1;
+                CacheAccess::Hit
+            }
+            Some((_, dirty)) => {
+                self.misses += 1;
+                CacheAccess::Miss { victim_dirty: *dirty }
+            }
+            None => {
+                self.misses += 1;
+                CacheAccess::Miss { victim_dirty: false }
+            }
+        }
+    }
+
+    /// Returns a mutable reference to a resident TCB (marking it dirty),
+    /// or `None` on miss. Does not touch statistics — pair with
+    /// [`probe`](TcbCache::probe).
+    pub fn get_mut(&mut self, flow: FlowId) -> Option<&mut Tcb> {
+        let idx = self.index(flow);
+        match &mut self.sets[idx] {
+            Some((tcb, dirty)) if tcb.flow == flow => {
+                *dirty = true;
+                Some(tcb)
+            }
+            _ => None,
+        }
+    }
+
+    /// Returns a read-only reference to a resident TCB.
+    pub fn get(&self, flow: FlowId) -> Option<&Tcb> {
+        let idx = self.index(flow);
+        match &self.sets[idx] {
+            Some((tcb, _)) if tcb.flow == flow => Some(tcb),
+            _ => None,
+        }
+    }
+
+    /// Installs `tcb` (clean), returning the displaced entry `(tcb,
+    /// dirty)` if one was resident.
+    pub fn fill(&mut self, tcb: Tcb) -> Option<(Tcb, bool)> {
+        let idx = self.index(tcb.flow);
+        self.sets[idx].replace((tcb, false))
+    }
+
+    /// Removes `flow` from the cache (e.g. when it swaps into an FPC),
+    /// returning the TCB and its dirty bit.
+    pub fn invalidate(&mut self, flow: FlowId) -> Option<(Tcb, bool)> {
+        let idx = self.index(flow);
+        match &self.sets[idx] {
+            Some((tcb, _)) if tcb.flow == flow => self.sets[idx].take(),
+            _ => None,
+        }
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Hit rate in `[0, 1]` (zero when unused).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tcb(id: u32) -> Tcb {
+        Tcb::new(FlowId(id))
+    }
+
+    #[test]
+    fn fill_then_hit() {
+        let mut c = TcbCache::new(8);
+        assert_eq!(c.probe(FlowId(1)), CacheAccess::Miss { victim_dirty: false });
+        c.fill(tcb(1));
+        assert_eq!(c.probe(FlowId(1)), CacheAccess::Hit);
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+        assert!((c.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conflict_eviction_reports_dirty_victim() {
+        let mut c = TcbCache::new(8);
+        c.fill(tcb(1));
+        c.get_mut(FlowId(1)).unwrap().cwnd = 9999; // dirty it
+        // Flow 9 maps to the same set (9 % 8 == 1).
+        assert_eq!(c.probe(FlowId(9)), CacheAccess::Miss { victim_dirty: true });
+        let displaced = c.fill(tcb(9)).unwrap();
+        assert_eq!(displaced.0.flow, FlowId(1));
+        assert!(displaced.1, "victim was dirty");
+        assert_eq!(displaced.0.cwnd, 9999, "dirty data preserved for write-back");
+    }
+
+    #[test]
+    fn get_marks_dirty_get_readonly_does_not() {
+        let mut c = TcbCache::new(4);
+        c.fill(tcb(2));
+        assert!(c.get(FlowId(2)).is_some());
+        let displaced = c.fill(tcb(2)).unwrap();
+        assert!(!displaced.1, "read-only access leaves entry clean");
+        c.get_mut(FlowId(2)).unwrap();
+        let displaced = c.fill(tcb(2)).unwrap();
+        assert!(displaced.1);
+    }
+
+    #[test]
+    fn invalidate_removes_entry() {
+        let mut c = TcbCache::new(4);
+        c.fill(tcb(3));
+        let (t, dirty) = c.invalidate(FlowId(3)).unwrap();
+        assert_eq!(t.flow, FlowId(3));
+        assert!(!dirty);
+        assert!(c.get(FlowId(3)).is_none());
+        assert!(c.invalidate(FlowId(3)).is_none());
+    }
+
+    #[test]
+    fn wrong_flow_in_set_is_miss() {
+        let mut c = TcbCache::new(4);
+        c.fill(tcb(0));
+        assert!(c.get(FlowId(4)).is_none(), "same set, different flow");
+        assert!(c.get_mut(FlowId(4)).is_none());
+    }
+}

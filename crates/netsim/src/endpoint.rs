@@ -1,0 +1,299 @@
+//! Reference TCP endpoints (NS3-style sender and receiver).
+//!
+//! The sender runs [`crate::RefCc`] with textbook loss detection (three
+//! duplicate ACKs → fast retransmit; RTO → go-back-N); the receiver
+//! delivers cumulative ACKs over a simple out-of-order range buffer.
+//! Sequence numbers are unwrapped `u64` byte offsets — another deliberate
+//! structural difference from the engine's 32-bit wrapping arithmetic.
+
+use crate::refcc::{RefAlgo, RefCc};
+use std::collections::BTreeMap;
+
+/// What the sender wants transmitted after an event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendOrder {
+    /// First byte offset.
+    pub seq: u64,
+    /// Payload length.
+    pub len: u32,
+    /// True when this is a retransmission.
+    pub retransmit: bool,
+}
+
+/// The reference sender.
+#[derive(Debug)]
+pub struct RefSender {
+    /// Congestion control state (public so traces can sample `cwnd`).
+    pub cc: RefCc,
+    mss: u32,
+    snd_una: u64,
+    snd_nxt: u64,
+    total: u64,
+    dup_acks: u32,
+    in_recovery: bool,
+    recover: u64,
+    /// Smoothed RTT (s); seeded at 100 ms like NS3's initial RTO.
+    srtt: f64,
+    retransmissions: u64,
+}
+
+impl RefSender {
+    /// Creates a sender with `total` bytes to transfer (`u64::MAX` for an
+    /// unbounded bulk flow).
+    pub fn new(algo: RefAlgo, mss: u32, total: u64) -> RefSender {
+        let mut cc = RefCc::new(algo);
+        // Initial ssthresh bounded by the 512 KB receive buffer, mirroring
+        // the engine-side TCB initialization (slow start cannot usefully
+        // overshoot the flow-control cap).
+        cc.ssthresh = (512.0 * 1024.0) / f64::from(mss);
+        RefSender {
+            cc,
+            mss,
+            snd_una: 0,
+            snd_nxt: 0,
+            total,
+            dup_acks: 0,
+            in_recovery: false,
+            recover: 0,
+            srtt: 0.1,
+            retransmissions: 0,
+        }
+    }
+
+    /// Bytes in flight.
+    pub fn flight(&self) -> u64 {
+        self.snd_nxt - self.snd_una
+    }
+
+    /// Cumulative ACK pointer.
+    pub fn snd_una(&self) -> u64 {
+        self.snd_una
+    }
+
+    /// Effective window in bytes: congestion window capped by the peer's
+    /// 512 KB receive buffer (the evaluation's flow-control limit, §5).
+    pub fn window_bytes(&self) -> u64 {
+        ((self.cc.cwnd * f64::from(self.mss)) as u64).min(512 * 1024)
+    }
+
+    /// Current RTO in seconds.
+    pub fn rto(&self) -> f64 {
+        (2.0 * self.srtt).max(0.2)
+    }
+
+    /// Retransmissions performed.
+    pub fn retransmissions(&self) -> u64 {
+        self.retransmissions
+    }
+
+    /// Whether the transfer is complete.
+    pub fn done(&self) -> bool {
+        self.snd_una >= self.total
+    }
+
+    /// Next new-data segment allowed by the window, if any.
+    pub fn next_send(&mut self) -> Option<SendOrder> {
+        if self.snd_nxt >= self.total || self.flight() >= self.window_bytes() {
+            return None;
+        }
+        let len = (self.total - self.snd_nxt).min(u64::from(self.mss)) as u32;
+        let order = SendOrder { seq: self.snd_nxt, len, retransmit: false };
+        self.snd_nxt += u64::from(len);
+        Some(order)
+    }
+
+    /// Processes a cumulative ACK; returns a retransmission order when
+    /// loss recovery demands one.
+    pub fn on_ack(&mut self, ack: u64, rtt: Option<f64>, now: f64) -> Option<SendOrder> {
+        if ack > self.snd_una {
+            let acked = ack - self.snd_una;
+            if let Some(r) = rtt {
+                self.srtt = 0.875 * self.srtt + 0.125 * r;
+            }
+            self.snd_una = ack;
+            // A late ACK can cover data sent before a go-back-N rewind.
+            self.snd_nxt = self.snd_nxt.max(ack);
+            if self.in_recovery {
+                if ack >= self.recover {
+                    self.in_recovery = false;
+                    self.dup_acks = 0;
+                    self.cc.on_recovery_exit();
+                } else {
+                    // Partial ACK: retransmit the next hole.
+                    self.retransmissions += 1;
+                    return Some(SendOrder {
+                        seq: self.snd_una,
+                        len: self.mss,
+                        retransmit: true,
+                    });
+                }
+            } else {
+                self.dup_acks = 0;
+                self.cc.on_ack(acked as f64 / f64::from(self.mss), rtt, now);
+            }
+            None
+        } else if self.flight() > 0 {
+            self.dup_acks += 1;
+            if self.dup_acks == 3 && !self.in_recovery {
+                self.in_recovery = true;
+                self.recover = self.snd_nxt;
+                self.cc.on_loss(now);
+                self.retransmissions += 1;
+                return Some(SendOrder { seq: self.snd_una, len: self.mss, retransmit: true });
+            }
+            if self.in_recovery && self.dup_acks > 3 {
+                self.cc.cwnd += 1.0; // window inflation
+            }
+            None
+        } else {
+            None
+        }
+    }
+
+    /// Retransmission timeout: collapse and go back N.
+    pub fn on_timeout(&mut self) -> Option<SendOrder> {
+        if self.flight() == 0 {
+            return None;
+        }
+        self.cc.on_timeout();
+        self.in_recovery = false;
+        self.dup_acks = 0;
+        self.snd_nxt = self.snd_una + u64::from(self.mss.min((self.total - self.snd_una) as u32));
+        self.retransmissions += 1;
+        Some(SendOrder {
+            seq: self.snd_una,
+            len: self.mss.min((self.total - self.snd_una) as u32),
+            retransmit: true,
+        })
+    }
+}
+
+/// The reference receiver: cumulative ACK over an out-of-order buffer.
+#[derive(Debug, Default)]
+pub struct RefReceiver {
+    rcv_nxt: u64,
+    /// Out-of-order ranges: start → end.
+    ooo: BTreeMap<u64, u64>,
+}
+
+impl RefReceiver {
+    /// Creates a receiver expecting byte 0.
+    pub fn new() -> RefReceiver {
+        RefReceiver::default()
+    }
+
+    /// The in-order pointer.
+    pub fn rcv_nxt(&self) -> u64 {
+        self.rcv_nxt
+    }
+
+    /// Accepts a data segment and returns the cumulative ACK to send.
+    pub fn on_data(&mut self, seq: u64, len: u32) -> u64 {
+        let end = seq + u64::from(len);
+        if end <= self.rcv_nxt {
+            return self.rcv_nxt; // duplicate
+        }
+        if seq <= self.rcv_nxt {
+            self.rcv_nxt = end;
+        } else {
+            // Merge into the OOO map.
+            let e = self.ooo.entry(seq).or_insert(end);
+            if *e < end {
+                *e = end;
+            }
+        }
+        // Absorb newly contiguous ranges.
+        while let Some((&s, &e)) = self.ooo.first_key_value() {
+            if s <= self.rcv_nxt {
+                self.ooo.pop_first();
+                self.rcv_nxt = self.rcv_nxt.max(e);
+            } else {
+                break;
+            }
+        }
+        self.rcv_nxt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sender_respects_window() {
+        let mut s = RefSender::new(RefAlgo::NewReno, 1000, u64::MAX);
+        let mut sent = 0;
+        while s.next_send().is_some() {
+            sent += 1;
+        }
+        assert_eq!(sent, 10, "initial window = 10 segments");
+        // An ACK opens the window again.
+        s.on_ack(1000, Some(0.01), 0.0);
+        assert!(s.next_send().is_some());
+    }
+
+    #[test]
+    fn three_dup_acks_fast_retransmit() {
+        let mut s = RefSender::new(RefAlgo::NewReno, 1000, u64::MAX);
+        while s.next_send().is_some() {}
+        assert!(s.on_ack(0, None, 0.0).is_none());
+        assert!(s.on_ack(0, None, 0.0).is_none());
+        let rtx = s.on_ack(0, None, 0.0).expect("3rd dup triggers");
+        assert_eq!(rtx.seq, 0);
+        assert!(rtx.retransmit);
+        assert_eq!(s.retransmissions(), 1);
+    }
+
+    #[test]
+    fn full_ack_exits_recovery() {
+        let mut s = RefSender::new(RefAlgo::NewReno, 1000, u64::MAX);
+        while s.next_send().is_some() {}
+        for _ in 0..3 {
+            s.on_ack(0, None, 0.0);
+        }
+        let recover_at = s.snd_nxt;
+        assert!(s.on_ack(recover_at, None, 0.1).is_none(), "full ACK, no retransmit");
+        assert_eq!(s.snd_una(), recover_at);
+        assert!((s.cc.cwnd - s.cc.ssthresh).abs() < 1e-9, "deflated");
+    }
+
+    #[test]
+    fn timeout_goes_back_n() {
+        let mut s = RefSender::new(RefAlgo::NewReno, 1000, u64::MAX);
+        while s.next_send().is_some() {}
+        let rtx = s.on_timeout().expect("flight > 0");
+        assert_eq!(rtx.seq, 0);
+        assert_eq!(s.cc.cwnd, 1.0);
+        assert_eq!(s.flight(), 1000);
+    }
+
+    #[test]
+    fn finite_transfer_completes() {
+        let mut s = RefSender::new(RefAlgo::NewReno, 1000, 2_500);
+        let mut orders = Vec::new();
+        while let Some(o) = s.next_send() {
+            orders.push(o);
+        }
+        assert_eq!(orders.len(), 3);
+        assert_eq!(orders[2].len, 500, "tail segment is short");
+        s.on_ack(2_500, Some(0.01), 0.0);
+        assert!(s.done());
+    }
+
+    #[test]
+    fn receiver_cumulative_and_ooo() {
+        let mut r = RefReceiver::new();
+        assert_eq!(r.on_data(0, 100), 100);
+        assert_eq!(r.on_data(200, 100), 100, "gap: pointer held");
+        assert_eq!(r.on_data(100, 100), 300, "gap filled: both delivered");
+        assert_eq!(r.on_data(0, 100), 300, "duplicate re-ACKed");
+    }
+
+    #[test]
+    fn receiver_overlapping_ranges() {
+        let mut r = RefReceiver::new();
+        r.on_data(100, 100);
+        r.on_data(150, 200); // overlaps and extends
+        assert_eq!(r.on_data(0, 100), 350);
+    }
+}

@@ -1,0 +1,192 @@
+//! The simulated link: serialization, propagation, queueing, loss.
+
+use f4t_sim::SimRng;
+
+/// How the link loses packets (applied to data packets only, matching the
+/// paper's "inject occasional packet drops").
+#[derive(Debug, Clone, Copy)]
+pub enum DropPolicy {
+    /// Lossless.
+    None,
+    /// Drop every `n`-th data packet, starting with packet `start`
+    /// (deterministic — good for trace comparison).
+    EveryNth {
+        /// Period in packets.
+        n: u64,
+        /// Index (1-based) of the first dropped packet.
+        start: u64,
+    },
+    /// Bernoulli loss with probability `p` (seeded).
+    Random {
+        /// Per-packet drop probability.
+        p: f64,
+        /// RNG seed.
+        seed: u64,
+    },
+}
+
+/// Link parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkConfig {
+    /// Bottleneck bandwidth in Gbps.
+    pub bandwidth_gbps: f64,
+    /// One-way propagation delay in nanoseconds.
+    pub delay_ns: u64,
+    /// Drop-tail queue capacity in packets.
+    pub queue_pkts: usize,
+    /// Loss injection.
+    pub drops: DropPolicy,
+}
+
+impl Default for LinkConfig {
+    fn default() -> LinkConfig {
+        LinkConfig {
+            bandwidth_gbps: 10.0,
+            delay_ns: 50_000, // 50 µs one way
+            queue_pkts: 100,
+            drops: DropPolicy::None,
+        }
+    }
+}
+
+/// One direction of the link.
+#[derive(Debug)]
+pub struct Link {
+    config: LinkConfig,
+    /// Time the transmitter becomes free.
+    busy_until_ns: u64,
+    data_pkts: u64,
+    dropped: u64,
+    rng: Option<SimRng>,
+}
+
+impl Link {
+    /// Creates a link direction.
+    pub fn new(config: LinkConfig) -> Link {
+        let rng = match config.drops {
+            DropPolicy::Random { seed, .. } => Some(SimRng::new(seed)),
+            _ => None,
+        };
+        Link { config, busy_until_ns: 0, data_pkts: 0, dropped: 0, rng }
+    }
+
+    fn serialize_ns(&self, wire_bytes: u64) -> u64 {
+        ((wire_bytes * 8) as f64 / self.config.bandwidth_gbps) as u64
+    }
+
+    /// Offers a packet at `now`; returns its arrival time at the far end,
+    /// or `None` if it was dropped (queue overflow or injected loss).
+    /// `is_data` selects whether the drop policy applies.
+    pub fn transmit(&mut self, now_ns: u64, wire_bytes: u64, is_data: bool) -> Option<u64> {
+        if is_data {
+            self.data_pkts += 1;
+            let injected = match self.config.drops {
+                DropPolicy::None => false,
+                DropPolicy::EveryNth { n, start } => {
+                    self.data_pkts >= start && (self.data_pkts - start) % n == 0
+                }
+                DropPolicy::Random { p, .. } => {
+                    self.rng.as_mut().map(|r| r.chance(p)).unwrap_or(false)
+                }
+            };
+            if injected {
+                self.dropped += 1;
+                return None;
+            }
+        }
+        // Drop-tail queue: bound the backlog in serialization time.
+        let queue_cap_ns =
+            self.serialize_ns(1538) * self.config.queue_pkts as u64;
+        if self.busy_until_ns.saturating_sub(now_ns) > queue_cap_ns {
+            self.dropped += 1;
+            return None;
+        }
+        let start = self.busy_until_ns.max(now_ns);
+        self.busy_until_ns = start + self.serialize_ns(wire_bytes);
+        Some(self.busy_until_ns + self.config.delay_ns)
+    }
+
+    /// Packets dropped so far (all causes).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Data packets offered so far.
+    pub fn data_pkts(&self) -> u64 {
+        self.data_pkts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serialization_and_delay() {
+        let mut l = Link::new(LinkConfig {
+            bandwidth_gbps: 10.0,
+            delay_ns: 1_000,
+            queue_pkts: 10,
+            drops: DropPolicy::None,
+        });
+        // 1250 bytes at 10 Gbps = 1 µs serialization.
+        let arrival = l.transmit(0, 1250, true).unwrap();
+        assert_eq!(arrival, 1_000 + 1_000);
+        // Second packet queues behind the first.
+        let arrival2 = l.transmit(0, 1250, true).unwrap();
+        assert_eq!(arrival2, 2_000 + 1_000);
+    }
+
+    #[test]
+    fn every_nth_drop_deterministic() {
+        let cfg = LinkConfig { drops: DropPolicy::EveryNth { n: 3, start: 2 }, ..Default::default() };
+        let mut l = Link::new(cfg);
+        let results: Vec<bool> =
+            (0..7).map(|_| l.transmit(0, 100, true).is_some()).collect();
+        // Packets 2 and 5 dropped (1-based).
+        assert_eq!(results, vec![true, false, true, true, false, true, true]);
+        assert_eq!(l.dropped(), 2);
+    }
+
+    #[test]
+    fn random_drop_rate_close_to_p() {
+        let cfg = LinkConfig {
+            drops: DropPolicy::Random { p: 0.1, seed: 42 },
+            queue_pkts: 1_000_000,
+            ..Default::default()
+        };
+        let mut l = Link::new(cfg);
+        for _ in 0..10_000 {
+            let _ = l.transmit(u64::MAX / 2, 100, true);
+        }
+        let rate = l.dropped() as f64 / 10_000.0;
+        assert!((0.08..0.12).contains(&rate), "rate {rate}");
+    }
+
+    #[test]
+    fn queue_overflow_drops() {
+        let cfg = LinkConfig {
+            bandwidth_gbps: 1.0,
+            delay_ns: 0,
+            queue_pkts: 2,
+            drops: DropPolicy::None,
+        };
+        let mut l = Link::new(cfg);
+        let mut ok = 0;
+        for _ in 0..10 {
+            if l.transmit(0, 1538, true).is_some() {
+                ok += 1;
+            }
+        }
+        assert!(ok <= 4, "queue bounded, accepted {ok}");
+        assert!(l.dropped() > 0);
+    }
+
+    #[test]
+    fn acks_bypass_drop_policy() {
+        let cfg = LinkConfig { drops: DropPolicy::EveryNth { n: 1, start: 1 }, ..Default::default() };
+        let mut l = Link::new(cfg);
+        assert!(l.transmit(0, 78, false).is_some(), "ACK survives 100% data loss");
+        assert!(l.transmit(0, 100, true).is_none());
+    }
+}

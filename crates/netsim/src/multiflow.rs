@@ -1,0 +1,181 @@
+//! Multi-flow reference simulation: N senders sharing one bottleneck.
+//!
+//! Extends the single-flow Fig. 14 simulator to competing flows so the
+//! reference side can also answer fairness questions (AIMD convergence,
+//! Jain index) independently of the engine implementation.
+
+use crate::endpoint::{RefReceiver, RefSender, SendOrder};
+use crate::link::{Link, LinkConfig};
+use crate::refcc::RefAlgo;
+use f4t_sim::EventQueue;
+
+/// Results of a multi-flow run.
+#[derive(Debug, Clone)]
+pub struct MultiFlowResult {
+    /// Bytes delivered in order, per flow.
+    pub delivered: Vec<u64>,
+    /// Retransmissions, per flow.
+    pub retransmissions: Vec<u64>,
+    /// Packets dropped at the bottleneck.
+    pub drops: u64,
+}
+
+impl MultiFlowResult {
+    /// Jain's fairness index over per-flow delivered bytes (1.0 = equal).
+    pub fn jain_index(&self) -> f64 {
+        let n = self.delivered.len() as f64;
+        let sum: f64 = self.delivered.iter().map(|&d| d as f64).sum();
+        let sum_sq: f64 = self.delivered.iter().map(|&d| (d as f64).powi(2)).sum();
+        if sum_sq == 0.0 {
+            return 0.0;
+        }
+        sum * sum / (n * sum_sq)
+    }
+
+    /// Aggregate goodput in Gbps over `duration_ns`.
+    pub fn total_goodput_gbps(&self, duration_ns: u64) -> f64 {
+        f4t_sim::gbps(self.delivered.iter().sum(), duration_ns)
+    }
+}
+
+#[derive(Debug)]
+enum Event {
+    Data { flow: usize, seq: u64, len: u32, sent_ns: u64 },
+    Ack { flow: usize, ack: u64, echo_ns: u64 },
+    Rto { flow: usize, armed_una: u64 },
+}
+
+/// Runs `flows` bulk senders of `algo` over a shared bottleneck for
+/// `duration_ns`, with per-flow receivers and a common drop-tail queue.
+pub fn run_multiflow(
+    algo: RefAlgo,
+    flows: usize,
+    link: LinkConfig,
+    duration_ns: u64,
+) -> MultiFlowResult {
+    assert!(flows > 0, "need at least one flow");
+    let mss = 1460u32;
+    let mut senders: Vec<RefSender> =
+        (0..flows).map(|_| RefSender::new(algo, mss, u64::MAX)).collect();
+    let mut receivers: Vec<RefReceiver> = (0..flows).map(|_| RefReceiver::new()).collect();
+    let mut data_link = Link::new(link);
+    let mut ack_link = Link::new(LinkConfig { drops: crate::DropPolicy::None, ..link });
+    let mut q: EventQueue<Event> = EventQueue::new();
+
+    let wire = |len: u32| u64::from(len) + 78;
+    // Stagger starts slightly so flows do not move in lockstep.
+    for f in 0..flows {
+        q.schedule((f as u64) * 10_000 + 1, Event::Rto { flow: f, armed_una: u64::MAX });
+    }
+
+    // Helper closure pattern is awkward with borrows; use a macro-ish fn.
+    fn pump(
+        f: usize,
+        now: u64,
+        sender: &mut RefSender,
+        link: &mut Link,
+        q: &mut EventQueue<Event>,
+    ) {
+        while let Some(SendOrder { seq, len, .. }) = sender.next_send() {
+            if let Some(at) = link.transmit(now, u64::from(len) + 78, true) {
+                q.schedule(at, Event::Data { flow: f, seq, len, sent_ns: now });
+            }
+        }
+        let rto = (sender.rto() * 1e9) as u64;
+        q.schedule(now + rto, Event::Rto { flow: f, armed_una: sender.snd_una() });
+    }
+
+    while let Some((now, ev)) = q.pop() {
+        if now > duration_ns {
+            break;
+        }
+        match ev {
+            Event::Data { flow, seq, len, sent_ns } => {
+                let ack = receivers[flow].on_data(seq, len);
+                if let Some(at) = ack_link.transmit(now, wire(0), false) {
+                    q.schedule(at, Event::Ack { flow, ack, echo_ns: sent_ns });
+                }
+            }
+            Event::Ack { flow, ack, echo_ns } => {
+                let rtt = (now > echo_ns && echo_ns > 0).then(|| (now - echo_ns) as f64 / 1e9);
+                let now_s = now as f64 / 1e9;
+                if let Some(rtx) = senders[flow].on_ack(ack, rtt, now_s) {
+                    if let Some(at) = data_link.transmit(now, wire(rtx.len), true) {
+                        q.schedule(
+                            at,
+                            Event::Data { flow, seq: rtx.seq, len: rtx.len, sent_ns: 0 },
+                        );
+                    }
+                }
+                pump(flow, now, &mut senders[flow], &mut data_link, &mut q);
+            }
+            Event::Rto { flow, armed_una } => {
+                let first_kick = armed_una == u64::MAX;
+                if first_kick {
+                    pump(flow, now, &mut senders[flow], &mut data_link, &mut q);
+                } else if senders[flow].snd_una() == armed_una && senders[flow].flight() > 0 {
+                    if let Some(rtx) = senders[flow].on_timeout() {
+                        if let Some(at) = data_link.transmit(now, wire(rtx.len), true) {
+                            q.schedule(
+                                at,
+                                Event::Data { flow, seq: rtx.seq, len: rtx.len, sent_ns: 0 },
+                            );
+                        }
+                    }
+                    let rto = (senders[flow].rto() * 1e9) as u64;
+                    q.schedule(now + rto, Event::Rto { flow, armed_una: senders[flow].snd_una() });
+                }
+            }
+        }
+    }
+
+    MultiFlowResult {
+        delivered: receivers.iter().map(|r| r.rcv_nxt()).collect(),
+        retransmissions: senders.iter().map(|s| s.retransmissions()).collect(),
+        drops: data_link.dropped(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DropPolicy;
+
+    fn bottleneck() -> LinkConfig {
+        LinkConfig {
+            bandwidth_gbps: 5.0,
+            delay_ns: 50_000,
+            queue_pkts: 60,
+            drops: DropPolicy::None,
+        }
+    }
+
+    #[test]
+    fn two_flows_split_fairly() {
+        let r = run_multiflow(RefAlgo::NewReno, 2, bottleneck(), 500_000_000);
+        assert!(r.jain_index() > 0.85, "jain {:.3} over {:?}", r.jain_index(), r.delivered);
+        let gbps = r.total_goodput_gbps(500_000_000);
+        assert!(gbps > 2.5, "utilization {gbps:.2} Gbps");
+        assert!(r.drops > 0, "queue overflow provided the loss signal");
+    }
+
+    #[test]
+    fn eight_flows_split_fairly() {
+        let r = run_multiflow(RefAlgo::NewReno, 8, bottleneck(), 500_000_000);
+        assert!(r.jain_index() > 0.8, "jain {:.3} over {:?}", r.jain_index(), r.delivered);
+    }
+
+    #[test]
+    fn cubic_flows_share_too() {
+        let r = run_multiflow(RefAlgo::Cubic, 4, bottleneck(), 500_000_000);
+        assert!(r.jain_index() > 0.75, "jain {:.3} over {:?}", r.jain_index(), r.delivered);
+        assert!(r.total_goodput_gbps(500_000_000) > 2.5);
+    }
+
+    #[test]
+    fn single_flow_degenerate_case() {
+        let r = run_multiflow(RefAlgo::NewReno, 1, bottleneck(), 200_000_000);
+        assert!((r.jain_index() - 1.0).abs() < 1e-9);
+        assert!(r.delivered[0] > 0);
+    }
+}

@@ -1,0 +1,294 @@
+//! Reference congestion-control implementations, NS3-style.
+//!
+//! These are written the way NS3's `TcpNewReno` / `TcpCubic` /
+//! `TcpVegas` are: floating-point windows in MSS units, per-ACK update
+//! functions on a plain state struct. They deliberately share **no code**
+//! with `f4t_tcp::cc` (the engine-side integer implementations) so the
+//! Fig. 14 comparison is between independent derivations of the RFCs.
+
+/// Which reference algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RefAlgo {
+    /// RFC 6582 New Reno.
+    NewReno,
+    /// RFC 8312 CUBIC.
+    Cubic,
+    /// Brakmo & Peterson's Vegas.
+    Vegas,
+}
+
+impl std::fmt::Display for RefAlgo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RefAlgo::NewReno => write!(f, "ns-newreno"),
+            RefAlgo::Cubic => write!(f, "ns-cubic"),
+            RefAlgo::Vegas => write!(f, "ns-vegas"),
+        }
+    }
+}
+
+/// Reference congestion-control state (windows in MSS units, time in
+/// seconds — NS3 conventions).
+#[derive(Debug, Clone)]
+pub struct RefCc {
+    algo: RefAlgo,
+    /// Congestion window in segments.
+    pub cwnd: f64,
+    /// Slow-start threshold in segments.
+    pub ssthresh: f64,
+    // CUBIC state.
+    w_max: f64,
+    epoch_start: f64,
+    k: f64,
+    /// TCP-friendly region estimate (RFC 8312 §4.2).
+    w_est: f64,
+    // Vegas state.
+    base_rtt: f64,
+    cnt_rtt: u32,
+    min_rtt: f64,
+    vegas_started: bool,
+}
+
+/// CUBIC C constant.
+const C: f64 = 0.4;
+/// CUBIC beta.
+const BETA: f64 = 0.7;
+/// Vegas thresholds (segments of queueing).
+const ALPHA: f64 = 2.0;
+const BETA_V: f64 = 4.0;
+
+impl RefCc {
+    /// Initial window: 10 segments (matching the engine side and modern
+    /// Linux defaults).
+    pub fn new(algo: RefAlgo) -> RefCc {
+        RefCc {
+            algo,
+            cwnd: 10.0,
+            ssthresh: f64::MAX,
+            w_max: 0.0,
+            epoch_start: -1.0,
+            k: 0.0,
+            w_est: 0.0,
+            base_rtt: f64::MAX,
+            cnt_rtt: 0,
+            min_rtt: f64::MAX,
+            vegas_started: false,
+        }
+    }
+
+    /// The algorithm.
+    pub fn algo(&self) -> RefAlgo {
+        self.algo
+    }
+
+    /// Per-ACK update. `acked_segments` is how many segments the ACK
+    /// covered, `rtt` the sample in seconds (if taken), `now` the
+    /// simulation clock in seconds.
+    pub fn on_ack(&mut self, acked_segments: f64, rtt: Option<f64>, now: f64) {
+        if let Some(r) = rtt {
+            self.base_rtt = self.base_rtt.min(r);
+            self.min_rtt = self.min_rtt.min(r);
+            self.cnt_rtt += 1;
+        }
+        if self.cwnd < self.ssthresh {
+            // Slow start (all three algorithms).
+            self.cwnd += acked_segments.min(1.0);
+            if self.algo == RefAlgo::Vegas && !self.vegas_started {
+                // Vegas gamma test: leave slow start once queueing shows.
+                if let Some(r) = rtt {
+                    if self.base_rtt.is_finite() && r > self.base_rtt * 1.1 {
+                        self.vegas_started = true;
+                        self.ssthresh = self.cwnd;
+                    }
+                }
+            }
+            return;
+        }
+        match self.algo {
+            RefAlgo::NewReno => {
+                self.cwnd += 1.0 / self.cwnd;
+            }
+            RefAlgo::Cubic => {
+                if self.epoch_start < 0.0 {
+                    self.epoch_start = now;
+                    if self.w_max < self.cwnd {
+                        self.w_max = self.cwnd;
+                    }
+                    self.k = ((self.w_max * (1.0 - BETA)) / C).cbrt();
+                    self.w_est = self.cwnd;
+                }
+                let rtt_s = if self.min_rtt.is_finite() { self.min_rtt } else { 0.0 };
+                let t = now - self.epoch_start + rtt_s;
+                let target = C * (t - self.k).powi(3) + self.w_max;
+                // TCP-friendly region (RFC 8312 §4.2): CUBIC must grow at
+                // least as fast as standard TCP, which dominates early in
+                // an epoch when K is large.
+                self.w_est += 3.0 * (1.0 - BETA) / (1.0 + BETA) * acked_segments / self.cwnd;
+                let floor = self.w_est.min(self.w_max.max(self.cwnd) * 4.0);
+                if target > self.cwnd {
+                    self.cwnd += (target - self.cwnd) / self.cwnd;
+                }
+                if floor > self.cwnd {
+                    self.cwnd = floor;
+                }
+            }
+            RefAlgo::Vegas => {
+                // Once per RTT (approximated by cnt_rtt resets).
+                if self.cnt_rtt >= self.cwnd as u32 / 2 && self.min_rtt.is_finite() {
+                    let expected = self.cwnd / self.base_rtt;
+                    let actual = self.cwnd / self.min_rtt;
+                    let diff = (expected - actual) * self.base_rtt;
+                    if diff < ALPHA {
+                        self.cwnd += 1.0;
+                    } else if diff > BETA_V {
+                        self.cwnd = (self.cwnd - 1.0).max(2.0);
+                    }
+                    self.min_rtt = f64::MAX;
+                    self.cnt_rtt = 0;
+                }
+            }
+        }
+    }
+
+    /// Fast-retransmit loss reaction (3 duplicate ACKs).
+    pub fn on_loss(&mut self, now: f64) {
+        let _ = now;
+        match self.algo {
+            RefAlgo::NewReno | RefAlgo::Vegas => {
+                self.ssthresh = (self.cwnd / 2.0).max(2.0);
+                self.cwnd = self.ssthresh + 3.0;
+            }
+            RefAlgo::Cubic => {
+                // Fast convergence.
+                if self.cwnd < self.w_max {
+                    self.w_max = self.cwnd * (2.0 - BETA) / 2.0;
+                } else {
+                    self.w_max = self.cwnd;
+                }
+                self.ssthresh = (self.cwnd * BETA).max(2.0);
+                self.cwnd = self.ssthresh;
+                self.epoch_start = -1.0;
+                self.w_est = self.cwnd;
+            }
+        }
+    }
+
+    /// Exit from fast recovery (full ACK): deflate to ssthresh.
+    pub fn on_recovery_exit(&mut self) {
+        self.cwnd = self.ssthresh.max(2.0);
+    }
+
+    /// Retransmission-timeout reaction.
+    pub fn on_timeout(&mut self) {
+        match self.algo {
+            RefAlgo::Cubic => {
+                self.w_max = self.w_max.max(self.cwnd);
+                self.ssthresh = (self.cwnd * BETA).max(2.0);
+                self.epoch_start = -1.0;
+            }
+            _ => {
+                self.ssthresh = (self.cwnd / 2.0).max(2.0);
+            }
+        }
+        self.cwnd = 1.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slow_start_doubles() {
+        let mut cc = RefCc::new(RefAlgo::NewReno);
+        let start = cc.cwnd;
+        for _ in 0..start as usize {
+            cc.on_ack(1.0, Some(0.001), 0.0);
+        }
+        assert!((cc.cwnd - 2.0 * start).abs() < 1e-9);
+    }
+
+    #[test]
+    fn newreno_ca_adds_one_per_rtt() {
+        let mut cc = RefCc::new(RefAlgo::NewReno);
+        cc.ssthresh = cc.cwnd;
+        let start = cc.cwnd;
+        for _ in 0..start as usize {
+            cc.on_ack(1.0, None, 0.0);
+        }
+        assert!((cc.cwnd - start - 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn newreno_halves_on_loss() {
+        let mut cc = RefCc::new(RefAlgo::NewReno);
+        cc.cwnd = 100.0;
+        cc.on_loss(0.0);
+        assert!((cc.ssthresh - 50.0).abs() < 1e-9);
+        cc.on_recovery_exit();
+        assert!((cc.cwnd - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cubic_reduces_by_beta_and_regrows() {
+        let mut cc = RefCc::new(RefAlgo::Cubic);
+        cc.ssthresh = 1.0; // force CA
+        cc.cwnd = 100.0;
+        cc.on_loss(1.0);
+        assert!((cc.cwnd - 70.0).abs() < 1e-9, "beta = 0.7");
+        let low = cc.cwnd;
+        let mut now = 1.0;
+        for _ in 0..5_000 {
+            now += 0.0005;
+            cc.on_ack(1.0, Some(0.01), now);
+        }
+        assert!(cc.cwnd > low, "cubic regrows toward w_max");
+        // It should plateau near w_max = 100 before probing beyond.
+        assert!(cc.cwnd > 90.0, "reached {:.1}", cc.cwnd);
+    }
+
+    #[test]
+    fn vegas_holds_window_steady_at_target_queueing() {
+        let mut cc = RefCc::new(RefAlgo::Vegas);
+        cc.ssthresh = 1.0;
+        cc.cwnd = 20.0;
+        cc.base_rtt = 0.010;
+        // RTT implying ~3 segments queued (between alpha and beta):
+        // diff = cwnd * (1 - base/rtt) = 3  =>  rtt = base*cwnd/(cwnd-3).
+        let rtt = 0.010 * 20.0 / 17.0;
+        for i in 0..100 {
+            cc.on_ack(1.0, Some(rtt), i as f64 * 0.01);
+        }
+        assert!((cc.cwnd - 20.0).abs() < 1.5, "stable at {:.1}", cc.cwnd);
+    }
+
+    #[test]
+    fn vegas_backs_off_when_queue_grows() {
+        let mut cc = RefCc::new(RefAlgo::Vegas);
+        cc.ssthresh = 1.0;
+        cc.cwnd = 20.0;
+        cc.base_rtt = 0.010;
+        for i in 0..200 {
+            cc.on_ack(1.0, Some(0.020), i as f64 * 0.01); // heavy queueing
+        }
+        assert!(cc.cwnd < 20.0);
+    }
+
+    #[test]
+    fn timeout_collapses_all() {
+        for algo in [RefAlgo::NewReno, RefAlgo::Cubic, RefAlgo::Vegas] {
+            let mut cc = RefCc::new(algo);
+            cc.cwnd = 64.0;
+            cc.on_timeout();
+            assert_eq!(cc.cwnd, 1.0, "{algo}");
+            assert!(cc.ssthresh >= 2.0);
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(RefAlgo::NewReno.to_string(), "ns-newreno");
+        assert_eq!(RefAlgo::Cubic.to_string(), "ns-cubic");
+        assert_eq!(RefAlgo::Vegas.to_string(), "ns-vegas");
+    }
+}

@@ -1,0 +1,320 @@
+//! Hardware clock domains and discrete cycle time.
+//!
+//! FtEngine runs most modules at 250 MHz, the Ethernet-facing modules at
+//! 322 MHz, and the host CPU at 2.3 GHz (the paper's Xeon Gold 5118).
+//! [`ClockDomain`] converts between cycle counts, wall-clock nanoseconds
+//! and throughput figures without accumulating floating-point drift in the
+//! hot loop: conversions are only performed when reporting.
+
+use std::fmt;
+
+/// A count of clock cycles in some [`ClockDomain`].
+///
+/// This is a plain newtype over `u64`; arithmetic that makes sense on cycle
+/// counts (addition of durations, saturating subtraction) is provided
+/// explicitly rather than via blanket operator overloads so mixed-domain
+/// bugs stay visible at call sites.
+///
+/// # Examples
+///
+/// ```
+/// use f4t_sim::Cycle;
+/// let start = Cycle(100);
+/// let end = start.add(28);
+/// assert_eq!(end.since(start), 28);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycle(pub u64);
+
+impl Cycle {
+    /// The zero cycle (reset time).
+    pub const ZERO: Cycle = Cycle(0);
+
+    /// Returns this cycle advanced by `n` cycles.
+    #[inline]
+    pub fn add(self, n: u64) -> Cycle {
+        Cycle(self.0 + n)
+    }
+
+    /// Returns the number of cycles elapsed since `earlier`.
+    ///
+    /// Saturates to zero when `earlier` is in the future, which keeps
+    /// latency accounting robust against re-ordered completions.
+    #[inline]
+    pub fn since(self, earlier: Cycle) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cycle {}", self.0)
+    }
+}
+
+/// A fixed-frequency clock domain.
+///
+/// # Examples
+///
+/// ```
+/// use f4t_sim::ClockDomain;
+/// let engine = ClockDomain::new_mhz(250);
+/// assert_eq!(engine.period_ps(), 4000); // 4 ns per cycle
+/// assert_eq!(engine.ns_to_cycles(1_000), 250);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ClockDomain {
+    freq_hz: u64,
+}
+
+impl ClockDomain {
+    /// FtEngine's core processing domain (scheduler, FPCs, memory manager).
+    pub const ENGINE_CORE: ClockDomain = ClockDomain { freq_hz: 250_000_000 };
+    /// FtEngine's network-facing domain (packet generator, RX parser, MAC).
+    pub const ENGINE_NET: ClockDomain = ClockDomain { freq_hz: 322_000_000 };
+    /// The evaluation host CPU (Intel Xeon Gold 5118, 2.3 GHz).
+    pub const HOST_CPU: ClockDomain = ClockDomain { freq_hz: 2_300_000_000 };
+    /// TONIC's target domain from the paper (100 MHz, one 128 B segment/cycle).
+    pub const TONIC: ClockDomain = ClockDomain { freq_hz: 100_000_000 };
+
+    /// Creates a clock domain with the given frequency in hertz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `freq_hz` is zero.
+    pub fn new(freq_hz: u64) -> ClockDomain {
+        assert!(freq_hz > 0, "clock frequency must be non-zero");
+        ClockDomain { freq_hz }
+    }
+
+    /// Creates a clock domain with the given frequency in megahertz.
+    pub fn new_mhz(freq_mhz: u64) -> ClockDomain {
+        ClockDomain::new(freq_mhz * 1_000_000)
+    }
+
+    /// Returns the frequency of this domain in hertz.
+    pub fn freq_hz(self) -> u64 {
+        self.freq_hz
+    }
+
+    /// Returns the clock period in picoseconds (rounded to nearest).
+    pub fn period_ps(self) -> u64 {
+        (1_000_000_000_000 + self.freq_hz / 2) / self.freq_hz
+    }
+
+    /// Converts a cycle count in this domain to nanoseconds (rounded down).
+    pub fn cycles_to_ns(self, cycles: u64) -> u64 {
+        // cycles / freq * 1e9, computed as u128 to avoid overflow.
+        ((cycles as u128 * 1_000_000_000) / self.freq_hz as u128) as u64
+    }
+
+    /// Converts nanoseconds to a cycle count in this domain (rounded down).
+    pub fn ns_to_cycles(self, ns: u64) -> u64 {
+        ((ns as u128 * self.freq_hz as u128) / 1_000_000_000) as u64
+    }
+
+    /// Converts a cycle count in this domain to the equivalent count in
+    /// `other`, rounding down. Used when crossing the 250 MHz / 322 MHz /
+    /// 2.3 GHz boundaries of the system model.
+    pub fn convert_cycles(self, cycles: u64, other: ClockDomain) -> u64 {
+        ((cycles as u128 * other.freq_hz as u128) / self.freq_hz as u128) as u64
+    }
+
+    /// Bytes transferred per cycle of this domain on a link of
+    /// `gbps` gigabits/second, as an exact rational (numerator, denominator)
+    /// in bytes. E.g. a 100 Gbps link delivers 50 bytes per 250 MHz cycle.
+    pub fn link_bytes_per_cycle(self, link_gbps: u64) -> (u64, u64) {
+        // link_gbps * 1e9 / 8 bytes per second, divided by freq.
+        let num = link_gbps * 1_000_000_000 / 8;
+        (num, self.freq_hz)
+    }
+}
+
+impl fmt::Display for ClockDomain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.freq_hz % 1_000_000 == 0 {
+            write!(f, "{} MHz", self.freq_hz / 1_000_000)
+        } else {
+            write!(f, "{} Hz", self.freq_hz)
+        }
+    }
+}
+
+/// A byte budget that accrues fractionally per cycle, used to model fixed
+/// bandwidth resources (Ethernet link serialization, DRAM, PCIe) without
+/// floating point in the per-cycle hot loop.
+///
+/// Each call to [`BytePacer::tick`] accrues `rate_num / rate_den` bytes of
+/// credit (saturating at `burst` bytes); [`BytePacer::try_consume`] spends
+/// credit.
+///
+/// # Examples
+///
+/// ```
+/// use f4t_sim::clock::BytePacer;
+/// // 50 bytes/cycle (100 Gbps at 250 MHz), up to one MTU of burst.
+/// let mut pacer = BytePacer::new(50, 1, 1600);
+/// pacer.tick();
+/// assert!(pacer.try_consume(50));
+/// assert!(!pacer.try_consume(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BytePacer {
+    rate_num: u64,
+    rate_den: u64,
+    /// Credit in units of 1/rate_den bytes.
+    credit: u64,
+    burst_units: u64,
+}
+
+impl BytePacer {
+    /// Creates a pacer accruing `rate_num / rate_den` bytes per tick with a
+    /// maximum accumulated burst of `burst` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_den` or `burst` is zero.
+    pub fn new(rate_num: u64, rate_den: u64, burst: u64) -> BytePacer {
+        assert!(rate_den > 0, "rate denominator must be non-zero");
+        assert!(burst > 0, "burst must be non-zero");
+        BytePacer { rate_num, rate_den, credit: 0, burst_units: burst * rate_den }
+    }
+
+    /// Creates a pacer for a link of `gbps` gigabits/second observed from
+    /// clock domain `domain`, with a burst of `burst` bytes.
+    pub fn for_link(gbps: u64, domain: ClockDomain, burst: u64) -> BytePacer {
+        let (num, den) = domain.link_bytes_per_cycle(gbps);
+        BytePacer::new(num, den, burst)
+    }
+
+    /// Accrues one tick's worth of byte credit.
+    #[inline]
+    pub fn tick(&mut self) {
+        self.credit = (self.credit + self.rate_num).min(self.burst_units);
+    }
+
+    /// Accrues `n` ticks' worth of byte credit at once.
+    #[inline]
+    pub fn tick_n(&mut self, n: u64) {
+        self.credit = self
+            .credit
+            .saturating_add(self.rate_num.saturating_mul(n))
+            .min(self.burst_units);
+    }
+
+    /// Attempts to consume `bytes` of credit; returns whether it succeeded.
+    #[inline]
+    pub fn try_consume(&mut self, bytes: u64) -> bool {
+        let units = bytes * self.rate_den;
+        if self.credit >= units {
+            self.credit -= units;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consumes `bytes` of credit, allowing the balance to go negative by
+    /// borrowing against future ticks. Returns the number of whole ticks of
+    /// debt incurred (zero when enough credit was available).
+    ///
+    /// This models store-and-forward serialization: a packet that is larger
+    /// than the per-cycle budget occupies the resource for several cycles.
+    #[inline]
+    pub fn consume_borrowing(&mut self, bytes: u64) -> u64 {
+        let units = bytes * self.rate_den;
+        if self.credit >= units {
+            self.credit -= units;
+            0
+        } else {
+            let deficit = units - self.credit;
+            self.credit = 0;
+            // Ticks needed to repay the deficit, rounded up.
+            deficit.div_ceil(self.rate_num.max(1))
+        }
+    }
+
+    /// Returns the currently available credit in whole bytes.
+    pub fn available(&self) -> u64 {
+        self.credit / self.rate_den
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_arithmetic() {
+        let c = Cycle(10);
+        assert_eq!(c.add(5), Cycle(15));
+        assert_eq!(Cycle(15).since(c), 5);
+        assert_eq!(c.since(Cycle(15)), 0, "saturating");
+        assert_eq!(Cycle::ZERO.0, 0);
+    }
+
+    #[test]
+    fn domain_conversions_round_trip() {
+        let d = ClockDomain::ENGINE_CORE;
+        assert_eq!(d.cycles_to_ns(250), 1000);
+        assert_eq!(d.ns_to_cycles(1000), 250);
+        assert_eq!(d.period_ps(), 4000);
+        let net = ClockDomain::ENGINE_NET;
+        // 250 MHz cycles -> 322 MHz cycles.
+        assert_eq!(d.convert_cycles(250_000_000, net), 322_000_000);
+    }
+
+    #[test]
+    fn domain_display() {
+        assert_eq!(ClockDomain::ENGINE_CORE.to_string(), "250 MHz");
+        assert_eq!(ClockDomain::new(1234).to_string(), "1234 Hz");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_frequency_panics() {
+        let _ = ClockDomain::new(0);
+    }
+
+    #[test]
+    fn link_budget_100g_at_250mhz() {
+        let (num, den) = ClockDomain::ENGINE_CORE.link_bytes_per_cycle(100);
+        // 12.5 GB/s over 250 MHz = 50 bytes/cycle.
+        assert_eq!(num as f64 / den as f64, 50.0);
+    }
+
+    #[test]
+    fn pacer_accrues_and_consumes() {
+        let mut p = BytePacer::new(50, 1, 200);
+        p.tick();
+        p.tick();
+        assert_eq!(p.available(), 100);
+        assert!(p.try_consume(100));
+        assert!(!p.try_consume(1));
+        // Burst cap.
+        p.tick_n(100);
+        assert_eq!(p.available(), 200);
+    }
+
+    #[test]
+    fn pacer_borrowing_reports_occupancy() {
+        let mut p = BytePacer::new(50, 1, 100);
+        // No credit yet: a 1518 B frame needs ceil(1518/50) = 31 ticks.
+        assert_eq!(p.consume_borrowing(1518), 31);
+        // With partial credit the debt shrinks.
+        let mut p = BytePacer::new(50, 1, 100);
+        p.tick(); // 50 B credit
+        assert_eq!(p.consume_borrowing(100), 1);
+    }
+
+    #[test]
+    fn pacer_fractional_rate() {
+        // 1/3 byte per tick.
+        let mut p = BytePacer::new(1, 3, 10);
+        p.tick();
+        p.tick();
+        assert!(!p.try_consume(1));
+        p.tick();
+        assert!(p.try_consume(1));
+    }
+}

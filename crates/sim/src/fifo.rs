@@ -1,0 +1,198 @@
+//! Bounded FIFOs with backpressure.
+//!
+//! On-chip queues in FtEngine (coalesce FIFOs, pending queue, inter-module
+//! channels) are fixed-depth; a full queue exerts backpressure on its
+//! producer. [`Fifo`] models exactly that: `push` fails when full and the
+//! caller decides whether to stall, retry or drop — matching how the paper's
+//! scheduler detects FPC congestion via backpressure (§4.4.2).
+
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Error returned by [`Fifo::push`] when the queue is full; carries the
+/// rejected element back to the caller so nothing is lost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FifoFull<T>(pub T);
+
+impl<T> fmt::Display for FifoFull<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fifo is full")
+    }
+}
+
+impl<T: fmt::Debug> std::error::Error for FifoFull<T> {}
+
+/// A bounded FIFO queue with explicit backpressure.
+///
+/// # Examples
+///
+/// ```
+/// use f4t_sim::Fifo;
+/// let mut f = Fifo::new(1);
+/// f.push("a").unwrap();
+/// assert_eq!(f.push("b").unwrap_err().0, "b");
+/// assert_eq!(f.pop(), Some("a"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fifo<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+    /// High-water mark, for occupancy statistics.
+    max_occupancy: usize,
+    total_pushed: u64,
+}
+
+impl<T> Fifo<T> {
+    /// Creates a FIFO holding at most `capacity` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Fifo<T> {
+        assert!(capacity > 0, "fifo capacity must be non-zero");
+        Fifo {
+            items: VecDeque::with_capacity(capacity),
+            capacity,
+            max_occupancy: 0,
+            total_pushed: 0,
+        }
+    }
+
+    /// Attempts to enqueue `item`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FifoFull`] carrying the item back when the queue is at
+    /// capacity.
+    pub fn push(&mut self, item: T) -> Result<(), FifoFull<T>> {
+        if self.items.len() >= self.capacity {
+            return Err(FifoFull(item));
+        }
+        self.items.push_back(item);
+        self.total_pushed += 1;
+        self.max_occupancy = self.max_occupancy.max(self.items.len());
+        Ok(())
+    }
+
+    /// Dequeues the oldest element, if any.
+    pub fn pop(&mut self) -> Option<T> {
+        self.items.pop_front()
+    }
+
+    /// Returns a reference to the oldest element without removing it.
+    pub fn front(&self) -> Option<&T> {
+        self.items.front()
+    }
+
+    /// Returns a mutable reference to the oldest element.
+    pub fn front_mut(&mut self) -> Option<&mut T> {
+        self.items.front_mut()
+    }
+
+    /// Returns the number of queued elements.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Returns whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Returns whether the queue is at capacity (producer must stall).
+    pub fn is_full(&self) -> bool {
+        self.items.len() >= self.capacity
+    }
+
+    /// Returns the configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Remaining free slots.
+    pub fn free(&self) -> usize {
+        self.capacity - self.items.len()
+    }
+
+    /// Highest occupancy observed since construction.
+    pub fn max_occupancy(&self) -> usize {
+        self.max_occupancy
+    }
+
+    /// Total number of successful pushes since construction.
+    pub fn total_pushed(&self) -> u64 {
+        self.total_pushed
+    }
+
+    /// Iterates over queued elements from oldest to newest.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.items.iter()
+    }
+
+    /// Iterates mutably over queued elements from oldest to newest.
+    /// Used by the coalesce FIFOs, which merge a new event into an
+    /// already-queued event of the same flow (paper §4.4.1).
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut T> {
+        self.items.iter_mut()
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_order() {
+        let mut f = Fifo::new(3);
+        f.push(1).unwrap();
+        f.push(2).unwrap();
+        f.push(3).unwrap();
+        assert!(f.is_full());
+        assert_eq!(f.pop(), Some(1));
+        assert_eq!(f.pop(), Some(2));
+        assert_eq!(f.pop(), Some(3));
+        assert_eq!(f.pop(), None);
+    }
+
+    #[test]
+    fn full_returns_item() {
+        let mut f = Fifo::new(1);
+        f.push(7).unwrap();
+        let err = f.push(8).unwrap_err();
+        assert_eq!(err.0, 8);
+        assert_eq!(err.to_string(), "fifo is full");
+    }
+
+    #[test]
+    fn occupancy_stats() {
+        let mut f = Fifo::new(4);
+        f.push(1).unwrap();
+        f.push(2).unwrap();
+        f.pop();
+        f.push(3).unwrap();
+        assert_eq!(f.max_occupancy(), 2);
+        assert_eq!(f.total_pushed(), 3);
+        assert_eq!(f.free(), 2);
+    }
+
+    #[test]
+    fn iter_mut_allows_in_place_merge() {
+        let mut f = Fifo::new(4);
+        f.push((1u32, 10u32)).unwrap();
+        f.push((2, 20)).unwrap();
+        for (id, v) in f.iter_mut() {
+            if *id == 2 {
+                *v += 5;
+            }
+        }
+        assert_eq!(f.pop(), Some((1, 10)));
+        assert_eq!(f.pop(), Some((2, 25)));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_panics() {
+        let _: Fifo<u8> = Fifo::new(0);
+    }
+}

@@ -1,0 +1,73 @@
+#![warn(missing_docs)]
+//! # f4t-sim — simulation kernel for the F4T reproduction
+//!
+//! This crate provides the small, dependency-free substrate every other
+//! crate in the workspace builds on:
+//!
+//! * [`Cycle`] and [`ClockDomain`] — discrete hardware time and conversion
+//!   between cycles, nanoseconds and rates.
+//! * [`Fifo`] — a bounded FIFO with backpressure, modelling on-chip queues.
+//! * [`SimRng`] — a tiny deterministic PRNG (SplitMix64/xorshift) so every
+//!   experiment is reproducible from a seed without external crates in the
+//!   hot path.
+//! * [`Counter`], [`Histogram`], [`MeanVar`] — statistics used by the
+//!   benchmark harnesses (throughput counters, latency percentiles).
+//! * [`EventQueue`] — a discrete-event scheduler used by the NS3-equivalent
+//!   reference simulator in `f4t-netsim`.
+//!
+//! # Examples
+//!
+//! ```
+//! use f4t_sim::{ClockDomain, Fifo};
+//!
+//! let core = ClockDomain::new_mhz(250);
+//! assert_eq!(core.cycles_to_ns(250_000_000), 1_000_000_000);
+//!
+//! let mut q: Fifo<u32> = Fifo::new(2);
+//! assert!(q.push(1).is_ok());
+//! assert!(q.push(2).is_ok());
+//! assert!(q.push(3).is_err()); // backpressure
+//! assert_eq!(q.pop(), Some(1));
+//! ```
+
+pub mod clock;
+pub mod des;
+pub mod fifo;
+pub mod rng;
+pub mod stats;
+
+pub use clock::{Cycle, ClockDomain};
+pub use des::EventQueue;
+pub use fifo::Fifo;
+pub use rng::SimRng;
+pub use stats::{Counter, Histogram, MeanVar};
+
+/// Converts a byte count over a duration in nanoseconds to gigabits/second.
+///
+/// # Examples
+///
+/// ```
+/// // 12.5 GB over one second is 100 Gbps.
+/// assert!((f4t_sim::gbps(12_500_000_000, 1_000_000_000) - 100.0).abs() < 1e-9);
+/// ```
+pub fn gbps(bytes: u64, ns: u64) -> f64 {
+    if ns == 0 {
+        return 0.0;
+    }
+    (bytes as f64 * 8.0) / ns as f64
+}
+
+/// Converts an operation count over a duration in nanoseconds to
+/// millions of operations per second.
+///
+/// # Examples
+///
+/// ```
+/// assert!((f4t_sim::mops(44_000_000, 1_000_000_000) - 44.0).abs() < 1e-9);
+/// ```
+pub fn mops(ops: u64, ns: u64) -> f64 {
+    if ns == 0 {
+        return 0.0;
+    }
+    ops as f64 * 1e3 / ns as f64
+}

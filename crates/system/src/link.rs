@@ -1,0 +1,164 @@
+//! The 100 Gbps direct-attach link between two engines.
+//!
+//! The evaluation connects nodes back-to-back (§5: "we set up the network
+//! by directly connecting ... two FtEngines"). Each direction serializes
+//! segments at line rate (observed from the 250 MHz engine domain) and
+//! delivers them after a fixed propagation + MAC/PHY delay. The link does
+//! not drop: loss experiments inject drops explicitly at the system layer.
+
+use f4t_sim::clock::BytePacer;
+use f4t_sim::ClockDomain;
+use f4t_tcp::Segment;
+use std::collections::VecDeque;
+
+/// One direction of the link.
+#[derive(Debug)]
+struct LinkDir {
+    pacer: BytePacer,
+    in_flight: VecDeque<(u64, Segment)>,
+    bytes: u64,
+    segments: u64,
+}
+
+/// A full-duplex fixed-latency link.
+#[derive(Debug)]
+pub struct DuplexLink {
+    dirs: [LinkDir; 2],
+    delay_ns: u64,
+}
+
+/// Direction index: node A → node B.
+pub const A_TO_B: usize = 0;
+/// Direction index: node B → node A.
+pub const B_TO_A: usize = 1;
+
+impl DuplexLink {
+    /// Creates a link of `gbps` with one-way latency `delay_ns`
+    /// (direct-attach 100G ≈ 1 µs including MAC/PHY and cabling).
+    pub fn new(gbps: u64, delay_ns: u64) -> DuplexLink {
+        let mk = || LinkDir {
+            pacer: BytePacer::for_link(gbps, ClockDomain::ENGINE_CORE, 2 * 1538),
+            in_flight: VecDeque::new(),
+            bytes: 0,
+            segments: 0,
+        };
+        DuplexLink { dirs: [mk(), mk()], delay_ns }
+    }
+
+    /// The paper's testbed link.
+    pub fn hundred_gig() -> DuplexLink {
+        DuplexLink::new(100, 1_000)
+    }
+
+    /// Accrues one engine cycle of serialization budget.
+    pub fn tick(&mut self) {
+        for d in &mut self.dirs {
+            d.pacer.tick();
+        }
+    }
+
+    /// Whether direction `dir` can serialize a segment of `wire_len`
+    /// right now (the MAC-side drain gate: the engine's TX buffer keeps
+    /// backpressure when this is false).
+    pub fn can_send(&self, dir: usize, wire_len: u32) -> bool {
+        self.dirs[dir].pacer.available() >= u64::from(wire_len)
+    }
+
+    /// Sends a segment (caller must have checked [`Self::can_send`]).
+    pub fn send(&mut self, dir: usize, seg: Segment, now_ns: u64) {
+        let d = &mut self.dirs[dir];
+        let consumed = d.pacer.try_consume(u64::from(seg.wire_len()));
+        debug_assert!(consumed, "send without can_send");
+        d.bytes += u64::from(seg.wire_len());
+        d.segments += 1;
+        d.in_flight.push_back((now_ns + self.delay_ns, seg));
+    }
+
+    /// Pops the next segment due for delivery in `dir` at `now_ns`.
+    pub fn deliver(&mut self, dir: usize, now_ns: u64) -> Option<Segment> {
+        let d = &mut self.dirs[dir];
+        if d.in_flight.front().is_some_and(|&(at, _)| at <= now_ns) {
+            d.in_flight.pop_front().map(|(_, s)| s)
+        } else {
+            None
+        }
+    }
+
+    /// Wire bytes carried in `dir`.
+    pub fn bytes(&self, dir: usize) -> u64 {
+        self.dirs[dir].bytes
+    }
+
+    /// Segments carried in `dir`.
+    pub fn segments(&self, dir: usize) -> u64 {
+        self.dirs[dir].segments
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use f4t_tcp::{FourTuple, SeqNum};
+
+    fn seg(len: u32) -> Segment {
+        Segment::data(FourTuple::default(), SeqNum(0), SeqNum(0), len)
+    }
+
+    #[test]
+    fn serialization_budget_paces() {
+        let mut l = DuplexLink::hundred_gig();
+        // Two MTU burst allowance; a third back-to-back MTU must wait.
+        l.tick();
+        for _ in 0..61 {
+            l.tick(); // ~3100 B of credit total
+        }
+        assert!(l.can_send(A_TO_B, 1538));
+        l.send(A_TO_B, seg(1460), 0);
+        assert!(l.can_send(A_TO_B, 1538));
+        l.send(A_TO_B, seg(1460), 0);
+        assert!(!l.can_send(A_TO_B, 1538), "line rate enforced");
+    }
+
+    #[test]
+    fn delivery_after_delay() {
+        let mut l = DuplexLink::new(100, 500);
+        for _ in 0..10 {
+            l.tick();
+        }
+        l.send(A_TO_B, seg(100), 1_000);
+        assert!(l.deliver(A_TO_B, 1_400).is_none(), "still propagating");
+        assert!(l.deliver(A_TO_B, 1_500).is_some());
+        assert!(l.deliver(A_TO_B, 1_500).is_none());
+    }
+
+    #[test]
+    fn directions_independent() {
+        let mut l = DuplexLink::hundred_gig();
+        for _ in 0..10 {
+            l.tick();
+        }
+        l.send(A_TO_B, seg(64), 0);
+        l.send(B_TO_A, seg(64), 0);
+        assert_eq!(l.segments(A_TO_B), 1);
+        assert_eq!(l.segments(B_TO_A), 1);
+        assert_eq!(l.bytes(A_TO_B), 64 + 78);
+        assert!(l.deliver(B_TO_A, 10_000).is_some());
+        assert!(l.deliver(A_TO_B, 10_000).is_some());
+    }
+
+    #[test]
+    fn hundred_gig_sustains_line_rate() {
+        // 50 B/cycle: 1538 B frames every ~31 cycles = 100 Gbps.
+        let mut l = DuplexLink::hundred_gig();
+        let mut sent = 0u64;
+        for c in 0..250_000u64 {
+            l.tick();
+            if l.can_send(A_TO_B, 1538) {
+                l.send(A_TO_B, seg(1460), c * 4);
+                sent += 1;
+            }
+        }
+        let gbps = f4t_sim::gbps(sent * 1538, 1_000_000);
+        assert!((98.0..=100.5).contains(&gbps), "got {gbps:.1}");
+    }
+}

@@ -1,0 +1,72 @@
+//! Measurement results for the figure harnesses.
+
+use f4t_host::CpuAccounting;
+use f4t_sim::Histogram;
+
+/// What a measurement window produced.
+#[derive(Debug, Clone)]
+pub struct Metrics {
+    /// Window length in nanoseconds.
+    pub duration_ns: u64,
+    /// Application requests completed in the window (sender-side for
+    /// open-loop workloads, client-side round trips for closed-loop).
+    pub requests: u64,
+    /// Application payload bytes delivered end to end in the window.
+    pub goodput_bytes: u64,
+    /// Request latency samples collected in the window (closed-loop
+    /// workloads only; empty otherwise).
+    pub latency: Histogram,
+    /// Client/sender-node CPU accounting over the window.
+    pub cpu: CpuAccounting,
+    /// TCB migrations during the window (Fig. 13 diagnostics).
+    pub migrations: u64,
+    /// Retransmissions during the window (health check).
+    pub retransmissions: u64,
+}
+
+impl Metrics {
+    /// Goodput in Gbps.
+    pub fn goodput_gbps(&self) -> f64 {
+        f4t_sim::gbps(self.goodput_bytes, self.duration_ns)
+    }
+
+    /// Request rate in millions of requests per second.
+    pub fn mrps(&self) -> f64 {
+        f4t_sim::mops(self.requests, self.duration_ns)
+    }
+
+    /// Median latency in microseconds (zero when no samples).
+    pub fn median_latency_us(&self) -> f64 {
+        self.latency.percentile(50.0) as f64 / 1_000.0
+    }
+
+    /// 99th-percentile latency in microseconds.
+    pub fn p99_latency_us(&self) -> f64 {
+        self.latency.percentile(99.0) as f64 / 1_000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_rates() {
+        let mut latency = Histogram::new();
+        latency.record(10_000);
+        latency.record(20_000);
+        let m = Metrics {
+            duration_ns: 1_000_000, // 1 ms
+            requests: 44_000,
+            goodput_bytes: 5_632_000, // 44k × 128 B
+            latency,
+            cpu: CpuAccounting::default(),
+            migrations: 0,
+            retransmissions: 0,
+        };
+        assert!((m.mrps() - 44.0).abs() < 1e-9);
+        assert!((m.goodput_gbps() - 45.056).abs() < 1e-3);
+        assert!(m.median_latency_us() >= 9.0);
+        assert!(m.p99_latency_us() >= m.median_latency_us());
+    }
+}

@@ -1,0 +1,363 @@
+//! The two-node F4T testbed.
+
+use crate::link::{DuplexLink, A_TO_B, B_TO_A};
+use crate::metrics::Metrics;
+use crate::node::{Driver, Node};
+use f4t_core::EngineConfig;
+use f4t_host::CpuAccounting;
+use f4t_sim::Histogram;
+use f4t_tcp::{FlowId, FourTuple, SeqNum};
+use f4t_workloads::{
+    BulkReceiver, BulkSender, EchoClient, EchoServer, HttpClient, HttpServer, RoundRobinSender,
+};
+use std::net::Ipv4Addr;
+
+/// Engine-core period in nanoseconds.
+const CYCLE_NS: u64 = 4;
+
+/// Two nodes connected by a 100 Gbps link, running a workload.
+#[derive(Debug)]
+pub struct F4tSystem {
+    /// The client/sender node.
+    pub a: Node,
+    /// The server/receiver node.
+    pub b: Node,
+    link: DuplexLink,
+    cycle: u64,
+}
+
+fn tuple(i: u32) -> FourTuple {
+    // Unique 4-tuples: vary source port and, beyond 60k flows, source IP.
+    FourTuple::new(
+        Ipv4Addr::from(0x0a00_0001 + (i / 60_000) * 256),
+        (i % 60_000 + 1_024) as u16,
+        Ipv4Addr::new(10, 1, 0, 2),
+        80,
+    )
+}
+
+impl F4tSystem {
+    /// Wires two freshly configured nodes together.
+    pub fn new(a: Node, b: Node) -> F4tSystem {
+        F4tSystem { a, b, link: DuplexLink::hundred_gig(), cycle: 0 }
+    }
+
+    /// Current simulation time in nanoseconds.
+    pub fn now_ns(&self) -> u64 {
+        self.cycle * CYCLE_NS
+    }
+
+    /// Replaces the link (e.g. an effectively infinite one for the §6
+    /// header-processing experiment, which removes the link bottleneck).
+    pub fn set_link(&mut self, link: DuplexLink) {
+        self.link = link;
+    }
+
+    /// Opens an established flow pair on both nodes; `a_core`/`b_core`
+    /// own it on each side. Returns the (a, b) flow ids.
+    pub fn open_pair(&mut self, i: u32, a_core: usize, b_core: usize) -> (FlowId, FlowId) {
+        let t = tuple(i);
+        let isn = SeqNum(1_000);
+        let fa = self.a.add_established_flow(t, isn, a_core).expect("flow capacity");
+        let fb = self.b.add_established_flow(t.reversed(), isn, b_core).expect("flow capacity");
+        (fa, fb)
+    }
+
+    /// Advances one engine cycle across both nodes and the link.
+    pub fn tick(&mut self) {
+        let now = self.now_ns();
+        self.link.tick();
+        self.a.tick(now);
+        self.b.tick(now);
+        // Drain TX at line rate (MAC backpressure otherwise).
+        while let Some(seg) = self.a.engine.peek_tx() {
+            if self.link.can_send(A_TO_B, seg.wire_len()) {
+                let seg = self.a.engine.pop_tx().expect("peeked");
+                self.link.send(A_TO_B, seg, now);
+            } else {
+                break;
+            }
+        }
+        while let Some(seg) = self.b.engine.peek_tx() {
+            if self.link.can_send(B_TO_A, seg.wire_len()) {
+                let seg = self.b.engine.pop_tx().expect("peeked");
+                self.link.send(B_TO_A, seg, now);
+            } else {
+                break;
+            }
+        }
+        // Deliver due segments.
+        while let Some(seg) = self.link.deliver(A_TO_B, now) {
+            self.b.engine.push_rx(seg);
+        }
+        while let Some(seg) = self.link.deliver(B_TO_A, now) {
+            self.a.engine.push_rx(seg);
+        }
+        self.cycle += 1;
+    }
+
+    /// Runs `n` cycles.
+    pub fn run_cycles(&mut self, n: u64) {
+        for _ in 0..n {
+            self.tick();
+        }
+    }
+
+    /// Runs for `ns` nanoseconds of simulated time.
+    pub fn run_ns(&mut self, ns: u64) {
+        self.run_cycles(ns / CYCLE_NS);
+    }
+
+    fn client_latency(&self) -> Histogram {
+        let mut h = Histogram::new();
+        for core in 0..self.a.core_count() {
+            match self.a.driver(core) {
+                Driver::EchoClient { client, .. } => h.merge(&client.latency),
+                Driver::HttpClient { client, .. } => h.merge(&client.latency),
+                _ => {}
+            }
+        }
+        h
+    }
+
+    /// Warm up for `warmup_ns`, then measure for `window_ns` and return
+    /// the window's metrics. Request counts and goodput are window
+    /// deltas; latency percentiles cover the whole run (cumulative
+    /// histograms), which is conservative for the tail.
+    pub fn measure(&mut self, warmup_ns: u64, window_ns: u64) -> Metrics {
+        self.run_ns(warmup_ns);
+        let req0 = self.a.requests();
+        let bytes0 = self.b.consumed_bytes() + self.a.consumed_bytes();
+        let mig0 = self.a.engine.stats().migrations + self.b.engine.stats().migrations;
+        let rtx0 = self.a.engine.stats().retransmissions + self.b.engine.stats().retransmissions;
+        let mut cpu0 = CpuAccounting::default();
+        cpu0.merge(&self.a.total_accounting());
+
+        self.run_ns(window_ns);
+
+        let cpu1 = self.a.total_accounting();
+        let cpu = CpuAccounting {
+            app: cpu1.app - cpu0.app,
+            tcp: cpu1.tcp - cpu0.tcp,
+            kernel: cpu1.kernel - cpu0.kernel,
+            lib: cpu1.lib - cpu0.lib,
+            idle: cpu1.idle - cpu0.idle,
+        };
+        Metrics {
+            duration_ns: window_ns,
+            requests: self.a.requests() - req0,
+            goodput_bytes: self.b.consumed_bytes() + self.a.consumed_bytes() - bytes0,
+            latency: self.client_latency(),
+            cpu,
+            migrations: self.a.engine.stats().migrations + self.b.engine.stats().migrations
+                - mig0,
+            retransmissions: self.a.engine.stats().retransmissions
+                + self.b.engine.stats().retransmissions
+                - rtx0,
+        }
+    }
+
+    // --- workload constructors (the paper's four setups) ---
+
+    /// §5.1 bulk data transfer: `cores` sender cores, one flow each,
+    /// `request_bytes` per send; the peer runs one receiver core per
+    /// sender core.
+    pub fn bulk(cores: usize, request_bytes: u32, engine: EngineConfig) -> F4tSystem {
+        let a = Node::new(cores, engine.clone());
+        let b = Node::new(cores, engine);
+        let mut sys = F4tSystem::new(a, b);
+        for core in 0..cores {
+            let (fa, fb) = sys.open_pair(core as u32, core, core);
+            sys.a.set_driver(core, Driver::BulkSender(BulkSender::new(fa, request_bytes)));
+            sys.b.set_driver(core, Driver::BulkReceiver(BulkReceiver::new(vec![fb])));
+        }
+        sys
+    }
+
+    /// §5.1 round-robin: `cores` sender cores × `flows_per_core` flows
+    /// (the paper uses 16), rotating `request_bytes` sends.
+    pub fn round_robin(
+        cores: usize,
+        flows_per_core: usize,
+        request_bytes: u32,
+        engine: EngineConfig,
+    ) -> F4tSystem {
+        let a = Node::new(cores, engine.clone());
+        let b = Node::new(cores, engine);
+        let mut sys = F4tSystem::new(a, b);
+        let mut idx = 0u32;
+        for core in 0..cores {
+            let mut a_flows = Vec::new();
+            let mut b_flows = Vec::new();
+            for _ in 0..flows_per_core {
+                let (fa, fb) = sys.open_pair(idx, core, core);
+                idx += 1;
+                a_flows.push(fa);
+                b_flows.push(fb);
+            }
+            sys.a.set_driver(
+                core,
+                Driver::RoundRobin(RoundRobinSender::new(a_flows, request_bytes)),
+            );
+            sys.b.set_driver(core, Driver::BulkReceiver(BulkReceiver::new(b_flows)));
+        }
+        sys
+    }
+
+    /// §5.3 echo (ping-pong) over `total_flows` connections spread across
+    /// `cores` cores on each side.
+    pub fn echo(cores: usize, total_flows: usize, msg_bytes: u32, engine: EngineConfig) -> F4tSystem {
+        F4tSystem::echo_paced(cores, total_flows, msg_bytes, 0, engine)
+    }
+
+    /// Echo with per-flow pacing: each flow pings at most once per
+    /// `pace_ns` (an open-loop offered load used by the sleep-after-poll
+    /// extension experiment; 0 = the paper's closed loop).
+    pub fn echo_paced(
+        cores: usize,
+        total_flows: usize,
+        msg_bytes: u32,
+        pace_ns: u64,
+        engine: EngineConfig,
+    ) -> F4tSystem {
+        let a = Node::new(cores, engine.clone());
+        let b = Node::new(cores, engine);
+        let mut sys = F4tSystem::new(a, b);
+        let mut per_core_a: Vec<Vec<FlowId>> = vec![Vec::new(); cores];
+        let mut per_core_b: Vec<Vec<FlowId>> = vec![Vec::new(); cores];
+        for i in 0..total_flows {
+            let core = i % cores;
+            let (fa, fb) = sys.open_pair(i as u32, core, core);
+            per_core_a[core].push(fa);
+            per_core_b[core].push(fb);
+        }
+        for core in 0..cores {
+            let client =
+                EchoClient::with_pace(&per_core_a[core], msg_bytes, sys.a.lib(core), pace_ns);
+            sys.a.set_driver(
+                core,
+                Driver::EchoClient { client, flows: per_core_a[core].clone(), next: 0 },
+            );
+            sys.b.set_driver(
+                core,
+                Driver::EchoServer {
+                    server: EchoServer::new(msg_bytes),
+                    flows: per_core_b[core].clone(),
+                    next: 0,
+                },
+            );
+        }
+        sys
+    }
+
+    /// §5.2 Nginx + wrk: `server_cores` Nginx cores serving `connections`
+    /// keep-alive connections driven by `client_cores` wrk cores.
+    pub fn http(
+        client_cores: usize,
+        server_cores: usize,
+        connections: usize,
+        engine: EngineConfig,
+    ) -> F4tSystem {
+        let a = Node::new(client_cores, engine.clone());
+        let b = Node::new(server_cores, engine);
+        let mut sys = F4tSystem::new(a, b);
+        let mut per_core_a: Vec<Vec<FlowId>> = vec![Vec::new(); client_cores];
+        let mut per_core_b: Vec<Vec<FlowId>> = vec![Vec::new(); server_cores];
+        for i in 0..connections {
+            let ca = i % client_cores;
+            let cb = i % server_cores;
+            let (fa, fb) = sys.open_pair(i as u32, ca, cb);
+            per_core_a[ca].push(fa);
+            per_core_b[cb].push(fb);
+        }
+        for core in 0..client_cores {
+            let client = HttpClient::new(&per_core_a[core], sys.a.lib(core));
+            sys.a.set_driver(
+                core,
+                Driver::HttpClient { client, flows: per_core_a[core].clone(), next: 0 },
+            );
+        }
+        for core in 0..server_cores {
+            sys.b.set_driver(
+                core,
+                Driver::HttpServer {
+                    server: HttpServer::new(),
+                    flows: per_core_b[core].clone(),
+                    next: 0,
+                },
+            );
+        }
+        sys
+    }
+
+    /// Server-side requests served (HTTP) — the Fig. 10 metric.
+    pub fn server_requests(&self) -> u64 {
+        self.b.requests()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use f4t_core::EngineConfig;
+
+    fn small_engine() -> EngineConfig {
+        EngineConfig { num_fpcs: 2, flows_per_fpc: 32, lut_groups: 2, ..EngineConfig::reference() }
+    }
+
+    #[test]
+    fn bulk_moves_data_end_to_end() {
+        let mut sys = F4tSystem::bulk(1, 1460, small_engine());
+        let m = sys.measure(40_000, 200_000);
+        assert!(m.goodput_gbps() > 10.0, "got {:.1} Gbps", m.goodput_gbps());
+        assert!(m.requests > 0);
+        assert_eq!(m.retransmissions, 0, "clean direct-attach link");
+    }
+
+    #[test]
+    fn bulk_small_requests_single_core_hits_tens_of_gbps() {
+        // The Fig. 8a shape: one core, 128 B requests, ~45 Gbps.
+        let mut sys = F4tSystem::bulk(1, 128, small_engine());
+        let m = sys.measure(40_000, 400_000);
+        assert!(
+            (25.0..70.0).contains(&m.goodput_gbps()),
+            "got {:.1} Gbps ({:.1} Mrps)",
+            m.goodput_gbps(),
+            m.mrps()
+        );
+    }
+
+    #[test]
+    fn round_robin_progresses_all_flows() {
+        let mut sys = F4tSystem::round_robin(1, 4, 128, small_engine());
+        let m = sys.measure(40_000, 200_000);
+        assert!(m.requests > 100, "got {} requests", m.requests);
+        assert!(m.goodput_gbps() > 1.0);
+    }
+
+    #[test]
+    fn echo_round_trips_and_records_latency() {
+        let mut sys = F4tSystem::echo(1, 8, 128, small_engine());
+        sys.run_ns(400_000);
+        let m = sys.measure(0, 200_000);
+        assert!(m.requests > 10, "completed {} round trips", m.requests);
+        assert!(m.latency.count() > 0);
+        // RTT floor: 2x 1 µs link + engine/PCIe; must be >2 µs and sane.
+        assert!(m.median_latency_us() > 2.0);
+        assert!(m.median_latency_us() < 100.0, "got {} µs", m.median_latency_us());
+    }
+
+    #[test]
+    fn http_serves_requests() {
+        let mut sys = F4tSystem::http(1, 1, 16, small_engine());
+        sys.run_ns(400_000);
+        let served0 = sys.server_requests();
+        sys.run_ns(400_000);
+        let served = sys.server_requests() - served0;
+        assert!(served > 20, "served {served}");
+        // Server CPU is dominated by application, not lib (Fig. 11 shape).
+        let acct = sys.b.total_accounting();
+        assert!(acct.app > acct.lib, "app {} vs lib {}", acct.app, acct.lib);
+        assert_eq!(acct.tcp, 0, "F4T leaves zero TCP cycles on the host");
+    }
+}

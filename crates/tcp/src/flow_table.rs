@@ -1,0 +1,278 @@
+//! The cuckoo-hash flow lookup table.
+//!
+//! FtEngine's RX parser "retrieves the received packet's flow ID by
+//! looking up a cuckoo hash table with the 4-tuple" (§4.1.2). Cuckoo
+//! hashing gives the hardware a constant two-probe lookup — both buckets
+//! can be read in parallel from dual-port BRAM — at high load factors.
+//!
+//! This implementation uses two tables with 4-way buckets and a bounded
+//! kick chain, the standard FPGA-friendly configuration.
+
+use crate::{FlowId, FourTuple};
+
+const BUCKET_WAYS: usize = 4;
+const MAX_KICKS: usize = 64;
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    key: FourTuple,
+    value: FlowId,
+}
+
+/// Error returned by [`FlowTable::insert`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertError {
+    /// The table could not place the key within the kick budget; the
+    /// caller should treat the table as full (in hardware this flow would
+    /// fall back to the software stack).
+    TableFull,
+    /// The key is already present (duplicate connect).
+    Duplicate(FlowId),
+}
+
+impl std::fmt::Display for InsertError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InsertError::TableFull => write!(f, "cuckoo table full"),
+            InsertError::Duplicate(id) => write!(f, "four-tuple already mapped to {id}"),
+        }
+    }
+}
+
+impl std::error::Error for InsertError {}
+
+/// A cuckoo hash table mapping connection 4-tuples to flow ids.
+///
+/// # Examples
+///
+/// ```
+/// use f4t_tcp::{FlowTable, FlowId, FourTuple};
+/// use std::net::Ipv4Addr;
+///
+/// let mut table = FlowTable::with_capacity(1024);
+/// let t = FourTuple::new(Ipv4Addr::new(10, 0, 0, 1), 4000,
+///                        Ipv4Addr::new(10, 0, 0, 2), 80);
+/// table.insert(t, FlowId(7)).unwrap();
+/// assert_eq!(table.lookup(&t), Some(FlowId(7)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct FlowTable {
+    tables: [Vec<Option<Entry>>; 2],
+    buckets_per_table: usize,
+    len: usize,
+    seed: [u64; 2],
+}
+
+fn hash_tuple(t: &FourTuple, seed: u64) -> u64 {
+    // Multiply-xor mix over the 12 bytes of the tuple, finished with a
+    // murmur3-style avalanche: low-entropy keys (sequential ports behind
+    // a fixed address, as on a server's reversed tuples) must still
+    // spread uniformly across the low bucket bits.
+    let mut h = seed ^ 0x51_7c_c1_b7_27_22_0a_95;
+    let parts = [
+        u64::from(u32::from(t.src_ip)) | (u64::from(t.src_port) << 32),
+        u64::from(u32::from(t.dst_ip)) | (u64::from(t.dst_port) << 32),
+    ];
+    for p in parts {
+        h = (h ^ p).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h ^= h >> 29;
+    }
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+    h ^ (h >> 33)
+}
+
+impl FlowTable {
+    /// Creates a table able to hold `capacity` flows (rounded up to a
+    /// power-of-two bucket count; cuckoo tables with 4-way buckets run
+    /// safely to ~93 % load, so provisioning 1.5× makes kick-limit
+    /// failures vanishingly rare for any key distribution).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> FlowTable {
+        assert!(capacity > 0, "capacity must be non-zero");
+        let slots_needed = capacity + capacity / 2;
+        let buckets = (slots_needed / (2 * BUCKET_WAYS) + 1).next_power_of_two();
+        FlowTable {
+            tables: [vec![None; buckets * BUCKET_WAYS], vec![None; buckets * BUCKET_WAYS]],
+            buckets_per_table: buckets,
+            len: 0,
+            seed: [0x7b4d_1a2c_9e0f_3857, 0xc2b1_8f4e_5d6a_0913],
+        }
+    }
+
+    fn bucket(&self, key: &FourTuple, which: usize) -> usize {
+        (hash_tuple(key, self.seed[which]) as usize & (self.buckets_per_table - 1)) * BUCKET_WAYS
+    }
+
+    /// Number of mapped flows.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Looks up the flow id for a 4-tuple. Two bucket probes, as in the
+    /// hardware.
+    pub fn lookup(&self, key: &FourTuple) -> Option<FlowId> {
+        for which in 0..2 {
+            let b = self.bucket(key, which);
+            for slot in &self.tables[which][b..b + BUCKET_WAYS] {
+                if let Some(e) = slot {
+                    if e.key == *key {
+                        return Some(e.value);
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Inserts a mapping, relocating (kicking) existing entries if needed.
+    ///
+    /// # Errors
+    ///
+    /// [`InsertError::Duplicate`] if the tuple is already mapped, or
+    /// [`InsertError::TableFull`] when the kick budget is exhausted.
+    pub fn insert(&mut self, key: FourTuple, value: FlowId) -> Result<(), InsertError> {
+        if let Some(existing) = self.lookup(&key) {
+            return Err(InsertError::Duplicate(existing));
+        }
+        let mut entry = Entry { key, value };
+        let mut which = 0;
+        for _ in 0..MAX_KICKS {
+            let b = self.bucket(&entry.key, which);
+            for slot in &mut self.tables[which][b..b + BUCKET_WAYS] {
+                if slot.is_none() {
+                    *slot = Some(entry);
+                    self.len += 1;
+                    return Ok(());
+                }
+            }
+            // Bucket full: kick the first resident to its other table.
+            let victim_slot = &mut self.tables[which][b];
+            let victim = victim_slot.take().expect("bucket was full");
+            *victim_slot = Some(entry);
+            entry = victim;
+            which ^= 1;
+        }
+        // Undo is not needed: the displaced entry is still in hand; put it
+        // back where it came from is impossible in general, so report full.
+        // Re-insert the wandering entry in the first free slot anywhere to
+        // avoid losing it (software fallback path).
+        for which in 0..2 {
+            let b = self.bucket(&entry.key, which);
+            for slot in &mut self.tables[which][b..b + BUCKET_WAYS] {
+                if slot.is_none() {
+                    *slot = Some(entry);
+                    self.len += 1;
+                    return Err(InsertError::TableFull);
+                }
+            }
+        }
+        Err(InsertError::TableFull)
+    }
+
+    /// Removes a mapping, returning the flow id if present.
+    pub fn remove(&mut self, key: &FourTuple) -> Option<FlowId> {
+        for which in 0..2 {
+            let b = self.bucket(key, which);
+            for slot in &mut self.tables[which][b..b + BUCKET_WAYS] {
+                if matches!(slot, Some(e) if e.key == *key) {
+                    let e = slot.take().expect("matched entry");
+                    self.len -= 1;
+                    return Some(e.value);
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn tuple(i: u32) -> FourTuple {
+        FourTuple::new(
+            Ipv4Addr::from(0x0a00_0000 | (i & 0xffff)),
+            (i % 60000 + 1024) as u16,
+            Ipv4Addr::new(10, 1, 0, 1),
+            80,
+        )
+    }
+
+    #[test]
+    fn insert_lookup_remove() {
+        let mut t = FlowTable::with_capacity(64);
+        t.insert(tuple(1), FlowId(1)).unwrap();
+        t.insert(tuple(2), FlowId(2)).unwrap();
+        assert_eq!(t.lookup(&tuple(1)), Some(FlowId(1)));
+        assert_eq!(t.lookup(&tuple(2)), Some(FlowId(2)));
+        assert_eq!(t.lookup(&tuple(3)), None);
+        assert_eq!(t.remove(&tuple(1)), Some(FlowId(1)));
+        assert_eq!(t.lookup(&tuple(1)), None);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_detected() {
+        let mut t = FlowTable::with_capacity(16);
+        t.insert(tuple(5), FlowId(5)).unwrap();
+        assert_eq!(t.insert(tuple(5), FlowId(6)), Err(InsertError::Duplicate(FlowId(5))));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn holds_64k_flows() {
+        // The paper's headline connectivity number.
+        let mut t = FlowTable::with_capacity(65536);
+        for i in 0..65536u32 {
+            t.insert(tuple(i), FlowId(i)).unwrap_or_else(|e| panic!("flow {i}: {e}"));
+        }
+        assert_eq!(t.len(), 65536);
+        for i in (0..65536u32).step_by(997) {
+            assert_eq!(t.lookup(&tuple(i)), Some(FlowId(i)));
+        }
+    }
+
+    #[test]
+    fn kicking_relocates_but_preserves_entries() {
+        let mut t = FlowTable::with_capacity(256);
+        let n = 256u32;
+        for i in 0..n {
+            let _ = t.insert(tuple(i), FlowId(i));
+        }
+        // Every successfully inserted entry must still be findable.
+        let mut found = 0;
+        for i in 0..n {
+            if t.lookup(&tuple(i)) == Some(FlowId(i)) {
+                found += 1;
+            }
+        }
+        assert_eq!(found as usize, t.len());
+        assert!(t.len() >= (n as usize) * 95 / 100, "load factor too low: {}", t.len());
+    }
+
+    #[test]
+    fn empty_and_error_display() {
+        let t = FlowTable::with_capacity(8);
+        assert!(t.is_empty());
+        assert_eq!(InsertError::TableFull.to_string(), "cuckoo table full");
+        assert!(InsertError::Duplicate(FlowId(1)).to_string().contains("flow#1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_panics() {
+        let _ = FlowTable::with_capacity(0);
+    }
+}

@@ -1,0 +1,68 @@
+#![warn(missing_docs)]
+//! # f4t-tcp — the TCP protocol substrate
+//!
+//! Everything protocol-related that FtEngine (`f4t-core`), the baselines,
+//! the host stack and the reference network simulator share:
+//!
+//! * [`SeqNum`] — 32-bit wrapping sequence-space arithmetic, the foundation
+//!   of TCP's cumulative-pointer byte-stream abstraction that F4T's event
+//!   accumulation exploits (paper §4.2.1).
+//! * [`FourTuple`], [`FlowId`], [`TcpFlags`] — flow identity and flags.
+//! * [`wire`] — byte-accurate Ethernet/IPv4/TCP header serialization and
+//!   parsing with the Internet checksum, plus ARP and ICMP echo messages
+//!   (FtEngine implements both for MAC resolution and ping, §4.1.2).
+//! * [`pcap`] — export simulated traffic as Wireshark-readable captures.
+//! * [`Segment`] — the simulation-level representation of a TCP segment
+//!   (headers are real; payload is carried as a length, matching the
+//!   paper's "logical reassembly without manipulating data").
+//! * [`Tcb`] — the transmission control block holding *all* per-flow state,
+//!   including congestion-control scratch state, so the flow processing
+//!   unit can stay stateless (§4.2.2).
+//! * [`FlowTable`] — the cuckoo-hash 4-tuple → flow-id lookup used by the
+//!   RX parser (§4.1.2).
+//! * [`ReassemblyTracker`] — logical out-of-order reassembly.
+//! * [`RtoEstimator`] — RFC 6298 retransmission timeout estimation.
+//! * [`cc`] — the pluggable congestion-control algorithms (New Reno,
+//!   CUBIC, Vegas) with their FPU processing latencies from §5.4.
+//!
+//! # Examples
+//!
+//! ```
+//! use f4t_tcp::{SeqNum, Tcb, FlowId};
+//!
+//! let mut tcb = Tcb::new(FlowId(7));
+//! tcb.snd_una = SeqNum(1000);
+//! tcb.req = SeqNum(1000).add(300); // user asked to send 300 more bytes
+//! assert_eq!(tcb.req.since(tcb.snd_una), 300);
+//! ```
+
+pub mod cc;
+pub mod flow_table;
+pub mod pcap;
+pub mod reassembly;
+pub mod rto;
+pub mod segment;
+pub mod seq;
+pub mod tcb;
+pub mod types;
+pub mod wire;
+
+pub use cc::{CcAlgorithm, CcState, CongestionControl, Cubic, NewReno, Vegas};
+pub use flow_table::FlowTable;
+pub use reassembly::ReassemblyTracker;
+pub use rto::RtoEstimator;
+pub use segment::Segment;
+pub use seq::SeqNum;
+pub use tcb::{Tcb, TcpState};
+pub use types::{FlowId, FourTuple, MacAddr, TcpFlags};
+
+/// Maximum segment size used throughout the evaluation (paper §5 setup).
+pub const MSS: u32 = 1460;
+
+/// Per-packet wire overhead the paper uses for goodput arithmetic (§5.1):
+/// 40 B TCP/IP headers + 18 B Ethernet header/FCS + 8 B preamble + 12 B
+/// inter-frame gap.
+pub const WIRE_OVERHEAD: u32 = 78;
+
+/// TCP receive/send buffer size used in the evaluation (512 KB, §5).
+pub const TCP_BUFFER: u32 = 512 * 1024;

@@ -1,0 +1,133 @@
+//! The simulation-level TCP segment.
+//!
+//! The engine's fast path moves [`Segment`] values rather than byte
+//! buffers: headers are fully represented (and can be rendered to real
+//! bytes via [`crate::wire`]), while the payload is carried as a length.
+//! This mirrors the paper's RX data path, which "reassembles data
+//! logically without actually manipulating the data" (§4.1.2).
+
+use crate::{FourTuple, SeqNum, TcpFlags, WIRE_OVERHEAD};
+
+/// A TCP segment in flight between two endpoints.
+///
+/// # Examples
+///
+/// ```
+/// use f4t_tcp::{Segment, SeqNum, TcpFlags, FourTuple};
+/// let seg = Segment::data(FourTuple::default(), SeqNum(0), SeqNum(0), 128);
+/// assert_eq!(seg.wire_len(), 128 + 78); // payload + headers/framing
+/// assert!(seg.flags.contains(TcpFlags::ACK));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Segment {
+    /// Sender-perspective 4-tuple (source = sender of this segment).
+    pub tuple: FourTuple,
+    /// Sequence number of the first payload byte.
+    pub seq: SeqNum,
+    /// Cumulative acknowledgment.
+    pub ack: SeqNum,
+    /// Control flags.
+    pub flags: TcpFlags,
+    /// Advertised receive window in bytes.
+    pub window: u32,
+    /// Payload length in bytes (bytes are not materialized).
+    pub payload_len: u32,
+    /// Set when this segment is a retransmission (diagnostics only; real
+    /// TCP carries no such bit — receivers must not branch on it).
+    pub is_retransmit: bool,
+    /// Sender's clock at transmission, modelling the RFC 7323 TSval
+    /// option. Zero when absent.
+    pub ts_val: u64,
+    /// Echo of the peer's most recent `ts_val` (RFC 7323 TSecr); carries
+    /// the RTT sample back to the peer. Zero when absent.
+    pub ts_ecr: u64,
+    /// Opaque tag for end-to-end latency tracking by the harnesses (rides
+    /// along like a capture annotation; not protocol state).
+    pub tag: u64,
+}
+
+impl Segment {
+    /// Creates a data segment with `len` payload bytes (ACK flag set, as
+    /// on every established-state TCP segment).
+    pub fn data(tuple: FourTuple, seq: SeqNum, ack: SeqNum, len: u32) -> Segment {
+        Segment {
+            tuple,
+            seq,
+            ack,
+            flags: TcpFlags::ACK,
+            window: crate::TCP_BUFFER,
+            payload_len: len,
+            is_retransmit: false,
+            ts_val: 0,
+            ts_ecr: 0,
+            tag: 0,
+        }
+    }
+
+    /// Creates a pure ACK (no payload).
+    pub fn pure_ack(tuple: FourTuple, seq: SeqNum, ack: SeqNum, window: u32) -> Segment {
+        Segment {
+            tuple,
+            seq,
+            ack,
+            flags: TcpFlags::ACK,
+            window,
+            payload_len: 0,
+            is_retransmit: false,
+            ts_val: 0,
+            ts_ecr: 0,
+            tag: 0,
+        }
+    }
+
+    /// Sequence number one past the last payload byte (accounting for the
+    /// SYN/FIN phantom byte).
+    pub fn seq_end(&self) -> SeqNum {
+        let phantom = u32::from(self.flags.intersects(TcpFlags::SYN | TcpFlags::FIN));
+        self.seq.add(self.payload_len + phantom)
+    }
+
+    /// Bytes this segment occupies on the wire, including TCP/IP headers,
+    /// Ethernet framing, preamble and inter-frame gap (the paper's 78 B
+    /// per-packet overhead used in goodput arithmetic, §5.1).
+    pub fn wire_len(&self) -> u32 {
+        self.payload_len + WIRE_OVERHEAD
+    }
+
+    /// Whether this segment carries payload.
+    pub fn has_payload(&self) -> bool {
+        self.payload_len > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_segment_shape() {
+        let s = Segment::data(FourTuple::default(), SeqNum(100), SeqNum(50), 1460);
+        assert_eq!(s.seq_end(), SeqNum(1560));
+        assert_eq!(s.wire_len(), 1538);
+        assert!(s.has_payload());
+    }
+
+    #[test]
+    fn pure_ack_shape() {
+        let s = Segment::pure_ack(FourTuple::default(), SeqNum(1), SeqNum(2), 4096);
+        assert!(!s.has_payload());
+        assert_eq!(s.wire_len(), 78);
+        assert_eq!(s.window, 4096);
+    }
+
+    #[test]
+    fn syn_fin_consume_sequence_space() {
+        let mut s = Segment::data(FourTuple::default(), SeqNum(10), SeqNum(0), 0);
+        s.flags = TcpFlags::SYN;
+        assert_eq!(s.seq_end(), SeqNum(11));
+        s.flags = TcpFlags::FIN | TcpFlags::ACK;
+        assert_eq!(s.seq_end(), SeqNum(11));
+        s.flags = TcpFlags::ACK;
+        assert_eq!(s.seq_end(), SeqNum(10));
+    }
+}

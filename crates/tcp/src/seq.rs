@@ -1,0 +1,234 @@
+//! 32-bit wrapping sequence-number arithmetic (RFC 793 / RFC 7323).
+//!
+//! TCP represents its entire transmission state with cumulative pointers in
+//! a 4 GiB circular sequence space. F4T's event-accumulation trick (§4.2.1)
+//! rests on the property that a newer pointer value subsumes the older one,
+//! so correctness of every comparison here is load-bearing for the whole
+//! engine; the property tests in this module pin the wrap-around semantics.
+
+use std::fmt;
+
+/// A TCP sequence number: a position in the 32-bit circular byte space.
+///
+/// Ordering between two sequence numbers is defined only when they are
+/// within 2^31 of each other (the standard TCP assumption); [`SeqNum::lt`]
+/// and friends implement that signed-distance comparison. `PartialOrd` is
+/// deliberately **not** implemented: naive integer ordering is the classic
+/// wrap-around bug this type exists to prevent.
+///
+/// # Examples
+///
+/// ```
+/// use f4t_tcp::SeqNum;
+/// let a = SeqNum(u32::MAX - 10);
+/// let b = a.add(20); // wraps past zero
+/// assert!(a.lt(b));
+/// assert_eq!(b.since(a), 20);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct SeqNum(pub u32);
+
+impl SeqNum {
+    /// The zero sequence number.
+    pub const ZERO: SeqNum = SeqNum(0);
+
+    /// Returns this sequence number advanced by `n` bytes (wrapping).
+    #[inline]
+    pub fn add(self, n: u32) -> SeqNum {
+        SeqNum(self.0.wrapping_add(n))
+    }
+
+    /// Returns this sequence number moved back by `n` bytes (wrapping).
+    #[inline]
+    pub fn sub(self, n: u32) -> SeqNum {
+        SeqNum(self.0.wrapping_sub(n))
+    }
+
+    /// Signed circular distance from `other` to `self`
+    /// (positive when `self` is ahead of `other`).
+    #[inline]
+    pub fn diff(self, other: SeqNum) -> i32 {
+        self.0.wrapping_sub(other.0) as i32
+    }
+
+    /// Forward distance from `earlier` to `self` in bytes.
+    ///
+    /// Returns zero when `self` is at or behind `earlier` (in the signed
+    /// circular sense), which makes window arithmetic saturate safely.
+    #[inline]
+    pub fn since(self, earlier: SeqNum) -> u32 {
+        let d = self.diff(earlier);
+        if d > 0 {
+            d as u32
+        } else {
+            0
+        }
+    }
+
+    /// `self < other` in circular order.
+    #[inline]
+    pub fn lt(self, other: SeqNum) -> bool {
+        self.diff(other) < 0
+    }
+
+    /// `self <= other` in circular order.
+    #[inline]
+    pub fn le(self, other: SeqNum) -> bool {
+        self.diff(other) <= 0
+    }
+
+    /// `self > other` in circular order.
+    #[inline]
+    pub fn gt(self, other: SeqNum) -> bool {
+        self.diff(other) > 0
+    }
+
+    /// `self >= other` in circular order.
+    #[inline]
+    pub fn ge(self, other: SeqNum) -> bool {
+        self.diff(other) >= 0
+    }
+
+    /// Returns the later of two sequence numbers in circular order.
+    #[inline]
+    pub fn max_seq(self, other: SeqNum) -> SeqNum {
+        if self.ge(other) {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the earlier of two sequence numbers in circular order.
+    #[inline]
+    pub fn min_seq(self, other: SeqNum) -> SeqNum {
+        if self.le(other) {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Whether `self` lies in the half-open window `[start, start + len)`.
+    #[inline]
+    pub fn in_window(self, start: SeqNum, len: u32) -> bool {
+        let d = self.diff(start);
+        d >= 0 && (d as u32) < len
+    }
+}
+
+impl fmt::Display for SeqNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for SeqNum {
+    fn from(v: u32) -> SeqNum {
+        SeqNum(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn basic_ordering() {
+        let a = SeqNum(100);
+        let b = SeqNum(200);
+        assert!(a.lt(b));
+        assert!(b.gt(a));
+        assert!(a.le(a));
+        assert!(a.ge(a));
+        assert_eq!(b.since(a), 100);
+        assert_eq!(a.since(b), 0, "saturates backwards");
+    }
+
+    #[test]
+    fn wraparound_ordering() {
+        let a = SeqNum(u32::MAX - 5);
+        let b = SeqNum(10); // 16 bytes ahead, across the wrap
+        assert!(a.lt(b));
+        assert_eq!(b.since(a), 16);
+        assert_eq!(a.add(16), b);
+        assert_eq!(b.sub(16), a);
+    }
+
+    #[test]
+    fn min_max() {
+        let a = SeqNum(u32::MAX);
+        let b = SeqNum(5);
+        assert_eq!(a.max_seq(b), b);
+        assert_eq!(a.min_seq(b), a);
+    }
+
+    #[test]
+    fn window_membership() {
+        let start = SeqNum(u32::MAX - 2);
+        assert!(start.in_window(start, 1));
+        assert!(start.add(3).in_window(start, 10)); // wrapped interior
+        assert!(!start.add(10).in_window(start, 10)); // exclusive end
+        assert!(!start.sub(1).in_window(start, 10)); // before start
+    }
+
+    #[test]
+    fn display_and_from() {
+        let s: SeqNum = 42u32.into();
+        assert_eq!(s.to_string(), "42");
+    }
+
+    proptest! {
+        /// add/sub are inverses everywhere, including across the wrap.
+        #[test]
+        fn add_sub_inverse(x in any::<u32>(), n in any::<u32>()) {
+            let s = SeqNum(x);
+            prop_assert_eq!(s.add(n).sub(n), s);
+        }
+
+        /// since() recovers the added distance when it fits in the signed
+        /// comparison window (< 2^31).
+        #[test]
+        fn since_recovers_distance(x in any::<u32>(), n in 0u32..0x7FFF_FFFF) {
+            let s = SeqNum(x);
+            prop_assert_eq!(s.add(n).since(s), n);
+        }
+
+        /// Circular ordering is antisymmetric for distinct points within
+        /// the comparison window.
+        #[test]
+        fn ordering_antisymmetric(x in any::<u32>(), n in 1u32..0x7FFF_FFFF) {
+            let a = SeqNum(x);
+            let b = a.add(n);
+            prop_assert!(a.lt(b));
+            prop_assert!(!b.lt(a));
+            prop_assert!(b.gt(a));
+        }
+
+        /// The newer cumulative pointer subsumes the older one: taking the
+        /// max of any in-order sequence of pointer updates yields the last
+        /// update. This is the property event accumulation relies on.
+        #[test]
+        fn cumulative_overwrite_is_max(x in any::<u32>(), steps in proptest::collection::vec(0u32..65536, 1..50)) {
+            let mut ptr = SeqNum(x);
+            let mut acc = ptr;
+            for s in steps {
+                ptr = ptr.add(s);
+                acc = acc.max_seq(ptr);
+            }
+            prop_assert_eq!(acc, ptr);
+        }
+
+        /// in_window is equivalent to the since()-based definition.
+        #[test]
+        fn window_consistent(x in any::<u32>(), off in any::<u32>(), len in 0u32..0x7FFF_FFFF) {
+            let start = SeqNum(x);
+            let p = start.add(off % 0x7FFF_FFFF);
+            let inside = p.in_window(start, len);
+            let d = p.diff(start);
+            let expect = d >= 0 && (d as u32) < len;
+            prop_assert_eq!(inside, expect);
+        }
+    }
+}

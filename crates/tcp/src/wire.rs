@@ -1,0 +1,613 @@
+//! Byte-accurate wire formats: Ethernet II, IPv4, TCP, ARP and ICMP echo.
+//!
+//! FtEngine's packet generator produces real TCP/IP headers and the RX
+//! parser consumes them (§4.1.2); the engine also implements ARP for MAC
+//! resolution and ICMP for ping. The fast-path simulation carries parsed
+//! [`crate::Segment`]s, but these encoders/decoders are used by the data
+//! path tests and the quickstart example to prove the headers that *would*
+//! hit the wire are correct, checksums included.
+
+use crate::types::MacAddr;
+use crate::{SeqNum, TcpFlags};
+use std::net::Ipv4Addr;
+
+/// Error returned when parsing a malformed or truncated packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The buffer is shorter than the fixed header requires.
+    Truncated {
+        /// Which header was being parsed.
+        layer: &'static str,
+        /// Bytes needed.
+        needed: usize,
+        /// Bytes available.
+        got: usize,
+    },
+    /// A checksum did not verify.
+    BadChecksum(&'static str),
+    /// An unsupported protocol/ethertype/version was found.
+    Unsupported(&'static str),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Truncated { layer, needed, got } => {
+                write!(f, "truncated {layer} header: need {needed} bytes, got {got}")
+            }
+            ParseError::BadChecksum(layer) => write!(f, "bad {layer} checksum"),
+            ParseError::Unsupported(what) => write!(f, "unsupported {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Computes the Internet checksum (RFC 1071) over `data`, with an initial
+/// partial `sum` (used to fold in the TCP pseudo-header).
+pub fn internet_checksum(data: &[u8], mut sum: u32) -> u16 {
+    let mut chunks = data.chunks_exact(2);
+    for c in &mut chunks {
+        sum += u32::from(u16::from_be_bytes([c[0], c[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        sum += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    while sum > 0xFFFF {
+        sum = (sum & 0xFFFF) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+/// Ethernet II header (14 bytes on the wire).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EthernetHeader {
+    /// Destination MAC.
+    pub dst: MacAddr,
+    /// Source MAC.
+    pub src: MacAddr,
+    /// EtherType (0x0800 IPv4, 0x0806 ARP).
+    pub ethertype: u16,
+}
+
+impl EthernetHeader {
+    /// Wire length in bytes.
+    pub const LEN: usize = 14;
+    /// EtherType for IPv4.
+    pub const TYPE_IPV4: u16 = 0x0800;
+    /// EtherType for ARP.
+    pub const TYPE_ARP: u16 = 0x0806;
+
+    /// Appends this header to `out`.
+    pub fn write(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.dst.0);
+        out.extend_from_slice(&self.src.0);
+        out.extend_from_slice(&self.ethertype.to_be_bytes());
+    }
+
+    /// Parses a header from the front of `buf`, returning it and the rest.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseError::Truncated`] if `buf` is too short.
+    pub fn parse(buf: &[u8]) -> Result<(EthernetHeader, &[u8]), ParseError> {
+        if buf.len() < Self::LEN {
+            return Err(ParseError::Truncated { layer: "ethernet", needed: Self::LEN, got: buf.len() });
+        }
+        let mut dst = [0u8; 6];
+        let mut src = [0u8; 6];
+        dst.copy_from_slice(&buf[0..6]);
+        src.copy_from_slice(&buf[6..12]);
+        let ethertype = u16::from_be_bytes([buf[12], buf[13]]);
+        Ok((EthernetHeader { dst: MacAddr(dst), src: MacAddr(src), ethertype }, &buf[14..]))
+    }
+}
+
+/// IPv4 header (20 bytes, no options — the prototype does not use them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ipv4Header {
+    /// Source address.
+    pub src: Ipv4Addr,
+    /// Destination address.
+    pub dst: Ipv4Addr,
+    /// Payload protocol (6 = TCP, 1 = ICMP).
+    pub protocol: u8,
+    /// Total length including this header.
+    pub total_len: u16,
+    /// Identification field (used only for diagnostics; no fragmentation).
+    pub ident: u16,
+    /// Time to live.
+    pub ttl: u8,
+}
+
+impl Ipv4Header {
+    /// Wire length in bytes (no options).
+    pub const LEN: usize = 20;
+    /// Protocol number for TCP.
+    pub const PROTO_TCP: u8 = 6;
+    /// Protocol number for ICMP.
+    pub const PROTO_ICMP: u8 = 1;
+
+    /// Appends this header (with a valid checksum) to `out`.
+    pub fn write(&self, out: &mut Vec<u8>) {
+        let start = out.len();
+        out.push(0x45); // version 4, IHL 5
+        out.push(0); // DSCP/ECN
+        out.extend_from_slice(&self.total_len.to_be_bytes());
+        out.extend_from_slice(&self.ident.to_be_bytes());
+        out.extend_from_slice(&[0x40, 0]); // flags: DF, no fragment offset
+        out.push(self.ttl);
+        out.push(self.protocol);
+        out.extend_from_slice(&[0, 0]); // checksum placeholder
+        out.extend_from_slice(&self.src.octets());
+        out.extend_from_slice(&self.dst.octets());
+        let csum = internet_checksum(&out[start..start + Self::LEN], 0);
+        out[start + 10..start + 12].copy_from_slice(&csum.to_be_bytes());
+    }
+
+    /// Parses and checksum-verifies a header, returning it and the rest.
+    ///
+    /// # Errors
+    ///
+    /// [`ParseError::Truncated`] on short input, [`ParseError::Unsupported`]
+    /// for non-IPv4 or optioned headers, [`ParseError::BadChecksum`] when
+    /// the header checksum fails.
+    pub fn parse(buf: &[u8]) -> Result<(Ipv4Header, &[u8]), ParseError> {
+        if buf.len() < Self::LEN {
+            return Err(ParseError::Truncated { layer: "ipv4", needed: Self::LEN, got: buf.len() });
+        }
+        if buf[0] != 0x45 {
+            return Err(ParseError::Unsupported("ip version or options"));
+        }
+        if internet_checksum(&buf[..Self::LEN], 0) != 0 {
+            return Err(ParseError::BadChecksum("ipv4"));
+        }
+        let total_len = u16::from_be_bytes([buf[2], buf[3]]);
+        let ident = u16::from_be_bytes([buf[4], buf[5]]);
+        let ttl = buf[8];
+        let protocol = buf[9];
+        let src = Ipv4Addr::new(buf[12], buf[13], buf[14], buf[15]);
+        let dst = Ipv4Addr::new(buf[16], buf[17], buf[18], buf[19]);
+        Ok((Ipv4Header { src, dst, protocol, total_len, ident, ttl }, &buf[Self::LEN..]))
+    }
+}
+
+/// TCP header (20 bytes, no options in the data path — the prototype
+/// negotiates nothing beyond the RFC 793 base header).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcpHeader {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Sequence number.
+    pub seq: SeqNum,
+    /// Acknowledgment number.
+    pub ack: SeqNum,
+    /// Control flags.
+    pub flags: TcpFlags,
+    /// Advertised receive window.
+    pub window: u16,
+}
+
+impl TcpHeader {
+    /// Wire length in bytes (no options).
+    pub const LEN: usize = 20;
+
+    fn pseudo_header_sum(src: Ipv4Addr, dst: Ipv4Addr, tcp_len: u16) -> u32 {
+        let s = src.octets();
+        let d = dst.octets();
+        u32::from(u16::from_be_bytes([s[0], s[1]]))
+            + u32::from(u16::from_be_bytes([s[2], s[3]]))
+            + u32::from(u16::from_be_bytes([d[0], d[1]]))
+            + u32::from(u16::from_be_bytes([d[2], d[3]]))
+            + u32::from(Ipv4Header::PROTO_TCP)
+            + u32::from(tcp_len)
+    }
+
+    /// Appends this header plus `payload` (with a valid checksum computed
+    /// over the pseudo-header, header and payload) to `out`.
+    pub fn write(&self, src: Ipv4Addr, dst: Ipv4Addr, payload: &[u8], out: &mut Vec<u8>) {
+        let start = out.len();
+        out.extend_from_slice(&self.src_port.to_be_bytes());
+        out.extend_from_slice(&self.dst_port.to_be_bytes());
+        out.extend_from_slice(&self.seq.0.to_be_bytes());
+        out.extend_from_slice(&self.ack.0.to_be_bytes());
+        out.push(5 << 4); // data offset 5 words
+        out.push(self.flags.0);
+        out.extend_from_slice(&self.window.to_be_bytes());
+        out.extend_from_slice(&[0, 0]); // checksum placeholder
+        out.extend_from_slice(&[0, 0]); // urgent pointer
+        out.extend_from_slice(payload);
+        let tcp_len = (Self::LEN + payload.len()) as u16;
+        let pseudo = Self::pseudo_header_sum(src, dst, tcp_len);
+        let csum = internet_checksum(&out[start..], pseudo);
+        out[start + 16..start + 18].copy_from_slice(&csum.to_be_bytes());
+    }
+
+    /// Parses and checksum-verifies a TCP header, returning it and the
+    /// payload. Needs the IP addresses for the pseudo-header.
+    ///
+    /// # Errors
+    ///
+    /// [`ParseError::Truncated`], [`ParseError::Unsupported`] (data offset
+    /// with options), or [`ParseError::BadChecksum`].
+    pub fn parse<'a>(
+        buf: &'a [u8],
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+    ) -> Result<(TcpHeader, &'a [u8]), ParseError> {
+        if buf.len() < Self::LEN {
+            return Err(ParseError::Truncated { layer: "tcp", needed: Self::LEN, got: buf.len() });
+        }
+        let data_offset = (buf[12] >> 4) as usize * 4;
+        if data_offset != Self::LEN {
+            return Err(ParseError::Unsupported("tcp options"));
+        }
+        let pseudo = Self::pseudo_header_sum(src, dst, buf.len() as u16);
+        if internet_checksum(buf, pseudo) != 0 {
+            return Err(ParseError::BadChecksum("tcp"));
+        }
+        let header = TcpHeader {
+            src_port: u16::from_be_bytes([buf[0], buf[1]]),
+            dst_port: u16::from_be_bytes([buf[2], buf[3]]),
+            seq: SeqNum(u32::from_be_bytes([buf[4], buf[5], buf[6], buf[7]])),
+            ack: SeqNum(u32::from_be_bytes([buf[8], buf[9], buf[10], buf[11]])),
+            flags: TcpFlags(buf[13]),
+            window: u16::from_be_bytes([buf[14], buf[15]]),
+        };
+        Ok((header, &buf[Self::LEN..]))
+    }
+}
+
+/// An ARP message (request or reply) for IPv4-over-Ethernet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArpMessage {
+    /// True for a request, false for a reply.
+    pub is_request: bool,
+    /// Sender hardware address.
+    pub sender_mac: MacAddr,
+    /// Sender protocol address.
+    pub sender_ip: Ipv4Addr,
+    /// Target hardware address (zero in requests).
+    pub target_mac: MacAddr,
+    /// Target protocol address.
+    pub target_ip: Ipv4Addr,
+}
+
+impl ArpMessage {
+    /// Wire length in bytes.
+    pub const LEN: usize = 28;
+
+    /// Builds the reply to this request, answering with `my_mac`.
+    pub fn reply_from(&self, my_mac: MacAddr) -> ArpMessage {
+        ArpMessage {
+            is_request: false,
+            sender_mac: my_mac,
+            sender_ip: self.target_ip,
+            target_mac: self.sender_mac,
+            target_ip: self.sender_ip,
+        }
+    }
+
+    /// Appends this message to `out`.
+    pub fn write(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&1u16.to_be_bytes()); // HTYPE ethernet
+        out.extend_from_slice(&EthernetHeader::TYPE_IPV4.to_be_bytes()); // PTYPE
+        out.push(6); // HLEN
+        out.push(4); // PLEN
+        out.extend_from_slice(&(if self.is_request { 1u16 } else { 2 }).to_be_bytes());
+        out.extend_from_slice(&self.sender_mac.0);
+        out.extend_from_slice(&self.sender_ip.octets());
+        out.extend_from_slice(&self.target_mac.0);
+        out.extend_from_slice(&self.target_ip.octets());
+    }
+
+    /// Parses an ARP message.
+    ///
+    /// # Errors
+    ///
+    /// [`ParseError::Truncated`] or [`ParseError::Unsupported`] for
+    /// non-Ethernet/IPv4 ARP.
+    pub fn parse(buf: &[u8]) -> Result<ArpMessage, ParseError> {
+        if buf.len() < Self::LEN {
+            return Err(ParseError::Truncated { layer: "arp", needed: Self::LEN, got: buf.len() });
+        }
+        if buf[0..2] != [0, 1] || buf[2..4] != [0x08, 0x00] || buf[4] != 6 || buf[5] != 4 {
+            return Err(ParseError::Unsupported("arp htype/ptype"));
+        }
+        let oper = u16::from_be_bytes([buf[6], buf[7]]);
+        if oper != 1 && oper != 2 {
+            return Err(ParseError::Unsupported("arp operation"));
+        }
+        let mut sender_mac = [0u8; 6];
+        sender_mac.copy_from_slice(&buf[8..14]);
+        let sender_ip = Ipv4Addr::new(buf[14], buf[15], buf[16], buf[17]);
+        let mut target_mac = [0u8; 6];
+        target_mac.copy_from_slice(&buf[18..24]);
+        let target_ip = Ipv4Addr::new(buf[24], buf[25], buf[26], buf[27]);
+        Ok(ArpMessage {
+            is_request: oper == 1,
+            sender_mac: MacAddr(sender_mac),
+            sender_ip,
+            target_mac: MacAddr(target_mac),
+            target_ip,
+        })
+    }
+}
+
+/// An ICMP echo request/reply (what `ping` sends; FtEngine answers these
+/// in hardware for diagnostics, §4.1.2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IcmpEcho {
+    /// True for echo request (type 8), false for echo reply (type 0).
+    pub is_request: bool,
+    /// Identifier (typically the pinging process id).
+    pub ident: u16,
+    /// Sequence number of the ping.
+    pub seq: u16,
+    /// Echo payload.
+    pub payload: Vec<u8>,
+}
+
+impl IcmpEcho {
+    /// Builds the reply to this request (same ident/seq/payload).
+    pub fn reply(&self) -> IcmpEcho {
+        IcmpEcho { is_request: false, ..self.clone() }
+    }
+
+    /// Appends this message (with valid checksum) to `out`.
+    pub fn write(&self, out: &mut Vec<u8>) {
+        let start = out.len();
+        out.push(if self.is_request { 8 } else { 0 });
+        out.push(0); // code
+        out.extend_from_slice(&[0, 0]); // checksum placeholder
+        out.extend_from_slice(&self.ident.to_be_bytes());
+        out.extend_from_slice(&self.seq.to_be_bytes());
+        out.extend_from_slice(&self.payload);
+        let csum = internet_checksum(&out[start..], 0);
+        out[start + 2..start + 4].copy_from_slice(&csum.to_be_bytes());
+    }
+
+    /// Parses and checksum-verifies an ICMP echo message.
+    ///
+    /// # Errors
+    ///
+    /// [`ParseError::Truncated`], [`ParseError::Unsupported`] for non-echo
+    /// types, [`ParseError::BadChecksum`].
+    pub fn parse(buf: &[u8]) -> Result<IcmpEcho, ParseError> {
+        if buf.len() < 8 {
+            return Err(ParseError::Truncated { layer: "icmp", needed: 8, got: buf.len() });
+        }
+        let ty = buf[0];
+        if ty != 0 && ty != 8 {
+            return Err(ParseError::Unsupported("icmp type"));
+        }
+        if internet_checksum(buf, 0) != 0 {
+            return Err(ParseError::BadChecksum("icmp"));
+        }
+        Ok(IcmpEcho {
+            is_request: ty == 8,
+            ident: u16::from_be_bytes([buf[4], buf[5]]),
+            seq: u16::from_be_bytes([buf[6], buf[7]]),
+            payload: buf[8..].to_vec(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn checksum_rfc1071_example() {
+        // RFC 1071 example words.
+        let data = [0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        let sum = internet_checksum(&data, 0);
+        assert_eq!(sum, !0xddf2);
+    }
+
+    #[test]
+    fn checksum_odd_length() {
+        // Trailing byte is padded with zero.
+        assert_eq!(internet_checksum(&[0xab], 0), internet_checksum(&[0xab, 0x00], 0));
+    }
+
+    #[test]
+    fn ethernet_round_trip() {
+        let h = EthernetHeader {
+            dst: MacAddr([1, 2, 3, 4, 5, 6]),
+            src: MacAddr([7, 8, 9, 10, 11, 12]),
+            ethertype: EthernetHeader::TYPE_IPV4,
+        };
+        let mut buf = Vec::new();
+        h.write(&mut buf);
+        assert_eq!(buf.len(), EthernetHeader::LEN);
+        let (parsed, rest) = EthernetHeader::parse(&buf).unwrap();
+        assert_eq!(parsed, h);
+        assert!(rest.is_empty());
+    }
+
+    #[test]
+    fn ipv4_round_trip_and_checksum() {
+        let h = Ipv4Header {
+            src: Ipv4Addr::new(10, 0, 0, 1),
+            dst: Ipv4Addr::new(10, 0, 0, 2),
+            protocol: Ipv4Header::PROTO_TCP,
+            total_len: 40,
+            ident: 0x1234,
+            ttl: 64,
+        };
+        let mut buf = Vec::new();
+        h.write(&mut buf);
+        let (parsed, _) = Ipv4Header::parse(&buf).unwrap();
+        assert_eq!(parsed, h);
+        // Corrupt a byte: checksum must fail.
+        buf[8] ^= 0xff;
+        assert_eq!(Ipv4Header::parse(&buf), Err(ParseError::BadChecksum("ipv4")));
+    }
+
+    #[test]
+    fn tcp_round_trip_with_payload() {
+        let src = Ipv4Addr::new(192, 168, 0, 1);
+        let dst = Ipv4Addr::new(192, 168, 0, 2);
+        let h = TcpHeader {
+            src_port: 40000,
+            dst_port: 80,
+            seq: SeqNum(0xDEADBEEF),
+            ack: SeqNum(0x01020304),
+            flags: TcpFlags::ACK | TcpFlags::PSH,
+            window: 0xFFFF,
+        };
+        let payload = b"hello f4t";
+        let mut buf = Vec::new();
+        h.write(src, dst, payload, &mut buf);
+        let (parsed, body) = TcpHeader::parse(&buf, src, dst).unwrap();
+        assert_eq!(parsed, h);
+        assert_eq!(body, payload);
+    }
+
+    #[test]
+    fn tcp_checksum_detects_payload_corruption() {
+        let src = Ipv4Addr::new(1, 1, 1, 1);
+        let dst = Ipv4Addr::new(2, 2, 2, 2);
+        let h = TcpHeader {
+            src_port: 1,
+            dst_port: 2,
+            seq: SeqNum(1),
+            ack: SeqNum(2),
+            flags: TcpFlags::ACK,
+            window: 100,
+        };
+        let mut buf = Vec::new();
+        h.write(src, dst, b"payload!", &mut buf);
+        let last = buf.len() - 1;
+        buf[last] ^= 0x01;
+        assert_eq!(TcpHeader::parse(&buf, src, dst), Err(ParseError::BadChecksum("tcp")));
+    }
+
+    #[test]
+    fn tcp_checksum_depends_on_pseudo_header() {
+        let src = Ipv4Addr::new(1, 1, 1, 1);
+        let dst = Ipv4Addr::new(2, 2, 2, 2);
+        let h = TcpHeader {
+            src_port: 1,
+            dst_port: 2,
+            seq: SeqNum(1),
+            ack: SeqNum(2),
+            flags: TcpFlags::ACK,
+            window: 100,
+        };
+        let mut buf = Vec::new();
+        h.write(src, dst, &[], &mut buf);
+        // Wrong source IP in the pseudo-header must fail verification.
+        let wrong = Ipv4Addr::new(9, 9, 9, 9);
+        assert!(TcpHeader::parse(&buf, wrong, dst).is_err());
+    }
+
+    #[test]
+    fn arp_request_reply_cycle() {
+        let req = ArpMessage {
+            is_request: true,
+            sender_mac: MacAddr([1, 1, 1, 1, 1, 1]),
+            sender_ip: Ipv4Addr::new(10, 0, 0, 1),
+            target_mac: MacAddr::default(),
+            target_ip: Ipv4Addr::new(10, 0, 0, 2),
+        };
+        let mut buf = Vec::new();
+        req.write(&mut buf);
+        assert_eq!(buf.len(), ArpMessage::LEN);
+        let parsed = ArpMessage::parse(&buf).unwrap();
+        assert_eq!(parsed, req);
+
+        let my_mac = MacAddr([2, 2, 2, 2, 2, 2]);
+        let reply = parsed.reply_from(my_mac);
+        assert!(!reply.is_request);
+        assert_eq!(reply.sender_mac, my_mac);
+        assert_eq!(reply.sender_ip, req.target_ip);
+        assert_eq!(reply.target_mac, req.sender_mac);
+    }
+
+    #[test]
+    fn icmp_echo_round_trip() {
+        let ping = IcmpEcho { is_request: true, ident: 77, seq: 3, payload: vec![1, 2, 3, 4] };
+        let mut buf = Vec::new();
+        ping.write(&mut buf);
+        let parsed = IcmpEcho::parse(&buf).unwrap();
+        assert_eq!(parsed, ping);
+        let pong = parsed.reply();
+        assert!(!pong.is_request);
+        assert_eq!(pong.payload, ping.payload);
+    }
+
+    #[test]
+    fn truncated_errors() {
+        assert!(matches!(
+            EthernetHeader::parse(&[0; 5]),
+            Err(ParseError::Truncated { layer: "ethernet", .. })
+        ));
+        assert!(matches!(Ipv4Header::parse(&[0x45; 10]), Err(ParseError::Truncated { .. })));
+        assert!(matches!(IcmpEcho::parse(&[8, 0, 0]), Err(ParseError::Truncated { .. })));
+        assert!(ParseError::BadChecksum("tcp").to_string().contains("tcp"));
+    }
+
+    proptest! {
+        /// Any TCP header + payload round-trips through the wire format.
+        #[test]
+        fn tcp_header_round_trip(
+            sp in any::<u16>(), dp in any::<u16>(),
+            seq in any::<u32>(), ack in any::<u32>(),
+            flags in 0u8..64, window in any::<u16>(),
+            payload in proptest::collection::vec(any::<u8>(), 0..256),
+        ) {
+            let src = Ipv4Addr::new(10, 1, 2, 3);
+            let dst = Ipv4Addr::new(10, 3, 2, 1);
+            let h = TcpHeader {
+                src_port: sp, dst_port: dp,
+                seq: SeqNum(seq), ack: SeqNum(ack),
+                flags: TcpFlags(flags), window,
+            };
+            let mut buf = Vec::new();
+            h.write(src, dst, &payload, &mut buf);
+            let (parsed, body) = TcpHeader::parse(&buf, src, dst).unwrap();
+            prop_assert_eq!(parsed, h);
+            prop_assert_eq!(body, &payload[..]);
+        }
+
+        /// Full frame: Ethernet + IPv4 + TCP compose and decompose.
+        #[test]
+        fn full_frame_round_trip(payload in proptest::collection::vec(any::<u8>(), 0..64)) {
+            let src = Ipv4Addr::new(10, 0, 0, 1);
+            let dst = Ipv4Addr::new(10, 0, 0, 2);
+            let eth = EthernetHeader {
+                dst: MacAddr([0xa; 6]),
+                src: MacAddr([0xb; 6]),
+                ethertype: EthernetHeader::TYPE_IPV4,
+            };
+            let tcp = TcpHeader {
+                src_port: 5000, dst_port: 80,
+                seq: SeqNum(1000), ack: SeqNum(2000),
+                flags: TcpFlags::ACK, window: 512,
+            };
+            let ip = Ipv4Header {
+                src, dst,
+                protocol: Ipv4Header::PROTO_TCP,
+                total_len: (Ipv4Header::LEN + TcpHeader::LEN + payload.len()) as u16,
+                ident: 7, ttl: 64,
+            };
+            let mut frame = Vec::new();
+            eth.write(&mut frame);
+            ip.write(&mut frame);
+            tcp.write(src, dst, &payload, &mut frame);
+
+            let (e2, rest) = EthernetHeader::parse(&frame).unwrap();
+            prop_assert_eq!(e2, eth);
+            let (ip2, rest) = Ipv4Header::parse(rest).unwrap();
+            prop_assert_eq!(ip2, ip);
+            let (t2, body) = TcpHeader::parse(rest, ip2.src, ip2.dst).unwrap();
+            prop_assert_eq!(t2, tcp);
+            prop_assert_eq!(body, &payload[..]);
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Bulk data transfer (iperf).
+
+use f4t_host::{F4tLib, SendError};
+use f4t_tcp::FlowId;
+
+/// An iperf-style bulk sender: one flow, fixed-size requests, as fast as
+/// the send buffer allows.
+#[derive(Debug)]
+pub struct BulkSender {
+    flow: FlowId,
+    request_bytes: u32,
+    requests: u64,
+    blocked: u64,
+}
+
+impl BulkSender {
+    /// Creates a sender issuing `request_bytes`-sized requests on `flow`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `request_bytes` is zero.
+    pub fn new(flow: FlowId, request_bytes: u32) -> BulkSender {
+        assert!(request_bytes > 0, "request size must be non-zero");
+        BulkSender { flow, request_bytes, requests: 0, blocked: 0 }
+    }
+
+    /// The driven flow.
+    pub fn flow(&self) -> FlowId {
+        self.flow
+    }
+
+    /// Attempts one `send()`; returns `true` if a request was issued
+    /// (costing the caller one library-call budget), `false` if blocked
+    /// on buffer/queue space (costing a poll).
+    pub fn step(&mut self, lib: &mut F4tLib) -> bool {
+        match lib.send(self.flow, self.request_bytes) {
+            Ok(_) => {
+                self.requests += 1;
+                true
+            }
+            Err(SendError::BufferFull | SendError::QueueFull) => {
+                self.blocked += 1;
+                false
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Requests issued.
+    pub fn requests(&self) -> u64 {
+        self.requests
+    }
+
+    /// Payload bytes requested.
+    pub fn bytes_requested(&self) -> u64 {
+        self.requests * u64::from(self.request_bytes)
+    }
+
+    /// Times the sender was blocked (EAGAIN).
+    pub fn blocked(&self) -> u64 {
+        self.blocked
+    }
+}
+
+/// The receiving side of a bulk transfer: consume everything that
+/// arrives, keeping the advertised window open.
+#[derive(Debug)]
+pub struct BulkReceiver {
+    flows: Vec<FlowId>,
+    consumed: u64,
+}
+
+impl BulkReceiver {
+    /// Creates a receiver draining `flows`.
+    pub fn new(flows: Vec<FlowId>) -> BulkReceiver {
+        BulkReceiver { flows, consumed: 0 }
+    }
+
+    /// Consumes available data on one flow per call (round-robining
+    /// through the set); returns bytes consumed (0 = nothing readable,
+    /// costing the caller only a poll).
+    pub fn step(&mut self, lib: &mut F4tLib) -> u32 {
+        for _ in 0..self.flows.len() {
+            let flow = self.flows[0];
+            self.flows.rotate_left(1);
+            let got = lib.recv(flow, u32::MAX);
+            if got > 0 {
+                self.consumed += u64::from(got);
+                return got;
+            }
+        }
+        0
+    }
+
+    /// Total bytes consumed.
+    pub fn consumed(&self) -> u64 {
+        self.consumed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use f4t_host::Completion;
+    use f4t_tcp::{SeqNum, TCP_BUFFER};
+
+    #[test]
+    fn sender_issues_until_buffer_full() {
+        let mut lib = F4tLib::new();
+        lib.register(FlowId(1), SeqNum(0), true);
+        let mut s = BulkSender::new(FlowId(1), 128);
+        let mut issued = 0;
+        while s.step(&mut lib) {
+            issued += 1;
+        }
+        assert_eq!(issued, u64::from(TCP_BUFFER / 128).min(1024), "buffer or queue bound");
+        assert!(s.blocked() >= 1);
+        assert_eq!(s.bytes_requested(), s.requests() * 128);
+    }
+
+    #[test]
+    fn sender_resumes_after_ack() {
+        let mut lib = F4tLib::new();
+        lib.register(FlowId(1), SeqNum(0), true);
+        let mut s = BulkSender::new(FlowId(1), TCP_BUFFER / 2);
+        assert!(s.step(&mut lib));
+        assert!(s.step(&mut lib));
+        assert!(!s.step(&mut lib), "buffer full");
+        lib.on_completion(Completion::Acked { flow: FlowId(1), upto: SeqNum(TCP_BUFFER / 2) });
+        assert!(s.step(&mut lib));
+    }
+
+    #[test]
+    fn receiver_consumes_and_rotates() {
+        let mut lib = F4tLib::new();
+        lib.register(FlowId(1), SeqNum(0), true);
+        lib.register(FlowId(2), SeqNum(0), true);
+        let mut r = BulkReceiver::new(vec![FlowId(1), FlowId(2)]);
+        assert_eq!(r.step(&mut lib), 0, "nothing yet");
+        lib.on_completion(Completion::Received { flow: FlowId(2), upto: SeqNum(300) });
+        assert_eq!(r.step(&mut lib), 300, "found the readable flow");
+        assert_eq!(r.consumed(), 300);
+    }
+}

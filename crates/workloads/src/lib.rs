@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+//! # f4t-workloads — the evaluation's application workloads
+//!
+//! Drivers reproducing the paper's workload suite, written against the
+//! F4T library's socket API (`f4t-host::F4tLib`) so the system simulator
+//! can run them unchanged on any core:
+//!
+//! * [`BulkSender`] / [`BulkReceiver`] — iperf-style bulk data transfer,
+//!   one flow per core issuing fixed-size send requests (§5.1, Figs. 2,
+//!   8a, 9, 16).
+//! * [`RoundRobinSender`] — "each CPU core generates send requests in a
+//!   round-robin manner for 16 flows. Each CPU core uses a distinct set
+//!   of 16 flows" (§5.1, Fig. 8b).
+//! * [`EchoClient`] / [`EchoServer`] — the 128 B ping-pong connectivity
+//!   benchmark where "each flow has to wait for a response to send the
+//!   next message", giving the worst-case TCB locality (§5.3, Fig. 13).
+//! * [`HttpClient`] / [`HttpServer`] — the wrk + Nginx pair: closed-loop
+//!   HTTP requests answered with 256 B responses, the server paying
+//!   application + VFS cycles per request (§5.2, Figs. 1, 10–12).
+//!
+//! Every driver is pure bookkeeping over library pointers; CPU cycle
+//! costs are returned to the caller (the per-core loop in `f4t-system`)
+//! so utilization accounting stays in one place.
+
+pub mod bulk;
+pub mod echo;
+pub mod http;
+pub mod round_robin;
+
+pub use bulk::{BulkReceiver, BulkSender};
+pub use echo::{EchoClient, EchoServer};
+pub use http::{HttpClient, HttpServer, NGINX_RESPONSE_BYTES, WRK_REQUEST_BYTES};
+pub use round_robin::RoundRobinSender;
+
+/// The default echo/ping-pong message size (§5.3).
+pub const ECHO_MSG_BYTES: u32 = 128;

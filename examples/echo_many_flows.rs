@@ -1,0 +1,40 @@
+//! Connectivity at scale (§5.3): thousands of concurrent ping-pong flows.
+//!
+//! Every flow waits for its echo before sending the next message, so TCB
+//! accesses have near-zero temporal locality — the worst case for the
+//! memory hierarchy. With more active flows than the 1024 FPC slots, the
+//! engine continuously migrates TCBs to and from on-board memory; the
+//! choice of DDR4 vs HBM decides whether that costs throughput.
+//!
+//! ```sh
+//! cargo run --release --example echo_many_flows
+//! ```
+
+use f4t::core::EngineConfig;
+use f4t::mem::DramKind;
+use f4t::system::F4tSystem;
+
+fn main() {
+    let cores = 4;
+    let flows = 4096; // 4x the SRAM-resident capacity
+    println!("echo ping-pong: {flows} flows on {cores} cores ({}x SRAM capacity)\n", flows / 1024);
+
+    for dram in [DramKind::Ddr4, DramKind::Hbm] {
+        let cfg = EngineConfig { dram, ..EngineConfig::reference() };
+        let mut sys = F4tSystem::echo(cores, flows, 128, cfg);
+        let m = sys.measure(4_000_000, 8_000_000);
+        let stats = sys.a.engine.stats();
+        println!("{dram}:");
+        println!("  round trips/s:   {:.1} M", m.mrps());
+        println!("  TCB migrations:  {} ({:.2} per request)", m.migrations, m.migrations as f64 / m.requests.max(1) as f64);
+        println!("  TCB cache hits:  {:.0} %", stats.tcb_cache_hit_rate * 100.0);
+        println!("  retransmissions: {} (loss recovery under DRAM pressure)", m.retransmissions);
+        println!("  median RTT:      {:.1} µs", m.median_latency_us());
+        println!();
+    }
+    println!(
+        "The paper's Fig. 13: with DDR4 the echo rate drops once active\n\
+         flows exceed the 1024 SRAM-resident TCBs; HBM's bandwidth keeps\n\
+         the rate flat all the way to 64K flows."
+    );
+}

@@ -1,0 +1,81 @@
+//! The paper's flagship application scenario (§5.2): an Nginx-model web
+//! server behind F4T versus the same server on the Linux kernel stack.
+//!
+//! A wrk-style load generator drives keep-alive connections with HTTP
+//! GETs; the server answers each with a 256 B response, paying real
+//! application + VFS cycles. Prints the request rate, the CPU-utilization
+//! breakdown and the latency comparison — Figs. 10–12 in one run.
+//!
+//! ```sh
+//! cargo run --release --example nginx_server
+//! ```
+
+use f4t::core::EngineConfig;
+use f4t::host::{CpuCategory, LinuxModel};
+use f4t::system::{F4tSystem, LinuxSystem};
+
+fn main() {
+    let server_cores = 1;
+    let connections = 64;
+    println!("Nginx on F4T vs Linux — {server_cores} server core, {connections} connections\n");
+
+    let mut sys = F4tSystem::http(2, server_cores, connections, EngineConfig::reference());
+    sys.run_ns(500_000); // warm up
+    let served0 = sys.server_requests();
+    let t0 = sys.now_ns();
+    let metrics = sys.measure(0, 4_000_000);
+    let served = sys.server_requests() - served0;
+    let window = sys.now_ns() - t0;
+
+    let f4t_rps = served as f64 * 1e9 / window as f64;
+    let linux_rps = LinuxModel::nginx_rps(server_cores as u32);
+    println!("requests/second:");
+    println!("  Linux: {:>8.0}", linux_rps);
+    println!("  F4T:   {:>8.0}   ({:.2}x)", f4t_rps, f4t_rps / linux_rps);
+
+    println!("\nserver CPU breakdown (busy cycles):");
+    let linux = LinuxModel::nginx_breakdown();
+    let f4t = sys.b.total_accounting();
+    let busy_f4t = (f4t.app + f4t.tcp + f4t.kernel + f4t.lib).max(1);
+    println!("  {:26} {:>8} {:>8}", "", "Linux", "F4T");
+    println!(
+        "  {:26} {:>7.0}% {:>7.0}%",
+        "application",
+        linux.fraction(CpuCategory::App) * 100.0,
+        f4t.app as f64 * 100.0 / busy_f4t as f64
+    );
+    println!(
+        "  {:26} {:>7.0}% {:>7.0}%",
+        "kernel TCP stack",
+        linux.fraction(CpuCategory::Tcp) * 100.0,
+        f4t.tcp as f64 * 100.0 / busy_f4t as f64
+    );
+    println!(
+        "  {:26} {:>7.0}% {:>7.0}%",
+        "other kernel (vfs_read...)",
+        linux.fraction(CpuCategory::Kernel) * 100.0,
+        f4t.kernel as f64 * 100.0 / busy_f4t as f64
+    );
+    println!(
+        "  {:26} {:>7.0}% {:>7.0}%",
+        "F4T library",
+        0.0,
+        f4t.lib as f64 * 100.0 / busy_f4t as f64
+    );
+
+    let linux_lat = LinuxSystem::nginx_latency(server_cores as u32, connections as u32, 42);
+    println!("\nlatency (µs):");
+    println!(
+        "  Linux: median {:>7.1}   p99 {:>8.1}",
+        linux_lat.percentile(50.0) as f64 / 1e3,
+        linux_lat.percentile(99.0) as f64 / 1e3
+    );
+    println!(
+        "  F4T:   median {:>7.1}   p99 {:>8.1}",
+        metrics.median_latency_us(),
+        metrics.p99_latency_us()
+    );
+
+    assert!(f4t_rps > linux_rps * 2.0, "paper reports 2.6-2.8x");
+    assert_eq!(f4t.tcp, 0, "F4T leaves no TCP work on the host CPU");
+}

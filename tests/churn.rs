@@ -1,0 +1,90 @@
+//! Connection churn: the paper motivates dynamic FPC allocation with
+//! "workloads continuously establish and terminate flows" (§4.4.2). This
+//! test runs many short-lived connections through the full handshake /
+//! transfer / orderly-close lifecycle and checks that every piece of
+//! per-flow state is reclaimed.
+
+use f4t::core::{Engine, EngineConfig, EventKind, HostNotification};
+use f4t::tcp::FourTuple;
+use std::net::Ipv4Addr;
+
+fn pump(client: &mut Engine, server: &mut Engine) {
+    client.tick();
+    server.tick();
+    loop {
+        let mut moved = false;
+        while let Some(seg) = client.pop_tx() {
+            server.push_rx(seg);
+            moved = true;
+        }
+        while let Some(seg) = server.pop_tx() {
+            client.push_rx(seg);
+            moved = true;
+        }
+        if !moved {
+            break;
+        }
+        client.tick();
+        server.tick();
+    }
+}
+
+#[test]
+fn short_connections_churn_and_reclaim() {
+    let cfg = EngineConfig { num_fpcs: 2, flows_per_fpc: 16, lut_groups: 2, ..EngineConfig::reference() };
+    let mut client = Engine::new(cfg.clone());
+    let mut server = Engine::new(cfg);
+    server.listen(80);
+
+    let rounds = 60; // 60 sequential short connections through 32 slots
+    let mut completed = 0;
+    for i in 0..rounds {
+        let t = FourTuple::new(
+            Ipv4Addr::new(10, 0, 0, 1),
+            40_000 + (i % 4) as u16, // deliberately reuse ports
+            Ipv4Addr::new(10, 0, 0, 2),
+            80,
+        );
+        let fc = client.open_active(t).expect("capacity reclaimed each round");
+        client.push_host(fc, EventKind::Connect);
+
+        let mut connected = false;
+        let mut closed = false;
+        let mut sent = false;
+        for _ in 0..120_000u64 {
+            pump(&mut client, &mut server);
+            while let Some(n) = client.pop_notification() {
+                match n {
+                    HostNotification::Connected { flow } if flow == fc => connected = true,
+                    HostNotification::Closed { flow } if flow == fc => closed = true,
+                    _ => {}
+                }
+            }
+            while let Some(n) = server.pop_notification() {
+                if let HostNotification::PeerFin { flow } = n {
+                    // Server closes its side in response (passive close).
+                    server.push_host(flow, EventKind::Close);
+                }
+            }
+            if connected && !sent {
+                let tcb = client.peek_tcb(fc).expect("live connection");
+                client.push_host(fc, EventKind::SendReq { req: tcb.snd_nxt.add(256) });
+                client.push_host(fc, EventKind::Close);
+                sent = true;
+            }
+            if closed {
+                break;
+            }
+        }
+        assert!(connected, "round {i}: handshake completed");
+        assert!(closed, "round {i}: client reached Closed");
+        assert!(client.peek_tcb(fc).is_none(), "round {i}: client state reclaimed");
+        completed += 1;
+        // Let the server drain its own close.
+        for _ in 0..5_000 {
+            pump(&mut client, &mut server);
+            while server.pop_notification().is_some() {}
+        }
+    }
+    assert_eq!(completed, rounds);
+}

@@ -1,0 +1,97 @@
+//! Congestion-control fairness: two F4T flows sharing one bottleneck
+//! link must converge to similar bandwidth shares — the classic AIMD
+//! property, exercised end to end through two engines.
+
+use f4t::core::{Engine, EngineConfig, EventKind, HostNotification};
+use f4t::sim::clock::BytePacer;
+use f4t::sim::ClockDomain;
+use f4t::tcp::{FourTuple, SeqNum, MSS};
+use std::collections::VecDeque;
+use std::net::Ipv4Addr;
+
+#[test]
+fn two_flows_share_the_bottleneck_fairly() {
+    let cfg = EngineConfig { num_fpcs: 2, lut_groups: 2, ..EngineConfig::reference() };
+    let mut a = Engine::new(cfg.clone());
+    let mut b = Engine::new(cfg);
+    let t1 = FourTuple::new(Ipv4Addr::new(10, 0, 0, 1), 40_000, Ipv4Addr::new(10, 0, 0, 2), 80);
+    let t2 = FourTuple::new(Ipv4Addr::new(10, 0, 0, 1), 40_001, Ipv4Addr::new(10, 0, 0, 2), 80);
+    let isn = SeqNum(0);
+    let f1 = a.open_established(t1, isn).unwrap();
+    let f2 = a.open_established(t2, isn).unwrap();
+    b.open_established(t1.reversed(), isn).unwrap();
+    b.open_established(t2.reversed(), isn).unwrap();
+
+    // A 5 Gbps bottleneck with a drop-tail queue: both flows contend.
+    let mut pace = BytePacer::for_link(5, ClockDomain::ENGINE_CORE, 2 * 1538);
+    let mut pace_back = BytePacer::for_link(5, ClockDomain::ENGINE_CORE, 2 * 1538);
+    let delay = 50_000u64;
+    let queue_cap = 64usize;
+    let mut wire_ab: VecDeque<(u64, f4t::tcp::Segment)> = VecDeque::new();
+    let mut wire_ba: VecDeque<(u64, f4t::tcp::Segment)> = VecDeque::new();
+
+    let mut req1 = isn;
+    let mut req2 = isn;
+    for c in 0..6_000_000u64 {
+        let now = c * 4;
+        pace.tick();
+        pace_back.tick();
+        // Keep both send buffers topped up.
+        if c % 64 == 0 {
+            req1 = req1.add(16 * 1024);
+            req2 = req2.add(16 * 1024);
+            a.push_host(f1, EventKind::SendReq { req: req1 });
+            a.push_host(f2, EventKind::SendReq { req: req2 });
+        }
+        a.tick();
+        b.tick();
+        while let Some(n) = b.pop_notification() {
+            if let HostNotification::DataReceived { flow, upto } = n {
+                b.push_host(flow, EventKind::RecvConsumed { consumed: upto });
+            }
+        }
+        while a.pop_notification().is_some() {}
+        // Bottleneck with a bounded queue: drop-tail beyond queue_cap.
+        while let Some(seg) = a.peek_tx() {
+            if wire_ab.len() >= queue_cap {
+                // Queue full: drop the segment (this is the loss signal).
+                let _ = a.pop_tx();
+                continue;
+            }
+            if pace.try_consume(u64::from(seg.wire_len())) {
+                let seg = a.pop_tx().expect("peeked");
+                wire_ab.push_back((now + delay, seg));
+            } else {
+                break;
+            }
+        }
+        while let Some(seg) = b.peek_tx() {
+            if pace_back.try_consume(u64::from(seg.wire_len())) {
+                wire_ba.push_back((now + delay, b.pop_tx().expect("peeked")));
+            } else {
+                break;
+            }
+        }
+        while wire_ab.front().is_some_and(|&(at, _)| at <= now) {
+            b.push_rx(wire_ab.pop_front().expect("non-empty").1);
+        }
+        while wire_ba.front().is_some_and(|&(at, _)| at <= now) {
+            a.push_rx(wire_ba.pop_front().expect("non-empty").1);
+        }
+    }
+
+    let d1 = u64::from(a.peek_tcb(f1).unwrap().snd_una.since(isn));
+    let d2 = u64::from(a.peek_tcb(f2).unwrap().snd_una.since(isn));
+    let total = d1 + d2;
+    assert!(total > 0);
+    // Jain's fairness index for two flows: (d1+d2)^2 / (2*(d1^2+d2^2)).
+    let jain = (total as f64).powi(2) / (2.0 * ((d1 as f64).powi(2) + (d2 as f64).powi(2)));
+    assert!(
+        jain > 0.8,
+        "unfair split: {d1} vs {d2} bytes (Jain {jain:.3})"
+    );
+    // And the bottleneck was actually used (≥ 50% of 5 Gbps over 24 ms).
+    let gbps = f4t::sim::gbps(total, 24_000_000);
+    assert!(gbps > 2.5, "bottleneck utilization {gbps:.2} Gbps");
+    let _ = MSS;
+}
