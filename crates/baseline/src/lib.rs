@@ -113,12 +113,11 @@ impl StallingEngine {
 
     /// Advances one cycle of this engine's clock.
     pub fn tick(&mut self) {
-        if self.cycle >= self.busy_until {
-            if self.queue.pop_front().is_some() {
+        if self.cycle >= self.busy_until
+            && self.queue.pop_front().is_some() {
                 self.processed += 1;
                 self.busy_until = self.cycle + self.stall_cycles;
             }
-        }
         self.cycle += 1;
     }
 

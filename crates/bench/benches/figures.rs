@@ -1,83 +1,71 @@
-//! Criterion wrappers over the figure pipelines, so `cargo bench`
+//! Micro-bench wrappers over the figure pipelines, so `cargo bench`
 //! exercises every evaluation path end to end (short windows; the real
 //! numbers come from the `figNN` binaries and are recorded in
-//! EXPERIMENTS.md).
+//! EXPERIMENTS.md). Uses the in-tree [`f4t_bench::micro`] harness.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use f4t_baseline::StallingEngine;
+use f4t_bench::micro::bench;
 use f4t_core::EngineConfig;
 use f4t_netsim::{DropPolicy, LinkConfig, RefAlgo, Simulation, SimulationConfig};
 use f4t_system::F4tSystem;
+use std::hint::black_box;
 
 fn small_engine() -> EngineConfig {
     EngineConfig { num_fpcs: 2, flows_per_fpc: 64, lut_groups: 2, ..EngineConfig::reference() }
 }
 
-fn bench_fig8_bulk(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig08/bulk_128B");
-    group.sample_size(10);
+fn bench_fig8_bulk() {
     for cores in [1usize, 2] {
-        group.bench_with_input(BenchmarkId::new("cores", cores), &cores, |b, &cores| {
-            b.iter(|| {
-                let mut sys = F4tSystem::bulk(cores, 128, small_engine());
-                sys.run_ns(100_000);
-                black_box(sys.b.consumed_bytes())
-            })
+        bench(&format!("fig08/bulk_128B/cores/{cores}"), || {
+            let mut sys = F4tSystem::bulk(cores, 128, small_engine());
+            sys.run_ns(100_000);
+            black_box(sys.b.consumed_bytes())
         });
     }
-    group.finish();
 }
 
-fn bench_fig13_echo(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig13/echo_128B");
-    group.sample_size(10);
+fn bench_fig13_echo() {
     for flows in [16usize, 256] {
-        group.bench_with_input(BenchmarkId::new("flows", flows), &flows, |b, &flows| {
-            b.iter(|| {
-                let mut sys = F4tSystem::echo(2, flows, 128, small_engine());
-                sys.run_ns(150_000);
-                black_box(sys.a.requests())
-            })
+        bench(&format!("fig13/echo_128B/flows/{flows}"), || {
+            let mut sys = F4tSystem::echo(2, flows, 128, small_engine());
+            sys.run_ns(150_000);
+            black_box(sys.a.requests())
         });
     }
-    group.finish();
 }
 
-fn bench_fig14_netsim(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig14/ns3_reference");
-    group.sample_size(10);
+fn bench_fig14_netsim() {
     for algo in [RefAlgo::NewReno, RefAlgo::Cubic] {
-        group.bench_with_input(BenchmarkId::new("algo", algo), &algo, |b, &algo| {
-            b.iter(|| {
-                let sim = Simulation::new(SimulationConfig {
-                    algo,
-                    link: LinkConfig {
-                        drops: DropPolicy::EveryNth { n: 1_000, start: 500 },
-                        ..LinkConfig::default()
-                    },
-                    duration_ns: 50_000_000,
-                    sample_ns: 1_000_000,
-                    ..SimulationConfig::default()
-                });
-                black_box(sim.run().delivered)
-            })
+        bench(&format!("fig14/ns3_reference/algo/{algo}"), || {
+            let sim = Simulation::new(SimulationConfig {
+                algo,
+                link: LinkConfig {
+                    drops: DropPolicy::EveryNth { n: 1_000, start: 500 },
+                    ..LinkConfig::default()
+                },
+                duration_ns: 50_000_000,
+                sample_ns: 1_000_000,
+                ..SimulationConfig::default()
+            });
+            black_box(sim.run().delivered)
         });
     }
-    group.finish();
 }
 
-fn bench_fig15_baseline(c: &mut Criterion) {
-    c.bench_function("fig15/stalling_baseline_1ms", |b| {
-        b.iter(|| {
-            let mut e = StallingEngine::baseline_250mhz();
-            for _ in 0..250_000 {
-                e.offer_event();
-                e.tick();
-            }
-            black_box(e.processed())
-        })
+fn bench_fig15_baseline() {
+    bench("fig15/stalling_baseline_1ms", || {
+        let mut e = StallingEngine::baseline_250mhz();
+        for _ in 0..250_000 {
+            e.offer_event();
+            e.tick();
+        }
+        black_box(e.processed())
     });
 }
 
-criterion_group!(benches, bench_fig8_bulk, bench_fig13_echo, bench_fig14_netsim, bench_fig15_baseline);
-criterion_main!(benches);
+fn main() {
+    bench_fig8_bulk();
+    bench_fig13_echo();
+    bench_fig14_netsim();
+    bench_fig15_baseline();
+}

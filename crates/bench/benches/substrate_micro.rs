@@ -1,29 +1,29 @@
-//! Criterion micro-benchmarks for the protocol substrate: the hot
+//! Micro-benchmarks for the protocol substrate: the hot
 //! per-packet/per-event primitives (sequence arithmetic, cuckoo lookup,
-//! reassembly, checksum, congestion control).
+//! reassembly, checksum, congestion control). Uses the in-tree
+//! [`f4t_bench::micro`] harness (no criterion — offline build).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use f4t_bench::micro::bench;
 use f4t_tcp::{
     wire, CcAlgorithm, FlowId, FlowTable, FourTuple, ReassemblyTracker, SeqNum, Tcb, MSS,
 };
+use std::hint::black_box;
 use std::net::Ipv4Addr;
 
-fn bench_seq(c: &mut Criterion) {
-    c.bench_function("seq/window_check", |b| {
-        let start = SeqNum(u32::MAX - 1000);
-        b.iter(|| {
-            let mut hits = 0u32;
-            for i in 0..64u32 {
-                if black_box(start.add(i * 37)).in_window(start, 2048) {
-                    hits += 1;
-                }
+fn bench_seq() {
+    let start = SeqNum(u32::MAX - 1000);
+    bench("seq/window_check", || {
+        let mut hits = 0u32;
+        for i in 0..64u32 {
+            if black_box(start.add(i * 37)).in_window(start, 2048) {
+                hits += 1;
             }
-            hits
-        })
+        }
+        hits
     });
 }
 
-fn bench_cuckoo(c: &mut Criterion) {
+fn bench_cuckoo() {
     let mut table = FlowTable::with_capacity(65_536);
     let tuples: Vec<FourTuple> = (0..65_536u32)
         .map(|i| {
@@ -38,69 +38,57 @@ fn bench_cuckoo(c: &mut Criterion) {
     for (i, t) in tuples.iter().enumerate() {
         table.insert(*t, FlowId(i as u32)).unwrap();
     }
-    c.bench_function("cuckoo/lookup_64k", |b| {
-        let mut i = 0usize;
-        b.iter(|| {
-            i = (i + 997) % tuples.len();
-            black_box(table.lookup(&tuples[i]))
-        })
+    let mut i = 0usize;
+    bench("cuckoo/lookup_64k", || {
+        i = (i + 997) % tuples.len();
+        black_box(table.lookup(&tuples[i]))
     });
 }
 
-fn bench_reassembly(c: &mut Criterion) {
-    c.bench_function("reassembly/in_order_mss", |b| {
-        b.iter(|| {
-            let mut r = ReassemblyTracker::new(SeqNum(0), 1 << 20);
-            for i in 0..64u32 {
-                r.on_segment(SeqNum(i * MSS), MSS);
-            }
-            r.rcv_nxt()
-        })
+fn bench_reassembly() {
+    bench("reassembly/in_order_mss", || {
+        let mut r = ReassemblyTracker::new(SeqNum(0), 1 << 20);
+        for i in 0..64u32 {
+            r.on_segment(SeqNum(i * MSS), MSS);
+        }
+        r.rcv_nxt()
     });
-    c.bench_function("reassembly/every_other_ooo", |b| {
-        b.iter(|| {
-            let mut r = ReassemblyTracker::new(SeqNum(0), 1 << 20);
-            for i in 0..32u32 {
-                r.on_segment(SeqNum((2 * i + 1) * MSS), MSS);
-                r.on_segment(SeqNum(2 * i * MSS), MSS);
-            }
-            r.rcv_nxt()
-        })
+    bench("reassembly/every_other_ooo", || {
+        let mut r = ReassemblyTracker::new(SeqNum(0), 1 << 20);
+        for i in 0..32u32 {
+            r.on_segment(SeqNum((2 * i + 1) * MSS), MSS);
+            r.on_segment(SeqNum(2 * i * MSS), MSS);
+        }
+        r.rcv_nxt()
     });
 }
 
-fn bench_checksum(c: &mut Criterion) {
+fn bench_checksum() {
     let data = vec![0xA5u8; 1460];
-    c.bench_function("wire/internet_checksum_1460B", |b| {
-        b.iter(|| wire::internet_checksum(black_box(&data), 0))
-    });
+    bench("wire/internet_checksum_1460B", || wire::internet_checksum(black_box(&data), 0));
 }
 
-fn bench_cc(c: &mut Criterion) {
+fn bench_cc() {
     for algo in [CcAlgorithm::NewReno, CcAlgorithm::Cubic, CcAlgorithm::Vegas] {
-        c.bench_function(&format!("cc/{algo}/on_ack"), |b| {
-            let cc = algo.instance();
-            let mut tcb = Tcb::established(FlowId(1), FourTuple::default(), SeqNum(0));
-            cc.init(&mut tcb);
-            tcb.ssthresh = 2 * MSS; // exercise congestion avoidance
-            let mut now = 0u64;
-            b.iter(|| {
-                now += 2_000;
-                tcb.snd_una = tcb.snd_una.add(MSS);
-                tcb.snd_nxt = tcb.snd_una.add(MSS);
-                cc.on_ack(&mut tcb, MSS, Some(100_000), now);
-                black_box(tcb.cwnd)
-            })
+        let cc = algo.instance();
+        let mut tcb = Tcb::established(FlowId(1), FourTuple::default(), SeqNum(0));
+        cc.init(&mut tcb);
+        tcb.ssthresh = 2 * MSS; // exercise congestion avoidance
+        let mut now = 0u64;
+        bench(&format!("cc/{algo}/on_ack"), || {
+            now += 2_000;
+            tcb.snd_una = tcb.snd_una.add(MSS);
+            tcb.snd_nxt = tcb.snd_una.add(MSS);
+            cc.on_ack(&mut tcb, MSS, Some(100_000), now);
+            black_box(tcb.cwnd)
         });
     }
 }
 
-criterion_group!(
-    benches,
-    bench_seq,
-    bench_cuckoo,
-    bench_reassembly,
-    bench_checksum,
-    bench_cc
-);
-criterion_main!(benches);
+fn main() {
+    bench_seq();
+    bench_cuckoo();
+    bench_reassembly();
+    bench_checksum();
+    bench_cc();
+}

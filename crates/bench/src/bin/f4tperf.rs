@@ -31,6 +31,8 @@ struct Args {
     warmup_ms: u64,
     duration_ms: u64,
     scan: ScanPolicy,
+    telemetry: Option<String>,
+    trace_depth: usize,
 }
 
 impl Default for Args {
@@ -48,6 +50,8 @@ impl Default for Args {
             warmup_ms: 1,
             duration_ms: 2,
             scan: ScanPolicy::SkipIdle,
+            telemetry: None,
+            trace_depth: 65_536,
         }
     }
 }
@@ -69,6 +73,10 @@ USAGE: f4tperf [OPTIONS]
   --scan <skip-idle|full>          TCB-manager scan policy [skip-idle]
   --warmup-ms <MS>                 warmup                  [1]
   --duration-ms <MS>               measurement window      [2]
+  --telemetry <PATH>               write FtScope metrics JSON to PATH and a
+                                   Chrome trace to PATH with a .trace.json
+                                   suffix (load in Perfetto / chrome://tracing)
+  --trace-depth <N>                trace ring capacity     [65536]
   --help                           this text
 ";
 
@@ -128,6 +136,10 @@ fn parse() -> Result<Args, String> {
                     other => return Err(format!("unknown scan policy {other}")),
                 }
             }
+            "--telemetry" => args.telemetry = Some(val("--telemetry")?),
+            "--trace-depth" => {
+                args.trace_depth = val("--trace-depth")?.parse().map_err(|e| format!("{e}"))?
+            }
             "--no-coalescing" => args.coalescing = false,
             "--compact-commands" => args.compact = true,
             "--help" | "-h" => {
@@ -181,10 +193,26 @@ fn main() {
         sys.a.use_compact_commands();
         sys.b.use_compact_commands();
     }
+    if args.telemetry.is_some() {
+        sys.a.engine.set_trace_capacity(args.trace_depth);
+    }
 
     println!("f4tperf: {args:?}");
     let m = sys.measure(args.warmup_ms * 1_000_000, args.duration_ms * 1_000_000);
     let sa = sys.a.engine.stats();
+
+    if let Some(path) = &args.telemetry {
+        if let Err(e) = std::fs::write(path, m.telemetry.to_json()) {
+            eprintln!("error: writing {path}: {e}");
+            std::process::exit(1);
+        }
+        let trace_path = format!("{}.trace.json", path.trim_end_matches(".json"));
+        if let Err(e) = std::fs::write(&trace_path, sys.a.engine.export_chrome_trace()) {
+            eprintln!("error: writing {trace_path}: {e}");
+            std::process::exit(1);
+        }
+        println!("  telemetry → {path}, trace → {trace_path}");
+    }
 
     println!();
     println!("  goodput            {:>10.2} Gbps", m.goodput_gbps());
@@ -201,6 +229,14 @@ fn main() {
     println!("  TCB migrations     {:>10}", m.migrations);
     println!("  events coalesced   {:>10}", sa.events_coalesced);
     println!("  TCB cache hit      {:>9.1}%", sa.tcb_cache_hit_rate * 100.0);
+    println!(
+        "  FPC stalls         {:>10} fifo-empty / {} tcb-wait / {} backpressure",
+        sa.stall_fifo_empty, sa.stall_tcb_wait, sa.stall_backpressure
+    );
+    println!(
+        "  RMW hazards        {:>10} events ({} stall cycles — stall-free by design)",
+        sa.rmw_hazard_events, sa.rmw_stall_cycles
+    );
     let busy = m.cpu.app + m.cpu.tcp + m.cpu.kernel + m.cpu.lib;
     let budget = args.duration_ms as f64 * 1e6 * 2.3 * args.cores as f64;
     println!(

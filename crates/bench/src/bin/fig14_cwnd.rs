@@ -68,7 +68,7 @@ fn engine_trace(algo: CcAlgorithm, duration_ns: u64, drop_every: u64) -> Vec<(u6
                 let seg = a.pop_tx().expect("peeked");
                 if seg.has_payload() {
                     data_pkts += 1;
-                    if data_pkts % drop_every == 0 {
+                    if data_pkts.is_multiple_of(drop_every) {
                         continue; // dropped on the wire
                     }
                 }

@@ -22,6 +22,7 @@ use crate::rx_parser::{RxOutput, RxParser};
 use crate::scheduler::Scheduler;
 use crate::timers::TimerWheel;
 use f4t_mem::DramKind;
+use f4t_sim::telemetry::{MetricsRegistry, TraceKind, TraceRing};
 use f4t_tcp::wire::{ArpMessage, IcmpEcho};
 use f4t_tcp::{
     CcAlgorithm, CongestionControl, FlowId, FourTuple, MacAddr, Segment, SeqNum, Tcb, TcpState,
@@ -171,6 +172,22 @@ pub struct EngineStats {
     pub events_dropped: u64,
     /// TCB-cache hit rate in the memory manager.
     pub tcb_cache_hit_rate: f64,
+    /// FPC dispatch cycles idle with no pending work anywhere (summed
+    /// over FPCs).
+    pub stall_fifo_empty: u64,
+    /// FPC dispatch cycles where all pending work was blocked on TCBs in
+    /// flight through the FPU.
+    pub stall_tcb_wait: u64,
+    /// FPC dispatch cycles gated by TX/evict-checker backpressure.
+    pub stall_backpressure: u64,
+    /// Events accumulated while their TCB was in flight — each would
+    /// have stalled a write-side-RMW design (§4.2).
+    pub rmw_hazard_events: u64,
+    /// Cycles actually spent stalled on an in-flight TCB: structurally
+    /// zero in F4T's stall-free event accumulation.
+    pub rmw_stall_cycles: u64,
+    /// Location-LUT partition-port stalls in the scheduler.
+    pub lut_stalls: u64,
 }
 
 /// The FtEngine accelerator.
@@ -200,8 +217,24 @@ pub struct Engine {
     /// without reuse would alias live flows after enough churn.
     free_flow_ids: Vec<u32>,
     host_events: u64,
+    /// FtScope pipeline trace (disabled — capacity 0 — by default).
+    trace: TraceRing,
+    /// Counter snapshots from the previous tick, used to derive per-tick
+    /// trace events from modules that only expose running totals. Only
+    /// maintained while tracing is enabled.
+    trace_prev: TraceCounters,
     /// Our MAC address (for ARP answers).
     pub mac: MacAddr,
+}
+
+/// Running-total snapshot for trace derivation (see `Engine::trace_prev`).
+#[derive(Debug, Clone, Copy, Default)]
+struct TraceCounters {
+    coalesced: u64,
+    routed: u64,
+    dropped: u64,
+    migrations: u64,
+    retransmissions: u64,
 }
 
 /// Engine-core period in nanoseconds (250 MHz).
@@ -254,6 +287,8 @@ impl Engine {
             next_flow: 0,
             free_flow_ids: Vec::new(),
             host_events: 0,
+            trace: TraceRing::disabled(),
+            trace_prev: TraceCounters::default(),
             mac: MacAddr([0x02, 0xf4, 0x70, 0, 0, 1]),
             fpcs,
             cycle: 0,
@@ -339,6 +374,7 @@ impl Engine {
     pub fn push_event(&mut self, ev: FlowEvent) -> bool {
         if self.scheduler.push_event(ev) {
             self.host_events += 1;
+            self.trace.record(self.cycle, TraceKind::HostEnqueue, ev.flow.0, 0);
             true
         } else {
             false
@@ -405,6 +441,13 @@ impl Engine {
     /// Statistics snapshot.
     pub fn stats(&self) -> EngineStats {
         let s = self.scheduler.stats();
+        let mut stalls = (0u64, 0u64, 0u64);
+        for f in &self.fpcs {
+            let (e, w, b) = f.stall_cycles();
+            stalls.0 += e;
+            stalls.1 += w;
+            stalls.2 += b;
+        }
         EngineStats {
             cycles: self.cycle,
             host_events: self.host_events,
@@ -418,7 +461,75 @@ impl Engine {
             dram_events: self.mm.events_handled(),
             events_dropped: s.dropped,
             tcb_cache_hit_rate: self.mm.cache_hit_rate(),
+            stall_fifo_empty: stalls.0,
+            stall_tcb_wait: stalls.1,
+            stall_backpressure: stalls.2,
+            rmw_hazard_events: self.rmw_hazard_events(),
+            rmw_stall_cycles: self.rmw_stall_cycles(),
+            lut_stalls: self.scheduler.lut_stalls(),
         }
+    }
+
+    /// Events accumulated while their TCB was in flight through the FPU,
+    /// summed over FPCs — each would stall a write-side-RMW design.
+    pub fn rmw_hazard_events(&self) -> u64 {
+        self.fpcs.iter().map(Fpc::rmw_hazard_events).sum()
+    }
+
+    /// Cycles spent stalled on an in-flight TCB, summed over FPCs.
+    /// Structurally zero (§4.2's stall-free event accumulation); tests
+    /// assert it rather than assume it.
+    pub fn rmw_stall_cycles(&self) -> u64 {
+        self.fpcs.iter().map(Fpc::rmw_stall_cycles).sum()
+    }
+
+    /// FtScope: materializes the full telemetry registry, walking every
+    /// module. Call twice and [`MetricsRegistry::delta`] the snapshots to
+    /// window a measurement.
+    pub fn telemetry(&self) -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        self.collect("engine", &mut reg);
+        reg
+    }
+
+    /// Reports the whole engine's telemetry into `reg` under `prefix`
+    /// (multi-engine systems disambiguate with e.g. `a.engine`).
+    pub fn collect(&self, prefix: &str, reg: &mut MetricsRegistry) {
+        reg.counter(&format!("{prefix}.cycles"), self.cycle);
+        reg.counter(&format!("{prefix}.host_events"), self.host_events);
+        reg.gauge(&format!("{prefix}.flows_open"), self.flows.len() as f64);
+        reg.gauge(&format!("{prefix}.tx_out.depth"), self.tx_out.len() as f64);
+        reg.gauge(&format!("{prefix}.tx_overflow.depth"), self.tx_overflow.len() as f64);
+        reg.counter(&format!("{prefix}.rmw.hazard_events"), self.rmw_hazard_events());
+        reg.counter(&format!("{prefix}.rmw.stall_cycles"), self.rmw_stall_cycles());
+        for f in &self.fpcs {
+            f.collect(&format!("{prefix}.fpc{}", f.id()), reg);
+        }
+        self.scheduler.collect(&format!("{prefix}.scheduler"), reg);
+        self.mm.collect(&format!("{prefix}.mm"), reg);
+        self.rx_parser.collect(&format!("{prefix}.rx"), reg);
+        reg.counter(&format!("{prefix}.tx.segments_out"), self.pkt_gen.segments_out());
+        reg.counter(&format!("{prefix}.tx.bytes_out"), self.pkt_gen.bytes_out());
+        reg.counter(&format!("{prefix}.tx.retransmissions"), self.pkt_gen.retransmissions());
+        reg.counter(&format!("{prefix}.trace.recorded"), self.trace.total_recorded());
+    }
+
+    /// Enables (capacity > 0) or disables (capacity 0) the pipeline
+    /// trace ring. The ring keeps the most recent `capacity` events.
+    pub fn set_trace_capacity(&mut self, capacity: usize) {
+        self.trace = if capacity == 0 { TraceRing::disabled() } else { TraceRing::new(capacity) };
+        self.trace_prev = TraceCounters::default();
+    }
+
+    /// The pipeline trace ring (read side).
+    pub fn trace(&self) -> &TraceRing {
+        &self.trace
+    }
+
+    /// Exports the trace ring as Chrome-trace JSON (load in Perfetto or
+    /// `chrome://tracing`).
+    pub fn export_chrome_trace(&self) -> String {
+        self.trace.to_chrome_json(CYCLE_NS)
     }
 
     /// Scheduler queue diagnostics: `(intake backlog, swap-in backlog,
@@ -527,6 +638,7 @@ impl Engine {
             let mut rx_out = RxOutput::default();
             self.rx_parser.tick(now, &mut rx_out);
             for ev in rx_out.events {
+                self.trace.record(cycle, TraceKind::RxEnqueue, ev.flow.0, 0);
                 let accepted = self.scheduler.push_event(ev);
                 debug_assert!(accepted, "intake_free checked");
             }
@@ -537,6 +649,33 @@ impl Engine {
 
         // 3. Scheduler: coalesce + route + migrations + swap-ins.
         self.scheduler.tick(cycle, &mut self.fpcs, &mut self.mm);
+        if self.trace.enabled() {
+            // Derive per-cycle trace events from the scheduler's running
+            // totals (the scheduler itself stays trace-agnostic).
+            let s = self.scheduler.stats();
+            let routed = s.routed_fpc + s.routed_dram;
+            if s.coalesced > self.trace_prev.coalesced {
+                self.trace.record(cycle, TraceKind::Coalesce, 0, s.coalesced - self.trace_prev.coalesced);
+            }
+            if routed > self.trace_prev.routed {
+                self.trace.record(cycle, TraceKind::Route, 0, routed - self.trace_prev.routed);
+            }
+            if s.dropped > self.trace_prev.dropped {
+                self.trace.record(cycle, TraceKind::Drop, 0, s.dropped - self.trace_prev.dropped);
+            }
+            if s.migrations > self.trace_prev.migrations {
+                self.trace.record(
+                    cycle,
+                    TraceKind::MigrateStart,
+                    0,
+                    s.migrations - self.trace_prev.migrations,
+                );
+            }
+            self.trace_prev.coalesced = s.coalesced;
+            self.trace_prev.routed = routed;
+            self.trace_prev.dropped = s.dropped;
+            self.trace_prev.migrations = s.migrations;
+        }
 
         // 4. FPCs (scratch output buffers are reused across ticks: this
         //    is the simulator's hottest loop).
@@ -557,12 +696,15 @@ impl Engine {
                 }
             }
             for (flow, outcome, tcb) in &out.outcomes {
+                self.trace.record(cycle, TraceKind::Dispatch, flow.0, u64::from(fpc_id));
                 self.process_outcome(*flow, outcome, tcb);
             }
             for tcb in out.evicted.drain(..) {
+                self.trace.record(cycle, TraceKind::Evict, tcb.flow.0, u64::from(fpc_id));
                 self.scheduler.on_evicted(tcb, &mut self.fpcs, &mut self.mm);
             }
             for flow in out.installed.drain(..) {
+                self.trace.record(cycle, TraceKind::SwapIn, flow.0, u64::from(fpc_id));
                 self.scheduler.on_installed(flow, fpc_id);
             }
             self.fpc_scratch = out;
@@ -575,6 +717,7 @@ impl Engine {
             self.scheduler.request_swap_in(flow);
         }
         for flow in mo.evict_done {
+            self.trace.record(cycle, TraceKind::MigrateDone, flow.0, 0);
             self.scheduler.on_evict_done(flow);
         }
         for ev in mo.bounced {
@@ -589,6 +732,21 @@ impl Engine {
             let mut segs = std::mem::take(&mut self.seg_scratch);
             segs.clear();
             self.pkt_gen.tick(now, &mut segs);
+            if self.trace.enabled() {
+                for seg in &segs {
+                    self.trace.record(cycle, TraceKind::TxSegment, 0, u64::from(seg.payload_len));
+                }
+                let rtx = self.pkt_gen.retransmissions();
+                if rtx > self.trace_prev.retransmissions {
+                    self.trace.record(
+                        cycle,
+                        TraceKind::Retransmit,
+                        0,
+                        rtx - self.trace_prev.retransmissions,
+                    );
+                    self.trace_prev.retransmissions = rtx;
+                }
+            }
             self.tx_out.extend(segs.drain(..));
             self.seg_scratch = segs;
         }
@@ -955,6 +1113,97 @@ mod tests {
         assert!(!pong.is_request);
         assert_eq!(pong.payload, ping.payload);
         assert!(e.handle_ping(&pong).is_none());
+    }
+
+    #[test]
+    fn steady_state_has_rmw_hazards_but_zero_rmw_stalls() {
+        // The paper's §4.2 claim: event accumulation never stalls on a
+        // TCB in flight through the FPU. Hammer one flow so events land
+        // while its TCB is mid-pipeline (the hazard), then assert the
+        // stall counter is structurally zero.
+        let mut a = Engine::new(EngineConfig::single_fpc());
+        let mut b = Engine::new(EngineConfig::single_fpc());
+        let t = tuple_ab();
+        let isn = SeqNum(0);
+        let fa = a.open_established(t, isn).unwrap();
+        let _fb = b.open_established(t.reversed(), isn).unwrap();
+        run_pair(&mut a, &mut b, 50);
+        let mut req = isn;
+        for _ in 0..5_000u64 {
+            req = req.add(64);
+            a.push_host(fa, EventKind::SendReq { req });
+            a.tick();
+            b.tick();
+            while let Some(seg) = a.pop_tx() {
+                b.push_rx(seg);
+            }
+            while let Some(seg) = b.pop_tx() {
+                a.push_rx(seg);
+            }
+        }
+        let stats = a.stats();
+        assert!(
+            stats.rmw_hazard_events > 0,
+            "the workload must actually exercise the in-flight-TCB hazard"
+        );
+        assert_eq!(stats.rmw_stall_cycles, 0, "F4T accumulation is stall-free");
+        // The dispatch-stall taxonomy is being populated too.
+        assert!(
+            stats.stall_fifo_empty + stats.stall_tcb_wait + stats.stall_backpressure > 0,
+            "some dispatch cycles were idle or blocked"
+        );
+    }
+
+    #[test]
+    fn telemetry_registry_covers_every_module() {
+        let mut a = Engine::new(EngineConfig::single_fpc());
+        let mut b = Engine::new(EngineConfig::single_fpc());
+        let t = tuple_ab();
+        let isn = SeqNum(0);
+        let fa = a.open_established(t, isn).unwrap();
+        let _fb = b.open_established(t.reversed(), isn).unwrap();
+        let before = a.telemetry();
+        a.push_host(fa, EventKind::SendReq { req: isn.add(10_000) });
+        run_pair(&mut a, &mut b, 3_000);
+        let after = a.telemetry();
+        assert!(after.counter_value("engine.cycles") > 0);
+        assert!(after.counter_value("engine.fpc0.events_handled") > 0);
+        assert!(after.counter_value("engine.scheduler.events_in") > 0);
+        assert!(after.counter_value("engine.rx.segments_in") > 0);
+        assert!(after.counter_value("engine.tx.segments_out") > 0);
+        assert!(after.counter_value("engine.rx.cuckoo.probes") > 0);
+        // The windowed view subtracts the earlier snapshot.
+        let win = after.delta(&before);
+        assert_eq!(win.counter_value("engine.cycles"), after.counter_value("engine.cycles"));
+        assert!(win.counter_value("engine.fpc0.input_fifo.pushed") > 0);
+        // Registry serializes without panicking and is non-trivial.
+        assert!(after.to_json().len() > 200);
+    }
+
+    #[test]
+    fn trace_ring_captures_pipeline_events() {
+        let mut a = Engine::new(EngineConfig::single_fpc());
+        let mut b = Engine::new(EngineConfig::single_fpc());
+        a.set_trace_capacity(4096);
+        let t = tuple_ab();
+        let isn = SeqNum(0);
+        let fa = a.open_established(t, isn).unwrap();
+        let _fb = b.open_established(t.reversed(), isn).unwrap();
+        run_pair(&mut a, &mut b, 50);
+        a.push_host(fa, EventKind::SendReq { req: isn.add(10_000) });
+        run_pair(&mut a, &mut b, 3_000);
+        assert!(a.trace().total_recorded() > 0, "pipeline activity traced");
+        let json = a.export_chrome_trace();
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("host_enqueue"));
+        assert!(json.contains("dispatch"));
+        assert!(json.contains("tx_segment"));
+        // Disabling stops recording.
+        let recorded = a.trace().total_recorded();
+        a.set_trace_capacity(0);
+        run_pair(&mut a, &mut b, 100);
+        assert_eq!(a.trace().total_recorded(), 0);
+        let _ = recorded;
     }
 
     #[test]

@@ -53,6 +53,21 @@ struct Slot {
     occupied: bool,
 }
 
+/// Sets a slot's pending flag, keeping the FPC's valid-entry count in
+/// step (free function to satisfy the borrow checker at call sites that
+/// hold `&mut Slot` out of `self.slots`).
+#[inline]
+fn set_pending(slot: &mut Slot, pending_count: &mut usize, pending: bool) {
+    if slot.pending != pending {
+        if pending {
+            *pending_count += 1;
+        } else {
+            *pending_count -= 1;
+        }
+        slot.pending = pending;
+    }
+}
+
 impl Slot {
     fn empty() -> Slot {
         Slot {
@@ -97,6 +112,29 @@ pub struct Fpc {
     events_handled: u64,
     dispatches: u64,
     stale_events: u64,
+    /// Slots whose event-table entry has at least one valid bit set
+    /// (maintained incrementally; the FtScope valid-bit utilization gauge).
+    pending_count: usize,
+    /// Events accumulated while the slot's TCB was in flight in the FPU —
+    /// each one would have stalled a w-RMW design (paper §4.2.1).
+    rmw_hazard_events: u64,
+    /// Cycles the event handler spent stalled waiting for an in-flight
+    /// TCB to return before it could read-modify-write. Structurally zero
+    /// in F4T: event accumulation never waits. The counter exists so the
+    /// paper's stall-free claim is *checkable*, not assumed.
+    rmw_stall_cycles: u64,
+    /// Odd (dispatch) cycles with no pending work anywhere.
+    stall_fifo_empty: u64,
+    /// Odd cycles where pending work existed but every candidate slot was
+    /// blocked on its TCB being in flight (TCB-miss wait).
+    stall_tcb_wait: u64,
+    /// Odd cycles where downstream TX/evict backpressure closed the gate.
+    stall_backpressure: u64,
+    /// Per-cycle sums for occupancy gauges (divide by `ticks`).
+    occupied_sum: u64,
+    valid_sum: u64,
+    fpu_depth_sum: u64,
+    ticks: u64,
 }
 
 impl std::fmt::Debug for Fpc {
@@ -135,6 +173,16 @@ impl Fpc {
             events_handled: 0,
             dispatches: 0,
             stale_events: 0,
+            pending_count: 0,
+            rmw_hazard_events: 0,
+            rmw_stall_cycles: 0,
+            stall_fifo_empty: 0,
+            stall_tcb_wait: 0,
+            stall_backpressure: 0,
+            occupied_sum: 0,
+            valid_sum: 0,
+            fpu_depth_sum: 0,
+            ticks: 0,
         }
     }
 
@@ -183,6 +231,51 @@ impl Fpc {
         self.stale_events
     }
 
+    /// Events that would have stalled a w-RMW design (the flow's TCB was
+    /// in flight in the FPU when the event was accumulated).
+    pub fn rmw_hazard_events(&self) -> u64 {
+        self.rmw_hazard_events
+    }
+
+    /// Cycles the event handler stalled waiting for an in-flight TCB.
+    /// Structurally zero in F4T — exposed so the stall-free claim is
+    /// asserted by tests instead of assumed.
+    pub fn rmw_stall_cycles(&self) -> u64 {
+        self.rmw_stall_cycles
+    }
+
+    /// Dispatch-stall cycle counts, in taxonomy order:
+    /// `(fifo_empty, tcb_wait, evict_backpressure)`.
+    pub fn stall_cycles(&self) -> (u64, u64, u64) {
+        (self.stall_fifo_empty, self.stall_tcb_wait, self.stall_backpressure)
+    }
+
+    /// Reports this FPC's counters and gauges under `prefix` (e.g.
+    /// `engine.fpc0`).
+    pub fn collect(&self, prefix: &str, reg: &mut f4t_sim::telemetry::MetricsRegistry) {
+        reg.counter(&format!("{prefix}.events_handled"), self.events_handled);
+        reg.counter(&format!("{prefix}.dispatches"), self.dispatches);
+        reg.counter(&format!("{prefix}.stale_events"), self.stale_events);
+        reg.counter(&format!("{prefix}.stall.fifo_empty"), self.stall_fifo_empty);
+        reg.counter(&format!("{prefix}.stall.tcb_wait"), self.stall_tcb_wait);
+        reg.counter(&format!("{prefix}.stall.evict_backpressure"), self.stall_backpressure);
+        reg.counter(&format!("{prefix}.rmw.hazard_events"), self.rmw_hazard_events);
+        reg.counter(&format!("{prefix}.rmw.stall_cycles"), self.rmw_stall_cycles);
+        let ticks = self.ticks.max(1) as f64;
+        reg.gauge(
+            &format!("{prefix}.event_table.occupancy_avg"),
+            self.occupied_sum as f64 / ticks,
+        );
+        reg.gauge(
+            &format!("{prefix}.event_table.valid_entries_avg"),
+            self.valid_sum as f64 / ticks,
+        );
+        reg.gauge(&format!("{prefix}.fpu.occupancy_avg"), self.fpu_depth_sum as f64 / ticks);
+        reg.counter(&format!("{prefix}.fpu.processed"), self.fpu.processed());
+        self.input_events.collect(&format!("{prefix}.input_fifo"), reg);
+        self.input_tcbs.collect(&format!("{prefix}.swapin_fifo"), reg);
+    }
+
     /// Offers an event; returns `false` under backpressure.
     pub fn push_event(&mut self, ev: FlowEvent) -> bool {
         self.input_events.push(ev).is_ok()
@@ -205,7 +298,7 @@ impl Fpc {
         let Some(slot_idx) = self.cam.lookup(flow) else { return false };
         let slot = &mut self.slots[slot_idx];
         slot.tcb.evict = true;
-        slot.pending = true; // force a prompt FPU pass
+        set_pending(slot, &mut self.pending_count, true); // force a prompt FPU pass
         true
     }
 
@@ -237,7 +330,12 @@ impl Fpc {
             return;
         };
         let slot = &mut self.slots[slot_idx];
-        slot.pending = true;
+        if slot.in_fpu {
+            // A w-RMW design would stall here until the in-flight TCB
+            // returned; F4T accumulates into the event table and moves on.
+            self.rmw_hazard_events += 1;
+        }
+        set_pending(slot, &mut self.pending_count, true);
         slot.tcb.last_active_ns = now_ns;
         self.events_handled += 1;
         match event.kind {
@@ -311,33 +409,45 @@ impl Fpc {
     /// backpressure (dispatch throttles rather than stalls mid-pipeline).
     fn dispatch(&mut self, now_cycle: u64, gate_open: bool) {
         if !gate_open {
+            self.stall_backpressure += 1;
             return;
         }
         let n = self.slots.len();
-        match self.scan {
+        let issued = match self.scan {
             ScanPolicy::FullIteration => {
                 let idx = self.rr_ptr;
                 self.rr_ptr = (self.rr_ptr + 1) % n;
-                self.try_issue(idx, now_cycle);
+                self.try_issue(idx, now_cycle)
             }
             ScanPolicy::SkipIdle => {
+                let mut issued = false;
                 for off in 0..n {
                     let idx = (self.rr_ptr + off) % n;
                     let s = &self.slots[idx];
                     if s.occupied && s.pending && !s.in_fpu {
                         self.rr_ptr = (idx + 1) % n;
-                        self.try_issue(idx, now_cycle);
-                        return;
+                        issued = self.try_issue(idx, now_cycle);
+                        break;
                     }
                 }
+                issued
+            }
+        };
+        if !issued {
+            // Classify the bubble: was there simply nothing to do, or was
+            // pending work blocked on a TCB still in the FPU pipeline?
+            if self.pending_count == 0 && self.input_events.is_empty() {
+                self.stall_fifo_empty += 1;
+            } else {
+                self.stall_tcb_wait += 1;
             }
         }
     }
 
-    fn try_issue(&mut self, idx: usize, now_cycle: u64) {
+    fn try_issue(&mut self, idx: usize, now_cycle: u64) -> bool {
         let slot = &mut self.slots[idx];
         if !(slot.occupied && slot.pending && !slot.in_fpu) {
-            return;
+            return false;
         }
         // Construct the merged TCB: event-table values with valid bits set
         // override; dup-ACK count rides in the EventView (its valid bit is
@@ -348,10 +458,11 @@ impl Fpc {
         // FPU is in flight.
         let dup_keep = slot.ev.dup_acks;
         slot.ev = EventView { dup_acks: dup_keep, ..EventView::default() };
-        slot.pending = false;
+        set_pending(slot, &mut self.pending_count, false);
         slot.in_fpu = true;
         self.dispatches += 1;
         self.fpu.issue(slot.tcb, merged_ev, now_cycle);
+        true
     }
 
     /// Advances one 250 MHz cycle.
@@ -361,6 +472,11 @@ impl Fpc {
     /// mechanism behind the paper's observation that link backpressure
     /// grows the effective request size, §5.1).
     pub fn tick(&mut self, cycle: u64, now_ns: u64, tx_gate_open: bool, out: &mut FpcOutput) {
+        // FtScope occupancy gauges: three u64 adds per cycle.
+        self.ticks += 1;
+        self.occupied_sum += self.cam.len() as u64;
+        self.valid_sum += self.pending_count as u64;
+        self.fpu_depth_sum += self.fpu.depth_used() as u64;
         // FPU advances every cycle; completions write back / evict.
         if let Some(result) = self.fpu.tick(cycle, now_ns) {
             let flow = result.tcb.flow;
@@ -380,6 +496,7 @@ impl Fpc {
                     slot.occupied = false;
                     slot.ev = EventView::default();
                     slot.tcb.evict = false;
+                    set_pending(slot, &mut self.pending_count, false);
                     self.cam.remove(flow);
                 } else if evict_requested && !slot.ev.any_except_dup_acks() && !slot.pending {
                     let mut tcb = result.tcb;
@@ -392,7 +509,7 @@ impl Fpc {
                     slot.tcb = result.tcb;
                     slot.tcb.evict = evict_requested;
                     if evict_requested || result.outcome.more_work {
-                        slot.pending = true;
+                        set_pending(slot, &mut self.pending_count, true);
                     }
                 }
                 out.tx.extend_from_slice(&result.outcome.tx);
@@ -402,7 +519,7 @@ impl Fpc {
             }
         }
 
-        if cycle % 2 == 0 {
+        if cycle.is_multiple_of(2) {
             // Even cycle: event handling + swap-in acceptance.
             if let Some(ev) = self.input_events.pop() {
                 self.handle_event(ev, now_ns);
@@ -414,7 +531,7 @@ impl Fpc {
                     let pending = tcb.can_send() || ev.any();
                     slot.tcb = tcb;
                     slot.ev = ev;
-                    slot.pending = pending;
+                    set_pending(slot, &mut self.pending_count, pending);
                     slot.in_fpu = false;
                     slot.occupied = true;
                     out.installed.push(flow);

@@ -18,7 +18,7 @@
 use crate::event::{EventKind, FlowEvent, TimeoutKind};
 use crate::fpu::EventView;
 use f4t_mem::{CacheAccess, DramKind, DramModel, TcbCache, TCB_BYTES};
-use f4t_sim::Fifo;
+use f4t_sim::{Fifo, Histogram};
 use f4t_tcp::{FlowId, Tcb, TcpFlags};
 use std::collections::{HashMap, HashSet, VecDeque};
 
@@ -43,11 +43,19 @@ pub struct MemoryManager {
     cache: TcbCache,
     dram: DramModel,
     input: Fifo<FlowEvent>,
-    /// Evicted TCBs from FPCs awaiting their DRAM write (bandwidth).
-    writeback_queue: VecDeque<Tcb>,
+    /// Evicted TCBs from FPCs awaiting their DRAM write (bandwidth),
+    /// tagged with the cycle they entered the queue.
+    writeback_queue: VecDeque<(Tcb, u64)>,
     /// Flows with an outstanding swap-in request (dedup).
     swap_requested: HashSet<FlowId>,
     events_handled: u64,
+    /// Local cycle count (incremented per tick) for latency measurement.
+    cycle: u64,
+    /// Cycles each eviction waited in the write-back queue for DRAM
+    /// bandwidth — the tail of this histogram is the migration cost the
+    /// scheduler's 12-cycle retry bound absorbs.
+    writeback_latency: Histogram,
+    writeback_high: usize,
 }
 
 impl MemoryManager {
@@ -65,6 +73,9 @@ impl MemoryManager {
             writeback_queue: VecDeque::new(),
             swap_requested: HashSet::new(),
             events_handled: 0,
+            cycle: 0,
+            writeback_latency: Histogram::new(),
+            writeback_high: 0,
         }
     }
 
@@ -87,13 +98,15 @@ impl MemoryManager {
     /// every FPC is full). Deferred through the writeback queue so it
     /// costs DRAM bandwidth like any other fill.
     pub fn insert_new(&mut self, tcb: Tcb) {
-        self.writeback_queue.push_back(tcb);
+        self.writeback_queue.push_back((tcb, self.cycle));
+        self.writeback_high = self.writeback_high.max(self.writeback_queue.len());
     }
 
     /// Accepts an evicted TCB arriving from an FPC (Fig. 6 step ⑤).
     /// The DRAM write completes asynchronously; `evict_done` reports it.
     pub fn accept_eviction(&mut self, tcb: Tcb) {
-        self.writeback_queue.push_back(tcb);
+        self.writeback_queue.push_back((tcb, self.cycle));
+        self.writeback_high = self.writeback_high.max(self.writeback_queue.len());
     }
 
     /// Hands a flow's TCB + accumulated events to the scheduler for
@@ -120,7 +133,7 @@ impl MemoryManager {
         self.store
             .get(&flow)
             .map(|(t, _)| t)
-            .or_else(|| self.writeback_queue.iter().find(|t| t.flow == flow))
+            .or_else(|| self.writeback_queue.iter().map(|(t, _)| t).find(|t| t.flow == flow))
     }
 
     /// Events handled in place (the FPC-event-handler-equivalent work).
@@ -136,6 +149,24 @@ impl MemoryManager {
     /// TCB-cache hit rate (diagnostics).
     pub fn cache_hit_rate(&self) -> f64 {
         self.cache.hit_rate()
+    }
+
+    /// Reports memory-manager telemetry into `reg` under `prefix`:
+    /// TCB-cache hit/miss, DRAM channel traffic and refusals, write-back
+    /// queue occupancy, and the migration (write-back) latency histogram.
+    pub fn collect(&self, prefix: &str, reg: &mut f4t_sim::telemetry::MetricsRegistry) {
+        reg.gauge(&format!("{prefix}.flows_resident"), self.store.len() as f64);
+        reg.counter(&format!("{prefix}.events_handled"), self.events_handled);
+        reg.counter(&format!("{prefix}.tcb_cache.hits"), self.cache.hits());
+        reg.counter(&format!("{prefix}.tcb_cache.misses"), self.cache.misses());
+        reg.gauge(&format!("{prefix}.tcb_cache.hit_rate"), self.cache.hit_rate());
+        reg.counter(&format!("{prefix}.dram.bytes_served"), self.dram.bytes_served());
+        reg.counter(&format!("{prefix}.dram.accesses"), self.dram.accesses());
+        reg.counter(&format!("{prefix}.dram.refusals"), self.dram.refusals());
+        reg.gauge(&format!("{prefix}.writeback.depth"), self.writeback_queue.len() as f64);
+        reg.gauge(&format!("{prefix}.writeback.high_watermark"), self.writeback_high as f64);
+        reg.histogram(&format!("{prefix}.migration_latency_cycles"), &self.writeback_latency);
+        self.input.collect(&format!("{prefix}.input_fifo"), reg);
     }
 
     /// Event-handler-style accumulation into the stored event half; the
@@ -239,13 +270,15 @@ impl MemoryManager {
 
     /// Advances one engine cycle.
     pub fn tick(&mut self, out: &mut MmOutput) {
+        self.cycle += 1;
         self.dram.tick();
 
         // 1. Evictions / new placements: one DRAM TCB write each.
-        if let Some(tcb) = self.writeback_queue.front() {
+        if let Some((tcb, _)) = self.writeback_queue.front() {
             let flow = tcb.flow;
             if self.dram.try_access(TCB_BYTES) {
-                let tcb = self.writeback_queue.pop_front().expect("non-empty");
+                let (tcb, enqueued) = self.writeback_queue.pop_front().expect("non-empty");
+                self.writeback_latency.record(self.cycle - enqueued);
                 self.store.insert(flow, (tcb, EventView::default()));
                 self.cache.fill(tcb);
                 // Fresh DRAM residency: any previous swap-in request is
@@ -397,11 +430,10 @@ mod tests {
         // Feed round-robin events for 10k cycles.
         for c in 0..10_000u64 {
             let id = (c % 64) as u32;
-            if mm.can_accept_event() {
-                if mm.push_event(send_event(id, (c / 64 + 1) as u32 * 10)) {
+            if mm.can_accept_event()
+                && mm.push_event(send_event(id, (c / 64 + 1) as u32 * 10)) {
                     pushed += 1;
                 }
-            }
             mm.tick(&mut out);
             cycles += 1;
         }

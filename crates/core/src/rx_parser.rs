@@ -52,6 +52,12 @@ pub struct RxParser {
     segments_in: u64,
     payload_dma_bytes: u64,
     dropped_unknown: u64,
+    cuckoo_lookups: u64,
+    cuckoo_probes: u64,
+    ooo_segments: u64,
+    dup_segments: u64,
+    window_drops: u64,
+    ooo_depth_max: usize,
 }
 
 impl RxParser {
@@ -74,6 +80,12 @@ impl RxParser {
             segments_in: 0,
             payload_dma_bytes: 0,
             dropped_unknown: 0,
+            cuckoo_lookups: 0,
+            cuckoo_probes: 0,
+            ooo_segments: 0,
+            dup_segments: 0,
+            window_drops: 0,
+            ooo_depth_max: 0,
         }
     }
 
@@ -129,7 +141,10 @@ impl RxParser {
         self.segments_in += 1;
         // Lookup by OUR tuple: the segment's source is the peer.
         let our_tuple = seg.tuple.reversed();
-        let Some(flow) = self.flow_table.lookup(&our_tuple) else {
+        let (looked_up, probes) = self.flow_table.lookup_probed(&our_tuple);
+        self.cuckoo_lookups += 1;
+        self.cuckoo_probes += u64::from(probes);
+        let Some(flow) = looked_up else {
             if seg.flags.contains(TcpFlags::SYN) && self.listening.contains(&seg.tuple.dst_port) {
                 out.new_connections.push(seg);
             } else {
@@ -150,14 +165,25 @@ impl RxParser {
         let fin_phantom = u32::from(seg.flags.contains(TcpFlags::FIN));
         let body = seg.payload_len + fin_phantom;
         let (in_order, needs_ack, accepted_payload) = if body > 0 {
-            match tracker.on_segment(seg.seq, body) {
+            let r = tracker.on_segment(seg.seq, body);
+            self.ooo_depth_max = self.ooo_depth_max.max(tracker.chunk_count());
+            match r {
                 ReassemblyResult::Advanced(_) => (true, true, seg.payload_len),
-                ReassemblyResult::OutOfOrder => (false, true, seg.payload_len),
+                ReassemblyResult::OutOfOrder => {
+                    self.ooo_segments += 1;
+                    (false, true, seg.payload_len)
+                }
                 // Unacceptable segments still elicit an ACK (RFC 793) —
                 // this also answers zero-window probes and duplicates
                 // (which become dup-ACK evidence at the peer).
-                ReassemblyResult::Duplicate => (false, true, 0),
-                ReassemblyResult::Dropped => (false, true, 0),
+                ReassemblyResult::Duplicate => {
+                    self.dup_segments += 1;
+                    (false, true, 0)
+                }
+                ReassemblyResult::Dropped => {
+                    self.window_drops += 1;
+                    (false, true, 0)
+                }
             }
         } else {
             // Pure ACK. It is mergeable only if the ACK advances — a
@@ -231,6 +257,31 @@ impl RxParser {
     /// The reassembly tracker of `flow` (diagnostics).
     pub fn tracker(&self, flow: FlowId) -> Option<&ReassemblyTracker> {
         self.trackers.get(&flow)
+    }
+
+    /// Reports RX-parser telemetry into `reg` under `prefix`: cuckoo
+    /// lookup/probe counts, out-of-order reassembly pressure, and input
+    /// FIFO occupancy.
+    pub fn collect(&self, prefix: &str, reg: &mut f4t_sim::telemetry::MetricsRegistry) {
+        reg.counter(&format!("{prefix}.segments_in"), self.segments_in);
+        reg.counter(&format!("{prefix}.payload_dma_bytes"), self.payload_dma_bytes);
+        reg.counter(&format!("{prefix}.dropped_unknown"), self.dropped_unknown);
+        reg.counter(&format!("{prefix}.cuckoo.lookups"), self.cuckoo_lookups);
+        reg.counter(&format!("{prefix}.cuckoo.probes"), self.cuckoo_probes);
+        let avg = if self.cuckoo_lookups == 0 {
+            0.0
+        } else {
+            self.cuckoo_probes as f64 / self.cuckoo_lookups as f64
+        };
+        reg.gauge(&format!("{prefix}.cuckoo.probes_per_lookup"), avg);
+        reg.gauge(&format!("{prefix}.flow_table.occupancy"), self.flow_table.len() as f64);
+        reg.counter(&format!("{prefix}.reassembly.ooo_segments"), self.ooo_segments);
+        reg.counter(&format!("{prefix}.reassembly.dup_segments"), self.dup_segments);
+        reg.counter(&format!("{prefix}.reassembly.window_drops"), self.window_drops);
+        reg.counter(&format!("{prefix}.reassembly.ooo_depth_max"), self.ooo_depth_max as u64);
+        let cur_depth: usize = self.trackers.values().map(ReassemblyTracker::chunk_count).sum();
+        reg.gauge(&format!("{prefix}.reassembly.ooo_chunks"), cur_depth as f64);
+        self.input.collect(&format!("{prefix}.input_fifo"), reg);
     }
 }
 

@@ -53,6 +53,7 @@ pub struct Scheduler {
     coalescing: bool,
     lut: LocationLut,
     pending: VecDeque<(FlowEvent, u64)>,
+    pending_high: usize,
     migrations: HashMap<FlowId, MigrationDest>,
     swap_in_queue: VecDeque<FlowId>,
     stats: SchedulerStats,
@@ -85,6 +86,7 @@ impl Scheduler {
             coalescing,
             lut: LocationLut::new(max_flows, lut_groups),
             pending: VecDeque::new(),
+            pending_high: 0,
             migrations: HashMap::new(),
             swap_in_queue: VecDeque::new(),
             stats: SchedulerStats::default(),
@@ -422,6 +424,35 @@ impl Scheduler {
 
         // 4. Swap-in progress.
         self.progress_swap_in(fpcs, mm);
+
+        self.pending_high = self.pending_high.max(self.pending.len());
+    }
+
+    /// Reports scheduler telemetry into `reg` under `prefix`: routing
+    /// counters, pending-queue depth/high-watermark, location-LUT stalls
+    /// and census, and per-FIFO occupancy.
+    pub fn collect(&self, prefix: &str, reg: &mut f4t_sim::telemetry::MetricsRegistry) {
+        let s = &self.stats;
+        reg.counter(&format!("{prefix}.events_in"), s.events_in);
+        reg.counter(&format!("{prefix}.coalesced"), s.coalesced);
+        reg.counter(&format!("{prefix}.routed_fpc"), s.routed_fpc);
+        reg.counter(&format!("{prefix}.routed_dram"), s.routed_dram);
+        reg.counter(&format!("{prefix}.parked"), s.parked);
+        reg.counter(&format!("{prefix}.migrations"), s.migrations);
+        reg.counter(&format!("{prefix}.dropped"), s.dropped);
+        reg.counter(&format!("{prefix}.lut.stalls"), self.lut.stalls());
+        let (fpc, dram, moving) = self.lut.census();
+        reg.gauge(&format!("{prefix}.lut.flows_fpc"), fpc as f64);
+        reg.gauge(&format!("{prefix}.lut.flows_dram"), dram as f64);
+        reg.gauge(&format!("{prefix}.lut.flows_moving"), moving as f64);
+        reg.gauge(&format!("{prefix}.pending.depth"), self.pending.len() as f64);
+        reg.gauge(&format!("{prefix}.pending.high_watermark"), self.pending_high as f64);
+        reg.gauge(&format!("{prefix}.swap_in_queue.depth"), self.swap_in_queue.len() as f64);
+        reg.gauge(&format!("{prefix}.migrations_in_flight"), self.migrations.len() as f64);
+        self.input.collect(&format!("{prefix}.input_fifo"), reg);
+        for (i, q) in self.coalesce.iter().enumerate() {
+            q.collect(&format!("{prefix}.coalesce_fifo{i}"), reg);
+        }
     }
 }
 

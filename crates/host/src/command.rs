@@ -205,7 +205,7 @@ impl Completion {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use f4t_sim::SimRng;
 
     fn all_commands(flow: u32, arg: u32) -> [Command; 4] {
         [
@@ -254,17 +254,30 @@ mod tests {
         assert_eq!(Completion::Acked { flow: FlowId(3), upto: SeqNum(1) }.flow(), FlowId(3));
     }
 
-    proptest! {
-        #[test]
-        fn round_trip_16(flow in any::<u32>(), arg in any::<u32>(), op in 0usize..4) {
-            let c = all_commands(flow, arg)[op];
-            prop_assert_eq!(Command::decode16(&c.encode16()), Ok(c));
-        }
+    // Randomized round trips, driven by the deterministic in-tree PRNG
+    // (the build environment has no registry access for proptest).
 
-        #[test]
-        fn round_trip_8(flow in 0u32..(1 << 24), arg in any::<u32>(), op in 0usize..4) {
+    #[test]
+    fn round_trip_16() {
+        let mut rng = SimRng::new(0xC16);
+        for _ in 0..4096 {
+            let flow = rng.next_u64() as u32;
+            let arg = rng.next_u64() as u32;
+            let op = rng.next_below(4) as usize;
             let c = all_commands(flow, arg)[op];
-            prop_assert_eq!(Command::decode8(&c.encode8()), Ok(c));
+            assert_eq!(Command::decode16(&c.encode16()), Ok(c));
+        }
+    }
+
+    #[test]
+    fn round_trip_8() {
+        let mut rng = SimRng::new(0xC8);
+        for _ in 0..4096 {
+            let flow = rng.next_below(1 << 24) as u32;
+            let arg = rng.next_u64() as u32;
+            let op = rng.next_below(4) as usize;
+            let c = all_commands(flow, arg)[op];
+            assert_eq!(Command::decode8(&c.encode8()), Ok(c));
         }
     }
 }

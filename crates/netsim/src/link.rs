@@ -83,7 +83,7 @@ impl Link {
             let injected = match self.config.drops {
                 DropPolicy::None => false,
                 DropPolicy::EveryNth { n, start } => {
-                    self.data_pkts >= start && (self.data_pkts - start) % n == 0
+                    self.data_pkts >= start && (self.data_pkts - start).is_multiple_of(n)
                 }
                 DropPolicy::Random { p, .. } => {
                     self.rng.as_mut().map(|r| r.chance(p)).unwrap_or(false)

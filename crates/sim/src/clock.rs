@@ -32,6 +32,7 @@ impl Cycle {
 
     /// Returns this cycle advanced by `n` cycles.
     #[inline]
+    #[allow(clippy::should_implement_trait)] // `Cycle + u64`, not `Cycle + Cycle`
     pub fn add(self, n: u64) -> Cycle {
         Cycle(self.0 + n)
     }
@@ -132,7 +133,7 @@ impl ClockDomain {
 
 impl fmt::Display for ClockDomain {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.freq_hz % 1_000_000 == 0 {
+        if self.freq_hz.is_multiple_of(1_000_000) {
             write!(f, "{} MHz", self.freq_hz / 1_000_000)
         } else {
             write!(f, "{} Hz", self.freq_hz)

@@ -40,6 +40,8 @@ pub struct Fifo<T> {
     /// High-water mark, for occupancy statistics.
     max_occupancy: usize,
     total_pushed: u64,
+    /// Pushes rejected because the queue was full (producer stalls).
+    rejected: u64,
 }
 
 impl<T> Fifo<T> {
@@ -55,6 +57,7 @@ impl<T> Fifo<T> {
             capacity,
             max_occupancy: 0,
             total_pushed: 0,
+            rejected: 0,
         }
     }
 
@@ -66,6 +69,7 @@ impl<T> Fifo<T> {
     /// capacity.
     pub fn push(&mut self, item: T) -> Result<(), FifoFull<T>> {
         if self.items.len() >= self.capacity {
+            self.rejected += 1;
             return Err(FifoFull(item));
         }
         self.items.push_back(item);
@@ -124,6 +128,23 @@ impl<T> Fifo<T> {
         self.total_pushed
     }
 
+    /// Pushes rejected because the queue was full — each one is a
+    /// producer-side stall (backpressure event).
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Reports this queue's occupancy statistics into a telemetry
+    /// registry under `<prefix>.depth/.high_watermark/.pushed/.rejected`.
+    /// The high-watermark is a gauge so windowed deltas keep the
+    /// end-of-window value instead of subtracting it away.
+    pub fn collect(&self, prefix: &str, reg: &mut crate::telemetry::MetricsRegistry) {
+        reg.gauge(&format!("{prefix}.depth"), self.items.len() as f64);
+        reg.gauge(&format!("{prefix}.high_watermark"), self.max_occupancy as f64);
+        reg.counter(&format!("{prefix}.pushed"), self.total_pushed);
+        reg.counter(&format!("{prefix}.rejected"), self.rejected);
+    }
+
     /// Iterates over queued elements from oldest to newest.
     pub fn iter(&self) -> impl Iterator<Item = &T> {
         self.items.iter()
@@ -174,6 +195,29 @@ mod tests {
         assert_eq!(f.max_occupancy(), 2);
         assert_eq!(f.total_pushed(), 3);
         assert_eq!(f.free(), 2);
+    }
+
+    #[test]
+    fn rejected_pushes_counted() {
+        let mut f = Fifo::new(1);
+        f.push(1).unwrap();
+        assert!(f.push(2).is_err());
+        assert!(f.push(3).is_err());
+        assert_eq!(f.rejected(), 2);
+        assert_eq!(f.total_pushed(), 1);
+    }
+
+    #[test]
+    fn collect_reports_registry_metrics() {
+        let mut f = Fifo::new(2);
+        f.push(1).unwrap();
+        f.push(2).unwrap();
+        let _ = f.push(3);
+        let mut reg = crate::telemetry::MetricsRegistry::new();
+        f.collect("q", &mut reg);
+        assert_eq!(reg.gauge_value("q.high_watermark"), 2.0);
+        assert_eq!(reg.counter_value("q.pushed"), 2);
+        assert_eq!(reg.counter_value("q.rejected"), 1);
     }
 
     #[test]

@@ -14,6 +14,8 @@
 //!   benchmark harnesses (throughput counters, latency percentiles).
 //! * [`EventQueue`] — a discrete-event scheduler used by the NS3-equivalent
 //!   reference simulator in `f4t-netsim`.
+//! * [`telemetry`] — FtScope: the metrics registry (snapshot/delta), the
+//!   bounded pipeline trace ring, and Chrome-trace JSON export.
 //!
 //! # Examples
 //!
@@ -35,12 +37,14 @@ pub mod des;
 pub mod fifo;
 pub mod rng;
 pub mod stats;
+pub mod telemetry;
 
 pub use clock::{Cycle, ClockDomain};
 pub use des::EventQueue;
 pub use fifo::Fifo;
 pub use rng::SimRng;
 pub use stats::{Counter, Histogram, MeanVar};
+pub use telemetry::{MetricsRegistry, MetricValue, TraceEvent, TraceKind, TraceRing};
 
 /// Converts a byte count over a duration in nanoseconds to gigabits/second.
 ///

@@ -325,6 +325,60 @@ mod tests {
     }
 
     #[test]
+    fn histogram_single_sample() {
+        let mut h = Histogram::new();
+        h.record(777);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.min(), 777);
+        assert_eq!(h.max(), 777);
+        // Every percentile of a one-sample distribution is that sample.
+        for p in [0.0, 1.0, 50.0, 99.0, 100.0] {
+            assert_eq!(h.percentile(p), 777, "p{p}");
+        }
+        assert!((h.mean() - 777.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_percentile_clamps_out_of_range() {
+        let mut h = Histogram::new();
+        for v in 1..=10u64 {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(-5.0), h.percentile(0.0));
+        assert_eq!(h.percentile(250.0), h.percentile(100.0));
+        assert_eq!(h.percentile(100.0), 10);
+    }
+
+    #[test]
+    fn histogram_zero_only() {
+        let mut h = Histogram::new();
+        for _ in 0..5 {
+            h.record(0);
+        }
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.median(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = Histogram::new();
+        for v in [3u64, 5, 9] {
+            a.record(v);
+        }
+        let before = (a.count(), a.min(), a.max(), a.median());
+        a.merge(&Histogram::new());
+        assert_eq!((a.count(), a.min(), a.max(), a.median()), before);
+
+        let mut empty = Histogram::new();
+        empty.merge(&a);
+        assert_eq!(empty.count(), 3);
+        assert_eq!(empty.min(), 3);
+        assert_eq!(empty.max(), 9);
+    }
+
+    #[test]
     fn merge_combines_distributions() {
         let mut a = Histogram::new();
         let mut b = Histogram::new();

@@ -36,6 +36,7 @@ impl LinuxSystem {
             cpu: Self::busy_cpu(cores, window_ns),
             migrations: 0,
             retransmissions: 0,
+            telemetry: f4t_sim::MetricsRegistry::new(),
         }
     }
 
@@ -51,6 +52,7 @@ impl LinuxSystem {
             cpu: Self::busy_cpu(cores, window_ns),
             migrations: 0,
             retransmissions: 0,
+            telemetry: f4t_sim::MetricsRegistry::new(),
         }
     }
 

@@ -1,7 +1,7 @@
 //! Measurement results for the figure harnesses.
 
 use f4t_host::CpuAccounting;
-use f4t_sim::Histogram;
+use f4t_sim::{Histogram, MetricsRegistry};
 
 /// What a measurement window produced.
 #[derive(Debug, Clone)]
@@ -22,6 +22,10 @@ pub struct Metrics {
     pub migrations: u64,
     /// Retransmissions during the window (health check).
     pub retransmissions: u64,
+    /// FtScope window delta over both engines (`a.engine.*` client side,
+    /// `b.engine.*` server side): counters are window deltas, gauges and
+    /// histograms are end-of-window values.
+    pub telemetry: MetricsRegistry,
 }
 
 impl Metrics {
@@ -63,6 +67,7 @@ mod tests {
             cpu: CpuAccounting::default(),
             migrations: 0,
             retransmissions: 0,
+            telemetry: MetricsRegistry::new(),
         };
         assert!((m.mrps() - 44.0).abs() < 1e-9);
         assert!((m.goodput_gbps() - 45.056).abs() < 1e-3);

@@ -275,8 +275,7 @@ impl Node {
         self.dma_rr = (self.dma_rr + 1) % n_cores.max(1);
         'dma: for off in 0..n_cores {
             let i = (self.dma_rr + off) % n_cores;
-            loop {
-                let Some(&cmd) = self.cores[i].lib.commands_front() else { break };
+            while let Some(&cmd) = self.cores[i].lib.commands_front() {
                 let entry = self.cores[i].lib.entry_bytes() as u64;
                 let payload = match cmd {
                     Command::Send { flow, req } => {

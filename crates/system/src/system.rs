@@ -5,7 +5,7 @@ use crate::metrics::Metrics;
 use crate::node::{Driver, Node};
 use f4t_core::EngineConfig;
 use f4t_host::CpuAccounting;
-use f4t_sim::Histogram;
+use f4t_sim::{Histogram, MetricsRegistry};
 use f4t_tcp::{FlowId, FourTuple, SeqNum};
 use f4t_workloads::{
     BulkReceiver, BulkSender, EchoClient, EchoServer, HttpClient, HttpServer, RoundRobinSender,
@@ -120,12 +120,22 @@ impl F4tSystem {
         h
     }
 
+    /// FtScope snapshot over both engines: client-side metrics under
+    /// `a.engine.*`, server-side under `b.engine.*`.
+    pub fn telemetry(&self) -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        self.a.engine.collect("a.engine", &mut reg);
+        self.b.engine.collect("b.engine", &mut reg);
+        reg
+    }
+
     /// Warm up for `warmup_ns`, then measure for `window_ns` and return
     /// the window's metrics. Request counts and goodput are window
     /// deltas; latency percentiles cover the whole run (cumulative
     /// histograms), which is conservative for the tail.
     pub fn measure(&mut self, warmup_ns: u64, window_ns: u64) -> Metrics {
         self.run_ns(warmup_ns);
+        let telem0 = self.telemetry();
         let req0 = self.a.requests();
         let bytes0 = self.b.consumed_bytes() + self.a.consumed_bytes();
         let mig0 = self.a.engine.stats().migrations + self.b.engine.stats().migrations;
@@ -154,6 +164,7 @@ impl F4tSystem {
             retransmissions: self.a.engine.stats().retransmissions
                 + self.b.engine.stats().retransmissions
                 - rtx0,
+            telemetry: self.telemetry().delta(&telem0),
         }
     }
 
@@ -270,19 +281,19 @@ impl F4tSystem {
             per_core_a[ca].push(fa);
             per_core_b[cb].push(fb);
         }
-        for core in 0..client_cores {
-            let client = HttpClient::new(&per_core_a[core], sys.a.lib(core));
+        for (core, flows) in per_core_a.iter().enumerate() {
+            let client = HttpClient::new(flows, sys.a.lib(core));
             sys.a.set_driver(
                 core,
-                Driver::HttpClient { client, flows: per_core_a[core].clone(), next: 0 },
+                Driver::HttpClient { client, flows: flows.clone(), next: 0 },
             );
         }
-        for core in 0..server_cores {
+        for (core, flows) in per_core_b.iter().enumerate() {
             sys.b.set_driver(
                 core,
                 Driver::HttpServer {
                     server: HttpServer::new(),
-                    flows: per_core_b[core].clone(),
+                    flows: flows.clone(),
                     next: 0,
                 },
             );

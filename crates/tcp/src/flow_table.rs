@@ -122,17 +122,22 @@ impl FlowTable {
     /// Looks up the flow id for a 4-tuple. Two bucket probes, as in the
     /// hardware.
     pub fn lookup(&self, key: &FourTuple) -> Option<FlowId> {
+        self.lookup_probed(key).0
+    }
+
+    /// Like [`Self::lookup`], but also reports how many bucket probes the
+    /// lookup issued (1 when the first table hits, 2 otherwise) — the
+    /// hardware's SRAM-port cost, surfaced for telemetry.
+    pub fn lookup_probed(&self, key: &FourTuple) -> (Option<FlowId>, u32) {
         for which in 0..2 {
             let b = self.bucket(key, which);
-            for slot in &self.tables[which][b..b + BUCKET_WAYS] {
-                if let Some(e) = slot {
-                    if e.key == *key {
-                        return Some(e.value);
-                    }
+            for e in self.tables[which][b..b + BUCKET_WAYS].iter().flatten() {
+                if e.key == *key {
+                    return (Some(e.value), which as u32 + 1);
                 }
             }
         }
-        None
+        (None, 2)
     }
 
     /// Inserts a mapping, relocating (kicking) existing entries if needed.

@@ -194,7 +194,7 @@ impl ReassemblyTracker {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use f4t_sim::SimRng;
 
     #[test]
     fn in_order_stream() {
@@ -256,40 +256,48 @@ mod tests {
         assert_eq!(r.rcv_nxt(), start.add(200));
     }
 
-    proptest! {
-        /// Delivering a contiguous byte range as segments in ANY order
-        /// always reassembles to the full range, regardless of
-        /// duplication, as long as the chunk bound is respected.
-        #[test]
-        fn any_order_reassembles(
-            seed in any::<u32>(),
-            mut order in Just((0u32..12).collect::<Vec<_>>()).prop_shuffle(),
-            dup in any::<bool>(),
-        ) {
-            let base = SeqNum(seed);
-            let mut r = ReassemblyTracker::new(base, 1 << 20);
-            if dup {
+    // Randomized property checks, driven by the deterministic in-tree
+    // PRNG (the build environment has no registry access for proptest).
+
+    /// Delivering a contiguous byte range as segments in ANY order
+    /// always reassembles to the full range, regardless of
+    /// duplication, as long as the chunk bound is respected.
+    #[test]
+    fn any_order_reassembles() {
+        let mut rng = SimRng::new(0xA55E);
+        for _ in 0..256 {
+            let base = SeqNum(rng.next_u64() as u32);
+            let mut order: Vec<u32> = (0..12).collect();
+            // Fisher–Yates shuffle.
+            for i in (1..order.len()).rev() {
+                order.swap(i, rng.next_below(i as u64 + 1) as usize);
+            }
+            if rng.chance(0.5) {
                 let extra = order[0];
                 order.push(extra);
             }
+            let mut r = ReassemblyTracker::new(base, 1 << 20);
             for i in order {
                 let _ = r.on_segment(base.add(i * 100), 100);
             }
-            prop_assert_eq!(r.rcv_nxt(), base.add(1200));
-            prop_assert_eq!(r.chunk_count(), 0);
+            assert_eq!(r.rcv_nxt(), base.add(1200));
+            assert_eq!(r.chunk_count(), 0);
         }
+    }
 
-        /// The in-order pointer never moves backwards, and chunks stay
-        /// strictly above it.
-        #[test]
-        fn pointer_monotone(
-            segs in proptest::collection::vec((0u32..5000, 1u32..300), 1..100)
-        ) {
+    /// The in-order pointer never moves backwards, and chunks stay
+    /// strictly above it.
+    #[test]
+    fn pointer_monotone() {
+        let mut rng = SimRng::new(0xA55F);
+        for _ in 0..128 {
             let mut r = ReassemblyTracker::new(SeqNum(0), 1 << 20);
             let mut last = r.rcv_nxt();
-            for (off, len) in segs {
+            for _ in 0..(1 + rng.next_below(99)) {
+                let off = rng.next_below(5000) as u32;
+                let len = 1 + rng.next_below(299) as u32;
                 let _ = r.on_segment(SeqNum(off), len);
-                prop_assert!(r.rcv_nxt().ge(last));
+                assert!(r.rcv_nxt().ge(last));
                 last = r.rcv_nxt();
             }
         }

@@ -34,12 +34,14 @@ impl SeqNum {
 
     /// Returns this sequence number advanced by `n` bytes (wrapping).
     #[inline]
+    #[allow(clippy::should_implement_trait)] // `SeqNum + u32`, not `SeqNum + SeqNum`
     pub fn add(self, n: u32) -> SeqNum {
         SeqNum(self.0.wrapping_add(n))
     }
 
     /// Returns this sequence number moved back by `n` bytes (wrapping).
     #[inline]
+    #[allow(clippy::should_implement_trait)] // `SeqNum - u32`, not `SeqNum - SeqNum`
     pub fn sub(self, n: u32) -> SeqNum {
         SeqNum(self.0.wrapping_sub(n))
     }
@@ -132,7 +134,7 @@ impl From<u32> for SeqNum {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use f4t_sim::SimRng;
 
     #[test]
     fn basic_ordering() {
@@ -179,56 +181,75 @@ mod tests {
         assert_eq!(s.to_string(), "42");
     }
 
-    proptest! {
-        /// add/sub are inverses everywhere, including across the wrap.
-        #[test]
-        fn add_sub_inverse(x in any::<u32>(), n in any::<u32>()) {
-            let s = SeqNum(x);
-            prop_assert_eq!(s.add(n).sub(n), s);
-        }
+    // Randomized property checks, driven by the deterministic in-tree
+    // PRNG (the build environment has no registry access for proptest).
 
-        /// since() recovers the added distance when it fits in the signed
-        /// comparison window (< 2^31).
-        #[test]
-        fn since_recovers_distance(x in any::<u32>(), n in 0u32..0x7FFF_FFFF) {
-            let s = SeqNum(x);
-            prop_assert_eq!(s.add(n).since(s), n);
+    /// add/sub are inverses everywhere, including across the wrap.
+    #[test]
+    fn add_sub_inverse() {
+        let mut rng = SimRng::new(0x5E0A);
+        for _ in 0..4096 {
+            let s = SeqNum(rng.next_u64() as u32);
+            let n = rng.next_u64() as u32;
+            assert_eq!(s.add(n).sub(n), s);
         }
+    }
 
-        /// Circular ordering is antisymmetric for distinct points within
-        /// the comparison window.
-        #[test]
-        fn ordering_antisymmetric(x in any::<u32>(), n in 1u32..0x7FFF_FFFF) {
-            let a = SeqNum(x);
-            let b = a.add(n);
-            prop_assert!(a.lt(b));
-            prop_assert!(!b.lt(a));
-            prop_assert!(b.gt(a));
+    /// since() recovers the added distance when it fits in the signed
+    /// comparison window (< 2^31).
+    #[test]
+    fn since_recovers_distance() {
+        let mut rng = SimRng::new(0x5E0B);
+        for _ in 0..4096 {
+            let s = SeqNum(rng.next_u64() as u32);
+            let n = rng.next_below(0x7FFF_FFFF) as u32;
+            assert_eq!(s.add(n).since(s), n);
         }
+    }
 
-        /// The newer cumulative pointer subsumes the older one: taking the
-        /// max of any in-order sequence of pointer updates yields the last
-        /// update. This is the property event accumulation relies on.
-        #[test]
-        fn cumulative_overwrite_is_max(x in any::<u32>(), steps in proptest::collection::vec(0u32..65536, 1..50)) {
-            let mut ptr = SeqNum(x);
+    /// Circular ordering is antisymmetric for distinct points within
+    /// the comparison window.
+    #[test]
+    fn ordering_antisymmetric() {
+        let mut rng = SimRng::new(0x5E0C);
+        for _ in 0..4096 {
+            let a = SeqNum(rng.next_u64() as u32);
+            let b = a.add(1 + rng.next_below(0x7FFF_FFFE) as u32);
+            assert!(a.lt(b));
+            assert!(!b.lt(a));
+            assert!(b.gt(a));
+        }
+    }
+
+    /// The newer cumulative pointer subsumes the older one: taking the
+    /// max of any in-order sequence of pointer updates yields the last
+    /// update. This is the property event accumulation relies on.
+    #[test]
+    fn cumulative_overwrite_is_max() {
+        let mut rng = SimRng::new(0x5E0D);
+        for _ in 0..256 {
+            let mut ptr = SeqNum(rng.next_u64() as u32);
             let mut acc = ptr;
-            for s in steps {
-                ptr = ptr.add(s);
+            for _ in 0..(1 + rng.next_below(49)) {
+                ptr = ptr.add(rng.next_below(65536) as u32);
                 acc = acc.max_seq(ptr);
             }
-            prop_assert_eq!(acc, ptr);
+            assert_eq!(acc, ptr);
         }
+    }
 
-        /// in_window is equivalent to the since()-based definition.
-        #[test]
-        fn window_consistent(x in any::<u32>(), off in any::<u32>(), len in 0u32..0x7FFF_FFFF) {
-            let start = SeqNum(x);
-            let p = start.add(off % 0x7FFF_FFFF);
+    /// in_window is equivalent to the since()-based definition.
+    #[test]
+    fn window_consistent() {
+        let mut rng = SimRng::new(0x5E0E);
+        for _ in 0..4096 {
+            let start = SeqNum(rng.next_u64() as u32);
+            let p = start.add((rng.next_u64() as u32) % 0x7FFF_FFFF);
+            let len = rng.next_below(0x7FFF_FFFF) as u32;
             let inside = p.in_window(start, len);
             let d = p.diff(start);
             let expect = d >= 0 && (d as u32) < len;
-            prop_assert_eq!(inside, expect);
+            assert_eq!(inside, expect);
         }
     }
 }

@@ -232,11 +232,11 @@ impl TcpHeader {
     ///
     /// [`ParseError::Truncated`], [`ParseError::Unsupported`] (data offset
     /// with options), or [`ParseError::BadChecksum`].
-    pub fn parse<'a>(
-        buf: &'a [u8],
+    pub fn parse(
+        buf: &[u8],
         src: Ipv4Addr,
         dst: Ipv4Addr,
-    ) -> Result<(TcpHeader, &'a [u8]), ParseError> {
+    ) -> Result<(TcpHeader, &[u8]), ParseError> {
         if buf.len() < Self::LEN {
             return Err(ParseError::Truncated { layer: "tcp", needed: Self::LEN, got: buf.len() });
         }
@@ -398,7 +398,7 @@ impl IcmpEcho {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use f4t_sim::SimRng;
 
     #[test]
     fn checksum_rfc1071_example() {
@@ -552,32 +552,44 @@ mod tests {
         assert!(ParseError::BadChecksum("tcp").to_string().contains("tcp"));
     }
 
-    proptest! {
-        /// Any TCP header + payload round-trips through the wire format.
-        #[test]
-        fn tcp_header_round_trip(
-            sp in any::<u16>(), dp in any::<u16>(),
-            seq in any::<u32>(), ack in any::<u32>(),
-            flags in 0u8..64, window in any::<u16>(),
-            payload in proptest::collection::vec(any::<u8>(), 0..256),
-        ) {
+    // Randomized property checks, driven by the deterministic in-tree
+    // PRNG (the build environment has no registry access for proptest).
+
+    fn random_payload(rng: &mut SimRng, max_len: u64) -> Vec<u8> {
+        let len = rng.next_below(max_len) as usize;
+        (0..len).map(|_| rng.next_u64() as u8).collect()
+    }
+
+    /// Any TCP header + payload round-trips through the wire format.
+    #[test]
+    fn tcp_header_round_trip() {
+        let mut rng = SimRng::new(0x317E);
+        for _ in 0..256 {
             let src = Ipv4Addr::new(10, 1, 2, 3);
             let dst = Ipv4Addr::new(10, 3, 2, 1);
             let h = TcpHeader {
-                src_port: sp, dst_port: dp,
-                seq: SeqNum(seq), ack: SeqNum(ack),
-                flags: TcpFlags(flags), window,
+                src_port: rng.next_u64() as u16,
+                dst_port: rng.next_u64() as u16,
+                seq: SeqNum(rng.next_u64() as u32),
+                ack: SeqNum(rng.next_u64() as u32),
+                flags: TcpFlags(rng.next_below(64) as u8),
+                window: rng.next_u64() as u16,
             };
+            let payload = random_payload(&mut rng, 256);
             let mut buf = Vec::new();
             h.write(src, dst, &payload, &mut buf);
             let (parsed, body) = TcpHeader::parse(&buf, src, dst).unwrap();
-            prop_assert_eq!(parsed, h);
-            prop_assert_eq!(body, &payload[..]);
+            assert_eq!(parsed, h);
+            assert_eq!(body, &payload[..]);
         }
+    }
 
-        /// Full frame: Ethernet + IPv4 + TCP compose and decompose.
-        #[test]
-        fn full_frame_round_trip(payload in proptest::collection::vec(any::<u8>(), 0..64)) {
+    /// Full frame: Ethernet + IPv4 + TCP compose and decompose.
+    #[test]
+    fn full_frame_round_trip() {
+        let mut rng = SimRng::new(0x317F);
+        for _ in 0..256 {
+            let payload = random_payload(&mut rng, 64);
             let src = Ipv4Addr::new(10, 0, 0, 1);
             let dst = Ipv4Addr::new(10, 0, 0, 2);
             let eth = EthernetHeader {
@@ -602,12 +614,12 @@ mod tests {
             tcp.write(src, dst, &payload, &mut frame);
 
             let (e2, rest) = EthernetHeader::parse(&frame).unwrap();
-            prop_assert_eq!(e2, eth);
+            assert_eq!(e2, eth);
             let (ip2, rest) = Ipv4Header::parse(rest).unwrap();
-            prop_assert_eq!(ip2, ip);
+            assert_eq!(ip2, ip);
             let (t2, body) = TcpHeader::parse(rest, ip2.src, ip2.dst).unwrap();
-            prop_assert_eq!(t2, tcp);
-            prop_assert_eq!(body, &payload[..]);
+            assert_eq!(t2, tcp);
+            assert_eq!(body, &payload[..]);
         }
     }
 }

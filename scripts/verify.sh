@@ -1,0 +1,33 @@
+#!/usr/bin/env sh
+# Tier-1 verification: release build, full test suite, lint gate.
+# Run from the repo root:  sh scripts/verify.sh
+# Extra smoke: drive the telemetry path end-to-end (fast echo run) and
+# check that the metrics/trace JSON come out non-trivial.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release (workspace)"
+cargo build --release --workspace
+
+echo "==> cargo test -q (workspace)"
+cargo test -q --workspace
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> f4tperf --telemetry smoke"
+out="$(mktemp -d)"
+cargo run --release -q -p f4t-bench --bin f4tperf -- \
+    --workload echo --cores 2 --flows 256 --duration-ms 1 \
+    --telemetry "$out/telem.json" --trace-depth 4096 >/dev/null
+for f in "$out/telem.json" "$out/telem.trace.json"; do
+    [ -s "$f" ] || { echo "FAIL: $f missing or empty" >&2; exit 1; }
+done
+grep -q 'engine.fpc0.stall.fifo_empty' "$out/telem.json" \
+    || { echo "FAIL: stall counters missing from telemetry" >&2; exit 1; }
+grep -q 'traceEvents' "$out/telem.trace.json" \
+    || { echo "FAIL: trace file is not Chrome-trace JSON" >&2; exit 1; }
+rm -rf "$out"
+
+echo "verify: OK"

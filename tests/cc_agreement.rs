@@ -47,7 +47,7 @@ fn engine_cwnd_trace(algo: CcAlgorithm, duration_ns: u64, drop_every: u64) -> Ve
                 let seg = a.pop_tx().unwrap();
                 if seg.has_payload() {
                     data += 1;
-                    if data % drop_every == 0 {
+                    if data.is_multiple_of(drop_every) {
                         continue;
                     }
                 }
