@@ -33,6 +33,7 @@ struct Args {
     scan: ScanPolicy,
     telemetry: Option<String>,
     trace_depth: usize,
+    check: bool,
 }
 
 impl Default for Args {
@@ -52,6 +53,7 @@ impl Default for Args {
             scan: ScanPolicy::SkipIdle,
             telemetry: None,
             trace_depth: 65_536,
+            check: false,
         }
     }
 }
@@ -77,6 +79,9 @@ USAGE: f4tperf [OPTIONS]
                                    Chrome trace to PATH with a .trace.json
                                    suffix (load in Perfetto / chrome://tracing)
   --trace-depth <N>                trace ring capacity     [65536]
+  --check                          attach the FtVerify hazard checker to both
+                                   engines; print its report and exit non-zero
+                                   on any design-rule violation
   --help                           this text
 ";
 
@@ -141,6 +146,7 @@ fn parse() -> Result<Args, String> {
                 args.trace_depth = val("--trace-depth")?.parse().map_err(|e| format!("{e}"))?
             }
             "--no-coalescing" => args.coalescing = false,
+            "--check" => args.check = true,
             "--compact-commands" => args.compact = true,
             "--help" | "-h" => {
                 print!("{HELP}");
@@ -170,6 +176,7 @@ fn main() {
         cc: args.cc,
         coalescing: args.coalescing,
         scan_policy: args.scan,
+        check: args.check,
         ..EngineConfig::reference()
     };
 
@@ -245,4 +252,18 @@ fn main() {
         m.cpu.app as f64 * 100.0 / busy.max(1) as f64,
         m.cpu.lib as f64 * 100.0 / busy.max(1) as f64,
     );
+
+    if args.check {
+        let violations =
+            sys.a.engine.check_total_violations() + sys.b.engine.check_total_violations();
+        for (side, e) in [("a", &sys.a.engine), ("b", &sys.b.engine)] {
+            if let Some(summary) = e.check_summary() {
+                println!("  ftverify[{side}]        {summary}");
+            }
+        }
+        if violations > 0 {
+            eprintln!("error: FtVerify found {violations} design-rule violation(s)");
+            std::process::exit(1);
+        }
+    }
 }

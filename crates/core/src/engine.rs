@@ -21,7 +21,8 @@ use crate::packet_gen::PacketGenerator;
 use crate::rx_parser::{RxOutput, RxParser};
 use crate::scheduler::Scheduler;
 use crate::timers::TimerWheel;
-use f4t_mem::DramKind;
+use f4t_mem::{DramKind, Location};
+use f4t_sim::check::{InvariantChecker, Violation, ViolationKind};
 use f4t_sim::telemetry::{MetricsRegistry, TraceKind, TraceRing};
 use f4t_tcp::wire::{ArpMessage, IcmpEcho};
 use f4t_tcp::{
@@ -64,6 +65,11 @@ pub struct EngineConfig {
     pub tcb_cache_sets: usize,
     /// TCB-manager scan policy.
     pub scan_policy: ScanPolicy,
+    /// FtVerify: attach the cycle-level hazard checker (port budgets,
+    /// schedule parity, RMW hazards, migration races, valid-bit leaks,
+    /// FIFO conservation). Off by default; the disabled path costs one
+    /// branch per checkpoint.
+    pub check: bool,
 }
 
 impl EngineConfig {
@@ -83,6 +89,7 @@ impl EngineConfig {
             mss: MSS,
             tcb_cache_sets: 512,
             scan_policy: ScanPolicy::SkipIdle,
+            check: false,
         }
     }
 
@@ -202,9 +209,15 @@ pub struct Engine {
     rx_parser: RxParser,
     timers: TimerWheel,
     /// Skid buffer between FPU output and the packet-generator FIFO.
+    // f4tlint: allow(raw_queue): bounded by the dispatch gate (FPCs stop
+    // dispatching while it is non-empty), so depth <= one tick's output.
     tx_overflow: VecDeque<TxRequest>,
     /// Segments awaiting the link (the MAC-side output buffer).
+    // f4tlint: allow(raw_queue): capped at TX_OUT_CAP by the tick loop;
+    // models the MAC buffer, not an on-chip FIFO.
     tx_out: VecDeque<Segment>,
+    // f4tlint: allow(raw_queue): models the DMA completion ring toward
+    // host memory, which the host must drain; not an on-chip queue.
     notifications: VecDeque<HostNotification>,
     flows: HashMap<FlowId, FourTuple>,
     /// Reused per-tick scratch buffers (hot path; avoids reallocating).
@@ -217,6 +230,9 @@ pub struct Engine {
     /// without reuse would alias live flows after enough churn.
     free_flow_ids: Vec<u32>,
     host_events: u64,
+    /// FtVerify hazard checker; attached when `EngineConfig::check` is
+    /// set. Boxed so the disabled engine stays small.
+    check: Option<Box<InvariantChecker>>,
     /// FtScope pipeline trace (disabled — capacity 0 — by default).
     trace: TraceRing,
     /// Counter snapshots from the previous tick, used to derive per-tick
@@ -242,6 +258,10 @@ const CYCLE_NS: u64 = 4;
 /// MAC output buffer cap; beyond this the packet generator stalls and
 /// backpressure propagates to FPC dispatch.
 const TX_OUT_CAP: usize = 256;
+/// FtVerify structural-audit period. Per-cycle rules (ports, parity, RMW)
+/// fire inline; the cross-module residency/LUT/conservation audit walks
+/// every table, so it runs every `AUDIT_INTERVAL` cycles instead.
+const AUDIT_INTERVAL: u64 = 64;
 
 impl Engine {
     /// Builds an engine from `config` with the configured built-in
@@ -287,6 +307,7 @@ impl Engine {
             next_flow: 0,
             free_flow_ids: Vec::new(),
             host_events: 0,
+            check: config.check.then(|| Box::new(InvariantChecker::new())),
             trace: TraceRing::disabled(),
             trace_prev: TraceCounters::default(),
             mac: MacAddr([0x02, 0xf4, 0x70, 0, 0, 1]),
@@ -332,7 +353,13 @@ impl Engine {
         self.config.cc.instance().init(&mut tcb);
         self.rx_parser.register_flow(tuple, flow, isn).ok()?;
         self.flows.insert(flow, tuple);
-        self.scheduler.place_new_flow(tcb, &mut self.fpcs, &mut self.mm);
+        self.scheduler.place_new_flow(
+            tcb,
+            &mut self.fpcs,
+            &mut self.mm,
+            self.cycle,
+            self.check.as_deref_mut(),
+        );
         Some(flow)
     }
 
@@ -350,7 +377,13 @@ impl Engine {
         // Peer ISN unknown: the tracker re-anchors on the SYN|ACK.
         self.rx_parser.register_flow(tuple, flow, SeqNum::ZERO).ok()?;
         self.flows.insert(flow, tuple);
-        self.scheduler.place_new_flow(tcb, &mut self.fpcs, &mut self.mm);
+        self.scheduler.place_new_flow(
+            tcb,
+            &mut self.fpcs,
+            &mut self.mm,
+            self.cycle,
+            self.check.as_deref_mut(),
+        );
         Some(flow)
     }
 
@@ -563,7 +596,13 @@ impl Engine {
             return;
         }
         self.flows.insert(flow, tuple);
-        self.scheduler.place_new_flow(tcb, &mut self.fpcs, &mut self.mm);
+        self.scheduler.place_new_flow(
+            tcb,
+            &mut self.fpcs,
+            &mut self.mm,
+            self.cycle,
+            self.check.as_deref_mut(),
+        );
         self.notifications.push_back(HostNotification::NewConnection { flow, tuple });
         // Re-offer the SYN now that the flow exists.
         self.rx_parser.push_segment(syn);
@@ -590,7 +629,7 @@ impl Engine {
             if let Some(tuple) = self.flows.remove(&flow) {
                 self.rx_parser.remove_flow(&tuple, flow);
             }
-            self.scheduler.on_flow_closed(flow);
+            self.scheduler.on_flow_closed(flow, self.cycle, self.check.as_deref_mut());
             self.timers.disarm(flow, TimeoutKind::Rto);
             self.timers.disarm(flow, TimeoutKind::Probe);
             self.free_flow_ids.push(flow.0);
@@ -648,7 +687,7 @@ impl Engine {
         }
 
         // 3. Scheduler: coalesce + route + migrations + swap-ins.
-        self.scheduler.tick(cycle, &mut self.fpcs, &mut self.mm);
+        self.scheduler.tick_checked(cycle, &mut self.fpcs, &mut self.mm, self.check.as_deref_mut());
         if self.trace.enabled() {
             // Derive per-cycle trace events from the scheduler's running
             // totals (the scheduler itself stays trace-agnostic).
@@ -687,7 +726,7 @@ impl Engine {
             out.evicted.clear();
             out.installed.clear();
             let fpc_id = self.fpcs[i].id();
-            self.fpcs[i].tick(cycle, now, gate, &mut out);
+            self.fpcs[i].tick_checked(cycle, now, gate, &mut out, self.check.as_deref_mut());
             for req in out.tx.drain(..) {
                 if self.pkt_gen.can_accept() {
                     self.pkt_gen.push(req);
@@ -705,7 +744,7 @@ impl Engine {
             }
             for flow in out.installed.drain(..) {
                 self.trace.record(cycle, TraceKind::SwapIn, flow.0, u64::from(fpc_id));
-                self.scheduler.on_installed(flow, fpc_id);
+                self.scheduler.on_installed(flow, fpc_id, cycle, self.check.as_deref_mut());
             }
             self.fpc_scratch = out;
         }
@@ -718,7 +757,7 @@ impl Engine {
         }
         for flow in mo.evict_done {
             self.trace.record(cycle, TraceKind::MigrateDone, flow.0, 0);
-            self.scheduler.on_evict_done(flow);
+            self.scheduler.on_evict_done(flow, cycle, self.check.as_deref_mut());
         }
         for ev in mo.bounced {
             if !self.scheduler.push_event(ev) {
@@ -751,7 +790,134 @@ impl Engine {
             self.seg_scratch = segs;
         }
 
+        // 7. FtVerify structural audit (residency, LUT consistency, FIFO
+        //    conservation, valid-bit leaks) on a coarse period.
+        if self.check.is_some() && cycle.is_multiple_of(AUDIT_INTERVAL) {
+            self.run_audit(cycle);
+        }
+
         self.cycle += 1;
+    }
+
+    /// FtVerify cross-module audit. Per-cycle rules live inline in the
+    /// modules; this pass checks the *structural* invariants that need a
+    /// global view: a TCB is valid in exactly the place its location-LUT
+    /// entry claims (§3.2's race-free migration), never in two memories
+    /// at once, and every FIFO's push/pop accounting balances.
+    fn run_audit(&mut self, cycle: u64) {
+        let Some(mut chk) = self.check.take() else { return };
+        for f in &self.fpcs {
+            f.audit(cycle, &mut chk);
+        }
+        self.scheduler.audit(cycle, &mut chk);
+        self.mm.audit(cycle, &mut chk);
+        self.rx_parser.audit(cycle, &mut chk);
+
+        // Residency map: which memory actually holds each flow right now.
+        let mut sram: HashMap<FlowId, u8> = HashMap::new();
+        for f in &self.fpcs {
+            for flow in f.resident_flows() {
+                if let Some(prev) = sram.insert(flow, f.id()) {
+                    chk.report(
+                        cycle,
+                        ViolationKind::MigrationRace,
+                        "engine.audit",
+                        format!("flow {flow} resident in fpc{prev} and fpc{} at once", f.id()),
+                    );
+                }
+            }
+        }
+        let dram: std::collections::HashSet<FlowId> = self.mm.resident_flows().collect();
+        for &flow in &dram {
+            if let Some(&fpc) = sram.get(&flow) {
+                chk.report(
+                    cycle,
+                    ViolationKind::MigrationRace,
+                    "engine.audit",
+                    format!("flow {flow} resident in fpc{fpc} SRAM and DRAM at once"),
+                );
+            }
+        }
+        // Every open flow's LUT entry must match actual residency.
+        // `Moving` is the sanctioned transient and is skipped.
+        for &flow in self.flows.keys() {
+            match self.scheduler.location(flow) {
+                Location::Fpc(i) => {
+                    if sram.get(&flow) != Some(&i) {
+                        chk.report(
+                            cycle,
+                            ViolationKind::MigrationRace,
+                            "engine.audit",
+                            format!("LUT says flow {flow} is in fpc{i} but that FPC does not hold it"),
+                        );
+                    }
+                }
+                Location::Dram => {
+                    if !dram.contains(&flow) {
+                        chk.report(
+                            cycle,
+                            ViolationKind::MigrationRace,
+                            "engine.audit",
+                            format!("LUT says flow {flow} is in DRAM but the store does not hold it"),
+                        );
+                    }
+                }
+                Location::Moving => {}
+                Location::Unallocated => {
+                    chk.report(
+                        cycle,
+                        ViolationKind::MigrationRace,
+                        "engine.audit",
+                        format!("open flow {flow} has an unallocated LUT entry"),
+                    );
+                }
+            }
+        }
+        self.check = Some(chk);
+    }
+
+    /// Whether the FtVerify checker is attached.
+    pub fn check_enabled(&self) -> bool {
+        self.check.is_some()
+    }
+
+    /// Total FtVerify violations so far (0 when the checker is off).
+    pub fn check_total_violations(&self) -> u64 {
+        self.check.as_ref().map_or(0, |c| c.total_violations())
+    }
+
+    /// The retained FtVerify violation log (empty when the checker is off).
+    pub fn check_violations(&self) -> &[Violation] {
+        self.check.as_ref().map_or(&[][..], |c| c.violations())
+    }
+
+    /// FtVerify report, when the checker is attached.
+    pub fn check_summary(&self) -> Option<String> {
+        self.check.as_ref().map(|c| c.summary())
+    }
+
+    /// Mutable access to the attached checker (tests tighten the
+    /// valid-bit leak bound through this).
+    pub fn checker_mut(&mut self) -> Option<&mut InvariantChecker> {
+        self.check.as_deref_mut()
+    }
+
+    /// FtVerify fault injection: corrupts `flow`'s location-LUT entry
+    /// directly, bypassing the Moving protocol. For negative tests that
+    /// prove the audit catches stale-LUT migration races.
+    pub fn fault_inject_lut(&mut self, flow: FlowId, loc: Location) {
+        self.scheduler.fault_set_location(flow, loc);
+    }
+
+    /// FtVerify fault injection: plants a copy of an FPC-resident TCB in
+    /// the DRAM store, creating the dual-residency race §3.2 rules out by
+    /// construction. Returns `false` if the flow is not SRAM-resident.
+    pub fn fault_inject_dram_ghost(&mut self, flow: FlowId) -> bool {
+        let Some(tcb) = self.fpcs.iter().find_map(|f| f.peek_tcb(flow)).copied() else {
+            return false;
+        };
+        self.mm.fault_inject_store(tcb);
+        true
     }
 
     /// Runs `n` cycles.

@@ -24,6 +24,7 @@
 use crate::event::{EventKind, FlowEvent, TimeoutKind, TxRequest};
 use crate::fpu::{EventView, Fpu, FpuOutcome};
 use f4t_mem::Cam;
+use f4t_sim::check::{InvariantChecker, PortTracker, ViolationKind};
 use f4t_sim::Fifo;
 use f4t_tcp::{CongestionControl, FlowId, Tcb, TcpFlags};
 use std::sync::Arc;
@@ -51,6 +52,10 @@ struct Slot {
     pending: bool,
     in_fpu: bool,
     occupied: bool,
+    /// Last cycle this slot was installed or dispatched; the FtVerify
+    /// audit uses it to bound how long a valid event entry may sit
+    /// without being scheduled (valid-bit leak detection).
+    last_progress_cycle: u64,
 }
 
 /// Sets a slot's pending flag, keeping the FPC's valid-entry count in
@@ -76,6 +81,7 @@ impl Slot {
             pending: false,
             in_fpu: false,
             occupied: false,
+            last_progress_cycle: 0,
         }
     }
 }
@@ -135,6 +141,10 @@ pub struct Fpc {
     valid_sum: u64,
     fpu_depth_sum: u64,
     ticks: u64,
+    /// FtVerify per-cycle port accounting for the dual memory; only
+    /// consulted when an [`InvariantChecker`] is attached to the tick.
+    tcb_ports: PortTracker,
+    ev_ports: PortTracker,
 }
 
 impl std::fmt::Debug for Fpc {
@@ -183,6 +193,8 @@ impl Fpc {
             valid_sum: 0,
             fpu_depth_sum: 0,
             ticks: 0,
+            tcb_ports: PortTracker::new(format!("fpc{id}.tcb_table"), 2),
+            ev_ports: PortTracker::new(format!("fpc{id}.event_table"), 2),
         }
     }
 
@@ -319,7 +331,30 @@ impl Fpc {
     }
 
     /// Event-handler write: accumulate `event` into the event table.
-    fn handle_event(&mut self, event: FlowEvent, now_ns: u64) {
+    fn handle_event(
+        &mut self,
+        event: FlowEvent,
+        now_ns: u64,
+        cycle: u64,
+        chk: Option<&mut InvariantChecker>,
+    ) {
+        if let Some(chk) = chk {
+            // Event accumulation is the even phase of the two-cycle port
+            // schedule (§4.2.3); running it on a dispatch cycle would
+            // collide with the TCB manager's event-table ports.
+            if !cycle.is_multiple_of(2) {
+                chk.report(
+                    cycle,
+                    ViolationKind::ScheduleParity,
+                    format!("fpc{}", self.id),
+                    "event accumulation on an odd (dispatch) cycle".into(),
+                );
+            }
+            // One event-table write per handled event. The dup-ACK
+            // increment is the paper's only single-cycle RMW and lives in
+            // a dedicated counter array, not a second BRAM port (§4.2.1).
+            self.ev_ports.access(cycle, 1, chk);
+        }
         let Some(slot_idx) = self.cam.lookup(event.flow) else {
             // The moving-state protocol prevents migration races, but a
             // connection that just CLOSED frees its slot with events
@@ -407,7 +442,12 @@ impl Fpc {
     /// construct the merged TCB, clear valid bits and issue to the FPU.
     /// `gate_open` is false when the downstream TX path is exerting
     /// backpressure (dispatch throttles rather than stalls mid-pipeline).
-    fn dispatch(&mut self, now_cycle: u64, gate_open: bool) {
+    fn dispatch(
+        &mut self,
+        now_cycle: u64,
+        gate_open: bool,
+        chk: Option<&mut InvariantChecker>,
+    ) {
         if !gate_open {
             self.stall_backpressure += 1;
             return;
@@ -417,7 +457,7 @@ impl Fpc {
             ScanPolicy::FullIteration => {
                 let idx = self.rr_ptr;
                 self.rr_ptr = (self.rr_ptr + 1) % n;
-                self.try_issue(idx, now_cycle)
+                self.try_issue(idx, now_cycle, chk)
             }
             ScanPolicy::SkipIdle => {
                 let mut issued = false;
@@ -426,7 +466,7 @@ impl Fpc {
                     let s = &self.slots[idx];
                     if s.occupied && s.pending && !s.in_fpu {
                         self.rr_ptr = (idx + 1) % n;
-                        issued = self.try_issue(idx, now_cycle);
+                        issued = self.try_issue(idx, now_cycle, chk);
                         break;
                     }
                 }
@@ -444,11 +484,45 @@ impl Fpc {
         }
     }
 
-    fn try_issue(&mut self, idx: usize, now_cycle: u64) -> bool {
-        let slot = &mut self.slots[idx];
-        if !(slot.occupied && slot.pending && !slot.in_fpu) {
+    fn try_issue(
+        &mut self,
+        idx: usize,
+        now_cycle: u64,
+        chk: Option<&mut InvariantChecker>,
+    ) -> bool {
+        if !(self.slots[idx].occupied && self.slots[idx].pending && !self.slots[idx].in_fpu) {
             return false;
         }
+        if let Some(chk) = chk {
+            // Dispatch is the odd phase of the two-cycle schedule.
+            if now_cycle.is_multiple_of(2) {
+                chk.report(
+                    now_cycle,
+                    ViolationKind::ScheduleParity,
+                    format!("fpc{}", self.id),
+                    "TCB dispatch on an even (event) cycle".into(),
+                );
+            }
+            // Construct-read on the TCB table; construct-read plus
+            // valid-bit clear on the event table.
+            self.tcb_ports.access(now_cycle, 1, chk);
+            self.ev_ports.access(now_cycle, 2, chk);
+            // Structural stall-free check: the in-FPU guard above must
+            // agree with the pipeline's actual contents, otherwise a TCB
+            // is read-modify-written while an older copy is in flight.
+            if self.fpu.in_flight(self.slots[idx].tcb.flow) {
+                chk.report(
+                    now_cycle,
+                    ViolationKind::RmwHazard,
+                    format!("fpc{}", self.id),
+                    format!(
+                        "flow {} dispatched while already in the FPU pipeline",
+                        self.slots[idx].tcb.flow
+                    ),
+                );
+            }
+        }
+        let slot = &mut self.slots[idx];
         // Construct the merged TCB: event-table values with valid bits set
         // override; dup-ACK count rides in the EventView (its valid bit is
         // NOT cleared at dispatch — see the event handler above).
@@ -460,6 +534,7 @@ impl Fpc {
         slot.ev = EventView { dup_acks: dup_keep, ..EventView::default() };
         set_pending(slot, &mut self.pending_count, false);
         slot.in_fpu = true;
+        slot.last_progress_cycle = now_cycle;
         self.dispatches += 1;
         self.fpu.issue(slot.tcb, merged_ev, now_cycle);
         true
@@ -472,6 +547,21 @@ impl Fpc {
     /// mechanism behind the paper's observation that link backpressure
     /// grows the effective request size, §5.1).
     pub fn tick(&mut self, cycle: u64, now_ns: u64, tx_gate_open: bool, out: &mut FpcOutput) {
+        self.tick_checked(cycle, now_ns, tx_gate_open, out, None);
+    }
+
+    /// [`Fpc::tick`] with an optional FtVerify checker attached; the
+    /// engine routes its checker here when `EngineConfig::check` is set.
+    /// The `None` path is a single branch per call site — production runs
+    /// pay nothing.
+    pub fn tick_checked(
+        &mut self,
+        cycle: u64,
+        now_ns: u64,
+        tx_gate_open: bool,
+        out: &mut FpcOutput,
+        mut chk: Option<&mut InvariantChecker>,
+    ) {
         // FtScope occupancy gauges: three u64 adds per cycle.
         self.ticks += 1;
         self.occupied_sum += self.cam.len() as u64;
@@ -480,8 +570,25 @@ impl Fpc {
         // FPU advances every cycle; completions write back / evict.
         if let Some(result) = self.fpu.tick(cycle, now_ns) {
             let flow = result.tcb.flow;
+            if let Some(c) = chk.as_deref_mut() {
+                // FPU write-back port on the TCB table.
+                self.tcb_ports.access(cycle, 1, c);
+            }
             if let Some(idx) = self.cam.lookup(flow) {
                 let slot = &mut self.slots[idx];
+                if let Some(c) = chk.as_deref_mut() {
+                    if !slot.in_fpu {
+                        // The pipeline returned a TCB the slot bookkeeping
+                        // no longer considers in flight: a stale copy was
+                        // processed concurrently with the live slot.
+                        c.report(
+                            cycle,
+                            ViolationKind::RmwHazard,
+                            format!("fpc{}", self.id),
+                            format!("FPU write-back for flow {flow} whose slot is not in-FPU"),
+                        );
+                    }
+                }
                 slot.in_fpu = false;
                 // The evict flag may have been set on the slot while this
                 // TCB was in flight; honour it either way.
@@ -522,10 +629,15 @@ impl Fpc {
         if cycle.is_multiple_of(2) {
             // Even cycle: event handling + swap-in acceptance.
             if let Some(ev) = self.input_events.pop() {
-                self.handle_event(ev, now_ns);
+                self.handle_event(ev, now_ns, cycle, chk.as_deref_mut());
             }
             if let Some((tcb, ev)) = self.input_tcbs.pop() {
                 let flow = tcb.flow;
+                if let Some(c) = chk.as_deref_mut() {
+                    // Swap-in writes both halves of the dual memory.
+                    self.tcb_ports.access(cycle, 1, c);
+                    self.ev_ports.access(cycle, 1, c);
+                }
                 if let Some(slot_idx) = self.cam.insert(flow) {
                     let slot = &mut self.slots[slot_idx];
                     let pending = tcb.can_send() || ev.any();
@@ -534,15 +646,68 @@ impl Fpc {
                     set_pending(slot, &mut self.pending_count, pending);
                     slot.in_fpu = false;
                     slot.occupied = true;
+                    slot.last_progress_cycle = cycle;
                     out.installed.push(flow);
                 } else {
+                    if let Some(c) = chk.as_deref_mut() {
+                        c.report(
+                            cycle,
+                            ViolationKind::MigrationRace,
+                            format!("fpc{}", self.id),
+                            format!("swap-in of flow {flow} with no free slot"),
+                        );
+                    }
                     debug_assert!(false, "swap-in with no free slot at FPC {}", self.id);
                 }
             }
         } else {
             // Odd cycle: TCB-manager dispatch (FPU writeback handled above).
-            self.dispatch(cycle, tx_gate_open);
+            self.dispatch(cycle, tx_gate_open, chk);
         }
+    }
+
+    /// FtVerify periodic audit: FIFO conservation, CAM/slot-array
+    /// agreement and valid-bit leak detection. Called by the engine every
+    /// audit interval while checking is enabled.
+    pub fn audit(&self, cycle: u64, chk: &mut InvariantChecker) {
+        chk.check_fifo(cycle, &format!("fpc{}.input_fifo", self.id), &self.input_events);
+        chk.check_fifo(cycle, &format!("fpc{}.swapin_fifo", self.id), &self.input_tcbs);
+        let occupied = self.slots.iter().filter(|s| s.occupied).count();
+        if occupied != self.cam.len() {
+            chk.report(
+                cycle,
+                ViolationKind::MigrationRace,
+                format!("fpc{}", self.id),
+                format!(
+                    "CAM holds {} flows but {} slots are occupied",
+                    self.cam.len(),
+                    occupied
+                ),
+            );
+        }
+        for s in &self.slots {
+            if s.occupied && s.pending && !s.in_fpu {
+                let idle = cycle.saturating_sub(s.last_progress_cycle);
+                if idle > chk.leak_bound() {
+                    chk.report(
+                        cycle,
+                        ViolationKind::ValidBitLeak,
+                        format!("fpc{}", self.id),
+                        format!(
+                            "flow {} has a valid event-table entry undispatched for {idle} cycles",
+                            s.tcb.flow
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Flows currently resident in this FPC's TCB table (FtVerify audit
+    /// support: residency is cross-checked against the location LUT and
+    /// the DRAM store).
+    pub fn resident_flows(&self) -> impl Iterator<Item = FlowId> + '_ {
+        self.slots.iter().filter(|s| s.occupied).map(|s| s.tcb.flow)
     }
 }
 

@@ -535,6 +535,8 @@ pub struct Fpu {
     cc: Arc<dyn CongestionControl>,
     latency: u64,
     mss: u32,
+    // f4tlint: allow(raw_queue): fixed-latency pipeline model, bounded by
+    // construction (one job enters per dispatch, depth == latency).
     pipeline: VecDeque<FpuJob>,
     processed: u64,
 }
@@ -581,14 +583,13 @@ impl Fpu {
 
     /// Advances one cycle; returns the job completing this cycle, if any.
     pub fn tick(&mut self, now_cycle: u64, now_ns: u64) -> Option<FpuResult> {
-        if self.pipeline.front().is_some_and(|j| j.ready_cycle <= now_cycle) {
-            let mut job = self.pipeline.pop_front().expect("checked non-empty");
-            let outcome = process(self.cc.as_ref(), &mut job.tcb, &job.ev, now_ns, self.mss);
-            self.processed += 1;
-            Some(FpuResult { tcb: job.tcb, outcome })
-        } else {
-            None
+        if self.pipeline.front().is_none_or(|j| j.ready_cycle > now_cycle) {
+            return None;
         }
+        let mut job = self.pipeline.pop_front()?;
+        let outcome = process(self.cc.as_ref(), &mut job.tcb, &job.ev, now_ns, self.mss);
+        self.processed += 1;
+        Some(FpuResult { tcb: job.tcb, outcome })
     }
 }
 

@@ -18,6 +18,7 @@
 use crate::event::{EventKind, FlowEvent, TimeoutKind};
 use crate::fpu::EventView;
 use f4t_mem::{CacheAccess, DramKind, DramModel, TcbCache, TCB_BYTES};
+use f4t_sim::check::InvariantChecker;
 use f4t_sim::{Fifo, Histogram};
 use f4t_tcp::{FlowId, Tcb, TcpFlags};
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -45,6 +46,8 @@ pub struct MemoryManager {
     input: Fifo<FlowEvent>,
     /// Evicted TCBs from FPCs awaiting their DRAM write (bandwidth),
     /// tagged with the cycle they entered the queue.
+    // f4tlint: allow(raw_queue): bounded by the migration-control window
+    // (at most one eviction in flight per FPC plus new placements).
     writeback_queue: VecDeque<(Tcb, u64)>,
     /// Flows with an outstanding swap-in request (dedup).
     swap_requested: HashSet<FlowId>,
@@ -274,10 +277,9 @@ impl MemoryManager {
         self.dram.tick();
 
         // 1. Evictions / new placements: one DRAM TCB write each.
-        if let Some((tcb, _)) = self.writeback_queue.front() {
-            let flow = tcb.flow;
-            if self.dram.try_access(TCB_BYTES) {
-                let (tcb, enqueued) = self.writeback_queue.pop_front().expect("non-empty");
+        if !self.writeback_queue.is_empty() && self.dram.try_access(TCB_BYTES) {
+            if let Some((tcb, enqueued)) = self.writeback_queue.pop_front() {
+                let flow = tcb.flow;
                 self.writeback_latency.record(self.cycle - enqueued);
                 self.store.insert(flow, (tcb, EventView::default()));
                 self.cache.fill(tcb);
@@ -288,8 +290,9 @@ impl MemoryManager {
                 // The freshly stored TCB may already be sendable (events
                 // can accumulate on it immediately); let the check logic
                 // evaluate it now rather than waiting for the next event.
-                let (tcb, ev) = self.store.get(&flow).expect("just inserted");
-                if Self::check_can_send(tcb, ev) && self.swap_requested.insert(flow) {
+                if Self::check_can_send(&tcb, &EventView::default())
+                    && self.swap_requested.insert(flow)
+                {
                     out.swap_in_requests.push(flow);
                 }
                 out.evict_done.push(flow);
@@ -328,15 +331,34 @@ impl MemoryManager {
                     }
                 }
                 // else: head-of-line wait for bandwidth — the Fig. 13 knee.
-            } else {
+            } else if let Some(ev) = self.input.pop() {
                 // The flow left DRAM while this event was in our input
                 // FIFO (an event routed just before the swap-in began):
                 // bounce it back to the scheduler for re-routing, exactly
                 // the in-flight case §3.2 warns about.
-                let ev = self.input.pop().expect("peeked non-empty");
                 out.bounced.push(ev);
             }
         }
+    }
+
+    /// Flows currently resident in the DRAM store (FtVerify audit
+    /// support). Excludes TCBs still waiting in the write-back queue —
+    /// those are mid-migration and their LUT entries say `Moving`.
+    pub fn resident_flows(&self) -> impl Iterator<Item = FlowId> + '_ {
+        self.store.keys().copied()
+    }
+
+    /// FtVerify fault injection: plants `tcb` directly in the DRAM store,
+    /// bypassing the write-back path and the Moving protocol. Exists so
+    /// the negative tests can seed a dual-residency migration race the
+    /// audit must detect; never called from protocol paths.
+    pub fn fault_inject_store(&mut self, tcb: Tcb) {
+        self.store.insert(tcb.flow, (tcb, EventView::default()));
+    }
+
+    /// FtVerify periodic audit: conservation on the event input FIFO.
+    pub fn audit(&self, cycle: u64, chk: &mut InvariantChecker) {
+        chk.check_fifo(cycle, "mm.input_fifo", &self.input);
     }
 }
 

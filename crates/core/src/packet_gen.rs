@@ -65,14 +65,13 @@ impl PacketGenerator {
         self.requests.free()
     }
 
-    /// Queues a transmit request from an FPU pass.
-    ///
-    /// # Panics
-    ///
-    /// Panics if called while [`can_accept`](Self::can_accept) is false —
-    /// the FPC dispatch gate must prevent that.
+    /// Queues a transmit request from an FPU pass. The FPC dispatch gate
+    /// must check [`can_accept`](Self::can_accept) first; a request offered
+    /// past a full FIFO is dropped (debug builds assert instead) and the
+    /// retransmission path recovers, as it would for any lost segment.
     pub fn push(&mut self, req: TxRequest) {
-        self.requests.push(req).expect("packet generator FIFO overrun: dispatch gate violated");
+        let accepted = self.requests.push(req).is_ok();
+        debug_assert!(accepted, "packet generator FIFO overrun: dispatch gate violated");
     }
 
     /// Advances one engine (250 MHz) cycle, emitting segments into `out`.

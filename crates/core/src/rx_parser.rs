@@ -136,6 +136,11 @@ impl RxParser {
         self.input.free()
     }
 
+    /// FtVerify periodic audit: conservation on the segment input FIFO.
+    pub fn audit(&self, cycle: u64, chk: &mut f4t_sim::check::InvariantChecker) {
+        chk.check_fifo(cycle, "rx.input_fifo", &self.input);
+    }
+
     /// Parses one segment into an event (the per-packet work).
     fn parse_one(&mut self, seg: Segment, now_ns: u64, out: &mut RxOutput) {
         self.segments_in += 1;

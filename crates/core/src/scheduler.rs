@@ -13,9 +13,28 @@ use crate::fpc::Fpc;
 use crate::fpu::EventView;
 use crate::memory_manager::MemoryManager;
 use f4t_mem::{Location, LocationLut};
+use f4t_sim::check::{InvariantChecker, ViolationKind};
 use f4t_sim::Fifo;
 use f4t_tcp::{FlowId, Tcb};
 use std::collections::{HashMap, VecDeque};
+
+/// Whether a location-LUT state transition is part of the migration
+/// protocol (Fig. 6): every move between SRAM and DRAM passes through
+/// `Moving`, and any state may release to `Unallocated` on close. A
+/// direct `Fpc→Dram`, `Dram→Fpc` or `Fpc(i)→Fpc(j)` edge means the
+/// protocol was bypassed — exactly the race class §4.3.2 rules out.
+fn lut_transition_legal(from: Location, to: Location) -> bool {
+    use Location::*;
+    matches!(
+        (from, to),
+        (Unallocated, Moving)
+            | (Moving, Fpc(_))
+            | (Moving, Dram)
+            | (Fpc(_), Moving)
+            | (Dram, Moving)
+            | (_, Unallocated)
+    )
+}
 
 /// Where an in-flight migration is headed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,9 +71,14 @@ pub struct Scheduler {
     coalesce: Vec<Fifo<FlowEvent>>,
     coalescing: bool,
     lut: LocationLut,
+    // f4tlint: allow(raw_queue): pending retry queue for events whose flow
+    // is mid-migration; bounded by intake backpressure (events only enter
+    // via the bounded input/coalesce FIFOs).
     pending: VecDeque<(FlowEvent, u64)>,
     pending_high: usize,
     migrations: HashMap<FlowId, MigrationDest>,
+    // f4tlint: allow(raw_queue): at most one entry per DRAM-resident flow
+    // (the memory manager deduplicates swap-in requests).
     swap_in_queue: VecDeque<FlowId>,
     stats: SchedulerStats,
 }
@@ -146,6 +170,38 @@ impl Scheduler {
         self.migrations.len()
     }
 
+    /// Sets `flow`'s LUT entry, validating the migration-protocol edge
+    /// when an FtVerify checker is attached. All protocol-path writes go
+    /// through here; only the documented fault-injection hook bypasses it.
+    fn set_location(
+        &mut self,
+        flow: FlowId,
+        to: Location,
+        cycle: u64,
+        chk: Option<&mut InvariantChecker>,
+    ) {
+        if let Some(chk) = chk {
+            let from = self.lut.peek(flow);
+            if !lut_transition_legal(from, to) {
+                chk.report(
+                    cycle,
+                    ViolationKind::MigrationRace,
+                    "scheduler.lut",
+                    format!("illegal LUT transition {from:?} → {to:?} for flow {flow}"),
+                );
+            }
+        }
+        self.lut.set(flow, to);
+    }
+
+    /// FtVerify fault injection: corrupts `flow`'s LUT entry without the
+    /// Moving protocol, bypassing transition validation. Exists so the
+    /// negative tests can seed a migration race the audit must detect;
+    /// never called from the protocol paths.
+    pub fn fault_set_location(&mut self, flow: FlowId, loc: Location) {
+        self.lut.set(flow, loc);
+    }
+
     /// Places a brand-new flow: least-loaded FPC with room, else DRAM.
     /// Sets the location LUT through the proper Moving transition.
     pub fn place_new_flow(
@@ -153,6 +209,8 @@ impl Scheduler {
         tcb: Tcb,
         fpcs: &mut [Fpc],
         mm: &mut MemoryManager,
+        cycle: u64,
+        chk: Option<&mut InvariantChecker>,
     ) -> Location {
         let flow = tcb.flow;
         let target = fpcs
@@ -165,12 +223,12 @@ impl Scheduler {
             Some(i) => {
                 let accepted = fpcs[i].push_tcb(tcb, EventView::default());
                 debug_assert!(accepted, "can_accept_tcb lied");
-                self.lut.set(flow, Location::Moving);
+                self.set_location(flow, Location::Moving, cycle, chk);
                 Location::Fpc(i as u8)
             }
             None => {
                 mm.insert_new(tcb);
-                self.lut.set(flow, Location::Moving);
+                self.set_location(flow, Location::Moving, cycle, chk);
                 Location::Dram
             }
         }
@@ -182,22 +240,38 @@ impl Scheduler {
     }
 
     /// Engine callback: an FPC's swap-in port installed `flow`.
-    pub fn on_installed(&mut self, flow: FlowId, fpc: u8) {
-        self.lut.set(flow, Location::Fpc(fpc));
+    pub fn on_installed(
+        &mut self,
+        flow: FlowId,
+        fpc: u8,
+        cycle: u64,
+        chk: Option<&mut InvariantChecker>,
+    ) {
+        self.set_location(flow, Location::Fpc(fpc), cycle, chk);
         self.migrations.remove(&flow);
     }
 
     /// Engine callback: the memory manager finished writing `flow` to
     /// DRAM (Fig. 6's evict-complete signal).
-    pub fn on_evict_done(&mut self, flow: FlowId) {
-        self.lut.set(flow, Location::Dram);
+    pub fn on_evict_done(
+        &mut self,
+        flow: FlowId,
+        cycle: u64,
+        chk: Option<&mut InvariantChecker>,
+    ) {
+        self.set_location(flow, Location::Dram, cycle, chk);
         self.migrations.remove(&flow);
     }
 
     /// Engine callback: the connection fully closed; release routing
     /// state so the flow id slot can be reused by new connections.
-    pub fn on_flow_closed(&mut self, flow: FlowId) {
-        self.lut.set(flow, Location::Unallocated);
+    pub fn on_flow_closed(
+        &mut self,
+        flow: FlowId,
+        cycle: u64,
+        chk: Option<&mut InvariantChecker>,
+    ) {
+        self.set_location(flow, Location::Unallocated, cycle, chk);
         self.migrations.remove(&flow);
     }
 
@@ -227,6 +301,8 @@ impl Scheduler {
         from_fpc: usize,
         dest: MigrationDest,
         fpcs: &mut [Fpc],
+        cycle: u64,
+        chk: Option<&mut InvariantChecker>,
     ) -> bool {
         if self.migrations.contains_key(&flow) {
             return false;
@@ -234,7 +310,7 @@ impl Scheduler {
         if !fpcs[from_fpc].request_evict(flow) {
             return false;
         }
-        self.lut.set(flow, Location::Moving);
+        self.set_location(flow, Location::Moving, cycle, chk);
         self.migrations.insert(flow, dest);
         self.stats.migrations += 1;
         true
@@ -248,6 +324,7 @@ impl Scheduler {
         cycle: u64,
         fpcs: &mut [Fpc],
         mm: &mut MemoryManager,
+        chk: Option<&mut InvariantChecker>,
     ) -> bool {
         let Some(loc) = self.lut.lookup(ev.flow) else {
             return false; // LUT partition budget exhausted this cycle
@@ -291,7 +368,14 @@ impl Scheduler {
                         .min_by_key(|(_, f)| f.input_backlog() * 1024 + f.flow_count())
                         .map(|(j, _)| j);
                     if let Some(j) = idlest {
-                        if self.start_migration(ev.flow, i, MigrationDest::Fpc(j as u8), fpcs) {
+                        if self.start_migration(
+                            ev.flow,
+                            i,
+                            MigrationDest::Fpc(j as u8),
+                            fpcs,
+                            cycle,
+                            chk,
+                        ) {
                             self.pending.push_back((ev, cycle + PENDING_RETRY_CYCLES));
                             self.stats.parked += 1;
                             return true;
@@ -309,7 +393,13 @@ impl Scheduler {
     /// within 12 cycles (§4.3.2), so the control machinery must sustain
     /// several concurrent migrations — it is never itself the bottleneck
     /// (DRAM bandwidth is, which is the point of Fig. 13).
-    fn progress_swap_in(&mut self, fpcs: &mut [Fpc], mm: &mut MemoryManager) {
+    fn progress_swap_in(
+        &mut self,
+        fpcs: &mut [Fpc],
+        mm: &mut MemoryManager,
+        cycle: u64,
+        mut chk: Option<&mut InvariantChecker>,
+    ) {
         for _ in 0..Self::SWAP_ACTIONS_PER_CYCLE {
             let Some(&flow) = self.swap_in_queue.front() else { return };
             if self.migrations.contains_key(&flow) {
@@ -332,7 +422,7 @@ impl Scheduler {
             match target {
                 Some(i) => {
                     if let Some((tcb, ev)) = mm.take_for_swap_in(flow) {
-                        self.lut.set(flow, Location::Moving);
+                        self.set_location(flow, Location::Moving, cycle, chk.as_deref_mut());
                         let accepted = fpcs[i].push_tcb(tcb, ev);
                         debug_assert!(accepted, "can_accept_tcb lied on swap-in");
                         self.stats.migrations += 1;
@@ -360,7 +450,14 @@ impl Scheduler {
                         .map(|(i, _)| i)
                         .unwrap_or(0);
                     if let Some(cold) = fpcs[t].coldest_flow() {
-                        self.start_migration(cold, t, MigrationDest::Dram, fpcs);
+                        self.start_migration(
+                            cold,
+                            t,
+                            MigrationDest::Dram,
+                            fpcs,
+                            cycle,
+                            chk.as_deref_mut(),
+                        );
                     } else {
                         return;
                     }
@@ -371,6 +468,18 @@ impl Scheduler {
 
     /// Advances one engine cycle.
     pub fn tick(&mut self, cycle: u64, fpcs: &mut [Fpc], mm: &mut MemoryManager) {
+        self.tick_checked(cycle, fpcs, mm, None);
+    }
+
+    /// [`Scheduler::tick`] with an optional FtVerify checker validating
+    /// every location-LUT transition against the migration protocol.
+    pub fn tick_checked(
+        &mut self,
+        cycle: u64,
+        fpcs: &mut [Fpc],
+        mm: &mut MemoryManager,
+        mut chk: Option<&mut InvariantChecker>,
+    ) {
         self.lut.begin_cycle();
 
         // 1. Intake into the coalesce FIFOs.
@@ -394,17 +503,19 @@ impl Scheduler {
             if self.coalesce[q].is_full() {
                 break; // backpressure to the intake
             }
-            let ev = self.input.pop().expect("peeked non-empty");
-            self.coalesce[q].push(ev).expect("checked not full");
+            if let Some(ev) = self.input.pop() {
+                let accepted = self.coalesce[q].push(ev).is_ok();
+                debug_assert!(accepted, "coalesce FIFO checked not full above");
+            }
         }
 
         // 2. Retry pending events whose timer elapsed (ahead of new
         //    routing so ordering per flow is preserved).
         for _ in 0..4 {
             match self.pending.front() {
-                Some(&(_, retry)) if retry <= cycle => {
-                    let (ev, _) = self.pending.pop_front().expect("non-empty");
-                    if !self.route(ev, cycle, fpcs, mm) {
+                Some(&(ev, retry)) if retry <= cycle => {
+                    self.pending.pop_front();
+                    if !self.route(ev, cycle, fpcs, mm, chk.as_deref_mut()) {
                         self.pending.push_front((ev, cycle + 1));
                         break;
                     }
@@ -417,15 +528,25 @@ impl Scheduler {
         //    partitions, §4.4.2).
         for q in 0..self.coalesce.len() {
             let Some(&ev) = self.coalesce[q].front() else { continue };
-            if self.route(ev, cycle, fpcs, mm) {
+            if self.route(ev, cycle, fpcs, mm, chk.as_deref_mut()) {
                 self.coalesce[q].pop();
             }
         }
 
         // 4. Swap-in progress.
-        self.progress_swap_in(fpcs, mm);
+        self.progress_swap_in(fpcs, mm, cycle, chk);
 
         self.pending_high = self.pending_high.max(self.pending.len());
+    }
+
+    /// FtVerify periodic audit: conservation on the intake and coalesce
+    /// FIFOs. LUT-residency cross-checks live in the engine, which can see
+    /// the FPCs and the DRAM store at once.
+    pub fn audit(&self, cycle: u64, chk: &mut InvariantChecker) {
+        chk.check_fifo(cycle, "scheduler.input_fifo", &self.input);
+        for (i, q) in self.coalesce.iter().enumerate() {
+            chk.check_fifo(cycle, &format!("scheduler.coalesce_fifo{i}"), q);
+        }
     }
 
     /// Reports scheduler telemetry into `reg` under `prefix`: routing
@@ -511,7 +632,7 @@ mod tests {
                 sched.on_evicted(t, fpcs, mm);
             }
             for (flow, id) in installed {
-                sched.on_installed(flow, id);
+                sched.on_installed(flow, id, c, None);
             }
             let mut mo = crate::memory_manager::MmOutput::default();
             mm.tick(&mut mo);
@@ -519,7 +640,7 @@ mod tests {
                 sched.request_swap_in(flow);
             }
             for flow in mo.evict_done {
-                sched.on_evict_done(flow);
+                sched.on_evict_done(flow, c, None);
             }
         }
         (tx, handled)
@@ -531,7 +652,7 @@ mod tests {
         let mut fpcs = make_fpcs(2, 8);
         let mut mm = MemoryManager::new(DramKind::Hbm, 16);
         for id in 0..4 {
-            sched.place_new_flow(established(id), &mut fpcs, &mut mm);
+            sched.place_new_flow(established(id), &mut fpcs, &mut mm, 0, None);
             run(&mut sched, &mut fpcs, &mut mm, id as u64 * 10, 10);
         }
         assert_eq!(fpcs[0].flow_count(), 2);
@@ -545,7 +666,7 @@ mod tests {
         let mut fpcs = make_fpcs(1, 2);
         let mut mm = MemoryManager::new(DramKind::Hbm, 16);
         for id in 0..5 {
-            sched.place_new_flow(established(id), &mut fpcs, &mut mm);
+            sched.place_new_flow(established(id), &mut fpcs, &mut mm, 0, None);
             run(&mut sched, &mut fpcs, &mut mm, id as u64 * 10, 10);
         }
         assert_eq!(fpcs[0].flow_count(), 2);
@@ -558,7 +679,7 @@ mod tests {
         let mut sched = Scheduler::new(1024, 4, true);
         let mut fpcs = make_fpcs(2, 8);
         let mut mm = MemoryManager::new(DramKind::Hbm, 16);
-        sched.place_new_flow(established(1), &mut fpcs, &mut mm);
+        sched.place_new_flow(established(1), &mut fpcs, &mut mm, 0, None);
         run(&mut sched, &mut fpcs, &mut mm, 0, 10);
         assert!(sched.push_event(send_event(1, 700)));
         let (tx, _) = run(&mut sched, &mut fpcs, &mut mm, 10, 60);
@@ -571,7 +692,7 @@ mod tests {
         let mut sched = Scheduler::new(1024, 4, true);
         let mut fpcs = make_fpcs(1, 8);
         let mut mm = MemoryManager::new(DramKind::Hbm, 16);
-        sched.place_new_flow(established(1), &mut fpcs, &mut mm);
+        sched.place_new_flow(established(1), &mut fpcs, &mut mm, 0, None);
         // Fill intake BEFORE ticking so events pile into the FIFO.
         for i in 1..=8u32 {
             assert!(sched.push_event(send_event(1, i * 100)));
@@ -586,7 +707,7 @@ mod tests {
         let mut sched = Scheduler::new(1024, 4, false);
         let mut fpcs = make_fpcs(1, 8);
         let mut mm = MemoryManager::new(DramKind::Hbm, 16);
-        sched.place_new_flow(established(1), &mut fpcs, &mut mm);
+        sched.place_new_flow(established(1), &mut fpcs, &mut mm, 0, None);
         run(&mut sched, &mut fpcs, &mut mm, 0, 10);
         for i in 1..=8u32 {
             sched.push_event(send_event(1, i * 100));
@@ -603,7 +724,7 @@ mod tests {
         let mut mm = MemoryManager::new(DramKind::Hbm, 16);
         // Fill the FPC, push one flow to DRAM.
         for id in 0..3 {
-            sched.place_new_flow(established(id), &mut fpcs, &mut mm);
+            sched.place_new_flow(established(id), &mut fpcs, &mut mm, 0, None);
             run(&mut sched, &mut fpcs, &mut mm, id as u64 * 10, 10);
         }
         assert_eq!(sched.location(FlowId(2)), Location::Dram);
@@ -622,10 +743,10 @@ mod tests {
         let mut sched = Scheduler::new(1024, 4, true);
         let mut fpcs = make_fpcs(1, 4);
         let mut mm = MemoryManager::new(DramKind::Hbm, 16);
-        sched.place_new_flow(established(1), &mut fpcs, &mut mm);
+        sched.place_new_flow(established(1), &mut fpcs, &mut mm, 0, None);
         run(&mut sched, &mut fpcs, &mut mm, 0, 10);
         // Force the flow into Moving state via an explicit migration.
-        sched.start_migration(FlowId(1), 0, MigrationDest::Dram, &mut fpcs);
+        sched.start_migration(FlowId(1), 0, MigrationDest::Dram, &mut fpcs, 10, None);
         assert_eq!(sched.location(FlowId(1)), Location::Moving);
         sched.push_event(send_event(1, 300));
         let (tx, _) = run(&mut sched, &mut fpcs, &mut mm, 10, 600);

@@ -1,0 +1,8 @@
+//! Fixture: FtScope metric-name conventions (not compiled).
+
+fn collect(reg: &mut Registry, prefix: &str) {
+    reg.counter(&format!("{prefix}.events_handled"), 1);
+    reg.counter(&format!("{prefix}.BadName"), 2);
+    reg.gauge(&format!("{prefix}.depth"), 3.0);
+    reg.gauge(&format!("{prefix}.depth"), 4.0);
+}

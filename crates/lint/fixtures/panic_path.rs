@@ -1,0 +1,22 @@
+//! Fixture: panics reachable from tick paths (not compiled).
+
+fn hot(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+fn also_hot(x: Option<u32>) -> u32 {
+    x.expect("boom")
+}
+
+fn cold() {
+    // f4tlint: allow(panic_path): init-time contract, not a tick path (fixture)
+    panic!("config error");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn panics_in_tests_are_fine() {
+        None::<u32>.unwrap();
+    }
+}

@@ -1,0 +1,9 @@
+//! Fixture: raw VecDeque where a Fifo belongs (not compiled).
+use std::collections::VecDeque;
+
+struct Queues {
+    // f4tlint: allow(raw_queue): bounded by construction (fixture)
+    ok: VecDeque<u32>,
+    /// An unjustified software queue modelling an on-chip FIFO.
+    bad: VecDeque<u64>,
+}

@@ -1,0 +1,13 @@
+//! Fixture: wall-clock uses in simulated code (not compiled; scanned by
+// use std::time::Instant; -- commented out, must not be flagged
+fn flagged() {
+    let s = "Instant inside a string literal is fine";
+    let t = std::time::Instant::now();
+    let _ = s;
+    let _ = t;
+    let w = std::time::SystemTime::now();
+    let _ = w;
+}
+
+// f4tlint: allow(wall_clock): fixture demonstrates allow-listing
+fn exempt() { let _ = std::time::Instant::now(); }

@@ -1,0 +1,677 @@
+#![warn(missing_docs)]
+//! # f4tlint — in-tree design-rule scanner for the F4T workspace
+//!
+//! A dependency-free source linter enforcing the repo-specific rules that
+//! `rustc`/`clippy` cannot know about. It is the static half of FtVerify
+//! (the dynamic half is `f4t_sim::check`, the cycle-level hazard checker).
+//!
+//! ## Rules
+//!
+//! | rule | scope | meaning |
+//! |------|-------|---------|
+//! | `wall_clock` | every crate except `bench` | no `std::time::Instant` / `SystemTime`: simulated time must come from the cycle counter, or determinism and reproducibility die silently |
+//! | `raw_queue` | `core`, `mem` | no `VecDeque<...>` fields/locals — on-chip queues must be `f4t_sim::Fifo` (bounded, with backpressure and conservation counters) |
+//! | `panic_path` | `core` | no `unwrap()`/`expect()`/`panic!`-family in non-test code: everything in `core` is reachable from `Engine::tick`, and a model that panics mid-tick cannot report what went wrong |
+//! | `metric_name` | every crate | FtScope metric names are dotted `snake_case` and unique per file (duplicate registration silently overwrites) |
+//! | `cargo_deps` | every manifest | every dependency is `path =` / `workspace = true` — the workspace builds fully offline |
+//!
+//! ## Allow-listing
+//!
+//! A justified exception is granted in place:
+//!
+//! ```text
+//! // f4tlint: allow(raw_queue): bounded by the dispatch gate.
+//! tx_overflow: VecDeque<TxRequest>,
+//! ```
+//!
+//! The directive covers its own line, any immediately following comment
+//! lines, and the first code line after it. `// f4tlint: allow-file(rule)`
+//! anywhere in a file disables the rule for that whole file.
+//!
+//! The `workspace_is_clean` test in this crate scans the real workspace,
+//! so `cargo test` fails on any new violation; `scripts/verify.sh` and CI
+//! also run the `f4tlint` binary directly.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// The rules f4tlint knows, with one-line descriptions (`f4tlint --rules`).
+pub const RULES: &[(&str, &str)] = &[
+    ("wall_clock", "no std::time::Instant/SystemTime outside crates/bench"),
+    ("raw_queue", "no VecDeque in crates/core|mem; on-chip queues use f4t_sim::Fifo"),
+    ("panic_path", "no unwrap/expect/panic!-family in non-test crates/core code"),
+    ("metric_name", "FtScope metric names are dotted snake_case, unique per file"),
+    ("cargo_deps", "every Cargo.toml dependency is path/workspace (offline build)"),
+];
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Path of the offending file (as given to the scanner).
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule name (one of [`RULES`]).
+    pub rule: &'static str,
+    /// What went wrong and what to do instead.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}: {}", self.file, self.line, self.rule, self.message)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lexer: comment/string stripping with column positions preserved.
+// ---------------------------------------------------------------------------
+
+/// Per-file lexer output: `code[i]` is line `i` with comments and
+/// string/char-literal contents blanked to spaces (so column positions
+/// survive), `comments[i]` is the comment text seen on line `i`.
+struct Stripped {
+    code: Vec<String>,
+    comments: Vec<String>,
+}
+
+fn strip(src: &str) -> Stripped {
+    enum St {
+        Code,
+        Line,
+        Block(u32),
+        Str,
+        RawStr(u32),
+    }
+    let chars: Vec<char> = src.chars().collect();
+    let mut st = St::Code;
+    let mut code_lines = Vec::new();
+    let mut comment_lines = Vec::new();
+    let mut code = String::new();
+    let mut comment = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            code_lines.push(std::mem::take(&mut code));
+            comment_lines.push(std::mem::take(&mut comment));
+            if matches!(st, St::Line) {
+                st = St::Code;
+            }
+            i += 1;
+            continue;
+        }
+        match st {
+            St::Code => {
+                let next = chars.get(i + 1).copied();
+                let prev_ident = i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_');
+                if c == '/' && next == Some('/') {
+                    st = St::Line;
+                    comment.push_str("//");
+                    code.push_str("  ");
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    st = St::Block(1);
+                    code.push_str("  ");
+                    i += 2;
+                } else if c == '"' {
+                    st = St::Str;
+                    code.push(' ');
+                    i += 1;
+                } else if (c == 'r' || c == 'b') && !prev_ident {
+                    // Raw / byte string prefixes: r", r#", br", b".
+                    let mut j = i;
+                    if chars[j] == 'b' && chars.get(j + 1) == Some(&'r') {
+                        j += 1;
+                    }
+                    if chars[j] == 'r' || chars[j] == 'b' {
+                        let raw = chars[j] == 'r';
+                        let mut k = j + 1;
+                        let mut hashes = 0u32;
+                        if raw {
+                            while chars.get(k) == Some(&'#') {
+                                hashes += 1;
+                                k += 1;
+                            }
+                        }
+                        if chars.get(k) == Some(&'"') && (raw || k == i + 1) {
+                            for _ in i..=k {
+                                code.push(' ');
+                            }
+                            st = if raw { St::RawStr(hashes) } else { St::Str };
+                            i = k + 1;
+                            continue;
+                        }
+                    }
+                    code.push(c);
+                    i += 1;
+                } else if c == '\'' && !prev_ident {
+                    // Char literal vs lifetime.
+                    if next == Some('\\') {
+                        // Escaped char literal: blank until the closing quote.
+                        code.push(' ');
+                        i += 1;
+                        while i < chars.len() && chars[i] != '\n' {
+                            let ch = chars[i];
+                            code.push(' ');
+                            i += 1;
+                            if ch == '\\' && i < chars.len() && chars[i] != '\n' {
+                                code.push(' ');
+                                i += 1;
+                            } else if ch == '\'' {
+                                break;
+                            }
+                        }
+                    } else if next.is_some() && chars.get(i + 2) == Some(&'\'') {
+                        code.push_str("   ");
+                        i += 3;
+                    } else {
+                        code.push('\'');
+                        i += 1;
+                    }
+                } else {
+                    code.push(c);
+                    i += 1;
+                }
+            }
+            St::Line => {
+                comment.push(c);
+                code.push(' ');
+                i += 1;
+            }
+            St::Block(depth) => {
+                let next = chars.get(i + 1).copied();
+                if c == '*' && next == Some('/') {
+                    st = if depth == 1 { St::Code } else { St::Block(depth - 1) };
+                    code.push_str("  ");
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    st = St::Block(depth + 1);
+                    code.push_str("  ");
+                    i += 2;
+                } else {
+                    comment.push(c);
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            St::Str => {
+                if c == '\\' {
+                    code.push(' ');
+                    i += 1;
+                    if i < chars.len() && chars[i] != '\n' {
+                        code.push(' ');
+                        i += 1;
+                    }
+                } else {
+                    if c == '"' {
+                        st = St::Code;
+                    }
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            St::RawStr(hashes) => {
+                if c == '"' {
+                    let closed = (1..=hashes as usize)
+                        .all(|k| chars.get(i + k) == Some(&'#'));
+                    if closed {
+                        for _ in 0..=hashes as usize {
+                            code.push(' ');
+                        }
+                        i += 1 + hashes as usize;
+                        st = St::Code;
+                        continue;
+                    }
+                }
+                code.push(' ');
+                i += 1;
+            }
+        }
+    }
+    code_lines.push(code);
+    comment_lines.push(comment);
+    Stripped { code: code_lines, comments: comment_lines }
+}
+
+/// Marks lines inside `#[cfg(test)]`-gated items (brace-matched on the
+/// stripped code).
+fn test_region_flags(code: &[String]) -> Vec<bool> {
+    let mut flags = vec![false; code.len()];
+    let mut i = 0;
+    while i < code.len() {
+        if code[i].contains("#[cfg(test)]") {
+            let mut depth = 0i64;
+            let mut opened = false;
+            let mut j = i;
+            while j < code.len() {
+                flags[j] = true;
+                for ch in code[j].chars() {
+                    match ch {
+                        '{' => {
+                            depth += 1;
+                            opened = true;
+                        }
+                        '}' => depth -= 1,
+                        _ => {}
+                    }
+                }
+                if opened && depth <= 0 {
+                    break;
+                }
+                j += 1;
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    flags
+}
+
+/// Parses `f4tlint: allow(...)` / `allow-file(...)` directives out of the
+/// per-line comment text. Returns (per-line allowed rule names, file-wide
+/// allowed rule names). A line directive covers its own line; when it sits
+/// on a comment-only line it extends over following comment/blank lines
+/// through the first code line.
+fn parse_directives(stripped: &Stripped) -> (Vec<HashSet<String>>, HashSet<String>) {
+    let mut per_line: Vec<HashSet<String>> = vec![HashSet::new(); stripped.comments.len()];
+    let mut file_wide = HashSet::new();
+    for (i, comment) in stripped.comments.iter().enumerate() {
+        let Some(pos) = comment.find("f4tlint:") else { continue };
+        let rest = comment[pos + "f4tlint:".len()..].trim_start();
+        let (file_level, args) = if let Some(r) = rest.strip_prefix("allow-file(") {
+            (true, r)
+        } else if let Some(r) = rest.strip_prefix("allow(") {
+            (false, r)
+        } else {
+            continue;
+        };
+        let Some(close) = args.find(')') else { continue };
+        let rules: Vec<String> =
+            args[..close].split(',').map(|s| s.trim().to_string()).filter(|s| !s.is_empty()).collect();
+        if file_level {
+            file_wide.extend(rules);
+        } else {
+            per_line[i].extend(rules.iter().cloned());
+            if stripped.code[i].trim().is_empty() {
+                // Comment-only line: extend through the first code line.
+                let mut j = i + 1;
+                while j < stripped.code.len() {
+                    per_line[j].extend(rules.iter().cloned());
+                    if !stripped.code[j].trim().is_empty() {
+                        break;
+                    }
+                    j += 1;
+                }
+            }
+        }
+    }
+    (per_line, file_wide)
+}
+
+// ---------------------------------------------------------------------------
+// Rules.
+// ---------------------------------------------------------------------------
+
+/// Whether `rule` is in force for a crate directory named `crate_name`
+/// (`"core"`, `"sim"`, …; the facade crate and root tests scan as `"f4t"`).
+fn rule_applies(rule: &str, crate_name: &str) -> bool {
+    match rule {
+        // bench measures real elapsed time on purpose (simulated-vs-wall
+        // throughput); everything else runs on the cycle counter.
+        "wall_clock" => crate_name != "bench",
+        "raw_queue" => matches!(crate_name, "core" | "mem"),
+        "panic_path" => crate_name == "core",
+        "metric_name" => true,
+        _ => false,
+    }
+}
+
+fn word_match(haystack: &str, word: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = haystack[start..].find(word) {
+        let at = start + pos;
+        let before_ok = at == 0
+            || !haystack[..at].chars().next_back().is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = haystack[at + word.len()..].chars().next();
+        let after_ok = !after.is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + word.len();
+    }
+    false
+}
+
+const PANIC_PATTERNS: &[&str] =
+    &[".unwrap()", ".expect(", "panic!(", "unreachable!(", "todo!(", "unimplemented!("];
+
+const METRIC_METHODS: &[&str] = &[".counter(", ".gauge(", ".histogram("];
+
+/// Extracts the first string literal at or after column `col` of raw line
+/// `idx`, looking ahead a few lines for multi-line calls. Returns the
+/// literal contents (without quotes) and its 0-based line index.
+fn extract_literal(raw: &[&str], idx: usize, col: usize) -> Option<(String, usize)> {
+    for (k, line) in raw.iter().enumerate().skip(idx).take(4) {
+        let from = if k == idx { col.min(line.len()) } else { 0 };
+        let tail = &line[from..];
+        if let Some(q) = tail.find('"') {
+            let mut lit = String::new();
+            let mut esc = false;
+            for c in tail[q + 1..].chars() {
+                if esc {
+                    lit.push(c);
+                    esc = false;
+                } else if c == '\\' {
+                    esc = true;
+                } else if c == '"' {
+                    return Some((lit, k));
+                } else {
+                    lit.push(c);
+                }
+            }
+            return None; // unterminated on this line: dynamic, skip
+        }
+    }
+    None
+}
+
+/// Removes `{...}` format placeholders from a metric-name literal.
+fn strip_placeholders(lit: &str) -> String {
+    let mut out = String::new();
+    let mut depth = 0u32;
+    for c in lit.chars() {
+        match c {
+            '{' => depth += 1,
+            '}' => depth = depth.saturating_sub(1),
+            _ if depth == 0 => out.push(c),
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Scans one Rust source file. `file` is the label used in findings,
+/// `crate_name` selects which rules are in force.
+pub fn scan_source(file: &str, crate_name: &str, src: &str) -> Vec<Finding> {
+    let stripped = strip(src);
+    let raw: Vec<&str> = src.lines().collect();
+    let tests = test_region_flags(&stripped.code);
+    let (allowed, file_allowed) = parse_directives(&stripped);
+    let mut findings = Vec::new();
+    let mut seen_metrics: HashMap<String, usize> = HashMap::new();
+
+    let active = |rule: &'static str, line: usize| {
+        rule_applies(rule, crate_name)
+            && !file_allowed.contains(rule)
+            && !allowed[line].contains(rule)
+    };
+
+    for (i, code) in stripped.code.iter().enumerate() {
+        let lineno = i + 1;
+        if active("wall_clock", i)
+            && (word_match(code, "Instant") || word_match(code, "SystemTime"))
+        {
+            findings.push(Finding {
+                file: file.into(),
+                line: lineno,
+                rule: "wall_clock",
+                message: "wall-clock time in simulated code; use the cycle counter / now_ns()"
+                    .into(),
+            });
+        }
+        if active("raw_queue", i) && code.contains("VecDeque<") {
+            findings.push(Finding {
+                file: file.into(),
+                line: lineno,
+                rule: "raw_queue",
+                message: "unbounded VecDeque models an on-chip queue; use f4t_sim::Fifo or \
+                          justify with // f4tlint: allow(raw_queue): <why bounded>"
+                    .into(),
+            });
+        }
+        if active("panic_path", i) && !tests[i] {
+            for pat in PANIC_PATTERNS {
+                if code.contains(pat) {
+                    findings.push(Finding {
+                        file: file.into(),
+                        line: lineno,
+                        rule: "panic_path",
+                        message: format!(
+                            "`{}` is reachable from Engine::tick; return/skip instead (or \
+                             debug_assert! for dispatch-gate contracts)",
+                            pat.trim_start_matches('.')
+                        ),
+                    });
+                    break;
+                }
+            }
+        }
+        if !tests[i] {
+            for method in METRIC_METHODS {
+                let Some(col) = code.find(method) else { continue };
+                let Some((lit, at)) = extract_literal(&raw, i, col) else { continue };
+                if !active("metric_name", at) {
+                    continue;
+                }
+                let name = strip_placeholders(&lit);
+                if name.is_empty() {
+                    continue; // fully dynamic name
+                }
+                if !name.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_' || c == '.')
+                {
+                    findings.push(Finding {
+                        file: file.into(),
+                        line: at + 1,
+                        rule: "metric_name",
+                        message: format!(
+                            "metric name {lit:?} is not dotted snake_case ([a-z0-9_.])"
+                        ),
+                    });
+                }
+                if let Some(first) = seen_metrics.insert(format!("{method}{lit}"), at + 1) {
+                    findings.push(Finding {
+                        file: file.into(),
+                        line: at + 1,
+                        rule: "metric_name",
+                        message: format!(
+                            "metric {lit:?} already registered at line {first}; duplicate \
+                             registration under one prefix silently overwrites"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    findings
+}
+
+/// Scans one `Cargo.toml`: every entry in a dependencies section must be a
+/// `path =` or `workspace = true` dependency (the workspace builds with no
+/// network access; see ROADMAP.md).
+pub fn scan_manifest(file: &str, src: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut in_deps = false;
+    for (i, line) in src.lines().enumerate() {
+        let t = line.trim();
+        if t.starts_with('[') {
+            let section = t.trim_start_matches('[').trim_end_matches(']');
+            in_deps = section == "dependencies"
+                || section.ends_with(".dependencies")
+                || section == "dev-dependencies"
+                || section == "build-dependencies";
+            continue;
+        }
+        if !in_deps || t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        if t.contains("workspace = true") || t.contains("path =") {
+            continue;
+        }
+        findings.push(Finding {
+            file: file.into(),
+            line: i + 1,
+            rule: "cargo_deps",
+            message: format!(
+                "dependency entry `{t}` is not path/workspace; external crates are not \
+                 available in this build environment"
+            ),
+        });
+    }
+    findings
+}
+
+// ---------------------------------------------------------------------------
+// Workspace walker.
+// ---------------------------------------------------------------------------
+
+fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    let mut entries: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            // `fixtures` holds intentionally-violating inputs for the
+            // lint self-tests; `target` is build output.
+            if name != "fixtures" && name != "target" {
+                walk_rs(&path, out);
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn scan_tree(root: &Path, dir: &Path, crate_name: &str, findings: &mut Vec<Finding>) {
+    let mut files = Vec::new();
+    walk_rs(dir, &mut files);
+    for path in files {
+        let Ok(src) = std::fs::read_to_string(&path) else { continue };
+        let label = path.strip_prefix(root).unwrap_or(&path).display().to_string();
+        findings.extend(scan_source(&label, crate_name, &src));
+    }
+}
+
+/// Scans the whole workspace rooted at `root` (the directory holding the
+/// top-level `Cargo.toml`): all crates under `crates/`, the facade crate's
+/// `src/` and `tests/`, and every manifest.
+pub fn scan_workspace(root: &Path) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for manifest in [root.join("Cargo.toml")] {
+        if let Ok(src) = std::fs::read_to_string(&manifest) {
+            let label = manifest.strip_prefix(root).unwrap_or(&manifest).display().to_string();
+            findings.extend(scan_manifest(&label, &src));
+        }
+    }
+    let crates_dir = root.join("crates");
+    if let Ok(entries) = std::fs::read_dir(&crates_dir) {
+        let mut dirs: Vec<PathBuf> =
+            entries.flatten().map(|e| e.path()).filter(|p| p.is_dir()).collect();
+        dirs.sort();
+        for dir in dirs {
+            let crate_name =
+                dir.file_name().and_then(|n| n.to_str()).unwrap_or_default().to_string();
+            let manifest = dir.join("Cargo.toml");
+            if let Ok(src) = std::fs::read_to_string(&manifest) {
+                let label =
+                    manifest.strip_prefix(root).unwrap_or(&manifest).display().to_string();
+                findings.extend(scan_manifest(&label, &src));
+            }
+            scan_tree(root, &dir, &crate_name, &mut findings);
+        }
+    }
+    // Facade crate sources and the workspace-level integration tests.
+    scan_tree(root, &root.join("src"), "f4t", &mut findings);
+    scan_tree(root, &root.join("tests"), "f4t", &mut findings);
+    scan_tree(root, &root.join("examples"), "f4t", &mut findings);
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture(name: &str) -> String {
+        let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures").join(name);
+        std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()))
+    }
+
+    fn rules_of(findings: &[Finding]) -> Vec<&'static str> {
+        findings.iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn fixture_wall_clock_detected() {
+        let f = scan_source("wall_clock.rs", "core", &fixture("wall_clock.rs"));
+        assert_eq!(rules_of(&f), ["wall_clock", "wall_clock"], "{f:#?}");
+        // The commented-out Instant and the one in a string do not count,
+        // and the allow-listed one is exempt.
+        assert_eq!(f[0].line, 5);
+        assert_eq!(f[1].line, 8);
+    }
+
+    #[test]
+    fn fixture_raw_queue_detected_and_allow_listed() {
+        let f = scan_source("raw_queue.rs", "core", &fixture("raw_queue.rs"));
+        assert_eq!(rules_of(&f), ["raw_queue"], "{f:#?}");
+        assert_eq!(f[0].line, 8);
+        // Out of scope for non-hardware crates.
+        assert!(scan_source("raw_queue.rs", "host", &fixture("raw_queue.rs")).is_empty());
+    }
+
+    #[test]
+    fn fixture_panic_path_detected_outside_tests_only() {
+        let f = scan_source("panic_path.rs", "core", &fixture("panic_path.rs"));
+        assert_eq!(rules_of(&f), ["panic_path", "panic_path"], "{f:#?}");
+        assert!(f.iter().all(|x| x.line < 20), "test-module panics exempt: {f:#?}");
+    }
+
+    #[test]
+    fn fixture_metric_name_detected() {
+        let f = scan_source("metric_name.rs", "sim", &fixture("metric_name.rs"));
+        assert_eq!(rules_of(&f), ["metric_name", "metric_name"], "{f:#?}");
+        assert!(f[0].message.contains("snake_case"), "{f:#?}");
+        assert!(f[1].message.contains("already registered"), "{f:#?}");
+    }
+
+    #[test]
+    fn fixture_bad_manifest_detected() {
+        let f = scan_manifest("bad_manifest.toml", &fixture("bad_manifest.toml"));
+        assert_eq!(rules_of(&f), ["cargo_deps", "cargo_deps"], "{f:#?}");
+    }
+
+    #[test]
+    fn allow_file_disables_rule() {
+        let src = "// f4tlint: allow-file(raw_queue)\nstruct S { q: VecDeque<u32> }\n";
+        assert!(scan_source("x.rs", "core", src).is_empty());
+    }
+
+    #[test]
+    fn lexer_strips_strings_comments_and_lifetimes() {
+        let src = r#"
+let s = "panic!( inside a string";
+// .unwrap() in a comment
+/* .expect( in a block comment */
+fn f<'a>(x: &'a str) -> char { 'x' }
+"#;
+        assert!(scan_source("x.rs", "core", src).is_empty());
+    }
+
+    #[test]
+    fn workspace_is_clean() {
+        // The lint enforces itself: any new violation in the real tree
+        // fails `cargo test -p f4t-lint`.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).parent().unwrap().parent().unwrap();
+        let findings = scan_workspace(root);
+        assert!(
+            findings.is_empty(),
+            "f4tlint found {} violation(s):\n{}",
+            findings.len(),
+            findings.iter().map(|f| f.to_string()).collect::<Vec<_>>().join("\n")
+        );
+    }
+}

@@ -1,0 +1,81 @@
+//! `f4tlint` — scan the workspace for design-rule violations.
+//!
+//! ```text
+//! f4tlint [--root <dir>] [--rules]
+//! ```
+//!
+//! Exit status: 0 when clean, 1 when violations were found, 2 on usage or
+//! I/O errors. Run from anywhere inside the workspace; the root is found
+//! by walking up to the first `Cargo.toml` declaring `[workspace]`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn find_workspace_root(start: PathBuf) -> Option<PathBuf> {
+    let mut dir = start;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(src) = std::fs::read_to_string(&manifest) {
+            if src.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("f4tlint: --root needs a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "--rules" => {
+                for (name, desc) in f4t_lint::RULES {
+                    println!("{name:12} {desc}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!("usage: f4tlint [--root <dir>] [--rules]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("f4tlint: unknown argument {other:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            match find_workspace_root(cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("f4tlint: no workspace Cargo.toml found above the current directory");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+    let findings = f4t_lint::scan_workspace(&root);
+    for f in &findings {
+        println!("{f}");
+    }
+    if findings.is_empty() {
+        println!("f4tlint: clean ({} rules)", f4t_lint::RULES.len());
+        ExitCode::SUCCESS
+    } else {
+        println!("f4tlint: {} violation(s)", findings.len());
+        ExitCode::FAILURE
+    }
+}

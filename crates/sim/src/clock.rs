@@ -31,10 +31,20 @@ impl Cycle {
     pub const ZERO: Cycle = Cycle(0);
 
     /// Returns this cycle advanced by `n` cycles.
+    ///
+    /// Cycle counts in multi-billion-cycle runs must never silently wrap:
+    /// overflow is a debug assertion, and release builds saturate at
+    /// `u64::MAX` (≈2339 years at 250 MHz) instead of wrapping to zero,
+    /// which would corrupt every `since`-based latency measurement.
     #[inline]
     #[allow(clippy::should_implement_trait)] // `Cycle + u64`, not `Cycle + Cycle`
     pub fn add(self, n: u64) -> Cycle {
-        Cycle(self.0 + n)
+        debug_assert!(
+            self.0.checked_add(n).is_some(),
+            "Cycle overflow: {} + {n} exceeds u64",
+            self.0
+        );
+        Cycle(self.0.saturating_add(n))
     }
 
     /// Returns the number of cycles elapsed since `earlier`.
@@ -252,6 +262,15 @@ mod tests {
         assert_eq!(Cycle(15).since(c), 5);
         assert_eq!(c.since(Cycle(15)), 0, "saturating");
         assert_eq!(Cycle::ZERO.0, 0);
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "Cycle overflow"))]
+    fn cycle_add_never_wraps() {
+        // Debug builds assert on overflow; release builds saturate rather
+        // than wrapping back past zero.
+        let c = Cycle(u64::MAX - 1).add(10);
+        assert_eq!(c, Cycle(u64::MAX));
     }
 
     #[test]

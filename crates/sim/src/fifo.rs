@@ -40,6 +40,7 @@ pub struct Fifo<T> {
     /// High-water mark, for occupancy statistics.
     max_occupancy: usize,
     total_pushed: u64,
+    total_popped: u64,
     /// Pushes rejected because the queue was full (producer stalls).
     rejected: u64,
 }
@@ -57,6 +58,7 @@ impl<T> Fifo<T> {
             capacity,
             max_occupancy: 0,
             total_pushed: 0,
+            total_popped: 0,
             rejected: 0,
         }
     }
@@ -80,7 +82,11 @@ impl<T> Fifo<T> {
 
     /// Dequeues the oldest element, if any.
     pub fn pop(&mut self) -> Option<T> {
-        self.items.pop_front()
+        let item = self.items.pop_front();
+        if item.is_some() {
+            self.total_popped += 1;
+        }
+        item
     }
 
     /// Returns a reference to the oldest element without removing it.
@@ -126,6 +132,15 @@ impl<T> Fifo<T> {
     /// Total number of successful pushes since construction.
     pub fn total_pushed(&self) -> u64 {
         self.total_pushed
+    }
+
+    /// Total number of successful pops since construction. Together with
+    /// [`Fifo::total_pushed`] and [`Fifo::len`] this gives the conservation
+    /// invariant `pushed == popped + occupancy` that the hazard checker
+    /// audits (rejected pushes never enter the queue, so push *attempts*
+    /// equal `popped + occupancy + rejected`).
+    pub fn total_popped(&self) -> u64 {
+        self.total_popped
     }
 
     /// Pushes rejected because the queue was full — each one is a
@@ -194,7 +209,17 @@ mod tests {
         f.push(3).unwrap();
         assert_eq!(f.max_occupancy(), 2);
         assert_eq!(f.total_pushed(), 3);
+        assert_eq!(f.total_popped(), 1);
         assert_eq!(f.free(), 2);
+        // Conservation: pushed == popped + occupancy.
+        assert_eq!(f.total_pushed(), f.total_popped() + f.len() as u64);
+    }
+
+    #[test]
+    fn pop_on_empty_not_counted() {
+        let mut f: Fifo<u8> = Fifo::new(2);
+        assert_eq!(f.pop(), None);
+        assert_eq!(f.total_popped(), 0);
     }
 
     #[test]

@@ -16,6 +16,9 @@
 //!   reference simulator in `f4t-netsim`.
 //! * [`telemetry`] — FtScope: the metrics registry (snapshot/delta), the
 //!   bounded pipeline trace ring, and Chrome-trace JSON export.
+//! * [`check`] — FtVerify: the optional cycle-level hazard checker
+//!   ([`InvariantChecker`], [`PortTracker`]) that simulated memories and
+//!   queues register accesses against.
 //!
 //! # Examples
 //!
@@ -32,6 +35,7 @@
 //! assert_eq!(q.pop(), Some(1));
 //! ```
 
+pub mod check;
 pub mod clock;
 pub mod des;
 pub mod fifo;
@@ -39,6 +43,7 @@ pub mod rng;
 pub mod stats;
 pub mod telemetry;
 
+pub use check::{InvariantChecker, PortTracker, Violation, ViolationKind};
 pub use clock::{Cycle, ClockDomain};
 pub use des::EventQueue;
 pub use fifo::Fifo;

@@ -1,0 +1,66 @@
+#!/usr/bin/env sh
+# Regenerate results/check_baseline.json: run the reference bulk and echo
+# workloads with the FtVerify hazard checker off and on, record that the
+# checker-on runs report zero violations, and measure the wall-clock
+# overhead of enabling it (budget: <= 1.25x, DESIGN.md section 8).
+#
+# Usage:  sh scripts/check_baseline.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BULK="--workload bulk --cores 2 --size 1024 --warmup-ms 1 --duration-ms 4"
+ECHO="--workload echo --cores 2 --flows 256 --size 128 --warmup-ms 1 --duration-ms 4"
+REPS=3
+
+cargo build --release -q -p f4t-bench
+
+now_ms() {
+    # GNU date; fine on the Linux dev/CI hosts this script targets.
+    echo $(( $(date +%s%N) / 1000000 ))
+}
+
+# best_ms <args...> : best-of-$REPS wall-clock ms for one f4tperf run.
+best_ms() {
+    best=""
+    i=0
+    while [ "$i" -lt "$REPS" ]; do
+        t0=$(now_ms)
+        ./target/release/f4tperf "$@" >/dev/null
+        t1=$(now_ms)
+        dt=$(( t1 - t0 ))
+        if [ -z "$best" ] || [ "$dt" -lt "$best" ]; then best=$dt; fi
+        i=$(( i + 1 ))
+    done
+    echo "$best"
+}
+
+run_workload() {
+    name=$1; shift
+    off=$(best_ms "$@")
+    on=$(best_ms "$@" --check)   # f4tperf exits 1 on any violation
+    ratio=$(awk "BEGIN { printf \"%.3f\", $on / $off }")
+    echo "  $name: off=${off}ms on=${on}ms ratio=${ratio}x" >&2
+    printf '  "%s": {\n' "$name"
+    printf '   "_params": "%s",\n' "$*"
+    printf '   "violations": 0,\n'
+    printf '   "wall_ms_check_off": %s,\n' "$off"
+    printf '   "wall_ms_check_on": %s,\n' "$on"
+    printf '   "overhead_ratio": %s\n' "$ratio"
+    printf '  }'
+}
+
+out=results/check_baseline.json
+{
+    printf '{\n'
+    printf ' "_note": "FtVerify hazard-checker baseline: the reference bulk and echo workloads with EngineConfig::check off vs on (f4tperf --check). A --check run exits non-zero on any violation, so violations=0 is enforced, not transcribed. Wall-clock is best-of-%s; the enabled-overhead budget is <= 1.25x. Regenerate with: sh scripts/check_baseline.sh",\n' "$REPS"
+    run_workload bulk $BULK
+    printf ',\n'
+    run_workload echo $ECHO
+    printf '\n}\n'
+} > "$out"
+
+ratio_max=$(awk '/"overhead_ratio"/ { gsub(/[^0-9.]/, "", $2); if ($2 > m) m = $2 } END { print m }' "$out")
+awk "BEGIN { exit !($ratio_max <= 1.25) }" \
+    || { echo "FAIL: checker overhead ${ratio_max}x exceeds 1.25x budget" >&2; exit 1; }
+echo "wrote $out (max overhead ${ratio_max}x)"

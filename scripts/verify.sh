@@ -16,6 +16,15 @@ cargo test -q --workspace
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> f4tlint (design-rule source scan)"
+cargo run --release -q -p f4t-lint --bin f4tlint
+
+echo "==> f4tperf --check smoke (FtVerify hazard checker)"
+cargo run --release -q -p f4t-bench --bin f4tperf -- \
+    --workload bulk --cores 2 --size 1024 --duration-ms 1 --check >/dev/null
+cargo run --release -q -p f4t-bench --bin f4tperf -- \
+    --workload echo --cores 2 --flows 256 --duration-ms 1 --check >/dev/null
+
 echo "==> f4tperf --telemetry smoke"
 out="$(mktemp -d)"
 cargo run --release -q -p f4t-bench --bin f4tperf -- \

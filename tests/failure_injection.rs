@@ -136,6 +136,59 @@ fn burst_loss_recovered_by_rto() {
     assert!(cycles > 100_000, "took {cycles} cycles");
 }
 
+/// FtVerify negative test: plant a *dual-residency* migration race (the
+/// §3.2 hazard the location-LUT Moving protocol exists to rule out) and
+/// prove the checker's structural audit reports it. A checker that stays
+/// silent here would make the zero-violation property tests meaningless.
+#[test]
+fn injected_dram_ghost_is_detected_as_migration_race() {
+    use f4t::sim::ViolationKind;
+    let cfg = EngineConfig { num_fpcs: 1, lut_groups: 1, check: true, ..EngineConfig::reference() };
+    let mut e = Engine::new(cfg);
+    let flow = e.open_established(FourTuple::default(), SeqNum(0)).unwrap();
+    // Run past at least one audit boundary: a healthy engine is clean.
+    e.run(200);
+    assert!(e.check_enabled());
+    assert_eq!(e.check_total_violations(), 0, "{}", e.check_summary().unwrap_or_default());
+    // Fault: copy the SRAM-resident TCB into the DRAM store behind the
+    // scheduler's back — the flow is now valid in two memories at once.
+    assert!(e.fault_inject_dram_ghost(flow), "flow must be SRAM-resident");
+    e.run(200);
+    assert!(e.check_total_violations() > 0, "audit missed the dual residency");
+    assert!(
+        e.check_violations().iter().any(|v| v.kind == ViolationKind::MigrationRace),
+        "expected a migration_race violation, got:\n{}",
+        e.check_summary().unwrap_or_default()
+    );
+}
+
+/// FtVerify negative test: corrupt the location LUT so it points at DRAM
+/// while the TCB actually lives in FPC SRAM (a stale-LUT race — the state
+/// an interrupted migration would leave behind). The audit must flag the
+/// mismatch from both directions.
+#[test]
+fn injected_stale_lut_entry_is_detected() {
+    use f4t::mem::Location;
+    use f4t::sim::ViolationKind;
+    let cfg = EngineConfig { num_fpcs: 1, lut_groups: 1, check: true, ..EngineConfig::reference() };
+    let mut e = Engine::new(cfg);
+    let flow = e.open_established(FourTuple::default(), SeqNum(0)).unwrap();
+    e.run(200);
+    assert_eq!(e.check_total_violations(), 0, "{}", e.check_summary().unwrap_or_default());
+    e.fault_inject_lut(flow, Location::Dram);
+    e.run(200);
+    let races = e
+        .check_violations()
+        .iter()
+        .filter(|v| v.kind == ViolationKind::MigrationRace)
+        .count();
+    assert!(
+        races > 0,
+        "audit missed the stale LUT entry:\n{}",
+        e.check_summary().unwrap_or_default()
+    );
+}
+
 #[test]
 fn total_blackout_then_recovery() {
     // The wire goes completely dark for 2 ms starting mid-burst: every
