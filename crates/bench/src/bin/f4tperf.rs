@@ -12,10 +12,15 @@
 //! ```
 
 use f4t_core::fpc::ScanPolicy;
-use f4t_core::EngineConfig;
-use f4t_mem::DramKind;
+use f4t_core::{Engine, EngineConfig, EventKind};
+use f4t_mem::{DramKind, Location};
 use f4t_system::F4tSystem;
-use f4t_tcp::CcAlgorithm;
+use f4t_tcp::{CcAlgorithm, FlowId};
+
+/// Process exit codes (also in `--help`): `0` success, `1` FtVerify
+/// design-rule violations, `2` usage or I/O error.
+const EXIT_VIOLATIONS: i32 = 1;
+const EXIT_USAGE: i32 = 2;
 
 #[derive(Debug)]
 struct Args {
@@ -34,6 +39,8 @@ struct Args {
     telemetry: Option<String>,
     trace_depth: usize,
     check: bool,
+    fast_forward: bool,
+    inject_fault: Option<String>,
 }
 
 impl Default for Args {
@@ -54,6 +61,8 @@ impl Default for Args {
             telemetry: None,
             trace_depth: 65_536,
             check: false,
+            fast_forward: true,
+            inject_fault: None,
         }
     }
 }
@@ -63,10 +72,16 @@ f4tperf — drive the simulated F4T testbed
 
 USAGE: f4tperf [OPTIONS]
 
-  --workload <bulk|rr|echo|http>   workload pattern        [bulk]
+  --workload <bulk|rr|echo|http|scale>
+                                   workload pattern        [bulk]
+                                   scale: N flows vs an ideal peer on a bare
+                                   engine driven through Engine::run, where
+                                   fast-forward engages; --duration-ms sets
+                                   the post-completion idle tail
   --cores <N>                      application cores/side  [1]
   --size <BYTES>                   request size            [128]
-  --flows <N>                      total flows (echo/http; rr uses 16/core)
+  --flows <N>                      total flows (echo/http; rr uses 16/core;
+                                   scale defaults to 65536)
   --dram <hbm|ddr4>                on-board memory         [hbm]
   --cc <newreno|cubic|vegas>       congestion control      [newreno]
   --fpcs <N>                       parallel FPCs           [8]
@@ -82,7 +97,16 @@ USAGE: f4tperf [OPTIONS]
   --check                          attach the FtVerify hazard checker to both
                                    engines; print its report and exit non-zero
                                    on any design-rule violation
+  --no-fast-forward                force tick-by-tick simulation (scale
+                                   workload; system workloads tick in lockstep
+                                   and never fast-forward)
+  --inject-fault <lut-misdirect|dram-ghost>
+                                   corrupt flow 0's location state after setup
+                                   (FtVerify exit-path testing; pair with
+                                   --check to detect it)
   --help                           this text
+
+EXIT CODES: 0 success / 1 FtVerify violations / 2 usage or I/O error
 ";
 
 fn parse() -> Result<Args, String> {
@@ -146,6 +170,14 @@ fn parse() -> Result<Args, String> {
                 args.trace_depth = val("--trace-depth")?.parse().map_err(|e| format!("{e}"))?
             }
             "--no-coalescing" => args.coalescing = false,
+            "--no-fast-forward" => args.fast_forward = false,
+            "--inject-fault" => {
+                let kind = val("--inject-fault")?;
+                match kind.as_str() {
+                    "lut-misdirect" | "dram-ghost" => args.inject_fault = Some(kind),
+                    other => return Err(format!("unknown fault {other}")),
+                }
+            }
             "--check" => args.check = true,
             "--compact-commands" => args.compact = true,
             "--help" | "-h" => {
@@ -165,7 +197,7 @@ fn main() {
         Err(e) => {
             eprintln!("error: {e}");
             eprint!("{HELP}");
-            std::process::exit(2);
+            std::process::exit(EXIT_USAGE);
         }
     };
 
@@ -177,8 +209,13 @@ fn main() {
         coalescing: args.coalescing,
         scan_policy: args.scan,
         check: args.check,
+        fast_forward: args.fast_forward,
         ..EngineConfig::reference()
     };
+
+    if args.workload == "scale" {
+        run_scale(&args, engine);
+    }
 
     let mut sys = match args.workload.as_str() {
         "bulk" => F4tSystem::bulk(args.cores, args.size, engine),
@@ -193,7 +230,7 @@ fn main() {
         }
         other => {
             eprintln!("error: unknown workload {other}");
-            std::process::exit(2);
+            std::process::exit(EXIT_USAGE);
         }
     };
     if args.compact {
@@ -203,6 +240,9 @@ fn main() {
     if args.telemetry.is_some() {
         sys.a.engine.set_trace_capacity(args.trace_depth);
     }
+    if let Some(kind) = &args.inject_fault {
+        inject_fault(&mut sys.a.engine, kind);
+    }
 
     println!("f4tperf: {args:?}");
     let m = sys.measure(args.warmup_ms * 1_000_000, args.duration_ms * 1_000_000);
@@ -211,12 +251,12 @@ fn main() {
     if let Some(path) = &args.telemetry {
         if let Err(e) = std::fs::write(path, m.telemetry.to_json()) {
             eprintln!("error: writing {path}: {e}");
-            std::process::exit(1);
+            std::process::exit(EXIT_USAGE);
         }
         let trace_path = format!("{}.trace.json", path.trim_end_matches(".json"));
         if let Err(e) = std::fs::write(&trace_path, sys.a.engine.export_chrome_trace()) {
             eprintln!("error: writing {trace_path}: {e}");
-            std::process::exit(1);
+            std::process::exit(EXIT_USAGE);
         }
         println!("  telemetry → {path}, trace → {trace_path}");
     }
@@ -263,7 +303,154 @@ fn main() {
         }
         if violations > 0 {
             eprintln!("error: FtVerify found {violations} design-rule violation(s)");
-            std::process::exit(1);
+            std::process::exit(EXIT_VIOLATIONS);
         }
     }
+}
+
+/// Corrupts flow 0's location state so FtVerify has something real to
+/// flag (exit-path testing; see `--inject-fault` in the help text).
+fn inject_fault(e: &mut Engine, kind: &str) {
+    let flow = FlowId(0);
+    match kind {
+        "lut-misdirect" => e.fault_inject_lut(flow, Location::Dram),
+        "dram-ghost" => {
+            if !e.fault_inject_dram_ghost(flow) {
+                eprintln!("error: flow 0 is not SRAM-resident; cannot ghost it");
+                std::process::exit(EXIT_USAGE);
+            }
+        }
+        _ => unreachable!("validated at parse time"),
+    }
+    println!("  fault injected     {kind} on {flow}");
+}
+
+/// The `scale` workload: `--flows` connections against an ideal peer
+/// (cumulative ACKs synthesized by the harness), driven through
+/// `Engine::run` so the fast-forward core engages. Each flow sends
+/// `--size` bytes; after every cumulative pointer reaches its target the
+/// engine idles for `--duration-ms` of simulated time, the regime where
+/// skipping dominates. This is the figure harness behind
+/// `results/fastforward_baseline.json`.
+fn run_scale(args: &Args, mut cfg: EngineConfig) -> ! {
+    use f4t_tcp::{FourTuple, Segment, SeqNum, TCP_BUFFER};
+    use std::collections::HashMap;
+    use std::net::Ipv4Addr;
+
+    let total_flows = if args.flows == 0 { 65_536 } else { args.flows };
+    cfg.max_flows = total_flows;
+    let mut e = Engine::new(cfg);
+    if args.telemetry.is_some() {
+        e.set_trace_capacity(args.trace_depth);
+    }
+    let isn = SeqNum(0);
+    let target = isn.add(args.size);
+    let tuple_for = |i: usize| {
+        let ip = Ipv4Addr::new(10, 0, (i / 32_768) as u8, 1);
+        FourTuple::new(ip, 1024 + (i % 32_768) as u16, Ipv4Addr::new(10, 0, 0, 2), 80)
+    };
+
+    let started = std::time::Instant::now();
+    let mut flows = Vec::with_capacity(total_flows);
+    let mut by_tuple = HashMap::with_capacity(total_flows);
+    for i in 0..total_flows {
+        let t = tuple_for(i);
+        let Some(f) = e.open_established(t, isn) else {
+            eprintln!("error: flow table full at {i} flows");
+            std::process::exit(EXIT_USAGE);
+        };
+        by_tuple.insert(t, i);
+        flows.push(f);
+    }
+    if let Some(kind) = &args.inject_fault {
+        inject_fault(&mut e, kind);
+    }
+
+    let mut pending_ack: Vec<Option<SeqNum>> = vec![None; total_flows];
+    let pump = |e: &mut Engine, pending_ack: &mut Vec<Option<SeqNum>>| {
+        e.run(64);
+        while let Some(seg) = e.pop_tx() {
+            if seg.has_payload() {
+                let i = by_tuple[&seg.tuple];
+                let end = seg.seq_end();
+                pending_ack[i] = Some(match pending_ack[i] {
+                    Some(h) => h.max_seq(end),
+                    None => end,
+                });
+            }
+        }
+        for (i, slot) in pending_ack.iter_mut().enumerate() {
+            let Some(h) = *slot else { continue };
+            if e.push_rx(Segment::pure_ack(tuple_for(i).reversed(), isn, h, TCP_BUFFER)) {
+                *slot = None;
+            }
+        }
+        while e.pop_notification().is_some() {}
+    };
+
+    let budget = total_flows as u64 * 20_000 + 10_000_000;
+    let mut issued = 0;
+    while issued < total_flows && e.cycles() < budget {
+        if e.push_host(flows[issued], EventKind::SendReq { req: target }) {
+            issued += 1;
+        } else {
+            pump(&mut e, &mut pending_ack);
+        }
+    }
+    let mut completed = false;
+    while e.cycles() < budget && !completed {
+        for _ in 0..256 {
+            pump(&mut e, &mut pending_ack);
+        }
+        completed = flows.iter().all(|&f| e.peek_tcb(f).is_some_and(|t| t.snd_una == target));
+    }
+    let active_cycles = e.cycles();
+    // Post-completion idle tail: --duration-ms of simulated time at the
+    // 250 MHz engine clock (250_000 cycles per millisecond).
+    e.run(args.duration_ms * 250_000);
+    let wall = started.elapsed();
+
+    let stats = e.stats();
+    let skipped = e.fastforward_skipped_cycles();
+    let executed = e.cycles() - skipped;
+    println!("f4tperf: {args:?}");
+    println!();
+    println!("  flows              {total_flows:>10} ({})", if completed { "all completed" } else { "INCOMPLETE" });
+    println!("  cycles simulated   {:>10} ({} active + idle tail)", e.cycles(), active_cycles);
+    println!("  ticks executed     {executed:>10}");
+    println!("  ff skipped         {skipped:>10} cycles in {} windows", e.fastforward_windows());
+    println!("  tick reduction     {:>10.1}x", e.cycles() as f64 / executed.max(1) as f64);
+    println!("  wall time          {:>10.0} ms", wall.as_secs_f64() * 1e3);
+    println!("  TCB migrations     {:>10}", stats.migrations);
+    println!("  DRAM events        {:>10}", stats.dram_events);
+
+    if let Some(path) = &args.telemetry {
+        if let Err(err) = std::fs::write(path, e.telemetry().to_json()) {
+            eprintln!("error: writing {path}: {err}");
+            std::process::exit(EXIT_USAGE);
+        }
+        let trace_path = format!("{}.trace.json", path.trim_end_matches(".json"));
+        if let Err(err) = std::fs::write(&trace_path, e.export_chrome_trace()) {
+            eprintln!("error: writing {trace_path}: {err}");
+            std::process::exit(EXIT_USAGE);
+        }
+        println!("  telemetry → {path}, trace → {trace_path}");
+    }
+    if args.check {
+        if let Some(summary) = e.check_summary() {
+            println!("  ftverify           {summary}");
+        }
+        if e.check_total_violations() > 0 {
+            eprintln!(
+                "error: FtVerify found {} design-rule violation(s)",
+                e.check_total_violations()
+            );
+            std::process::exit(EXIT_VIOLATIONS);
+        }
+    }
+    if !completed && args.inject_fault.is_none() {
+        eprintln!("error: flows stuck after {} cycles", e.cycles());
+        std::process::exit(EXIT_USAGE);
+    }
+    std::process::exit(0);
 }

@@ -1,0 +1,87 @@
+//! Exit-code contract tests for the `f4tperf` CLI.
+//!
+//! The contract (also printed by `--help`):
+//!   * `0` — run completed, no FtVerify violations;
+//!   * `1` — FtVerify found design-rule violations (`--check`);
+//!   * `2` — usage error (bad flag/value) or I/O error.
+//!
+//! CI scripts and the figure harnesses branch on these, so they are
+//! pinned here by spawning the real binary (offline, no network).
+
+use std::process::{Command, Output};
+
+fn f4tperf(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_f4tperf"))
+        .args(args)
+        .output()
+        .expect("spawn f4tperf")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn help_exits_zero_and_documents_exit_codes() {
+    let out = f4tperf(&["--help"]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("EXIT CODES"), "help must document the contract:\n{text}");
+    assert!(text.contains("--inject-fault"), "help must list fault injection:\n{text}");
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    for bad in [
+        &["--bogus-flag"][..],
+        &["--cores", "0"][..],
+        &["--workload", "nosuch"][..],
+        &["--inject-fault", "nosuch"][..],
+        &["--dram"][..], // missing value
+    ] {
+        let out = f4tperf(bad);
+        assert_eq!(out.status.code(), Some(2), "args {bad:?}:\n{}", stderr(&out));
+    }
+}
+
+#[test]
+fn telemetry_io_error_exits_two() {
+    let out = f4tperf(&[
+        "--workload", "scale", "--flows", "64", "--size", "128",
+        "--duration-ms", "1", "--telemetry", "/nonexistent-dir/t.json",
+    ]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+    assert!(stderr(&out).contains("error: writing"), "{}", stderr(&out));
+}
+
+#[test]
+fn clean_checked_run_exits_zero() {
+    let out = f4tperf(&["--warmup-ms", "1", "--duration-ms", "1", "--check"]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    assert!(stdout(&out).contains("0 violation"), "{}", stdout(&out));
+}
+
+#[test]
+fn injected_fault_is_caught_and_exits_one() {
+    let out = f4tperf(&[
+        "--warmup-ms", "1", "--duration-ms", "1", "--check",
+        "--inject-fault", "lut-misdirect",
+    ]);
+    assert_eq!(out.status.code(), Some(1), "{}\n{}", stdout(&out), stderr(&out));
+    assert!(stderr(&out).contains("design-rule violation"), "{}", stderr(&out));
+}
+
+#[test]
+fn scale_workload_fast_forwards_and_exits_zero() {
+    let out = f4tperf(&[
+        "--workload", "scale", "--flows", "128", "--size", "256", "--duration-ms", "1",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("all completed"), "{text}");
+    assert!(text.contains("tick reduction"), "{text}");
+}

@@ -23,6 +23,7 @@ use crate::scheduler::Scheduler;
 use crate::timers::TimerWheel;
 use f4t_mem::{DramKind, Location};
 use f4t_sim::check::{InvariantChecker, Violation, ViolationKind};
+use f4t_sim::clock::merge_horizon;
 use f4t_sim::telemetry::{MetricsRegistry, TraceKind, TraceRing};
 use f4t_tcp::wire::{ArpMessage, IcmpEcho};
 use f4t_tcp::{
@@ -65,6 +66,15 @@ pub struct EngineConfig {
     pub tcb_cache_sets: usize,
     /// TCB-manager scan policy.
     pub scan_policy: ScanPolicy,
+    /// Fast-forward: when every module reports a quiet horizon,
+    /// [`Engine::run`] skips the clock straight to the earliest
+    /// `next_activity()` cycle instead of executing idle ticks.
+    /// Cycle-exact by construction — skipped windows replay their
+    /// accumulator effects in closed form, so traces, telemetry and TCB
+    /// state are bit-identical to the tick-by-tick run. On by default;
+    /// disable to force tick-by-tick execution (e.g. when bisecting the
+    /// equivalence contract itself).
+    pub fast_forward: bool,
     /// FtVerify: attach the cycle-level hazard checker (port budgets,
     /// schedule parity, RMW hazards, migration races, valid-bit leaks,
     /// FIFO conservation). Off by default; the disabled path costs one
@@ -89,6 +99,7 @@ impl EngineConfig {
             mss: MSS,
             tcb_cache_sets: 512,
             scan_policy: ScanPolicy::SkipIdle,
+            fast_forward: true,
             check: false,
         }
     }
@@ -230,6 +241,12 @@ pub struct Engine {
     /// without reuse would alias live flows after enough churn.
     free_flow_ids: Vec<u32>,
     host_events: u64,
+    /// Cycles elided by fast-forward (the `engine.fastforward.*`
+    /// telemetry family; excluded from the equivalence contract since the
+    /// tick-by-tick run by definition skips nothing).
+    ff_skipped_cycles: u64,
+    /// Fast-forward windows taken.
+    ff_windows: u64,
     /// FtVerify hazard checker; attached when `EngineConfig::check` is
     /// set. Boxed so the disabled engine stays small.
     check: Option<Box<InvariantChecker>>,
@@ -307,6 +324,8 @@ impl Engine {
             next_flow: 0,
             free_flow_ids: Vec::new(),
             host_events: 0,
+            ff_skipped_cycles: 0,
+            ff_windows: 0,
             check: config.check.then(|| Box::new(InvariantChecker::new())),
             trace: TraceRing::disabled(),
             trace_prev: TraceCounters::default(),
@@ -535,6 +554,8 @@ impl Engine {
         reg.gauge(&format!("{prefix}.tx_overflow.depth"), self.tx_overflow.len() as f64);
         reg.counter(&format!("{prefix}.rmw.hazard_events"), self.rmw_hazard_events());
         reg.counter(&format!("{prefix}.rmw.stall_cycles"), self.rmw_stall_cycles());
+        reg.counter(&format!("{prefix}.fastforward.skipped_cycles"), self.ff_skipped_cycles);
+        reg.counter(&format!("{prefix}.fastforward.windows"), self.ff_windows);
         for f in &self.fpcs {
             f.collect(&format!("{prefix}.fpc{}", f.id()), reg);
         }
@@ -920,10 +941,114 @@ impl Engine {
         true
     }
 
-    /// Runs `n` cycles.
+    /// The engine-wide activity horizon: the earliest cycle at which any
+    /// module's observable state can change, folded with
+    /// [`merge_horizon`] across every `next_activity()` report.
+    /// `Some(current cycle)` means there is work right now; `None` means
+    /// the engine is fully drained and only external input can wake it.
+    ///
+    /// The TX skid buffer counts as immediate work (its drain runs every
+    /// tick); the MAC output buffer and host-notification queues do not —
+    /// they are drained externally and generate no tick activity.
+    pub fn next_activity(&self) -> Option<u64> {
+        let cycle = self.cycle;
+        if !self.tx_overflow.is_empty() {
+            return Some(cycle);
+        }
+        // A deadline at `d` ns fires on the first cycle whose timestamp
+        // reaches it: ceil(d / CYCLE_NS).
+        let mut h = self.timers.next_activity_ns().map(|d| d.div_ceil(CYCLE_NS).max(cycle));
+        h = merge_horizon(h, self.rx_parser.next_activity(cycle));
+        h = merge_horizon(h, self.scheduler.next_activity(cycle));
+        for f in &self.fpcs {
+            h = merge_horizon(h, f.next_activity(cycle));
+        }
+        h = merge_horizon(h, self.mm.next_activity(cycle));
+        h = merge_horizon(h, self.pkt_gen.next_activity(cycle));
+        h
+    }
+
+    /// Attempts one fast-forward window, skipping the clock from the
+    /// current cycle toward `end` (exclusive). Returns `false` when the
+    /// horizon says there is work this cycle — the caller ticks normally.
+    ///
+    /// Every skipped cycle is provably a no-op except for per-cycle
+    /// accumulators, which the modules replay in closed form:
+    ///
+    /// * timers fire only at the (conservative) heap-head horizon;
+    /// * the RX parser and packet generator fold their 322/250 credit
+    ///   arithmetic modularly (the RX tick's intake gate is open all
+    ///   window — quiescence requires an empty scheduler intake — and the
+    ///   MAC buffer cannot change mid-window, so the TX gate is constant);
+    /// * the scheduler's pending queue sleeps until its head retry and
+    ///   `lut.begin_cycle()` resets a budget nothing draws on;
+    /// * FPCs accumulate occupancy gauges and dispatch bubbles (the
+    ///   dispatch gate is open all window: the skid buffer is empty and
+    ///   the request FIFO's 64 free slots exceed the 16-slot threshold);
+    /// * the memory manager accrues DRAM pacer credit up to its burst cap.
+    ///
+    /// With the checker attached the window additionally stops at every
+    /// `AUDIT_INTERVAL` boundary so structural audits run at exactly the
+    /// cycles the tick-by-tick run audits.
+    fn try_fast_forward(&mut self, end: u64) -> bool {
+        let cycle = self.cycle;
+        let mut target = match self.next_activity() {
+            Some(h) if h <= cycle => return false,
+            Some(h) => h.min(end),
+            None => end,
+        };
+        if self.check.is_some() {
+            let next_audit = if cycle.is_multiple_of(AUDIT_INTERVAL) {
+                cycle
+            } else {
+                (cycle / AUDIT_INTERVAL + 1) * AUDIT_INTERVAL
+            };
+            target = target.min(next_audit);
+        }
+        if target <= cycle {
+            return false;
+        }
+        let n = target - cycle;
+        for f in &mut self.fpcs {
+            f.skip_cycles(cycle, n);
+        }
+        self.mm.skip_idle_cycles(n);
+        self.rx_parser.skip_idle_cycles(n);
+        if self.tx_out.len() < TX_OUT_CAP {
+            self.pkt_gen.skip_idle_cycles(n);
+        }
+        self.cycle = target;
+        self.ff_skipped_cycles += n;
+        self.ff_windows += 1;
+        true
+    }
+
+    /// Cycles elided by fast-forward so far.
+    pub fn fastforward_skipped_cycles(&self) -> u64 {
+        self.ff_skipped_cycles
+    }
+
+    /// Fast-forward windows taken so far.
+    pub fn fastforward_windows(&self) -> u64 {
+        self.ff_windows
+    }
+
+    /// Runs `n` cycles. With [`EngineConfig::fast_forward`] set (the
+    /// default), quiescent stretches are skipped in one step per the
+    /// module horizons; the result is bit-identical to ticking each cycle
+    /// (see `tests/fastforward_equiv.rs` for the enforced contract).
     pub fn run(&mut self, n: u64) {
-        for _ in 0..n {
-            self.tick();
+        let end = self.cycle.saturating_add(n);
+        if !self.config.fast_forward {
+            while self.cycle < end {
+                self.tick();
+            }
+            return;
+        }
+        while self.cycle < end {
+            if !self.try_fast_forward(end) {
+                self.tick();
+            }
         }
     }
 }
@@ -993,6 +1118,92 @@ mod tests {
         }
         assert_eq!(acked, isn.add(10_000), "all data acknowledged");
         assert_eq!(a.stats().retransmissions, 0, "clean link: no retransmits");
+    }
+
+    /// Telemetry JSON minus the `fastforward.*` family (the only
+    /// counters allowed to differ between execution modes).
+    fn telemetry_without_ff(e: &Engine) -> String {
+        e.telemetry()
+            .to_json()
+            .lines()
+            .filter(|l| !l.contains("fastforward"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    #[test]
+    fn fast_forward_matches_tick_by_tick_on_bulk() {
+        // The same bulk transfer driven twice — once fast-forwarded, once
+        // tick-by-tick — through identical chunked `run` windows, with
+        // the checker auditing both paths. Every observable must match.
+        let drive = |ff: bool| {
+            let cfg = EngineConfig { fast_forward: ff, check: true, ..EngineConfig::single_fpc() };
+            let mut a = Engine::new(cfg.clone());
+            let mut b = Engine::new(cfg);
+            a.set_trace_capacity(4096);
+            let t = tuple_ab();
+            let isn = SeqNum(1000);
+            let fa = a.open_established(t, isn).unwrap();
+            b.open_established(t.reversed(), isn).unwrap();
+            assert!(a.push_host(fa, EventKind::SendReq { req: isn.add(10_000) }));
+            let mut wire = Vec::new();
+            for _ in 0..200 {
+                a.run(32);
+                b.run(32);
+                while let Some(seg) = a.pop_tx() {
+                    wire.push(format!("{seg:?}"));
+                    b.push_rx(seg);
+                }
+                while let Some(seg) = b.pop_tx() {
+                    wire.push(format!("{seg:?}"));
+                    a.push_rx(seg);
+                }
+            }
+            // A long drained tail exercises deep multi-window skips.
+            a.run(100_000);
+            b.run(100_000);
+            assert_eq!(a.check_total_violations(), 0, "{:?}", a.check_violations());
+            let tcb = a.peek_tcb(fa).unwrap();
+            (wire, format!("{tcb:?}"), telemetry_without_ff(&a), a.export_chrome_trace(), a)
+        };
+        let (wire_ff, tcb_ff, telem_ff, trace_ff, eng_ff) = drive(true);
+        let (wire_tk, tcb_tk, telem_tk, trace_tk, eng_tk) = drive(false);
+        assert_eq!(wire_ff, wire_tk, "packet traces diverge");
+        assert_eq!(tcb_ff, tcb_tk, "final TCB state diverges");
+        assert_eq!(telem_ff, telem_tk, "telemetry diverges");
+        assert_eq!(trace_ff, trace_tk, "pipeline trace diverges");
+        assert!(eng_ff.fastforward_skipped_cycles() > 50_000, "fast-forward barely engaged");
+        assert_eq!(eng_tk.fastforward_skipped_cycles(), 0, "tick-by-tick must skip nothing");
+    }
+
+    #[test]
+    fn fast_forward_skips_to_rto_deadline_exactly() {
+        // A lone sender with unacknowledged data is quiescent until its
+        // RTO fires; fast-forward must land on the same cycle the
+        // tick-by-tick run retransmits.
+        let drive = |ff: bool| {
+            let cfg = EngineConfig { fast_forward: ff, ..EngineConfig::single_fpc() };
+            let mut e = Engine::new(cfg);
+            let fa = e.open_established(tuple_ab(), SeqNum(1000)).unwrap();
+            e.push_host(fa, EventKind::SendReq { req: SeqNum(1000).add(100) });
+            let mut events = Vec::new();
+            // 4M cycles = 16 ms: covers the 10 ms initial RTO.
+            for _ in 0..40 {
+                e.run(100_000);
+                while let Some(seg) = e.pop_tx() {
+                    events.push((e.cycles(), format!("{seg:?}")));
+                }
+            }
+            (events, e.fastforward_skipped_cycles())
+        };
+        let (ev_ff, skipped) = drive(true);
+        let (ev_tk, _) = drive(false);
+        assert_eq!(ev_ff, ev_tk, "retransmission schedule diverges");
+        assert!(
+            ev_ff.iter().any(|(_, s)| s.contains("is_retransmit: true")),
+            "RTO never fired: {ev_ff:?}"
+        );
+        assert!(skipped > 2_000_000, "idle RTO wait was not skipped (skipped {skipped})");
     }
 
     #[test]

@@ -25,6 +25,7 @@ use crate::event::{EventKind, FlowEvent, TimeoutKind, TxRequest};
 use crate::fpu::{EventView, Fpu, FpuOutcome};
 use f4t_mem::Cam;
 use f4t_sim::check::{InvariantChecker, PortTracker, ViolationKind};
+use f4t_sim::clock::odd_cycles_in;
 use f4t_sim::Fifo;
 use f4t_tcp::{CongestionControl, FlowId, Tcb, TcpFlags};
 use std::sync::Arc;
@@ -663,6 +664,51 @@ impl Fpc {
         } else {
             // Odd cycle: TCB-manager dispatch (FPU writeback handled above).
             self.dispatch(cycle, tx_gate_open, chk);
+        }
+    }
+
+    /// Activity horizon: the earliest cycle at which ticking this FPC can
+    /// change observable state, beyond the per-cycle accumulators that
+    /// [`skip_cycles`](Self::skip_cycles) replays. `Some(cycle)` means
+    /// there is work right now (queued input, or a dispatchable slot);
+    /// a later cycle means the only scheduled event is the FPU head
+    /// completing; `None` means idle until new input arrives.
+    pub fn next_activity(&self, cycle: u64) -> Option<u64> {
+        if !self.input_events.is_empty() || !self.input_tcbs.is_empty() {
+            return Some(cycle);
+        }
+        // A pending slot whose TCB is not in flight dispatches on the
+        // next odd cycle; treat it as immediate work.
+        if self.slots.iter().any(|s| s.occupied && s.pending && !s.in_fpu) {
+            return Some(cycle);
+        }
+        self.fpu.next_activity().map(|c| c.max(cycle))
+    }
+
+    /// Fast-forward catch-up for `n` quiescent cycles starting at
+    /// `from_cycle`. The caller guarantees [`next_activity`]
+    /// (Self::next_activity) stays past the window, so ticking would only
+    /// have accumulated occupancy gauges, burned one dispatch bubble per
+    /// odd cycle, and (under FullIteration) walked the scan pointer —
+    /// which is exactly what this replays, keeping every counter
+    /// bit-identical to the tick-by-tick run.
+    pub fn skip_cycles(&mut self, from_cycle: u64, n: u64) {
+        self.ticks += n;
+        self.occupied_sum += self.cam.len() as u64 * n;
+        self.valid_sum += self.pending_count as u64 * n;
+        self.fpu_depth_sum += self.fpu.depth_used() as u64 * n;
+        let odd = odd_cycles_in(from_cycle, n);
+        // Same bubble taxonomy as `dispatch`: with no dispatchable slot,
+        // pending work (necessarily in flight here) classifies the odd
+        // cycles as TCB-wait, otherwise the FIFOs are simply empty.
+        if self.pending_count == 0 && self.input_events.is_empty() {
+            self.stall_fifo_empty += odd;
+        } else {
+            self.stall_tcb_wait += odd;
+        }
+        if self.scan == ScanPolicy::FullIteration {
+            let slots = self.slots.len() as u64;
+            self.rr_ptr = ((self.rr_ptr as u64 + odd % slots) % slots) as usize;
         }
     }
 

@@ -576,6 +576,13 @@ impl Fpu {
         self.pipeline.len()
     }
 
+    /// Activity horizon: the cycle the head job completes, or `None` when
+    /// the pipeline is empty. The head is the minimum — jobs enter in
+    /// issue order with a fixed latency, so ready cycles are monotone.
+    pub fn next_activity(&self) -> Option<u64> {
+        self.pipeline.front().map(|j| j.ready_cycle)
+    }
+
     /// Total TCBs processed.
     pub fn processed(&self) -> u64 {
         self.processed

@@ -341,6 +341,30 @@ impl MemoryManager {
         }
     }
 
+    /// Activity horizon: `Some(cycle)` while queued events or pending
+    /// write-backs exist (both retry for DRAM bandwidth every cycle),
+    /// `None` when ticking would only accrue pacer credit — which
+    /// [`skip_idle_cycles`](Self::skip_idle_cycles) replays exactly.
+    pub fn next_activity(&self, cycle: u64) -> Option<u64> {
+        if !self.input.is_empty() || !self.writeback_queue.is_empty() {
+            return Some(cycle);
+        }
+        None
+    }
+
+    /// Fast-forward catch-up for `n` quiescent cycles: the local cycle
+    /// counter advances and the DRAM pacer accrues `n` ticks of credit
+    /// (batched accrual equals per-tick accrual when nothing consumes
+    /// mid-window — the burst clamp is monotone).
+    pub fn skip_idle_cycles(&mut self, n: u64) {
+        debug_assert!(
+            self.input.is_empty() && self.writeback_queue.is_empty(),
+            "memory-manager fast-forward with queued work"
+        );
+        self.cycle += n;
+        self.dram.tick_n(n);
+    }
+
     /// Flows currently resident in the DRAM store (FtVerify audit
     /// support). Excludes TCBs still waiting in the write-back queue —
     /// those are mid-migration and their LUT entries say `Moving`.

@@ -120,6 +120,30 @@ impl PacketGenerator {
         }
     }
 
+    /// Activity horizon: `Some(cycle)` while transmit requests are
+    /// queued, `None` when ticking would only run the 322/250 credit
+    /// arithmetic — which [`skip_idle_cycles`](Self::skip_idle_cycles)
+    /// replays in closed form.
+    pub fn next_activity(&self, cycle: u64) -> Option<u64> {
+        if !self.requests.is_empty() {
+            return Some(cycle);
+        }
+        None
+    }
+
+    /// Fast-forward catch-up for `n` idle cycles. With an empty request
+    /// FIFO each tick is `credit += 1288; credit %= 1000` (the extracted
+    /// budget finds nothing to segment), so `n` ticks fold to one modular
+    /// step. The engine only calls this when the MAC buffer is below its
+    /// cap — when it is full the tick-by-tick path skips the generator
+    /// entirely and the credit must stay frozen.
+    pub fn skip_idle_cycles(&mut self, n: u64) {
+        debug_assert!(self.requests.is_empty(), "packet-gen fast-forward with queued requests");
+        self.net_cycle_credit = ((u128::from(self.net_cycle_credit)
+            + u128::from(NET_PER_ENGINE_MILLI) * u128::from(n))
+            % 1000) as u64;
+    }
+
     /// Total segments emitted.
     pub fn segments_out(&self) -> u64 {
         self.segments_out

@@ -141,6 +141,27 @@ impl RxParser {
         chk.check_fifo(cycle, "rx.input_fifo", &self.input);
     }
 
+    /// Activity horizon: `Some(cycle)` while parse work is queued, `None`
+    /// when ticking would only run the 322/250 credit arithmetic — which
+    /// [`skip_idle_cycles`](Self::skip_idle_cycles) replays in closed
+    /// form.
+    pub fn next_activity(&self, cycle: u64) -> Option<u64> {
+        if !self.input.is_empty() {
+            return Some(cycle);
+        }
+        None
+    }
+
+    /// Fast-forward catch-up for `n` idle cycles. With an empty input
+    /// each tick is `credit += 1288; credit %= 1000` (the extracted
+    /// budget goes unused), so `n` ticks fold to one modular step.
+    pub fn skip_idle_cycles(&mut self, n: u64) {
+        debug_assert!(self.input.is_empty(), "rx-parser fast-forward with queued segments");
+        self.net_cycle_credit = ((u128::from(self.net_cycle_credit)
+            + u128::from(NET_PER_ENGINE_MILLI) * u128::from(n))
+            % 1000) as u64;
+    }
+
     /// Parses one segment into an event (the per-packet work).
     fn parse_one(&mut self, seg: Segment, now_ns: u64, out: &mut RxOutput) {
         self.segments_in += 1;

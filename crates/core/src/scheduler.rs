@@ -170,6 +170,25 @@ impl Scheduler {
         self.migrations.len()
     }
 
+    /// Activity horizon: the earliest cycle at which ticking the
+    /// scheduler can change observable state. Queued intake, coalesce or
+    /// swap-in work is immediate; a non-empty pending queue wakes at the
+    /// head's retry cycle (the head is the minimum — parks append
+    /// monotonically increasing `cycle + 12` retries and the only
+    /// `push_front` re-parks the entry just popped at `cycle + 1`);
+    /// `None` means nothing will happen until new input arrives. The
+    /// per-cycle `lut.begin_cycle()` port-budget reset is not activity:
+    /// with no lookups there is nothing to budget.
+    pub fn next_activity(&self, cycle: u64) -> Option<u64> {
+        if !self.input.is_empty()
+            || self.coalesce.iter().any(|q| !q.is_empty())
+            || !self.swap_in_queue.is_empty()
+        {
+            return Some(cycle);
+        }
+        self.pending.front().map(|&(_, retry)| retry.max(cycle))
+    }
+
     /// Sets `flow`'s LUT entry, validating the migration-protocol edge
     /// when an FtVerify checker is attached. All protocol-path writes go
     /// through here; only the documented fault-injection hook bypasses it.

@@ -96,6 +96,16 @@ impl TimerWheel {
     pub fn live(&self) -> usize {
         self.armed.len()
     }
+
+    /// Activity horizon in nanoseconds: the earliest heap deadline, or
+    /// `None` when the heap is empty. Conservative under lazy
+    /// cancellation — a cancelled entry still bounds the horizon, because
+    /// the tick-by-tick run pops (and discards) it at exactly that
+    /// deadline, and fast-forward must land on the same cycle to keep the
+    /// heap state identical.
+    pub fn next_activity_ns(&self) -> Option<u64> {
+        self.heap.peek().map(|&Reverse((deadline, _, _))| deadline)
+    }
 }
 
 #[cfg(test)]
@@ -137,6 +147,22 @@ mod tests {
             w.arm(FlowId(1), TimeoutKind::Rto, 100);
         }
         assert_eq!(w.expired(100).len(), 1, "exactly one firing");
+    }
+
+    #[test]
+    fn next_activity_tracks_earliest_heap_entry() {
+        let mut w = TimerWheel::new();
+        assert_eq!(w.next_activity_ns(), None);
+        w.arm(FlowId(1), TimeoutKind::Rto, 300);
+        w.arm(FlowId(2), TimeoutKind::Rto, 100);
+        assert_eq!(w.next_activity_ns(), Some(100));
+        w.disarm(FlowId(2), TimeoutKind::Rto);
+        // Lazy cancellation: the stale entry still bounds the horizon
+        // until popped — the tick-by-tick run pops it at this deadline,
+        // so fast-forward must land on the same cycle.
+        assert_eq!(w.next_activity_ns(), Some(100));
+        assert!(w.expired(100).is_empty());
+        assert_eq!(w.next_activity_ns(), Some(300));
     }
 
     #[test]

@@ -108,6 +108,15 @@ impl DramModel {
         self.pacer.tick();
     }
 
+    /// Accrues `n` cycles of byte budget at once. Equivalent to `n`
+    /// consecutive [`tick`](Self::tick) calls with no interleaved
+    /// accesses (the burst cap makes the per-step and batched clamps
+    /// agree), which is what the engine's fast-forward path relies on.
+    #[inline]
+    pub fn tick_n(&mut self, n: u64) {
+        self.pacer.tick_n(n);
+    }
+
     /// Attempts to serve an access of `bytes`; returns whether the budget
     /// allowed it this cycle.
     #[inline]

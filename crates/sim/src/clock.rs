@@ -251,6 +251,53 @@ impl BytePacer {
     }
 }
 
+/// Combines two activity horizons, keeping the earlier one.
+///
+/// A horizon is the earliest cycle at which a module's observable state
+/// can next change; `None` means "never, absent new input". Modules
+/// report horizons through their `next_activity()` methods and the
+/// engine folds them with this combinator to find the first cycle worth
+/// executing — everything before it can be fast-forwarded.
+///
+/// # Examples
+///
+/// ```
+/// use f4t_sim::clock::merge_horizon;
+/// assert_eq!(merge_horizon(None, None), None);
+/// assert_eq!(merge_horizon(Some(8), None), Some(8));
+/// assert_eq!(merge_horizon(Some(8), Some(3)), Some(3));
+/// ```
+#[inline]
+pub fn merge_horizon(a: Option<u64>, b: Option<u64>) -> Option<u64> {
+    match (a, b) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (h, None) | (None, h) => h,
+    }
+}
+
+/// Number of odd cycles in the half-open window `[start, start + n)`.
+///
+/// Fast-forward catch-up needs this because the FPC's two-phase schedule
+/// only touches its dispatch-stall counters on odd cycles; skipping a
+/// window must account for exactly the odd cycles the window contained.
+///
+/// # Examples
+///
+/// ```
+/// use f4t_sim::clock::odd_cycles_in;
+/// assert_eq!(odd_cycles_in(0, 4), 2); // 1, 3
+/// assert_eq!(odd_cycles_in(1, 3), 2); // 1, 3
+/// assert_eq!(odd_cycles_in(2, 0), 0);
+/// ```
+#[inline]
+pub fn odd_cycles_in(start: u64, n: u64) -> u64 {
+    if start.is_multiple_of(2) {
+        n / 2
+    } else {
+        n.div_ceil(2)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

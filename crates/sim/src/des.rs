@@ -91,6 +91,15 @@ impl<E> EventQueue<E> {
         self.heap.peek().map(|Reverse((t, _, _))| *t)
     }
 
+    /// The queue's activity horizon: the earliest time at which popping
+    /// can yield an event, i.e. the time a driver may fast-forward to.
+    /// `None` means the queue is drained. Synonym for
+    /// [`peek_time`](Self::peek_time), named for the cross-layer horizon
+    /// contract (see [`crate::clock::merge_horizon`]).
+    pub fn next_activity(&self) -> Option<u64> {
+        self.peek_time()
+    }
+
     /// The current simulation time (timestamp of the last popped event).
     pub fn now(&self) -> u64 {
         self.now

@@ -13,6 +13,9 @@ cargo build --release --workspace
 echo "==> cargo test -q (workspace)"
 cargo test -q --workspace
 
+echo "==> fast-forward equivalence (bit-identical, FtVerify attached)"
+cargo test -q --release -p f4t --test fastforward_equiv
+
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -1,0 +1,210 @@
+//! Determinism regression test.
+//!
+//! The simulator's whole verification story (FtVerify, the equivalence
+//! contract, the figure harnesses) rests on runs being a pure function
+//! of (seed, config). This test pins that down twice over:
+//!
+//!   1. **Within a process**: two fresh `Engine` pairs driven through an
+//!      identical fixed schedule must produce byte-identical Chrome
+//!      traces and telemetry snapshots.
+//!   2. **Across commits**: an FNV-1a digest of those artifacts is
+//!      checked against `tests/golden/determinism.digest`. Any drift —
+//!      an accidental HashMap iteration, a reordered tick phase, a new
+//!      metric — fails with a line-level diff summary against the
+//!      stored golden telemetry.
+//!
+//! Intentional behavior changes regenerate the goldens with
+//! `UPDATE_GOLDEN=1 cargo test --test determinism`.
+
+use f4t::core::{Engine, EngineConfig, EventKind, HostNotification};
+use f4t::tcp::{FourTuple, SeqNum};
+use std::net::Ipv4Addr;
+use std::path::PathBuf;
+
+/// Chrome trace + telemetry for both sides of one scripted run.
+#[derive(PartialEq)]
+struct Artifacts {
+    traces: [String; 2],
+    telemetry: [String; 2],
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+impl Artifacts {
+    fn digest(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for s in self.traces.iter().chain(self.telemetry.iter()) {
+            for &b in s.as_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        }
+        h
+    }
+}
+
+fn exchange(a: &mut Engine, b: &mut Engine, steps: u64) {
+    for _ in 0..steps {
+        a.run(48);
+        b.run(48);
+        while let Some(seg) = a.pop_tx() {
+            b.push_rx(seg);
+        }
+        while let Some(seg) = b.pop_tx() {
+            a.push_rx(seg);
+        }
+        for e in [&mut *a, &mut *b] {
+            while let Some(n) = e.pop_notification() {
+                if let HostNotification::DataReceived { flow, upto } = n {
+                    e.push_host(flow, EventKind::RecvConsumed { consumed: upto });
+                }
+            }
+        }
+    }
+}
+
+/// The fixed scenario: bulk + echo over tiny FPCs (forcing migration),
+/// one mid-run close, and an idle tail where fast-forward engages. No
+/// RNG — the schedule itself is the seed.
+fn run_once() -> Artifacts {
+    let cfg = EngineConfig {
+        num_fpcs: 2,
+        lut_groups: 2,
+        flows_per_fpc: 4,
+        check: true,
+        ..EngineConfig::reference()
+    };
+    let mut a = Engine::new(cfg.clone());
+    let mut b = Engine::new(cfg);
+    a.set_trace_capacity(1024);
+    b.set_trace_capacity(1024);
+    let mut pairs = Vec::new();
+    for p in 0..12u16 {
+        let t = FourTuple::new(
+            Ipv4Addr::new(10, 0, 0, 1),
+            40_000 + p,
+            Ipv4Addr::new(10, 0, 0, 2),
+            80,
+        );
+        let fa = a.open_established(t, SeqNum(0)).unwrap();
+        let fb = b.open_established(t.reversed(), SeqNum(0)).unwrap();
+        pairs.push((fa, fb, SeqNum(0), SeqNum(0), true));
+    }
+    exchange(&mut a, &mut b, 4);
+    for round in 0..40u32 {
+        let i = (round as usize) % pairs.len();
+        let (fa, fb, req_a, req_b, open) = &mut pairs[i];
+        if *open {
+            let acked = a.peek_tcb(*fa).map(|t| t.snd_una).unwrap_or(*req_a);
+            let add = 1024 + (round * 97) % 2048;
+            if req_a.since(acked).saturating_add(add) <= f4t::tcp::TCP_BUFFER {
+                *req_a = req_a.add(add);
+                a.push_host(*fa, EventKind::SendReq { req: *req_a });
+            }
+            if round % 3 == 0 {
+                let acked = b.peek_tcb(*fb).map(|t| t.snd_una).unwrap_or(*req_b);
+                let add = 128 + (round * 31) % 256;
+                if req_b.since(acked).saturating_add(add) <= f4t::tcp::TCP_BUFFER {
+                    *req_b = req_b.add(add);
+                    b.push_host(*fb, EventKind::SendReq { req: *req_b });
+                }
+            }
+        }
+        if round == 25 {
+            let (fa, fb, _, _, open) = &mut pairs[5];
+            *open = false;
+            a.push_host(*fa, EventKind::Close);
+            b.push_host(*fb, EventKind::Close);
+        }
+        exchange(&mut a, &mut b, 1 + u64::from(round % 3));
+    }
+    exchange(&mut a, &mut b, 200);
+    assert_eq!(a.check_total_violations() + b.check_total_violations(), 0);
+    Artifacts {
+        traces: [a.export_chrome_trace(), b.export_chrome_trace()],
+        telemetry: [a.telemetry().to_json(), b.telemetry().to_json()],
+    }
+}
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+/// Line-level diff summary: which metrics changed, which are new, which
+/// vanished. Trace drift can't be diffed against a digest, so it is
+/// reported by length.
+fn diff_summary(golden_telem: &str, got: &Artifacts) -> String {
+    let mut out = String::new();
+    let current = format!("{}\n=== side b ===\n{}", got.telemetry[0], got.telemetry[1]);
+    let golden: Vec<&str> = golden_telem.lines().collect();
+    let cur: Vec<&str> = current.lines().collect();
+    for l in &cur {
+        if !golden.contains(l) {
+            out.push_str(&format!("  + {l}\n"));
+        }
+    }
+    for l in &golden {
+        if !cur.contains(l) {
+            out.push_str(&format!("  - {l}\n"));
+        }
+    }
+    if out.is_empty() {
+        out.push_str(&format!(
+            "  telemetry identical; drift is in the Chrome traces (lengths {} / {})\n",
+            got.traces[0].len(),
+            got.traces[1].len()
+        ));
+    }
+    out
+}
+
+#[test]
+fn runs_are_deterministic_and_match_golden_digest() {
+    let r1 = run_once();
+    let r2 = run_once();
+    for side in 0..2 {
+        assert_eq!(
+            r1.telemetry[side], r2.telemetry[side],
+            "two fresh engines diverged on telemetry (side {side}) — nondeterminism!"
+        );
+        assert_eq!(
+            fnv1a(r1.traces[side].as_bytes()),
+            fnv1a(r2.traces[side].as_bytes()),
+            "two fresh engines diverged on the Chrome trace (side {side}) — nondeterminism!"
+        );
+    }
+
+    let dir = golden_dir();
+    let digest_path = dir.join("determinism.digest");
+    let telem_path = dir.join("determinism_telemetry.txt");
+    let digest = format!("{:016x}", r1.digest());
+    let telem = format!("{}\n=== side b ===\n{}", r1.telemetry[0], r1.telemetry[1]);
+
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(&digest_path, &digest).unwrap();
+        std::fs::write(&telem_path, &telem).unwrap();
+        eprintln!("golden files regenerated in {}", dir.display());
+        return;
+    }
+
+    let golden_digest = std::fs::read_to_string(&digest_path)
+        .unwrap_or_else(|e| panic!("missing golden {} ({e}); run UPDATE_GOLDEN=1 once", digest_path.display()));
+    let golden_telem = std::fs::read_to_string(&telem_path)
+        .unwrap_or_else(|e| panic!("missing golden {} ({e}); run UPDATE_GOLDEN=1 once", telem_path.display()));
+    assert_eq!(
+        golden_digest.trim(),
+        digest,
+        "deterministic-run digest drifted from the golden.\n\
+         If this change is intentional, regenerate with UPDATE_GOLDEN=1.\n\
+         Diff summary (+ current / - golden):\n{}",
+        diff_summary(&golden_telem, &r1)
+    );
+}

@@ -1,0 +1,213 @@
+//! Fast-forward equivalence property test.
+//!
+//! The contract (DESIGN.md §9): an engine with `fast_forward: true` must
+//! be observationally *bit-identical* to the same engine stepped
+//! tick-by-tick — same wire traffic in the same order, same final TCB
+//! state, same telemetry (excluding the `engine.fastforward.*` family,
+//! which exists precisely to differ) and the same Chrome trace — with
+//! the invariant checker enabled and silent in both runs.
+//!
+//! Randomized via the deterministic in-tree PRNG ([`f4t::sim::SimRng`]);
+//! the op schedule mixes bulk transfer, echo traffic and connection
+//! churn over deliberately tiny FPCs so flows overflow to DRAM and
+//! migrate mid-run. Failures print the case seed and the first point of
+//! divergence.
+
+use f4t::core::{Engine, EngineConfig, EventKind, HostNotification};
+use f4t::sim::SimRng;
+use f4t::tcp::{FourTuple, SeqNum};
+use std::net::Ipv4Addr;
+
+/// Cycles per `Engine::run` call between segment ferries. Large enough
+/// for quiescent gaps to open inside a chunk (so fast-forward engages),
+/// small enough that the workload stays chatty.
+const CHUNK: u64 = 48;
+
+/// Everything observable about a finished run.
+struct Snapshot {
+    wire: Vec<String>,
+    tcbs: Vec<String>,
+    telemetry: [String; 2],
+    traces: [String; 2],
+    skipped: u64,
+    windows: u64,
+    violations: u64,
+}
+
+fn filtered_telemetry(e: &Engine) -> String {
+    // One metric per line (MetricsRegistry::to_json is BTreeMap-ordered),
+    // so the fastforward family can be dropped line-wise.
+    e.telemetry()
+        .to_json()
+        .lines()
+        .filter(|l| !l.contains("fastforward"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Runs both sides `steps` chunks, ferrying segments at chunk
+/// boundaries and keeping receive windows open. The ferry points are a
+/// function of the chunk schedule only, so they land on the same cycle
+/// in the fast-forwarded and tick-by-tick runs.
+fn exchange(a: &mut Engine, b: &mut Engine, wire: &mut Vec<String>, steps: u64) {
+    for _ in 0..steps {
+        a.run(CHUNK);
+        b.run(CHUNK);
+        while let Some(seg) = a.pop_tx() {
+            wire.push(format!("{} a->b {seg:?}", a.cycles()));
+            b.push_rx(seg);
+        }
+        while let Some(seg) = b.pop_tx() {
+            wire.push(format!("{} b->a {seg:?}", b.cycles()));
+            a.push_rx(seg);
+        }
+        while let Some(n) = a.pop_notification() {
+            if let HostNotification::DataReceived { flow, upto } = n {
+                a.push_host(flow, EventKind::RecvConsumed { consumed: upto });
+            }
+        }
+        while let Some(n) = b.pop_notification() {
+            if let HostNotification::DataReceived { flow, upto } = n {
+                b.push_host(flow, EventKind::RecvConsumed { consumed: upto });
+            }
+        }
+    }
+}
+
+fn run_scenario(case: u64, fast_forward: bool) -> Snapshot {
+    let mut rng = SimRng::new(0xFF1A_0000 + case);
+    // 2 FPCs x 4 slots vs 10 flows: DRAM residency and migration are
+    // guaranteed, so the skip logic is audited under the hard cases.
+    let cfg = EngineConfig {
+        num_fpcs: 2,
+        lut_groups: 2,
+        flows_per_fpc: 4,
+        check: true,
+        fast_forward,
+        ..EngineConfig::reference()
+    };
+    let mut a = Engine::new(cfg.clone());
+    let mut b = Engine::new(cfg);
+    a.set_trace_capacity(2048);
+    b.set_trace_capacity(2048);
+    let tuple_for = |port: u16| {
+        FourTuple::new(Ipv4Addr::new(10, 0, 0, 1), port, Ipv4Addr::new(10, 0, 0, 2), 80)
+    };
+    let mut next_port = 30_000u16;
+    let mut pairs = Vec::new();
+    for _ in 0..10 {
+        let t = tuple_for(next_port);
+        next_port += 1;
+        let fa = a.open_established(t, SeqNum(0)).unwrap();
+        let fb = b.open_established(t.reversed(), SeqNum(0)).unwrap();
+        pairs.push((fa, fb, SeqNum(0), SeqNum(0)));
+    }
+    let mut wire = Vec::new();
+    exchange(&mut a, &mut b, &mut wire, 4);
+    for _ in 0..120 {
+        match rng.next_below(8) {
+            // Bulk: push more request pointer on a random a-side flow.
+            0..=3 => {
+                let i = rng.next_below(pairs.len() as u64) as usize;
+                let (fa, _, req_a, _) = &mut pairs[i];
+                let acked = a.peek_tcb(*fa).map(|t| t.snd_una).unwrap_or(*req_a);
+                let add = 256 + rng.next_below(4096) as u32;
+                if req_a.since(acked).saturating_add(add) <= f4t::tcp::TCP_BUFFER {
+                    *req_a = req_a.add(add);
+                    a.push_host(*fa, EventKind::SendReq { req: *req_a });
+                }
+            }
+            // Echo: the b side answers with its own small send.
+            4..=5 => {
+                let i = rng.next_below(pairs.len() as u64) as usize;
+                let (_, fb, _, req_b) = &mut pairs[i];
+                let acked = b.peek_tcb(*fb).map(|t| t.snd_una).unwrap_or(*req_b);
+                let add = 64 + rng.next_below(512) as u32;
+                if req_b.since(acked).saturating_add(add) <= f4t::tcp::TCP_BUFFER {
+                    *req_b = req_b.add(add);
+                    b.push_host(*fb, EventKind::SendReq { req: *req_b });
+                }
+            }
+            // Churn: close one pair, open a fresh one on a new port.
+            6 if pairs.len() > 4 => {
+                let i = rng.next_below(pairs.len() as u64) as usize;
+                let (fa, fb, _, _) = pairs.swap_remove(i);
+                wire.push(format!("churn close pair {i}"));
+                a.push_host(fa, EventKind::Close);
+                b.push_host(fb, EventKind::Close);
+                exchange(&mut a, &mut b, &mut wire, 6);
+                let t = tuple_for(next_port);
+                next_port += 1;
+                if let (Some(fa), Some(fb)) = (
+                    a.open_established(t, SeqNum(0)),
+                    b.open_established(t.reversed(), SeqNum(0)),
+                ) {
+                    pairs.push((fa, fb, SeqNum(0), SeqNum(0)));
+                }
+            }
+            // Time passes.
+            _ => {}
+        }
+        exchange(&mut a, &mut b, &mut wire, 1 + rng.next_below(4));
+    }
+    // Mostly-idle tail: retransmission timers and drain, where skipping
+    // pays off and any horizon bug would desynchronize the RTO clock.
+    exchange(&mut a, &mut b, &mut wire, 400);
+    let tcbs = pairs
+        .iter()
+        .map(|&(fa, fb, _, _)| format!("{:?} | {:?}", a.peek_tcb(fa), b.peek_tcb(fb)))
+        .collect();
+    Snapshot {
+        wire,
+        tcbs,
+        telemetry: [filtered_telemetry(&a), filtered_telemetry(&b)],
+        traces: [a.export_chrome_trace(), b.export_chrome_trace()],
+        skipped: a.fastforward_skipped_cycles() + b.fastforward_skipped_cycles(),
+        windows: a.fastforward_windows() + b.fastforward_windows(),
+        violations: a.check_total_violations() + b.check_total_violations(),
+    }
+}
+
+/// Panics with the first point of divergence instead of dumping two
+/// multi-thousand-line vectors.
+fn assert_same_lines(case: u64, what: &str, ff: &[String], tbt: &[String]) {
+    for (i, (l, r)) in ff.iter().zip(tbt.iter()).enumerate() {
+        assert_eq!(
+            l, r,
+            "case {case}: {what} diverges at entry {i}\n  fast-forward: {l}\n  tick-by-tick: {r}"
+        );
+    }
+    assert_eq!(ff.len(), tbt.len(), "case {case}: {what} length mismatch");
+}
+
+#[test]
+fn fast_forward_is_bit_identical_under_bulk_echo_churn() {
+    for case in 0..3u64 {
+        let ff = run_scenario(case, true);
+        let tbt = run_scenario(case, false);
+        assert_same_lines(case, "wire trace", &ff.wire, &tbt.wire);
+        assert_same_lines(case, "final TCBs", &ff.tcbs, &tbt.tcbs);
+        for side in 0..2 {
+            let (l, r): (Vec<_>, Vec<_>) = (
+                ff.telemetry[side].lines().map(String::from).collect(),
+                tbt.telemetry[side].lines().map(String::from).collect(),
+            );
+            assert_same_lines(case, "telemetry", &l, &r);
+            assert_eq!(
+                ff.traces[side], tbt.traces[side],
+                "case {case} side {side}: Chrome trace drift"
+            );
+        }
+        assert_eq!(ff.violations, 0, "case {case}: checker fired under fast-forward");
+        assert_eq!(tbt.violations, 0, "case {case}: checker fired tick-by-tick");
+        // The control run must not skip; the fast-forward run must
+        // actually exercise the machinery under test.
+        assert_eq!(tbt.skipped, 0, "case {case}: tick-by-tick run skipped cycles");
+        assert!(
+            ff.skipped > 1_000 && ff.windows > 10,
+            "case {case}: fast-forward barely engaged ({} cycles / {} windows)",
+            ff.skipped,
+            ff.windows
+        );
+    }
+}
