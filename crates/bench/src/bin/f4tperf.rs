@@ -18,9 +18,12 @@ use f4t_system::F4tSystem;
 use f4t_tcp::{CcAlgorithm, FlowId};
 
 /// Process exit codes (also in `--help`): `0` success, `1` FtVerify
-/// design-rule violations, `2` usage or I/O error.
+/// design-rule violations, `2` usage or I/O error, `3` perf-gate
+/// regression (`--gate`). Regressions get their own code so CI can
+/// distinguish "the design broke a rule" from "the design got slower".
 const EXIT_VIOLATIONS: i32 = 1;
 const EXIT_USAGE: i32 = 2;
+const EXIT_PERF_REGRESSION: i32 = 3;
 
 #[derive(Debug)]
 struct Args {
@@ -37,10 +40,23 @@ struct Args {
     duration_ms: u64,
     scan: ScanPolicy,
     telemetry: Option<String>,
+    telemetry_format: TelemetryFormat,
     trace_depth: usize,
     check: bool,
     fast_forward: bool,
     inject_fault: Option<String>,
+    flight: bool,
+    flight_sample: u32,
+    breakdown_json: Option<String>,
+    gate: Option<String>,
+    inject_slowdown: u64,
+    pcap: Option<String>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TelemetryFormat {
+    Json,
+    Prometheus,
 }
 
 impl Default for Args {
@@ -59,11 +75,29 @@ impl Default for Args {
             duration_ms: 2,
             scan: ScanPolicy::SkipIdle,
             telemetry: None,
+            telemetry_format: TelemetryFormat::Json,
             trace_depth: 65_536,
             check: false,
             fast_forward: true,
             inject_fault: None,
+            flight: false,
+            flight_sample: 64,
+            breakdown_json: None,
+            gate: None,
+            inject_slowdown: 0,
+            pcap: None,
         }
+    }
+}
+
+impl Args {
+    /// Whether the FtFlight recorder must be attached: requested
+    /// directly, or implied by an output/gate that needs its data.
+    fn flight_enabled(&self) -> bool {
+        self.flight
+            || self.breakdown_json.is_some()
+            || self.gate.is_some()
+            || self.inject_slowdown > 0
     }
 }
 
@@ -104,9 +138,29 @@ USAGE: f4tperf [OPTIONS]
                                    corrupt flow 0's location state after setup
                                    (FtVerify exit-path testing; pair with
                                    --check to detect it)
+  --flight                         attach the FtFlight per-flow latency
+                                   recorder (per-stage p50/p99/p999 spans)
+  --flight-sample <N>              track 1-in-N flows           [64]
+  --breakdown-json <PATH>          write the FtFlight latency breakdown
+                                   ({workload, cycles, flight}) to PATH;
+                                   implies --flight
+  --gate <BASELINE.json>           compare this run's breakdown against a
+                                   committed baseline: total cycles within
+                                   ±25%, each stage p99 within 1.25x + 16
+                                   cycles; exit 3 on regression. Implies
+                                   --flight
+  --inject-slowdown <CYCLES>       bias every recorded flight span by N
+                                   cycles (perf-gate exit-path testing;
+                                   implies --flight)
+  --pcap <PATH>                    capture up to 10k wire segments to PATH
+                                   as a libpcap file (system workloads
+                                   capture both directions)
+  --telemetry-format <json|prometheus>
+                                   FtScope export format        [json]
   --help                           this text
 
-EXIT CODES: 0 success / 1 FtVerify violations / 2 usage or I/O error
+EXIT CODES: 0 success / 1 FtVerify violations / 2 usage or I/O error /
+            3 perf-gate regression (--gate)
 ";
 
 fn parse() -> Result<Args, String> {
@@ -123,6 +177,9 @@ fn parse() -> Result<Args, String> {
         }
         if args.duration_ms == 0 {
             return Err("--duration-ms must be at least 1".into());
+        }
+        if args.flight_sample == 0 {
+            return Err("--flight-sample must be at least 1".into());
         }
         Ok(())
     };
@@ -166,6 +223,25 @@ fn parse() -> Result<Args, String> {
                 }
             }
             "--telemetry" => args.telemetry = Some(val("--telemetry")?),
+            "--telemetry-format" => {
+                args.telemetry_format = match val("--telemetry-format")?.as_str() {
+                    "json" => TelemetryFormat::Json,
+                    "prometheus" => TelemetryFormat::Prometheus,
+                    other => return Err(format!("unknown telemetry format {other}")),
+                }
+            }
+            "--flight" => args.flight = true,
+            "--flight-sample" => {
+                args.flight_sample =
+                    val("--flight-sample")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--breakdown-json" => args.breakdown_json = Some(val("--breakdown-json")?),
+            "--gate" => args.gate = Some(val("--gate")?),
+            "--inject-slowdown" => {
+                args.inject_slowdown =
+                    val("--inject-slowdown")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--pcap" => args.pcap = Some(val("--pcap")?),
             "--trace-depth" => {
                 args.trace_depth = val("--trace-depth")?.parse().map_err(|e| format!("{e}"))?
             }
@@ -210,6 +286,8 @@ fn main() {
         scan_policy: args.scan,
         check: args.check,
         fast_forward: args.fast_forward,
+        flight: args.flight_enabled(),
+        flight_sample: args.flight_sample,
         ..EngineConfig::reference()
     };
 
@@ -243,13 +321,24 @@ fn main() {
     if let Some(kind) = &args.inject_fault {
         inject_fault(&mut sys.a.engine, kind);
     }
+    if args.inject_slowdown > 0 {
+        sys.a.engine.set_flight_bias(args.inject_slowdown);
+        println!("  slowdown injected  {} cycles per flight span", args.inject_slowdown);
+    }
+    if args.pcap.is_some() {
+        sys.enable_pcap(96);
+    }
 
     println!("f4tperf: {args:?}");
     let m = sys.measure(args.warmup_ms * 1_000_000, args.duration_ms * 1_000_000);
     let sa = sys.a.engine.stats();
 
     if let Some(path) = &args.telemetry {
-        if let Err(e) = std::fs::write(path, m.telemetry.to_json()) {
+        let text = match args.telemetry_format {
+            TelemetryFormat::Json => m.telemetry.to_json(),
+            TelemetryFormat::Prometheus => m.telemetry.to_prometheus(),
+        };
+        if let Err(e) = std::fs::write(path, text) {
             eprintln!("error: writing {path}: {e}");
             std::process::exit(EXIT_USAGE);
         }
@@ -293,6 +382,23 @@ fn main() {
         m.cpu.lib as f64 * 100.0 / busy.max(1) as f64,
     );
 
+    if let Some(path) = &args.pcap {
+        let packets = sys.pcap_packets();
+        match sys.take_pcap() {
+            Some(bytes) => {
+                if let Err(e) = std::fs::write(path, bytes) {
+                    eprintln!("error: writing {path}: {e}");
+                    std::process::exit(EXIT_USAGE);
+                }
+                println!("  pcap               {packets:>10} segments → {path}");
+            }
+            None => {
+                eprintln!("error: pcap capture failed");
+                std::process::exit(EXIT_USAGE);
+            }
+        }
+    }
+
     if args.check {
         let violations =
             sys.a.engine.check_total_violations() + sys.b.engine.check_total_violations();
@@ -305,6 +411,113 @@ fn main() {
             eprintln!("error: FtVerify found {violations} design-rule violation(s)");
             std::process::exit(EXIT_VIOLATIONS);
         }
+    }
+
+    // Breakdown + gate run last so an FtVerify failure (exit 1) wins
+    // over a perf regression (exit 3) when both fire.
+    finish_flight(&args, &sys.a.engine);
+}
+
+/// Prints the FtFlight summary, writes `--breakdown-json` and runs the
+/// `--gate` comparison for a finished engine. Exits 3 on regression.
+fn finish_flight(args: &Args, e: &Engine) {
+    let Some(flight_json) = e.flight_json() else { return };
+    let f = e.flight().expect("flight_json implies a recorder");
+    println!(
+        "  flight spans       {:>10} recorded / {} unsampled ({} flows, 1/{} sampling)",
+        f.spans_recorded(),
+        f.spans_unsampled(),
+        f.flows_tracked(),
+        f.sample_n()
+    );
+    // The breakdown deliberately carries only simulated-clock facts
+    // (cycles + span histograms) so fast-forward and tick-by-tick runs
+    // produce byte-identical files; wall-clock checks live in
+    // scripts/perf_gate.sh where machine variance can be tolerated.
+    let breakdown = format!(
+        "{{\"workload\": \"{}\", \"cycles\": {}, \"flight\": {}}}",
+        args.workload,
+        e.cycles(),
+        flight_json
+    );
+    if let Some(path) = &args.breakdown_json {
+        if let Err(err) = std::fs::write(path, &breakdown) {
+            eprintln!("error: writing {path}: {err}");
+            std::process::exit(EXIT_USAGE);
+        }
+        println!("  breakdown          → {path}");
+    }
+    if let Some(baseline) = &args.gate {
+        run_gate(baseline, &breakdown);
+    }
+}
+
+/// Tolerances for the perf gate. Total simulated cycles are two-sided
+/// (a big drop is as suspicious as a big rise — it usually means the
+/// workload silently stopped doing work); stage p99s are one-sided with
+/// an additive floor so near-zero baselines don't gate on ±1 cycle.
+const GATE_CYCLES_RATIO: f64 = 1.25;
+const GATE_P99_RATIO: f64 = 1.25;
+const GATE_P99_SLACK_CYCLES: f64 = 16.0;
+
+/// Compares the current breakdown against a committed baseline and
+/// exits with [`EXIT_PERF_REGRESSION`] if any metric drifts out of
+/// tolerance.
+fn run_gate(baseline_path: &str, current: &str) {
+    let base_text = match std::fs::read_to_string(baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: reading {baseline_path}: {e}");
+            std::process::exit(EXIT_USAGE);
+        }
+    };
+    let base = match f4t_bench::flatjson::flatten(&base_text) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("error: baseline {baseline_path}: {e}");
+            std::process::exit(EXIT_USAGE);
+        }
+    };
+    let cur = f4t_bench::flatjson::flatten(current).expect("breakdown is well-formed");
+    let mut violations = Vec::new();
+    match (base.get("cycles"), cur.get("cycles")) {
+        (Some(&b), Some(&c)) => {
+            if c > b * GATE_CYCLES_RATIO || c * GATE_CYCLES_RATIO < b {
+                violations.push(format!(
+                    "cycles: {c:.0} vs baseline {b:.0} (allowed ±{:.0}%)",
+                    (GATE_CYCLES_RATIO - 1.0) * 100.0
+                ));
+            }
+        }
+        _ => violations.push("cycles: missing from baseline or current run".into()),
+    }
+    for (key, &b) in &base {
+        if !(key.starts_with("flight.stages.") && key.ends_with(".p99_cycles")) {
+            continue;
+        }
+        let allowed = b * GATE_P99_RATIO + GATE_P99_SLACK_CYCLES;
+        match cur.get(key) {
+            Some(&c) if c <= allowed => {}
+            Some(&c) => violations.push(format!(
+                "{key}: p99 {c:.0} cycles vs baseline {b:.0} (allowed {allowed:.0})"
+            )),
+            None => violations.push(format!("{key}: stage missing from current run")),
+        }
+    }
+    if let (Some(&b), Some(&c)) = (base.get("flight.spans_recorded"), cur.get("flight.spans_recorded"))
+    {
+        if b > 0.0 && c == 0.0 {
+            violations.push("flight.spans_recorded: recorder captured nothing".into());
+        }
+    }
+    if violations.is_empty() {
+        println!("  perf gate          PASS vs {baseline_path}");
+    } else {
+        eprintln!("error: perf gate FAIL vs {baseline_path}:");
+        for v in &violations {
+            eprintln!("  - {v}");
+        }
+        std::process::exit(EXIT_PERF_REGRESSION);
     }
 }
 
@@ -333,9 +546,15 @@ fn inject_fault(e: &mut Engine, kind: &str) {
 /// skipping dominates. This is the figure harness behind
 /// `results/fastforward_baseline.json`.
 fn run_scale(args: &Args, mut cfg: EngineConfig) -> ! {
-    use f4t_tcp::{FourTuple, Segment, SeqNum, TCP_BUFFER};
+    use f4t_tcp::pcap::PcapWriter;
+    use f4t_tcp::{FourTuple, MacAddr, Segment, SeqNum, TCP_BUFFER};
     use std::collections::HashMap;
     use std::net::Ipv4Addr;
+
+    /// Capture cap, matching the system-workload pcap path.
+    const PCAP_MAX_PACKETS: u64 = 10_000;
+    /// MAC synthesized for the ideal peer (it has no engine of its own).
+    const PEER_MAC: MacAddr = MacAddr([0x02, 0xf4, 0x74, 0x00, 0x00, 0xee]);
 
     let total_flows = if args.flows == 0 { 65_536 } else { args.flows };
     cfg.max_flows = total_flows;
@@ -365,11 +584,24 @@ fn run_scale(args: &Args, mut cfg: EngineConfig) -> ! {
     if let Some(kind) = &args.inject_fault {
         inject_fault(&mut e, kind);
     }
+    if args.inject_slowdown > 0 {
+        e.set_flight_bias(args.inject_slowdown);
+        println!("  slowdown injected  {} cycles per flight span", args.inject_slowdown);
+    }
+    let mut pcap: Option<PcapWriter<Vec<u8>>> =
+        if args.pcap.is_some() { PcapWriter::new(Vec::new(), 96).ok() } else { None };
 
     let mut pending_ack: Vec<Option<SeqNum>> = vec![None; total_flows];
-    let pump = |e: &mut Engine, pending_ack: &mut Vec<Option<SeqNum>>| {
+    let pump = |e: &mut Engine,
+                pending_ack: &mut Vec<Option<SeqNum>>,
+                pcap: &mut Option<PcapWriter<Vec<u8>>>| {
         e.run(64);
         while let Some(seg) = e.pop_tx() {
+            if let Some(w) = pcap {
+                if w.packets() < PCAP_MAX_PACKETS {
+                    let _ = w.record(e.now_ns(), &seg, e.mac, PEER_MAC);
+                }
+            }
             if seg.has_payload() {
                 let i = by_tuple[&seg.tuple];
                 let end = seg.seq_end();
@@ -394,13 +626,13 @@ fn run_scale(args: &Args, mut cfg: EngineConfig) -> ! {
         if e.push_host(flows[issued], EventKind::SendReq { req: target }) {
             issued += 1;
         } else {
-            pump(&mut e, &mut pending_ack);
+            pump(&mut e, &mut pending_ack, &mut pcap);
         }
     }
     let mut completed = false;
     while e.cycles() < budget && !completed {
         for _ in 0..256 {
-            pump(&mut e, &mut pending_ack);
+            pump(&mut e, &mut pending_ack, &mut pcap);
         }
         completed = flows.iter().all(|&f| e.peek_tcb(f).is_some_and(|t| t.snd_una == target));
     }
@@ -425,7 +657,11 @@ fn run_scale(args: &Args, mut cfg: EngineConfig) -> ! {
     println!("  DRAM events        {:>10}", stats.dram_events);
 
     if let Some(path) = &args.telemetry {
-        if let Err(err) = std::fs::write(path, e.telemetry().to_json()) {
+        let text = match args.telemetry_format {
+            TelemetryFormat::Json => e.telemetry().to_json(),
+            TelemetryFormat::Prometheus => e.telemetry().to_prometheus(),
+        };
+        if let Err(err) = std::fs::write(path, text) {
             eprintln!("error: writing {path}: {err}");
             std::process::exit(EXIT_USAGE);
         }
@@ -435,6 +671,26 @@ fn run_scale(args: &Args, mut cfg: EngineConfig) -> ! {
             std::process::exit(EXIT_USAGE);
         }
         println!("  telemetry → {path}, trace → {trace_path}");
+    }
+    if let Some(path) = &args.pcap {
+        let Some(w) = pcap else {
+            eprintln!("error: pcap capture failed");
+            std::process::exit(EXIT_USAGE);
+        };
+        let packets = w.packets();
+        match w.finish() {
+            Ok(bytes) => {
+                if let Err(err) = std::fs::write(path, bytes) {
+                    eprintln!("error: writing {path}: {err}");
+                    std::process::exit(EXIT_USAGE);
+                }
+                println!("  pcap               {packets:>10} segments → {path}");
+            }
+            Err(err) => {
+                eprintln!("error: pcap capture failed: {err}");
+                std::process::exit(EXIT_USAGE);
+            }
+        }
     }
     if args.check {
         if let Some(summary) = e.check_summary() {
@@ -452,5 +708,6 @@ fn run_scale(args: &Args, mut cfg: EngineConfig) -> ! {
         eprintln!("error: flows stuck after {} cycles", e.cycles());
         std::process::exit(EXIT_USAGE);
     }
+    finish_flight(args, &e);
     std::process::exit(0);
 }

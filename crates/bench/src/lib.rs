@@ -49,6 +49,211 @@ pub mod micro {
     }
 }
 
+pub mod flatjson {
+    //! A minimal JSON flattener for the perf gate (the build has no
+    //! serde). Parses a JSON document and returns every numeric leaf as
+    //! a dotted-path key (`flight.stages.fpu_process.p99_cycles`), which
+    //! is all `f4tperf --gate` needs to diff a run against a committed
+    //! baseline. Strings/booleans/nulls are skipped; array elements are
+    //! keyed by index.
+
+    use std::collections::BTreeMap;
+
+    /// Flattens `text` into dotted-path → numeric-value pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first syntax error.
+    pub fn flatten(text: &str) -> Result<BTreeMap<String, f64>, String> {
+        let mut p = Parser { b: text.as_bytes(), i: 0 };
+        let mut out = BTreeMap::new();
+        p.skip_ws();
+        p.value(&mut String::new(), &mut out)?;
+        p.skip_ws();
+        if p.i != p.b.len() {
+            return Err(format!("trailing bytes at offset {}", p.i));
+        }
+        Ok(out)
+    }
+
+    struct Parser<'a> {
+        b: &'a [u8],
+        i: usize,
+    }
+
+    impl Parser<'_> {
+        fn skip_ws(&mut self) {
+            while self.i < self.b.len() && self.b[self.i].is_ascii_whitespace() {
+                self.i += 1;
+            }
+        }
+
+        fn peek(&self) -> Option<u8> {
+            self.b.get(self.i).copied()
+        }
+
+        fn expect(&mut self, c: u8) -> Result<(), String> {
+            if self.peek() == Some(c) {
+                self.i += 1;
+                Ok(())
+            } else {
+                Err(format!("expected '{}' at offset {}", c as char, self.i))
+            }
+        }
+
+        fn string(&mut self) -> Result<String, String> {
+            self.expect(b'"')?;
+            let mut s = String::new();
+            loop {
+                match self.peek().ok_or("unterminated string")? {
+                    b'"' => {
+                        self.i += 1;
+                        return Ok(s);
+                    }
+                    b'\\' => {
+                        self.i += 1;
+                        let e = self.peek().ok_or("unterminated escape")?;
+                        self.i += 1;
+                        match e {
+                            b'n' => s.push('\n'),
+                            b't' => s.push('\t'),
+                            b'u' => {
+                                // \uXXXX: decode the hex, keep BMP scalars.
+                                let hex = self
+                                    .b
+                                    .get(self.i..self.i + 4)
+                                    .ok_or("short \\u escape")?;
+                                let code = u32::from_str_radix(
+                                    std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                    16,
+                                )
+                                .map_err(|e| e.to_string())?;
+                                self.i += 4;
+                                s.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                            }
+                            c => s.push(c as char),
+                        }
+                    }
+                    c => {
+                        // Multi-byte UTF-8 passes through byte-wise.
+                        s.push(c as char);
+                        self.i += 1;
+                    }
+                }
+            }
+        }
+
+        fn value(
+            &mut self,
+            path: &mut String,
+            out: &mut BTreeMap<String, f64>,
+        ) -> Result<(), String> {
+            self.skip_ws();
+            match self.peek().ok_or("unexpected end of input")? {
+                b'{' => self.object(path, out),
+                b'[' => self.array(path, out),
+                b'"' => self.string().map(|_| ()),
+                b't' => self.literal("true"),
+                b'f' => self.literal("false"),
+                b'n' => self.literal("null"),
+                _ => {
+                    let start = self.i;
+                    while self
+                        .peek()
+                        .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E'))
+                    {
+                        self.i += 1;
+                    }
+                    let text = std::str::from_utf8(&self.b[start..self.i])
+                        .map_err(|e| e.to_string())?;
+                    let v: f64 = text
+                        .parse()
+                        .map_err(|_| format!("bad number {text:?} at offset {start}"))?;
+                    out.insert(path.clone(), v);
+                    Ok(())
+                }
+            }
+        }
+
+        fn literal(&mut self, word: &str) -> Result<(), String> {
+            if self.b[self.i..].starts_with(word.as_bytes()) {
+                self.i += word.len();
+                Ok(())
+            } else {
+                Err(format!("bad literal at offset {}", self.i))
+            }
+        }
+
+        fn object(
+            &mut self,
+            path: &mut String,
+            out: &mut BTreeMap<String, f64>,
+        ) -> Result<(), String> {
+            self.expect(b'{')?;
+            self.skip_ws();
+            if self.peek() == Some(b'}') {
+                self.i += 1;
+                return Ok(());
+            }
+            loop {
+                self.skip_ws();
+                let key = self.string()?;
+                self.skip_ws();
+                self.expect(b':')?;
+                let saved = path.len();
+                if !path.is_empty() {
+                    path.push('.');
+                }
+                path.push_str(&key);
+                self.value(path, out)?;
+                path.truncate(saved);
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.i += 1,
+                    Some(b'}') => {
+                        self.i += 1;
+                        return Ok(());
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at offset {}", self.i)),
+                }
+            }
+        }
+
+        fn array(
+            &mut self,
+            path: &mut String,
+            out: &mut BTreeMap<String, f64>,
+        ) -> Result<(), String> {
+            self.expect(b'[')?;
+            self.skip_ws();
+            if self.peek() == Some(b']') {
+                self.i += 1;
+                return Ok(());
+            }
+            let mut idx = 0usize;
+            loop {
+                let saved = path.len();
+                if !path.is_empty() {
+                    path.push('.');
+                }
+                path.push_str(&idx.to_string());
+                self.value(path, out)?;
+                path.truncate(saved);
+                idx += 1;
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.i += 1,
+                    Some(b']') => {
+                        self.i += 1;
+                        return Ok(());
+                    }
+                    _ => return Err(format!("expected ',' or ']' at offset {}", self.i)),
+                }
+            }
+        }
+    }
+}
+
 /// Whether quick mode is on (`F4T_QUICK=1`).
 pub fn quick() -> bool {
     std::env::var("F4T_QUICK").is_ok_and(|v| v != "0")
@@ -157,5 +362,37 @@ mod tests {
     #[test]
     fn float_formatting() {
         assert_eq!(f(1.23456, 2), "1.23");
+    }
+
+    #[test]
+    fn flatjson_nested_objects_and_arrays() {
+        let m = flatjson::flatten(
+            r#"{"cycles": 12, "flight": {"stages": {"tx_emit": {"p99_cycles": 7}}},
+                "list": [1, {"x": 2}], "name": "bulk", "ok": true, "none": null,
+                "neg": -1.5e2}"#,
+        )
+        .unwrap();
+        assert_eq!(m["cycles"], 12.0);
+        assert_eq!(m["flight.stages.tx_emit.p99_cycles"], 7.0);
+        assert_eq!(m["list.0"], 1.0);
+        assert_eq!(m["list.1.x"], 2.0);
+        assert_eq!(m["neg"], -150.0);
+        assert!(!m.contains_key("name"), "strings are not numeric leaves");
+        assert_eq!(m.len(), 5);
+    }
+
+    #[test]
+    fn flatjson_rejects_garbage() {
+        assert!(flatjson::flatten("{").is_err());
+        assert!(flatjson::flatten("{\"a\": }").is_err());
+        assert!(flatjson::flatten("{} trailing").is_err());
+        assert!(flatjson::flatten("{\"a\": 1,}").is_err());
+    }
+
+    #[test]
+    fn flatjson_handles_escaped_keys() {
+        let m = flatjson::flatten(r#"{"a\"b": 3, "u": {"A": 4}}"#).unwrap();
+        assert_eq!(m["a\"b"], 3.0);
+        assert_eq!(m["u.A"], 4.0);
     }
 }

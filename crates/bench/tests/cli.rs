@@ -3,7 +3,8 @@
 //! The contract (also printed by `--help`):
 //!   * `0` — run completed, no FtVerify violations;
 //!   * `1` — FtVerify found design-rule violations (`--check`);
-//!   * `2` — usage error (bad flag/value) or I/O error.
+//!   * `2` — usage error (bad flag/value) or I/O error;
+//!   * `3` — perf-gate regression (`--gate`).
 //!
 //! CI scripts and the figure harnesses branch on these, so they are
 //! pinned here by spawning the real binary (offline, no network).
@@ -32,6 +33,10 @@ fn help_exits_zero_and_documents_exit_codes() {
     let text = stdout(&out);
     assert!(text.contains("EXIT CODES"), "help must document the contract:\n{text}");
     assert!(text.contains("--inject-fault"), "help must list fault injection:\n{text}");
+    assert!(
+        text.contains("3 perf-gate regression"),
+        "help must document exit code 3:\n{text}"
+    );
 }
 
 #[test]
@@ -84,4 +89,86 @@ fn scale_workload_fast_forwards_and_exits_zero() {
     let text = stdout(&out);
     assert!(text.contains("all completed"), "{text}");
     assert!(text.contains("tick reduction"), "{text}");
+}
+
+/// A scratch path under the system temp dir, unique per test.
+fn tmp(name: &str) -> String {
+    let dir = std::env::temp_dir().join(format!("f4tperf-cli-{}-{name}", std::process::id()));
+    dir.to_str().unwrap().to_owned()
+}
+
+const SMALL_SCALE: &[&str] =
+    &["--workload", "scale", "--flows", "128", "--size", "256", "--duration-ms", "1"];
+
+#[test]
+fn breakdown_json_has_per_stage_percentiles() {
+    let path = tmp("breakdown.json");
+    let out = f4tperf(&[SMALL_SCALE, &["--breakdown-json", &path]].concat());
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    let text = std::fs::read_to_string(&path).expect("breakdown written");
+    let flat = f4t_bench::flatjson::flatten(&text).expect("breakdown is valid JSON");
+    assert!(flat["cycles"] > 0.0);
+    for stage in ["rx_ingest", "fpu_process", "tx_emit"] {
+        for pct in ["p50_cycles", "p99_cycles", "p999_cycles"] {
+            let key = format!("flight.stages.{stage}.{pct}");
+            assert!(flat.contains_key(&key), "missing {key} in:\n{text}");
+        }
+    }
+    assert!(flat["flight.spans_recorded"] > 0.0, "{text}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn gate_passes_against_own_baseline_and_trips_on_slowdown() {
+    let base = tmp("baseline.json");
+    let out = f4tperf(&[SMALL_SCALE, &["--breakdown-json", &base]].concat());
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+
+    // Identical deterministic run vs its own baseline: must pass.
+    let out = f4tperf(&[SMALL_SCALE, &["--gate", &base]].concat());
+    assert_eq!(out.status.code(), Some(0), "{}\n{}", stdout(&out), stderr(&out));
+    assert!(stdout(&out).contains("perf gate          PASS"), "{}", stdout(&out));
+
+    // A 400-cycle span bias must trip the documented exit code 3.
+    let out = f4tperf(&[SMALL_SCALE, &["--gate", &base, "--inject-slowdown", "400"]].concat());
+    assert_eq!(out.status.code(), Some(3), "{}\n{}", stdout(&out), stderr(&out));
+    assert!(stderr(&out).contains("perf gate FAIL"), "{}", stderr(&out));
+    assert!(stderr(&out).contains("p99"), "{}", stderr(&out));
+
+    // A missing baseline is an I/O error (2), not a regression (3).
+    let out = f4tperf(&[SMALL_SCALE, &["--gate", "/nonexistent-dir/base.json"]].concat());
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+    std::fs::remove_file(&base).ok();
+}
+
+#[test]
+fn pcap_capture_writes_parseable_file() {
+    let path = tmp("cap.pcap");
+    let out = f4tperf(&[SMALL_SCALE, &["--pcap", &path]].concat());
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    let bytes = std::fs::read(&path).expect("pcap written");
+    // Little-endian libpcap magic, then at least one 16-byte record
+    // header past the 24-byte global header.
+    assert_eq!(&bytes[..4], &0xA1B2_C3D4u32.to_le_bytes(), "bad pcap magic");
+    assert!(bytes.len() > 24 + 16, "pcap holds no packets ({} bytes)", bytes.len());
+    assert!(stdout(&out).contains("pcap"), "{}", stdout(&out));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn prometheus_telemetry_format() {
+    let path = tmp("telem.prom");
+    let out = f4tperf(
+        &[SMALL_SCALE, &["--telemetry", &path, "--telemetry-format", "prometheus"]].concat(),
+    );
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    let text = std::fs::read_to_string(&path).expect("telemetry written");
+    assert!(text.contains("# TYPE engine_cycles counter"), "{text}");
+    assert!(text.contains("quantile=\"0.99\""), "{text}");
+
+    let out = f4tperf(&["--telemetry-format", "nosuch"]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+    std::fs::remove_file(&path).ok();
+    let trace = format!("{}.trace.json", path.trim_end_matches(".json"));
+    std::fs::remove_file(&trace).ok();
 }

@@ -25,6 +25,7 @@ use f4t_mem::{DramKind, Location};
 use f4t_sim::check::{InvariantChecker, Violation, ViolationKind};
 use f4t_sim::clock::merge_horizon;
 use f4t_sim::telemetry::{MetricsRegistry, TraceKind, TraceRing};
+use f4t_sim::FlightRecorder;
 use f4t_tcp::wire::{ArpMessage, IcmpEcho};
 use f4t_tcp::{
     CcAlgorithm, CongestionControl, FlowId, FourTuple, MacAddr, Segment, SeqNum, Tcb, TcpState,
@@ -80,6 +81,14 @@ pub struct EngineConfig {
     /// FIFO conservation). Off by default; the disabled path costs one
     /// branch per checkpoint.
     pub check: bool,
+    /// FtFlight: attach the per-flow latency-attribution recorder
+    /// (DESIGN.md §10). Off by default; the disabled path costs one
+    /// branch per stage boundary.
+    pub flight: bool,
+    /// FtFlight sampling divisor: track flows whose id is
+    /// `0 (mod flight_sample)`. 1 tracks every flow; the default 64
+    /// keeps overhead within the ≤1.10x budget on 64K-flow workloads.
+    pub flight_sample: u32,
 }
 
 impl EngineConfig {
@@ -101,6 +110,8 @@ impl EngineConfig {
             scan_policy: ScanPolicy::SkipIdle,
             fast_forward: true,
             check: false,
+            flight: false,
+            flight_sample: 64,
         }
     }
 
@@ -219,10 +230,12 @@ pub struct Engine {
     pkt_gen: PacketGenerator,
     rx_parser: RxParser,
     timers: TimerWheel,
-    /// Skid buffer between FPU output and the packet-generator FIFO.
+    /// Skid buffer between FPU output and the packet-generator FIFO; each
+    /// request keeps its FPC-exit cycle so FtFlight's `tx_emit` span
+    /// charges the skid wait to TX emission.
     // f4tlint: allow(raw_queue): bounded by the dispatch gate (FPCs stop
     // dispatching while it is non-empty), so depth <= one tick's output.
-    tx_overflow: VecDeque<TxRequest>,
+    tx_overflow: VecDeque<(TxRequest, u64)>,
     /// Segments awaiting the link (the MAC-side output buffer).
     // f4tlint: allow(raw_queue): capped at TX_OUT_CAP by the tick loop;
     // models the MAC buffer, not an on-chip FIFO.
@@ -250,6 +263,9 @@ pub struct Engine {
     /// FtVerify hazard checker; attached when `EngineConfig::check` is
     /// set. Boxed so the disabled engine stays small.
     check: Option<Box<InvariantChecker>>,
+    /// FtFlight latency-attribution recorder; attached when
+    /// `EngineConfig::flight` is set. Boxed like the checker.
+    flight: Option<Box<FlightRecorder>>,
     /// FtScope pipeline trace (disabled — capacity 0 — by default).
     trace: TraceRing,
     /// Counter snapshots from the previous tick, used to derive per-tick
@@ -309,7 +325,7 @@ impl Engine {
                 )
             })
             .collect();
-        Engine {
+        let mut engine = Engine {
             scheduler: Scheduler::new(config.max_flows, config.lut_groups, config.coalescing),
             mm: MemoryManager::new(config.dram, config.tcb_cache_sets),
             pkt_gen: PacketGenerator::new(config.mss, config.tx_parallelism),
@@ -327,13 +343,32 @@ impl Engine {
             ff_skipped_cycles: 0,
             ff_windows: 0,
             check: config.check.then(|| Box::new(InvariantChecker::new())),
+            flight: None,
             trace: TraceRing::disabled(),
             trace_prev: TraceCounters::default(),
             mac: MacAddr([0x02, 0xf4, 0x70, 0, 0, 1]),
             fpcs,
             cycle: 0,
             config,
+        };
+        if engine.config.flight {
+            engine.attach_flight();
         }
+        engine
+    }
+
+    /// Attaches the FtFlight recorder and arms the per-module stamp
+    /// mirrors. Must run before any traffic enters (the stamp FIFOs
+    /// mirror their data FIFOs 1:1 from empty).
+    fn attach_flight(&mut self) {
+        self.flight = Some(Box::new(FlightRecorder::new(self.config.flight_sample)));
+        self.rx_parser.enable_flight();
+        self.scheduler.enable_flight();
+        for f in &mut self.fpcs {
+            f.enable_flight();
+        }
+        self.mm.enable_flight();
+        self.pkt_gen.enable_flight();
     }
 
     /// The engine's configuration.
@@ -424,7 +459,7 @@ impl Engine {
     /// full — the library retries, which is exactly the doorbell
     /// backpressure a real queue pair exhibits.
     pub fn push_event(&mut self, ev: FlowEvent) -> bool {
-        if self.scheduler.push_event(ev) {
+        if self.scheduler.push_event_at(ev, self.cycle) {
             self.host_events += 1;
             self.trace.record(self.cycle, TraceKind::HostEnqueue, ev.flow.0, 0);
             true
@@ -442,7 +477,7 @@ impl Engine {
     /// Offers a segment from the network; `false` = NIC buffer overflow
     /// (the segment is lost).
     pub fn push_rx(&mut self, seg: Segment) -> bool {
-        self.rx_parser.push_segment(seg)
+        self.rx_parser.push_segment_at(seg, self.cycle)
     }
 
     /// Takes the next outbound segment, if any (the link model drains at
@@ -566,6 +601,32 @@ impl Engine {
         reg.counter(&format!("{prefix}.tx.bytes_out"), self.pkt_gen.bytes_out());
         reg.counter(&format!("{prefix}.tx.retransmissions"), self.pkt_gen.retransmissions());
         reg.counter(&format!("{prefix}.trace.recorded"), self.trace.total_recorded());
+        if let Some(f) = &self.flight {
+            f.collect(&format!("{prefix}.flight"), reg);
+        }
+    }
+
+    /// The FtFlight recorder, when [`EngineConfig::flight`] is set.
+    pub fn flight(&self) -> Option<&FlightRecorder> {
+        self.flight.as_deref()
+    }
+
+    /// FtFlight latency-breakdown JSON (per-stage p50/p99/p999 in cycles
+    /// and ns plus the capped per-flow table), when the recorder is
+    /// attached. Contains no fast-forward-dependent counters: a
+    /// fast-forwarded and a tick-by-tick run of the same workload return
+    /// byte-identical text (`tests/fastforward_equiv.rs`).
+    pub fn flight_json(&self) -> Option<String> {
+        self.flight.as_ref().map(|f| f.to_json(CYCLE_NS))
+    }
+
+    /// Perf-gate self-test hook: inflates every subsequently recorded
+    /// flight span by `cycles` (`f4tperf --inject-slowdown`). No-op when
+    /// the recorder is off.
+    pub fn set_flight_bias(&mut self, cycles: u64) {
+        if let Some(f) = self.flight.as_deref_mut() {
+            f.set_bias(cycles);
+        }
     }
 
     /// Enables (capacity > 0) or disables (capacity 0) the pipeline
@@ -626,7 +687,7 @@ impl Engine {
         );
         self.notifications.push_back(HostNotification::NewConnection { flow, tuple });
         // Re-offer the SYN now that the flow exists.
-        self.rx_parser.push_segment(syn);
+        self.rx_parser.push_segment_at(syn, self.cycle);
     }
 
     fn process_outcome(&mut self, flow: FlowId, outcome: &FpuOutcome, tcb: &Tcb) {
@@ -672,9 +733,9 @@ impl Engine {
         let now = self.now_ns();
 
         // 0. Drain the TX skid buffer into the packet generator.
-        while let Some(&req) = self.tx_overflow.front() {
+        while let Some(&(req, stamp)) = self.tx_overflow.front() {
             if self.pkt_gen.can_accept() {
-                self.pkt_gen.push(req);
+                self.pkt_gen.push_at(req, stamp);
                 self.tx_overflow.pop_front();
             } else {
                 break;
@@ -684,7 +745,7 @@ impl Engine {
         // 1. Timers → timeout events.
         for (flow, kind) in self.timers.expired(now) {
             let ev = FlowEvent::new(flow, EventKind::Timeout { kind }, now);
-            if !self.scheduler.push_event(ev) {
+            if !self.scheduler.push_event_at(ev, cycle) {
                 // Intake full: re-arm slightly later rather than lose it.
                 self.timers.arm(flow, kind, now + 2_000);
             }
@@ -696,10 +757,10 @@ impl Engine {
         //    drops packets.
         if self.scheduler.intake_free() >= 8 {
             let mut rx_out = RxOutput::default();
-            self.rx_parser.tick(now, &mut rx_out);
+            self.rx_parser.tick_flight(now, cycle, &mut rx_out, self.flight.as_deref_mut());
             for ev in rx_out.events {
                 self.trace.record(cycle, TraceKind::RxEnqueue, ev.flow.0, 0);
-                let accepted = self.scheduler.push_event(ev);
+                let accepted = self.scheduler.push_event_at(ev, cycle);
                 debug_assert!(accepted, "intake_free checked");
             }
             for syn in rx_out.new_connections {
@@ -708,7 +769,13 @@ impl Engine {
         }
 
         // 3. Scheduler: coalesce + route + migrations + swap-ins.
-        self.scheduler.tick_checked(cycle, &mut self.fpcs, &mut self.mm, self.check.as_deref_mut());
+        self.scheduler.tick_checked(
+            cycle,
+            &mut self.fpcs,
+            &mut self.mm,
+            self.check.as_deref_mut(),
+            self.flight.as_deref_mut(),
+        );
         if self.trace.enabled() {
             // Derive per-cycle trace events from the scheduler's running
             // totals (the scheduler itself stays trace-agnostic).
@@ -747,12 +814,19 @@ impl Engine {
             out.evicted.clear();
             out.installed.clear();
             let fpc_id = self.fpcs[i].id();
-            self.fpcs[i].tick_checked(cycle, now, gate, &mut out, self.check.as_deref_mut());
+            self.fpcs[i].tick_checked(
+                cycle,
+                now,
+                gate,
+                &mut out,
+                self.check.as_deref_mut(),
+                self.flight.as_deref_mut(),
+            );
             for req in out.tx.drain(..) {
                 if self.pkt_gen.can_accept() {
-                    self.pkt_gen.push(req);
+                    self.pkt_gen.push_at(req, cycle);
                 } else {
-                    self.tx_overflow.push_back(req);
+                    self.tx_overflow.push_back((req, cycle));
                 }
             }
             for (flow, outcome, tcb) in &out.outcomes {
@@ -765,23 +839,29 @@ impl Engine {
             }
             for flow in out.installed.drain(..) {
                 self.trace.record(cycle, TraceKind::SwapIn, flow.0, u64::from(fpc_id));
-                self.scheduler.on_installed(flow, fpc_id, cycle, self.check.as_deref_mut());
+                self.scheduler.on_installed(
+                    flow,
+                    fpc_id,
+                    cycle,
+                    self.check.as_deref_mut(),
+                    self.flight.as_deref_mut(),
+                );
             }
             self.fpc_scratch = out;
         }
 
         // 5. Memory manager.
         let mut mo = MmOutput::default();
-        self.mm.tick(&mut mo);
+        self.mm.tick_flight(&mut mo, cycle, self.flight.as_deref_mut());
         for flow in mo.swap_in_requests {
-            self.scheduler.request_swap_in(flow);
+            self.scheduler.request_swap_in_at(flow, cycle);
         }
         for flow in mo.evict_done {
             self.trace.record(cycle, TraceKind::MigrateDone, flow.0, 0);
             self.scheduler.on_evict_done(flow, cycle, self.check.as_deref_mut());
         }
         for ev in mo.bounced {
-            if !self.scheduler.push_event(ev) {
+            if !self.scheduler.push_event_at(ev, cycle) {
                 // Intake full: treat like a dropped packet; TCP recovers.
                 break;
             }
@@ -791,7 +871,7 @@ impl Engine {
         if self.tx_out.len() < TX_OUT_CAP {
             let mut segs = std::mem::take(&mut self.seg_scratch);
             segs.clear();
-            self.pkt_gen.tick(now, &mut segs);
+            self.pkt_gen.tick_flight(now, cycle, &mut segs, self.flight.as_deref_mut());
             if self.trace.enabled() {
                 for seg in &segs {
                     self.trace.record(cycle, TraceKind::TxSegment, 0, u64::from(seg.payload_len));

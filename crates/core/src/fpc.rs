@@ -26,7 +26,7 @@ use crate::fpu::{EventView, Fpu, FpuOutcome};
 use f4t_mem::Cam;
 use f4t_sim::check::{InvariantChecker, PortTracker, ViolationKind};
 use f4t_sim::clock::odd_cycles_in;
-use f4t_sim::Fifo;
+use f4t_sim::{Fifo, FlightRecorder, FlightStage};
 use f4t_tcp::{CongestionControl, FlowId, Tcb, TcpFlags};
 use std::sync::Arc;
 
@@ -57,16 +57,21 @@ struct Slot {
     /// audit uses it to bound how long a valid event entry may sit
     /// without being scheduled (valid-bit leak detection).
     last_progress_cycle: u64,
+    /// Cycle the slot's event-table entry last turned valid (pending
+    /// false→true); the FtFlight `event_accum` span runs from here to the
+    /// FPU issue that consumes the accumulated view.
+    pending_since: u64,
 }
 
 /// Sets a slot's pending flag, keeping the FPC's valid-entry count in
 /// step (free function to satisfy the borrow checker at call sites that
 /// hold `&mut Slot` out of `self.slots`).
 #[inline]
-fn set_pending(slot: &mut Slot, pending_count: &mut usize, pending: bool) {
+fn set_pending(slot: &mut Slot, pending_count: &mut usize, pending: bool, cycle: u64) {
     if slot.pending != pending {
         if pending {
             *pending_count += 1;
+            slot.pending_since = cycle;
         } else {
             *pending_count -= 1;
         }
@@ -83,6 +88,7 @@ impl Slot {
             in_fpu: false,
             occupied: false,
             last_progress_cycle: 0,
+            pending_since: 0,
         }
     }
 }
@@ -113,6 +119,11 @@ pub struct Fpc {
     /// Events routed here by the scheduler (paper: events of a flow are
     /// only routed while the location LUT says this FPC owns it).
     input_events: Fifo<FlowEvent>,
+    /// FtFlight stamp mirror of `input_events`: the engine cycle the
+    /// scheduler routed each event here (`None` until
+    /// [`enable_flight`](Self::enable_flight)). The wait measures the
+    /// SRAM-resident TCB fetch path (`tcb_fetch_sram`).
+    ev_stamps: Option<Fifo<u64>>,
     /// Swap-in TCBs with their accumulated event-table half (dedicated
     /// write port: one accept per two cycles).
     input_tcbs: Fifo<(Tcb, EventView)>,
@@ -180,6 +191,7 @@ impl Fpc {
             rr_ptr: 0,
             scan,
             input_events: Fifo::new(Self::INPUT_FIFO_DEPTH),
+            ev_stamps: None,
             input_tcbs: Fifo::new(4),
             events_handled: 0,
             dispatches: 0,
@@ -291,7 +303,28 @@ impl Fpc {
 
     /// Offers an event; returns `false` under backpressure.
     pub fn push_event(&mut self, ev: FlowEvent) -> bool {
-        self.input_events.push(ev).is_ok()
+        self.push_event_at(ev, 0)
+    }
+
+    /// [`push_event`](Self::push_event) carrying the engine cycle of
+    /// routing, recorded as the FtFlight `tcb_fetch_sram` span start.
+    pub fn push_event_at(&mut self, ev: FlowEvent, cycle: u64) -> bool {
+        let accepted = self.input_events.push(ev).is_ok();
+        if accepted {
+            if let Some(stamps) = &mut self.ev_stamps {
+                let ok = stamps.push(cycle).is_ok();
+                debug_assert!(ok, "flight stamp FIFO out of sync with fpc input");
+            }
+        }
+        accepted
+    }
+
+    /// Turns on FtFlight span stamping. Call before the first
+    /// [`push_event_at`](Self::push_event_at); stamps then mirror the
+    /// event input FIFO 1:1.
+    pub fn enable_flight(&mut self) {
+        debug_assert!(self.input_events.is_empty(), "enable_flight on a non-empty FPC");
+        self.ev_stamps = Some(Fifo::new(Self::INPUT_FIFO_DEPTH));
     }
 
     /// Offers a swap-in TCB with its accumulated event half; returns
@@ -311,7 +344,8 @@ impl Fpc {
         let Some(slot_idx) = self.cam.lookup(flow) else { return false };
         let slot = &mut self.slots[slot_idx];
         slot.tcb.evict = true;
-        set_pending(slot, &mut self.pending_count, true); // force a prompt FPU pass
+        let since = slot.last_progress_cycle;
+        set_pending(slot, &mut self.pending_count, true, since); // force a prompt FPU pass
         true
     }
 
@@ -371,7 +405,7 @@ impl Fpc {
             // returned; F4T accumulates into the event table and moves on.
             self.rmw_hazard_events += 1;
         }
-        set_pending(slot, &mut self.pending_count, true);
+        set_pending(slot, &mut self.pending_count, true, cycle);
         slot.tcb.last_active_ns = now_ns;
         self.events_handled += 1;
         match event.kind {
@@ -448,6 +482,7 @@ impl Fpc {
         now_cycle: u64,
         gate_open: bool,
         chk: Option<&mut InvariantChecker>,
+        flight: Option<&mut FlightRecorder>,
     ) {
         if !gate_open {
             self.stall_backpressure += 1;
@@ -458,7 +493,7 @@ impl Fpc {
             ScanPolicy::FullIteration => {
                 let idx = self.rr_ptr;
                 self.rr_ptr = (self.rr_ptr + 1) % n;
-                self.try_issue(idx, now_cycle, chk)
+                self.try_issue(idx, now_cycle, chk, flight)
             }
             ScanPolicy::SkipIdle => {
                 let mut issued = false;
@@ -467,7 +502,7 @@ impl Fpc {
                     let s = &self.slots[idx];
                     if s.occupied && s.pending && !s.in_fpu {
                         self.rr_ptr = (idx + 1) % n;
-                        issued = self.try_issue(idx, now_cycle, chk);
+                        issued = self.try_issue(idx, now_cycle, chk, flight);
                         break;
                     }
                 }
@@ -490,6 +525,7 @@ impl Fpc {
         idx: usize,
         now_cycle: u64,
         chk: Option<&mut InvariantChecker>,
+        flight: Option<&mut FlightRecorder>,
     ) -> bool {
         if !(self.slots[idx].occupied && self.slots[idx].pending && !self.slots[idx].in_fpu) {
             return false;
@@ -524,6 +560,15 @@ impl Fpc {
             }
         }
         let slot = &mut self.slots[idx];
+        if let Some(f) = flight {
+            // The accumulation wait: valid bits first set to the merged
+            // view being consumed by this FPU issue.
+            f.record(
+                FlightStage::EventAccum,
+                slot.tcb.flow.0,
+                now_cycle.saturating_sub(slot.pending_since),
+            );
+        }
         // Construct the merged TCB: event-table values with valid bits set
         // override; dup-ACK count rides in the EventView (its valid bit is
         // NOT cleared at dispatch — see the event handler above).
@@ -533,7 +578,7 @@ impl Fpc {
         // FPU is in flight.
         let dup_keep = slot.ev.dup_acks;
         slot.ev = EventView { dup_acks: dup_keep, ..EventView::default() };
-        set_pending(slot, &mut self.pending_count, false);
+        set_pending(slot, &mut self.pending_count, false, now_cycle);
         slot.in_fpu = true;
         slot.last_progress_cycle = now_cycle;
         self.dispatches += 1;
@@ -548,13 +593,14 @@ impl Fpc {
     /// mechanism behind the paper's observation that link backpressure
     /// grows the effective request size, §5.1).
     pub fn tick(&mut self, cycle: u64, now_ns: u64, tx_gate_open: bool, out: &mut FpcOutput) {
-        self.tick_checked(cycle, now_ns, tx_gate_open, out, None);
+        self.tick_checked(cycle, now_ns, tx_gate_open, out, None, None);
     }
 
-    /// [`Fpc::tick`] with an optional FtVerify checker attached; the
-    /// engine routes its checker here when `EngineConfig::check` is set.
-    /// The `None` path is a single branch per call site — production runs
-    /// pay nothing.
+    /// [`Fpc::tick`] with an optional FtVerify checker and FtFlight
+    /// recorder attached; the engine routes its checker here when
+    /// `EngineConfig::check` is set and its recorder when
+    /// `EngineConfig::flight` is. The `None` paths are a single branch per
+    /// call site — production runs pay nothing.
     pub fn tick_checked(
         &mut self,
         cycle: u64,
@@ -562,6 +608,7 @@ impl Fpc {
         tx_gate_open: bool,
         out: &mut FpcOutput,
         mut chk: Option<&mut InvariantChecker>,
+        mut flight: Option<&mut FlightRecorder>,
     ) {
         // FtScope occupancy gauges: three u64 adds per cycle.
         self.ticks += 1;
@@ -571,6 +618,13 @@ impl Fpc {
         // FPU advances every cycle; completions write back / evict.
         if let Some(result) = self.fpu.tick(cycle, now_ns) {
             let flow = result.tcb.flow;
+            if let Some(f) = flight.as_deref_mut() {
+                f.record(
+                    FlightStage::FpuProcess,
+                    flow.0,
+                    cycle.saturating_sub(result.issued_cycle),
+                );
+            }
             if let Some(c) = chk.as_deref_mut() {
                 // FPU write-back port on the TCB table.
                 self.tcb_ports.access(cycle, 1, c);
@@ -604,7 +658,7 @@ impl Fpc {
                     slot.occupied = false;
                     slot.ev = EventView::default();
                     slot.tcb.evict = false;
-                    set_pending(slot, &mut self.pending_count, false);
+                    set_pending(slot, &mut self.pending_count, false, cycle);
                     self.cam.remove(flow);
                 } else if evict_requested && !slot.ev.any_except_dup_acks() && !slot.pending {
                     let mut tcb = result.tcb;
@@ -617,7 +671,7 @@ impl Fpc {
                     slot.tcb = result.tcb;
                     slot.tcb.evict = evict_requested;
                     if evict_requested || result.outcome.more_work {
-                        set_pending(slot, &mut self.pending_count, true);
+                        set_pending(slot, &mut self.pending_count, true, cycle);
                     }
                 }
                 out.tx.extend_from_slice(&result.outcome.tx);
@@ -630,6 +684,10 @@ impl Fpc {
         if cycle.is_multiple_of(2) {
             // Even cycle: event handling + swap-in acceptance.
             if let Some(ev) = self.input_events.pop() {
+                let stamp = self.ev_stamps.as_mut().and_then(|s| s.pop());
+                if let (Some(f), Some(stamp)) = (flight.as_deref_mut(), stamp) {
+                    f.record(FlightStage::TcbFetchSram, ev.flow.0, cycle.saturating_sub(stamp));
+                }
                 self.handle_event(ev, now_ns, cycle, chk.as_deref_mut());
             }
             if let Some((tcb, ev)) = self.input_tcbs.pop() {
@@ -644,7 +702,7 @@ impl Fpc {
                     let pending = tcb.can_send() || ev.any();
                     slot.tcb = tcb;
                     slot.ev = ev;
-                    set_pending(slot, &mut self.pending_count, pending);
+                    set_pending(slot, &mut self.pending_count, pending, cycle);
                     slot.in_fpu = false;
                     slot.occupied = true;
                     slot.last_progress_cycle = cycle;
@@ -663,7 +721,7 @@ impl Fpc {
             }
         } else {
             // Odd cycle: TCB-manager dispatch (FPU writeback handled above).
-            self.dispatch(cycle, tx_gate_open, chk);
+            self.dispatch(cycle, tx_gate_open, chk, flight);
         }
     }
 
@@ -693,6 +751,10 @@ impl Fpc {
     /// which is exactly what this replays, keeping every counter
     /// bit-identical to the tick-by-tick run.
     pub fn skip_cycles(&mut self, from_cycle: u64, n: u64) {
+        debug_assert!(
+            self.ev_stamps.as_ref().is_none_or(|s| s.len() == self.input_events.len()),
+            "flight stamps out of step with the event input FIFO"
+        );
         self.ticks += n;
         self.occupied_sum += self.cam.len() as u64 * n;
         self.valid_sum += self.pending_count as u64 * n;

@@ -515,6 +515,8 @@ struct FpuJob {
     ev: EventView,
     /// Cycle at which the pipeline emits the result.
     ready_cycle: u64,
+    /// Cycle at which the job was issued (FtFlight `fpu_process` span).
+    issued_cycle: u64,
 }
 
 /// A finished FPU job: the updated TCB plus side effects.
@@ -524,6 +526,8 @@ pub struct FpuResult {
     pub tcb: Tcb,
     /// Side effects of the pass.
     pub outcome: FpuOutcome,
+    /// Cycle the job entered the pipeline (FtFlight `fpu_process` span).
+    pub issued_cycle: u64,
 }
 
 /// The pipelined FPU. TCBs enter with [`Fpu::issue`]; results emerge
@@ -562,7 +566,12 @@ impl Fpu {
 
     /// Issues a merged TCB into the pipeline at cycle `now_cycle`.
     pub fn issue(&mut self, tcb: Tcb, ev: EventView, now_cycle: u64) {
-        self.pipeline.push_back(FpuJob { tcb, ev, ready_cycle: now_cycle + self.latency });
+        self.pipeline.push_back(FpuJob {
+            tcb,
+            ev,
+            ready_cycle: now_cycle + self.latency,
+            issued_cycle: now_cycle,
+        });
     }
 
     /// Whether a TCB for `flow` is currently in the pipeline (the TCB
@@ -596,7 +605,7 @@ impl Fpu {
         let mut job = self.pipeline.pop_front()?;
         let outcome = process(self.cc.as_ref(), &mut job.tcb, &job.ev, now_ns, self.mss);
         self.processed += 1;
-        Some(FpuResult { tcb: job.tcb, outcome })
+        Some(FpuResult { tcb: job.tcb, outcome, issued_cycle: job.issued_cycle })
     }
 }
 

@@ -19,7 +19,7 @@ use crate::event::{EventKind, FlowEvent, TimeoutKind};
 use crate::fpu::EventView;
 use f4t_mem::{CacheAccess, DramKind, DramModel, TcbCache, TCB_BYTES};
 use f4t_sim::check::InvariantChecker;
-use f4t_sim::{Fifo, Histogram};
+use f4t_sim::{Fifo, FlightRecorder, FlightStage, Histogram};
 use f4t_tcp::{FlowId, Tcb, TcpFlags};
 use std::collections::{HashMap, HashSet, VecDeque};
 
@@ -44,6 +44,9 @@ pub struct MemoryManager {
     cache: TcbCache,
     dram: DramModel,
     input: Fifo<FlowEvent>,
+    /// FtFlight stamp mirror of `input`: the engine cycle each event was
+    /// routed here (`None` until [`enable_flight`](Self::enable_flight)).
+    input_stamps: Option<Fifo<u64>>,
     /// Evicted TCBs from FPCs awaiting their DRAM write (bandwidth),
     /// tagged with the cycle they entered the queue.
     // f4tlint: allow(raw_queue): bounded by the migration-control window
@@ -73,6 +76,7 @@ impl MemoryManager {
             cache: TcbCache::new(cache_sets),
             dram: DramModel::new(dram),
             input: Fifo::new(Self::INPUT_FIFO_DEPTH),
+            input_stamps: None,
             writeback_queue: VecDeque::new(),
             swap_requested: HashSet::new(),
             events_handled: 0,
@@ -94,7 +98,28 @@ impl MemoryManager {
 
     /// Offers an event routed to DRAM; `false` under backpressure.
     pub fn push_event(&mut self, ev: FlowEvent) -> bool {
-        self.input.push(ev).is_ok()
+        self.push_event_at(ev, 0)
+    }
+
+    /// [`push_event`](Self::push_event) carrying the engine cycle of
+    /// routing, recorded as the DRAM-side FtFlight `event_accum` start.
+    pub fn push_event_at(&mut self, ev: FlowEvent, cycle: u64) -> bool {
+        let accepted = self.input.push(ev).is_ok();
+        if accepted {
+            if let Some(stamps) = &mut self.input_stamps {
+                let ok = stamps.push(cycle).is_ok();
+                debug_assert!(ok, "flight stamp FIFO out of sync with mm input");
+            }
+        }
+        accepted
+    }
+
+    /// Turns on FtFlight span stamping. Call before the first
+    /// [`push_event_at`](Self::push_event_at); stamps then mirror the
+    /// event input FIFO 1:1.
+    pub fn enable_flight(&mut self) {
+        debug_assert!(self.input.is_empty(), "enable_flight on a non-empty memory manager");
+        self.input_stamps = Some(Fifo::new(Self::INPUT_FIFO_DEPTH));
     }
 
     /// Stores a brand-new flow directly in DRAM (initial placement when
@@ -273,6 +298,18 @@ impl MemoryManager {
 
     /// Advances one engine cycle.
     pub fn tick(&mut self, out: &mut MmOutput) {
+        self.tick_flight(out, 0, None);
+    }
+
+    /// [`tick`](Self::tick) with FtFlight attribution: when a queued event
+    /// is handled in place, the span from its routing stamp to `now_cycle`
+    /// (the engine clock) is recorded as DRAM-side `event_accum`.
+    pub fn tick_flight(
+        &mut self,
+        out: &mut MmOutput,
+        now_cycle: u64,
+        flight: Option<&mut FlightRecorder>,
+    ) {
         self.cycle += 1;
         self.dram.tick();
 
@@ -314,6 +351,14 @@ impl MemoryManager {
                 };
                 if charge == 0 || self.dram.try_access(charge) {
                     self.input.pop();
+                    let stamp = self.input_stamps.as_mut().and_then(|s| s.pop());
+                    if let (Some(f), Some(stamp)) = (flight, stamp) {
+                        f.record(
+                            FlightStage::EventAccum,
+                            flow.0,
+                            now_cycle.saturating_sub(stamp),
+                        );
+                    }
                     let (tcb, mut ev) = *entry;
                     Self::accumulate(&tcb, &mut ev, &event);
                     self.events_handled += 1;
@@ -335,7 +380,9 @@ impl MemoryManager {
                 // The flow left DRAM while this event was in our input
                 // FIFO (an event routed just before the swap-in began):
                 // bounce it back to the scheduler for re-routing, exactly
-                // the in-flight case §3.2 warns about.
+                // the in-flight case §3.2 warns about. Its flight span
+                // restarts when the scheduler re-stamps it at intake.
+                self.input_stamps.as_mut().and_then(|s| s.pop());
                 out.bounced.push(ev);
             }
         }
@@ -360,6 +407,10 @@ impl MemoryManager {
         debug_assert!(
             self.input.is_empty() && self.writeback_queue.is_empty(),
             "memory-manager fast-forward with queued work"
+        );
+        debug_assert!(
+            self.input_stamps.as_ref().is_none_or(|s| s.is_empty()),
+            "flight stamps queued across a fast-forward window"
         );
         self.cycle += n;
         self.dram.tick_n(n);

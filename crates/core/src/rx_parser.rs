@@ -12,7 +12,7 @@
 //! *post-reassembly* in-order pointer, so the FPU never touches payload.
 
 use crate::event::{EventKind, FlowEvent};
-use f4t_sim::Fifo;
+use f4t_sim::{Fifo, FlightRecorder, FlightStage};
 use f4t_tcp::reassembly::ReassemblyResult;
 use f4t_tcp::{FlowId, FlowTable, ReassemblyTracker, Segment, SeqNum, TcpFlags, TCP_BUFFER};
 use std::collections::HashMap;
@@ -47,6 +47,9 @@ pub struct RxParser {
     ack_watch: HashMap<FlowId, AckWatch>,
     listening: std::collections::HashSet<u16>,
     input: Fifo<Segment>,
+    /// FtFlight stamp mirror of `input`: the engine cycle each segment was
+    /// offered (`None` until [`enable_flight`](Self::enable_flight)).
+    ingest_stamps: Option<Fifo<u64>>,
     parallelism: u32,
     net_cycle_credit: u64,
     segments_in: u64,
@@ -75,6 +78,7 @@ impl RxParser {
             ack_watch: HashMap::new(),
             listening: std::collections::HashSet::new(),
             input: Fifo::new(Self::INPUT_FIFO_DEPTH),
+            ingest_stamps: None,
             parallelism,
             net_cycle_credit: 0,
             segments_in: 0,
@@ -128,7 +132,28 @@ impl RxParser {
     /// Offers a segment from the network; returns `false` when the input
     /// buffer overflows (the segment is lost, as on a real NIC).
     pub fn push_segment(&mut self, seg: Segment) -> bool {
-        self.input.push(seg).is_ok()
+        self.push_segment_at(seg, 0)
+    }
+
+    /// [`push_segment`](Self::push_segment) carrying the engine cycle of
+    /// arrival, recorded as the FtFlight `rx_ingest` span start.
+    pub fn push_segment_at(&mut self, seg: Segment, cycle: u64) -> bool {
+        let accepted = self.input.push(seg).is_ok();
+        if accepted {
+            if let Some(stamps) = &mut self.ingest_stamps {
+                let ok = stamps.push(cycle).is_ok();
+                debug_assert!(ok, "flight stamp FIFO out of sync with rx input");
+            }
+        }
+        accepted
+    }
+
+    /// Turns on FtFlight span stamping. Call before the first
+    /// [`push_segment_at`](Self::push_segment_at); stamps then mirror the
+    /// input FIFO 1:1.
+    pub fn enable_flight(&mut self) {
+        debug_assert!(self.input.is_empty(), "enable_flight on a non-empty parser");
+        self.ingest_stamps = Some(Fifo::new(Self::INPUT_FIFO_DEPTH));
     }
 
     /// Room in the input FIFO.
@@ -157,19 +182,35 @@ impl RxParser {
     /// budget goes unused), so `n` ticks fold to one modular step.
     pub fn skip_idle_cycles(&mut self, n: u64) {
         debug_assert!(self.input.is_empty(), "rx-parser fast-forward with queued segments");
+        debug_assert!(
+            self.ingest_stamps.as_ref().is_none_or(|s| s.is_empty()),
+            "flight stamps queued across a fast-forward window"
+        );
         self.net_cycle_credit = ((u128::from(self.net_cycle_credit)
             + u128::from(NET_PER_ENGINE_MILLI) * u128::from(n))
             % 1000) as u64;
     }
 
-    /// Parses one segment into an event (the per-packet work).
-    fn parse_one(&mut self, seg: Segment, now_ns: u64, out: &mut RxOutput) {
+    /// Parses one segment into an event (the per-packet work). `span` is
+    /// the FtFlight context: the ingest stamp popped alongside the segment
+    /// plus the current engine cycle.
+    fn parse_one(
+        &mut self,
+        seg: Segment,
+        now_ns: u64,
+        out: &mut RxOutput,
+        span: Option<(&mut FlightRecorder, u64, u64)>,
+    ) {
         self.segments_in += 1;
         // Lookup by OUR tuple: the segment's source is the peer.
         let our_tuple = seg.tuple.reversed();
         let (looked_up, probes) = self.flow_table.lookup_probed(&our_tuple);
         self.cuckoo_lookups += 1;
         self.cuckoo_probes += u64::from(probes);
+        if let (Some((f, stamp, cycle)), Some(flow)) = (span, looked_up) {
+            f.record(FlightStage::RxIngest, flow.0, cycle.saturating_sub(stamp));
+            f.record(FlightStage::CuckooLookup, flow.0, u64::from(probes));
+        }
         let Some(flow) = looked_up else {
             if seg.flags.contains(TcpFlags::SYN) && self.listening.contains(&seg.tuple.dst_port) {
                 out.new_connections.push(seg);
@@ -255,12 +296,30 @@ impl RxParser {
     /// Advances one engine (250 MHz) cycle, parsing up to the network-rate
     /// budget of segments.
     pub fn tick(&mut self, now_ns: u64, out: &mut RxOutput) {
+        self.tick_flight(now_ns, 0, out, None);
+    }
+
+    /// [`tick`](Self::tick) with FtFlight attribution: each parsed segment
+    /// records its input-FIFO residency (`rx_ingest`, arrival stamp to
+    /// `cycle`) and its cuckoo probe count (`cuckoo_lookup`).
+    pub fn tick_flight(
+        &mut self,
+        now_ns: u64,
+        cycle: u64,
+        out: &mut RxOutput,
+        mut flight: Option<&mut FlightRecorder>,
+    ) {
         self.net_cycle_credit += NET_PER_ENGINE_MILLI;
         let mut budget = (self.net_cycle_credit / 1000) * u64::from(self.parallelism);
         self.net_cycle_credit %= 1000;
         while budget > 0 {
             let Some(seg) = self.input.pop() else { break };
-            self.parse_one(seg, now_ns, out);
+            let stamp = self.ingest_stamps.as_mut().and_then(|s| s.pop());
+            let span = match (flight.as_deref_mut(), stamp) {
+                (Some(f), Some(stamp)) => Some((f, stamp, cycle)),
+                _ => None,
+            };
+            self.parse_one(seg, now_ns, out, span);
             budget -= 1;
         }
     }

@@ -14,7 +14,7 @@ use crate::fpu::EventView;
 use crate::memory_manager::MemoryManager;
 use f4t_mem::{Location, LocationLut};
 use f4t_sim::check::{InvariantChecker, ViolationKind};
-use f4t_sim::Fifo;
+use f4t_sim::{Fifo, FlightRecorder, FlightStage};
 use f4t_tcp::{FlowId, Tcb};
 use std::collections::{HashMap, VecDeque};
 
@@ -68,15 +68,32 @@ pub struct SchedulerStats {
 #[derive(Debug)]
 pub struct Scheduler {
     input: Fifo<FlowEvent>,
+    /// FtFlight stamp mirror of `input`: the engine cycle each event was
+    /// offered (`None` until [`enable_flight`](Self::enable_flight)).
+    input_stamps: Option<Fifo<u64>>,
     coalesce: Vec<Fifo<FlowEvent>>,
+    /// FtFlight stamp mirrors of the coalesce FIFOs. Each entry carries
+    /// the event's ORIGINAL intake stamp (transferred from
+    /// `input_stamps`), so the `coalesce_fifo` span covers intake plus
+    /// coalesce residency. On a merge the incoming event's stamp is
+    /// dropped with it — the merged entry keeps the earliest stamp.
+    coalesce_stamps: Option<Vec<Fifo<u64>>>,
     coalescing: bool,
+    /// Whether FtFlight stamping is on (gates the migration stamp map).
+    flight_enabled: bool,
     lut: LocationLut,
     // f4tlint: allow(raw_queue): pending retry queue for events whose flow
     // is mid-migration; bounded by intake backpressure (events only enter
-    // via the bounded input/coalesce FIFOs).
-    pending: VecDeque<(FlowEvent, u64)>,
+    // via the bounded input/coalesce FIFOs). Tuple: (event, retry cycle,
+    // cycle first parked — the FtFlight `pending_wait` span start, kept
+    // across re-parks).
+    pending: VecDeque<(FlowEvent, u64, u64)>,
     pending_high: usize,
     migrations: HashMap<FlowId, MigrationDest>,
+    /// FtFlight: cycle each in-flight migration / swap-in began, recorded
+    /// as `tcb_fetch_dram` when the flow lands in an FPC. Only populated
+    /// while flight is enabled; entries leave with `migrations`.
+    migration_started: HashMap<FlowId, u64>,
     // f4tlint: allow(raw_queue): at most one entry per DRAM-resident flow
     // (the memory manager deduplicates swap-in requests).
     swap_in_queue: VecDeque<FlowId>,
@@ -106,21 +123,45 @@ impl Scheduler {
     pub fn new(max_flows: usize, lut_groups: usize, coalescing: bool) -> Scheduler {
         Scheduler {
             input: Fifo::new(Self::INPUT_FIFO_DEPTH),
+            input_stamps: None,
             coalesce: (0..COALESCE_FIFOS).map(|_| Fifo::new(COALESCE_DEPTH)).collect(),
+            coalesce_stamps: None,
             coalescing,
+            flight_enabled: false,
             lut: LocationLut::new(max_flows, lut_groups),
             pending: VecDeque::new(),
             pending_high: 0,
             migrations: HashMap::new(),
+            migration_started: HashMap::new(),
             swap_in_queue: VecDeque::new(),
             stats: SchedulerStats::default(),
         }
     }
 
+    /// Turns on FtFlight span stamping. Call before the first event;
+    /// stamps then mirror the intake and coalesce FIFOs 1:1.
+    pub fn enable_flight(&mut self) {
+        debug_assert!(self.backlog() == 0, "enable_flight on a non-empty scheduler");
+        self.input_stamps = Some(Fifo::new(Self::INPUT_FIFO_DEPTH));
+        self.coalesce_stamps =
+            Some((0..COALESCE_FIFOS).map(|_| Fifo::new(COALESCE_DEPTH)).collect());
+        self.flight_enabled = true;
+    }
+
     /// Offers an event at the intake; `false` under backpressure (the
     /// host's doorbell stalls).
     pub fn push_event(&mut self, ev: FlowEvent) -> bool {
+        self.push_event_at(ev, 0)
+    }
+
+    /// [`push_event`](Self::push_event) carrying the engine cycle of
+    /// arrival, recorded as the FtFlight `coalesce_fifo` span start.
+    pub fn push_event_at(&mut self, ev: FlowEvent, cycle: u64) -> bool {
         if self.input.push(ev).is_ok() {
+            if let Some(stamps) = &mut self.input_stamps {
+                let ok = stamps.push(cycle).is_ok();
+                debug_assert!(ok, "flight stamp FIFO out of sync with scheduler intake");
+            }
             self.stats.events_in += 1;
             true
         } else {
@@ -157,6 +198,16 @@ impl Scheduler {
 
     /// Queues a check-logic swap-in request from the memory manager.
     pub fn request_swap_in(&mut self, flow: FlowId) {
+        self.request_swap_in_at(flow, 0);
+    }
+
+    /// [`request_swap_in`](Self::request_swap_in) carrying the engine
+    /// cycle, recorded as the FtFlight `tcb_fetch_dram` span start (the
+    /// DRAM→FPC migration wait measured to the swap-in install).
+    pub fn request_swap_in_at(&mut self, flow: FlowId, cycle: u64) {
+        if self.flight_enabled {
+            self.migration_started.entry(flow).or_insert(cycle);
+        }
         self.swap_in_queue.push_back(flow);
     }
 
@@ -186,7 +237,7 @@ impl Scheduler {
         {
             return Some(cycle);
         }
-        self.pending.front().map(|&(_, retry)| retry.max(cycle))
+        self.pending.front().map(|&(_, retry, _)| retry.max(cycle))
     }
 
     /// Sets `flow`'s LUT entry, validating the migration-protocol edge
@@ -258,16 +309,24 @@ impl Scheduler {
         self.lut.peek(flow)
     }
 
-    /// Engine callback: an FPC's swap-in port installed `flow`.
+    /// Engine callback: an FPC's swap-in port installed `flow`. With an
+    /// FtFlight recorder attached, closes the `tcb_fetch_dram` span opened
+    /// when the migration / swap-in began.
     pub fn on_installed(
         &mut self,
         flow: FlowId,
         fpc: u8,
         cycle: u64,
         chk: Option<&mut InvariantChecker>,
+        flight: Option<&mut FlightRecorder>,
     ) {
         self.set_location(flow, Location::Fpc(fpc), cycle, chk);
         self.migrations.remove(&flow);
+        if let Some(start) = self.migration_started.remove(&flow) {
+            if let Some(f) = flight {
+                f.record(FlightStage::TcbFetchDram, flow.0, cycle.saturating_sub(start));
+            }
+        }
     }
 
     /// Engine callback: the memory manager finished writing `flow` to
@@ -280,6 +339,7 @@ impl Scheduler {
     ) {
         self.set_location(flow, Location::Dram, cycle, chk);
         self.migrations.remove(&flow);
+        self.migration_started.remove(&flow);
     }
 
     /// Engine callback: the connection fully closed; release routing
@@ -292,6 +352,7 @@ impl Scheduler {
     ) {
         self.set_location(flow, Location::Unallocated, cycle, chk);
         self.migrations.remove(&flow);
+        self.migration_started.remove(&flow);
     }
 
     /// Engine callback: an evict checker diverted `tcb` out of an FPC.
@@ -331,19 +392,31 @@ impl Scheduler {
         }
         self.set_location(flow, Location::Moving, cycle, chk);
         self.migrations.insert(flow, dest);
+        if self.flight_enabled {
+            self.migration_started.entry(flow).or_insert(cycle);
+        }
         self.stats.migrations += 1;
         true
     }
 
     /// Routes one event; returns `true` when consumed (delivered or
-    /// parked), `false` to retry next cycle.
+    /// parked), `false` to retry next cycle. `parked_at` is the cycle the
+    /// event first entered the pending queue (`None` when routing straight
+    /// out of a coalesce FIFO); a successful delivery closes that FtFlight
+    /// `pending_wait` span.
+    // Routing touches every sibling module plus both observability
+    // sinks; bundling them into a context struct would only move the
+    // argument list one call deeper.
+    #[allow(clippy::too_many_arguments)]
     fn route(
         &mut self,
         ev: FlowEvent,
         cycle: u64,
+        parked_at: Option<u64>,
         fpcs: &mut [Fpc],
         mm: &mut MemoryManager,
         chk: Option<&mut InvariantChecker>,
+        flight: Option<&mut FlightRecorder>,
     ) -> bool {
         let Some(loc) = self.lut.lookup(ev.flow) else {
             return false; // LUT partition budget exhausted this cycle
@@ -354,28 +427,42 @@ impl Scheduler {
                 true
             }
             Location::Moving => {
-                self.pending.push_back((ev, cycle + PENDING_RETRY_CYCLES));
+                self.pending.push_back((
+                    ev,
+                    cycle + PENDING_RETRY_CYCLES,
+                    parked_at.unwrap_or(cycle),
+                ));
                 self.stats.parked += 1;
                 true
             }
             Location::Dram => {
-                if mm.push_event(ev) {
+                if mm.push_event_at(ev, cycle) {
                     self.stats.routed_dram += 1;
+                    if let (Some(f), Some(parked)) = (flight, parked_at) {
+                        f.record(FlightStage::PendingWait, ev.flow.0, cycle - parked);
+                    }
                     true
                 } else {
                     // Memory-manager backpressure (DRAM bandwidth): park
                     // the event instead of blocking the coalesce FIFO —
                     // otherwise one slow DRAM flow head-of-line blocks
                     // SRAM-resident flows hashed to the same FIFO.
-                    self.pending.push_back((ev, cycle + PENDING_RETRY_CYCLES));
+                    self.pending.push_back((
+                        ev,
+                        cycle + PENDING_RETRY_CYCLES,
+                        parked_at.unwrap_or(cycle),
+                    ));
                     self.stats.parked += 1;
                     true
                 }
             }
             Location::Fpc(i) => {
                 let i = i as usize;
-                if fpcs[i].push_event(ev) {
+                if fpcs[i].push_event_at(ev, cycle) {
                     self.stats.routed_fpc += 1;
+                    if let (Some(f), Some(parked)) = (flight, parked_at) {
+                        f.record(FlightStage::PendingWait, ev.flow.0, cycle - parked);
+                    }
                     true
                 } else {
                     // Backpressure: migrate the congested flow to the
@@ -395,7 +482,11 @@ impl Scheduler {
                             cycle,
                             chk,
                         ) {
-                            self.pending.push_back((ev, cycle + PENDING_RETRY_CYCLES));
+                            self.pending.push_back((
+                                ev,
+                                cycle + PENDING_RETRY_CYCLES,
+                                parked_at.unwrap_or(cycle),
+                            ));
                             self.stats.parked += 1;
                             return true;
                         }
@@ -487,17 +578,20 @@ impl Scheduler {
 
     /// Advances one engine cycle.
     pub fn tick(&mut self, cycle: u64, fpcs: &mut [Fpc], mm: &mut MemoryManager) {
-        self.tick_checked(cycle, fpcs, mm, None);
+        self.tick_checked(cycle, fpcs, mm, None, None);
     }
 
     /// [`Scheduler::tick`] with an optional FtVerify checker validating
-    /// every location-LUT transition against the migration protocol.
+    /// every location-LUT transition against the migration protocol, and an
+    /// optional FtFlight recorder attributing coalesce-FIFO residency and
+    /// pending-queue wait per flow.
     pub fn tick_checked(
         &mut self,
         cycle: u64,
         fpcs: &mut [Fpc],
         mm: &mut MemoryManager,
         mut chk: Option<&mut InvariantChecker>,
+        mut flight: Option<&mut FlightRecorder>,
     ) {
         self.lut.begin_cycle();
 
@@ -515,6 +609,11 @@ impl Scheduler {
                 }
                 if merged {
                     self.input.pop();
+                    // The merged event's span folds into the queued event it
+                    // coalesced with; its own intake stamp is dropped.
+                    if let Some(stamps) = &mut self.input_stamps {
+                        stamps.pop();
+                    }
                     self.stats.coalesced += 1;
                     continue;
                 }
@@ -525,6 +624,14 @@ impl Scheduler {
             if let Some(ev) = self.input.pop() {
                 let accepted = self.coalesce[q].push(ev).is_ok();
                 debug_assert!(accepted, "coalesce FIFO checked not full above");
+                if let (Some(stamps), Some(cq)) =
+                    (&mut self.input_stamps, self.coalesce_stamps.as_mut())
+                {
+                    if let Some(stamp) = stamps.pop() {
+                        let ok = cq[q].push(stamp).is_ok();
+                        debug_assert!(ok, "coalesce stamp FIFO out of sync");
+                    }
+                }
             }
         }
 
@@ -532,10 +639,18 @@ impl Scheduler {
         //    routing so ordering per flow is preserved).
         for _ in 0..4 {
             match self.pending.front() {
-                Some(&(ev, retry)) if retry <= cycle => {
+                Some(&(ev, retry, parked_at)) if retry <= cycle => {
                     self.pending.pop_front();
-                    if !self.route(ev, cycle, fpcs, mm, chk.as_deref_mut()) {
-                        self.pending.push_front((ev, cycle + 1));
+                    if !self.route(
+                        ev,
+                        cycle,
+                        Some(parked_at),
+                        fpcs,
+                        mm,
+                        chk.as_deref_mut(),
+                        flight.as_deref_mut(),
+                    ) {
+                        self.pending.push_front((ev, cycle + 1, parked_at));
                         break;
                     }
                 }
@@ -547,8 +662,19 @@ impl Scheduler {
         //    partitions, §4.4.2).
         for q in 0..self.coalesce.len() {
             let Some(&ev) = self.coalesce[q].front() else { continue };
-            if self.route(ev, cycle, fpcs, mm, chk.as_deref_mut()) {
+            if self.route(ev, cycle, None, fpcs, mm, chk.as_deref_mut(), flight.as_deref_mut()) {
                 self.coalesce[q].pop();
+                if let Some(cq) = self.coalesce_stamps.as_mut() {
+                    if let Some(stamp) = cq[q].pop() {
+                        if let Some(f) = flight.as_deref_mut() {
+                            f.record(
+                                FlightStage::CoalesceFifo,
+                                ev.flow.0,
+                                cycle.saturating_sub(stamp),
+                            );
+                        }
+                    }
+                }
             }
         }
 
@@ -651,7 +777,7 @@ mod tests {
                 sched.on_evicted(t, fpcs, mm);
             }
             for (flow, id) in installed {
-                sched.on_installed(flow, id, c, None);
+                sched.on_installed(flow, id, c, None, None);
             }
             let mut mo = crate::memory_manager::MmOutput::default();
             mm.tick(&mut mo);

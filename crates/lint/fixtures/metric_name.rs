@@ -6,3 +6,10 @@ fn collect(reg: &mut Registry, prefix: &str) {
     reg.gauge(&format!("{prefix}.depth"), 3.0);
     reg.gauge(&format!("{prefix}.depth"), 4.0);
 }
+
+fn stages() -> [&'static str; 2] {
+    [
+        stage_name("rx_ingest"),
+        stage_name("Rx-Ingest"),
+    ]
+}

@@ -41,7 +41,7 @@ pub const RULES: &[(&str, &str)] = &[
     ("wall_clock", "no std::time::Instant/SystemTime outside crates/bench"),
     ("raw_queue", "no VecDeque in crates/core|mem; on-chip queues use f4t_sim::Fifo"),
     ("panic_path", "no unwrap/expect/panic!-family in non-test crates/core code"),
-    ("metric_name", "FtScope metric names are dotted snake_case, unique per file"),
+    ("metric_name", "FtScope metric / FtFlight stage names are dotted snake_case, unique per file"),
     ("cargo_deps", "every Cargo.toml dependency is path/workspace (offline build)"),
 ];
 
@@ -348,7 +348,10 @@ fn word_match(haystack: &str, word: &str) -> bool {
 const PANIC_PATTERNS: &[&str] =
     &[".unwrap()", ".expect(", "panic!(", "unreachable!(", "todo!(", "unimplemented!("];
 
-const METRIC_METHODS: &[&str] = &[".counter(", ".gauge(", ".histogram("];
+// `stage_name(` is the FtFlight identity wrapper around stage-name
+// literals (crates/sim/src/flight.rs): flight stages feed telemetry and
+// the breakdown JSON, so they obey the same naming contract.
+const METRIC_METHODS: &[&str] = &[".counter(", ".gauge(", ".histogram(", "stage_name("];
 
 /// Extracts the first string literal at or after column `col` of raw line
 /// `idx`, looking ahead a few lines for multi-line calls. Returns the
@@ -633,9 +636,11 @@ mod tests {
     #[test]
     fn fixture_metric_name_detected() {
         let f = scan_source("metric_name.rs", "sim", &fixture("metric_name.rs"));
-        assert_eq!(rules_of(&f), ["metric_name", "metric_name"], "{f:#?}");
+        assert_eq!(rules_of(&f), ["metric_name", "metric_name", "metric_name"], "{f:#?}");
         assert!(f[0].message.contains("snake_case"), "{f:#?}");
         assert!(f[1].message.contains("already registered"), "{f:#?}");
+        // FtFlight stage names go through the same rule via stage_name().
+        assert!(f[2].message.contains("Rx-Ingest"), "{f:#?}");
     }
 
     #[test]

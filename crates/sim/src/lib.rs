@@ -16,6 +16,9 @@
 //!   reference simulator in `f4t-netsim`.
 //! * [`telemetry`] — FtScope: the metrics registry (snapshot/delta), the
 //!   bounded pipeline trace ring, and Chrome-trace JSON export.
+//! * [`flight`] — FtFlight: span-based per-flow latency attribution
+//!   ([`FlightRecorder`], [`FlightStage`]) with per-stage histograms and
+//!   deterministic breakdown JSON.
 //! * [`check`] — FtVerify: the optional cycle-level hazard checker
 //!   ([`InvariantChecker`], [`PortTracker`]) that simulated memories and
 //!   queues register accesses against.
@@ -39,6 +42,7 @@ pub mod check;
 pub mod clock;
 pub mod des;
 pub mod fifo;
+pub mod flight;
 pub mod rng;
 pub mod stats;
 pub mod telemetry;
@@ -47,6 +51,7 @@ pub use check::{InvariantChecker, PortTracker, Violation, ViolationKind};
 pub use clock::{Cycle, ClockDomain};
 pub use des::EventQueue;
 pub use fifo::Fifo;
+pub use flight::{FlightRecorder, FlightStage};
 pub use rng::SimRng;
 pub use stats::{Counter, Histogram, MeanVar};
 pub use telemetry::{MetricsRegistry, MetricValue, TraceEvent, TraceKind, TraceRing};

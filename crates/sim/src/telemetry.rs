@@ -169,6 +169,44 @@ impl MetricsRegistry {
         out
     }
 
+    /// Serializes the registry in the Prometheus text exposition format
+    /// (version 0.0.4). Dots in metric names become underscores
+    /// (`engine.fpc0.stall` → `engine_fpc0_stall`); counters and gauges
+    /// emit one sample each, histograms emit as summaries with
+    /// `quantile` labels plus `_sum`/`_count`/`_min`/`_max` series.
+    /// Deterministic: names are BTreeMap-ordered and numbers use the
+    /// same formatter as [`MetricsRegistry::to_json`].
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.metrics {
+            let pname = prometheus_name(name);
+            match value {
+                MetricValue::Counter(v) => {
+                    out.push_str(&format!("# TYPE {pname} counter\n{pname} {v}\n"));
+                }
+                MetricValue::Gauge(v) => {
+                    out.push_str(&format!("# TYPE {pname} gauge\n{pname} {}\n", json_f64(*v)));
+                }
+                MetricValue::Histogram(h) => {
+                    // Approximate sum from the stored mean (the registry
+                    // keeps a fixed-size summary, not raw samples).
+                    let sum = (h.mean * h.count as f64).round() as u64;
+                    out.push_str(&format!(
+                        "# TYPE {pname} summary\n\
+                         {pname}{{quantile=\"0.5\"}} {}\n\
+                         {pname}{{quantile=\"0.99\"}} {}\n\
+                         {pname}_sum {sum}\n\
+                         {pname}_count {}\n\
+                         {pname}_min {}\n\
+                         {pname}_max {}\n",
+                        h.p50, h.p99, h.count, h.min, h.max
+                    ));
+                }
+            }
+        }
+        out
+    }
+
     /// Serializes the registry as a JSON object (hand-rolled — the build
     /// has no serde). Counters emit as integers, gauges as floats,
     /// histograms as nested objects.
@@ -195,6 +233,24 @@ impl MetricsRegistry {
         out.push_str("\n}\n");
         out
     }
+}
+
+/// Maps a dotted metric path onto a Prometheus-legal metric name:
+/// `[a-zA-Z0-9_:]` pass through, everything else (dots included) becomes
+/// an underscore, and a leading digit gains a `_` prefix.
+fn prometheus_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            if i == 0 && c.is_ascii_digit() {
+                out.push('_');
+            }
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
 }
 
 /// Writes `s` as a JSON string literal into `out`.
@@ -519,6 +575,47 @@ mod tests {
     }
 
     #[test]
+    fn prometheus_round_trip() {
+        let mut r = MetricsRegistry::new();
+        r.counter("engine.fpc0.events", 42);
+        r.gauge("engine.tx_out.depth", 3.5);
+        let mut h = Histogram::new();
+        h.record(10);
+        h.record(30);
+        r.histogram("engine.flight.fpu_process.cycles", &h);
+        let text = r.to_prometheus();
+
+        // Parse the exposition text back into (name, value) samples and
+        // check every registry entry survived the trip.
+        let mut samples = std::collections::BTreeMap::new();
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (name, value) = line.rsplit_once(' ').expect("sample line");
+            samples.insert(name.to_string(), value.to_string());
+        }
+        assert_eq!(samples.get("engine_fpc0_events").unwrap(), "42");
+        assert_eq!(samples.get("engine_tx_out_depth").unwrap(), "3.5");
+        let p = "engine_flight_fpu_process_cycles";
+        assert_eq!(samples.get(&format!("{p}{{quantile=\"0.5\"}}")).unwrap(), "10");
+        assert_eq!(samples.get(&format!("{p}_count")).unwrap(), "2");
+        assert_eq!(samples.get(&format!("{p}_min")).unwrap(), "10");
+        assert_eq!(samples.get(&format!("{p}_max")).unwrap(), "30");
+        assert_eq!(samples.get(&format!("{p}_sum")).unwrap(), "40");
+        // Every non-comment line is `name[{labels}] value`, values numeric.
+        for v in samples.values() {
+            v.parse::<f64>().expect("numeric sample value");
+        }
+        // Each registry metric has exactly one # TYPE line.
+        assert_eq!(text.matches("# TYPE ").count(), r.len());
+    }
+
+    #[test]
+    fn prometheus_name_sanitization() {
+        assert_eq!(prometheus_name("a.b-c.d"), "a_b_c_d");
+        assert_eq!(prometheus_name("9lives"), "_9lives");
+        assert_eq!(prometheus_name("ok_name:x"), "ok_name:x");
+    }
+
+    #[test]
     fn trace_ring_wraparound() {
         let mut ring = TraceRing::new(4);
         for c in 0..10u64 {
@@ -559,5 +656,72 @@ mod tests {
         let mut s = String::new();
         json_string("a\"b\\c\nd", &mut s);
         assert_eq!(s, "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn capacity_zero_ring_is_inert() {
+        let mut ring = TraceRing::new(0);
+        assert!(!ring.enabled());
+        assert_eq!(ring.capacity(), 0);
+        for c in 0..100u64 {
+            ring.record(c, TraceKind::Route, 1, 2);
+        }
+        assert!(ring.is_empty());
+        assert_eq!(ring.len(), 0);
+        assert_eq!(ring.total_recorded(), 0);
+        assert_eq!(ring.overwritten(), 0, "no events were ever stored, none lost");
+        assert_eq!(ring.iter().count(), 0);
+        // Export still produces structurally valid JSON (metadata only).
+        let j = ring.to_chrome_json(4);
+        assert!(j.contains("\"traceEvents\""));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert!(!j.contains("\"cat\""), "no data events in an empty export");
+    }
+
+    #[test]
+    fn overwrite_accounting_at_capacity_boundary() {
+        let mut ring = TraceRing::new(3);
+        ring.record(0, TraceKind::Route, 0, 0);
+        ring.record(1, TraceKind::Route, 0, 0);
+        assert_eq!((ring.total_recorded(), ring.overwritten()), (2, 0), "under capacity");
+        ring.record(2, TraceKind::Route, 0, 0);
+        assert_eq!((ring.total_recorded(), ring.overwritten()), (3, 0), "exactly full");
+        ring.record(3, TraceKind::Route, 0, 0);
+        assert_eq!((ring.total_recorded(), ring.overwritten()), (4, 1), "first wrap");
+        for c in 4..10u64 {
+            ring.record(c, TraceKind::Route, 0, 0);
+        }
+        assert_eq!(ring.total_recorded(), 10);
+        assert_eq!(ring.overwritten(), 7);
+        assert_eq!(ring.len(), 3, "len is pinned at capacity after wrap");
+        assert_eq!(
+            ring.overwritten(),
+            ring.total_recorded() - ring.len() as u64,
+            "conservation: stored = total - overwritten"
+        );
+    }
+
+    #[test]
+    fn chrome_json_on_wrapped_ring_orders_and_balances() {
+        let mut ring = TraceRing::new(4);
+        // Fill, then wrap past the boundary so head sits mid-buffer.
+        for c in 0..7u64 {
+            ring.record(c, TraceKind::TxSegment, c as u32, c * 10);
+        }
+        let j = ring.to_chrome_json(4);
+        // Events must export oldest-first even though the backing buffer
+        // is physically rotated: cycles 3,4,5,6 in that order.
+        let positions: Vec<usize> = (3..7u64)
+            .map(|c| j.find(&format!("\"cycle\": {c}}}")).expect("event present"))
+            .collect();
+        assert!(positions.windows(2).all(|w| w[0] < w[1]), "oldest-first export order");
+        assert!(!j.contains("\"cycle\": 2}"), "overwritten event absent");
+        // Structural validity: balanced delimiters, every event line
+        // comma-separated (valid JSON array), quotes escaped nowhere
+        // (all names are static snake_case).
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+        let events = j.matches("\"ph\": \"i\"").count();
+        assert_eq!(events, 4, "exactly capacity data events");
     }
 }

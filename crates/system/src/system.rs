@@ -6,6 +6,7 @@ use crate::node::{Driver, Node};
 use f4t_core::EngineConfig;
 use f4t_host::CpuAccounting;
 use f4t_sim::{Histogram, MetricsRegistry};
+use f4t_tcp::pcap::PcapWriter;
 use f4t_tcp::{FlowId, FourTuple, SeqNum};
 use f4t_workloads::{
     BulkReceiver, BulkSender, EchoClient, EchoServer, HttpClient, HttpServer, RoundRobinSender,
@@ -14,6 +15,10 @@ use std::net::Ipv4Addr;
 
 /// Engine-core period in nanoseconds.
 const CYCLE_NS: u64 = 4;
+
+/// Packet-capture cap: recording stops after this many packets so bulk
+/// runs cannot balloon the in-memory capture (tcpdump `-c` style).
+const PCAP_MAX_PACKETS: u64 = 10_000;
 
 /// Two nodes connected by a 100 Gbps link, running a workload.
 #[derive(Debug)]
@@ -24,6 +29,9 @@ pub struct F4tSystem {
     pub b: Node,
     link: DuplexLink,
     cycle: u64,
+    /// Optional packet capture of link traffic (both directions, capped
+    /// at [`PCAP_MAX_PACKETS`]); see [`F4tSystem::enable_pcap`].
+    pcap: Option<PcapWriter<Vec<u8>>>,
 }
 
 fn tuple(i: u32) -> FourTuple {
@@ -39,7 +47,27 @@ fn tuple(i: u32) -> FourTuple {
 impl F4tSystem {
     /// Wires two freshly configured nodes together.
     pub fn new(a: Node, b: Node) -> F4tSystem {
-        F4tSystem { a, b, link: DuplexLink::hundred_gig(), cycle: 0 }
+        F4tSystem { a, b, link: DuplexLink::hundred_gig(), cycle: 0, pcap: None }
+    }
+
+    /// Starts capturing link traffic (both directions) as a libpcap
+    /// stream in memory, truncating payloads at `payload_cap` bytes
+    /// (snaplen). Recording stops after [`PCAP_MAX_PACKETS`] packets.
+    pub fn enable_pcap(&mut self, payload_cap: u32) {
+        // Writing into a Vec cannot fail.
+        self.pcap = PcapWriter::new(Vec::new(), payload_cap).ok();
+    }
+
+    /// Packets captured so far (0 when capture is off).
+    pub fn pcap_packets(&self) -> u64 {
+        self.pcap.as_ref().map_or(0, PcapWriter::packets)
+    }
+
+    /// Finishes the capture and returns the pcap bytes, ready to write
+    /// to disk and open in Wireshark. `None` when capture was never
+    /// enabled.
+    pub fn take_pcap(&mut self) -> Option<Vec<u8>> {
+        self.pcap.take().and_then(|w| w.finish().ok())
     }
 
     /// Current simulation time in nanoseconds.
@@ -73,6 +101,11 @@ impl F4tSystem {
         while let Some(seg) = self.a.engine.peek_tx() {
             if self.link.can_send(A_TO_B, seg.wire_len()) {
                 let seg = self.a.engine.pop_tx().expect("peeked");
+                if let Some(w) = &mut self.pcap {
+                    if w.packets() < PCAP_MAX_PACKETS {
+                        let _ = w.record(now, &seg, self.a.engine.mac, self.b.engine.mac);
+                    }
+                }
                 self.link.send(A_TO_B, seg, now);
             } else {
                 break;
@@ -81,6 +114,11 @@ impl F4tSystem {
         while let Some(seg) = self.b.engine.peek_tx() {
             if self.link.can_send(B_TO_A, seg.wire_len()) {
                 let seg = self.b.engine.pop_tx().expect("peeked");
+                if let Some(w) = &mut self.pcap {
+                    if w.packets() < PCAP_MAX_PACKETS {
+                        let _ = w.record(now, &seg, self.b.engine.mac, self.a.engine.mac);
+                    }
+                }
                 self.link.send(B_TO_A, seg, now);
             } else {
                 break;

@@ -1,0 +1,153 @@
+#!/usr/bin/env sh
+# FtFlight perf-regression gate (DESIGN.md section 10).
+#
+# Three reference workloads run with the FtFlight recorder at the
+# default 1/64 sampling and are diffed against committed latency
+# baselines by `f4tperf --gate` (total simulated cycles within +/-25%,
+# every stage p99 within 1.25x + 16 cycles; exit 3 on regression).
+# Simulated-clock checks are exact and machine-independent; wall-clock
+# is checked here instead, against results/latency_breakdown.json with
+# a deliberately loose multiplier because CI machines vary.
+#
+# Usage:
+#   sh scripts/perf_gate.sh              gate the current build
+#   sh scripts/perf_gate.sh --update     regenerate results/flight/*.json
+#                                        and results/latency_breakdown.json
+#   sh scripts/perf_gate.sh --self-test  prove the gate trips: inject a
+#                                        400-cycle span bias, expect exit 3
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BULK="--workload bulk --cores 1 --size 4096 --warmup-ms 1 --duration-ms 1"
+ECHO="--workload echo --cores 1 --flows 64 --size 128 --warmup-ms 1 --duration-ms 1"
+SCALE="--workload scale --flows 2048 --size 256 --duration-ms 1"
+WORKLOADS="bulk echo scale"
+SAMPLE=64            # keep in sync with results/latency_breakdown.json
+OVERHEAD_BUDGET=1.10 # flight-on wall budget at 1/64 sampling (--update)
+WALL_TOLERANCE=5     # x committed wall-clock; absolute slack below
+WALL_SLACK_MS=2000
+REPS=3
+
+mode="${1:-gate}"
+
+cargo build --release -q -p f4t-bench
+PERF=./target/release/f4tperf
+
+args_for() {
+    case "$1" in
+        bulk)  echo "$BULK" ;;
+        echo)  echo "$ECHO" ;;
+        scale) echo "$SCALE" ;;
+        *)     echo "unknown workload $1" >&2; exit 2 ;;
+    esac
+}
+
+now_ms() {
+    # GNU date; fine on the Linux dev/CI hosts this script targets.
+    echo $(( $(date +%s%N) / 1000000 ))
+}
+
+# best_ms <args...> : best-of-$REPS wall-clock ms for one f4tperf run.
+best_ms() {
+    best=""
+    i=0
+    while [ "$i" -lt "$REPS" ]; do
+        t0=$(now_ms)
+        $PERF "$@" >/dev/null
+        t1=$(now_ms)
+        dt=$(( t1 - t0 ))
+        if [ -z "$best" ] || [ "$dt" -lt "$best" ]; then best=$dt; fi
+        i=$(( i + 1 ))
+    done
+    echo "$best"
+}
+
+case "$mode" in
+gate)
+    status=0
+    for w in $WORKLOADS; do
+        base="results/flight/$w.json"
+        [ -s "$base" ] || { echo "FAIL: $base missing (run --update)" >&2; exit 2; }
+        t0=$(now_ms)
+        if $PERF $(args_for "$w") --flight-sample "$SAMPLE" --gate "$base" >/dev/null; then
+            :
+        else
+            rc=$?
+            echo "FAIL: $w perf gate regression (f4tperf exit $rc)" >&2
+            status=$rc
+            continue
+        fi
+        t1=$(now_ms)
+        dt=$(( t1 - t0 ))
+        committed=$(awk -v w="$w" '
+            $0 ~ "\"" w "\":" { f = 1 }
+            f && /"wall_ms_flight_on"/ { gsub(/[^0-9]/, "", $2); print $2; exit }
+        ' results/latency_breakdown.json)
+        [ -n "$committed" ] || { echo "FAIL: no wall baseline for $w" >&2; exit 2; }
+        limit=$(( committed * WALL_TOLERANCE + WALL_SLACK_MS ))
+        if [ "$dt" -gt "$limit" ]; then
+            echo "FAIL: $w wall-clock ${dt}ms exceeds ${limit}ms (committed ${committed}ms x$WALL_TOLERANCE + ${WALL_SLACK_MS}ms)" >&2
+            status=3
+        else
+            echo "  $w: gate PASS, wall ${dt}ms (limit ${limit}ms)"
+        fi
+    done
+    [ "$status" -eq 0 ] && echo "perf gate: OK"
+    exit "$status"
+    ;;
+
+--update)
+    mkdir -p results/flight
+    tmp=$(mktemp)
+    {
+        printf '{\n'
+        printf ' "_note": "FtFlight perf-gate baselines: three reference workloads with the flight recorder at 1/%s sampling. Per-stage latency baselines live in results/flight/<workload>.json (byte-stable, simulated-clock only); this file records run parameters plus measured wall-clock with the recorder off vs on (best-of-%s, budget <= %sx). Regenerate with: sh scripts/perf_gate.sh --update",\n' "$SAMPLE" "$REPS" "$OVERHEAD_BUDGET"
+        printf ' "flight_sample": %s' "$SAMPLE"
+        for w in $WORKLOADS; do
+            args=$(args_for "$w")
+            off=$(best_ms $args)
+            on=$(best_ms $args --flight --flight-sample "$SAMPLE")
+            # The baseline write is a separate (untimed) run so file I/O
+            # never pollutes the overhead measurement.
+            $PERF $args --flight-sample "$SAMPLE" \
+                --breakdown-json "results/flight/$w.json" >/dev/null
+            ratio=$(awk "BEGIN { printf \"%.3f\", $on / $off }")
+            echo "  $w: off=${off}ms on=${on}ms ratio=${ratio}x" >&2
+            printf ',\n "%s": {\n' "$w"
+            printf '  "_params": "%s",\n' "$args"
+            printf '  "baseline": "results/flight/%s.json",\n' "$w"
+            printf '  "wall_ms_flight_off": %s,\n' "$off"
+            printf '  "wall_ms_flight_on": %s,\n' "$on"
+            printf '  "overhead_ratio": %s\n' "$ratio"
+            printf ' }'
+        done
+        printf '\n}\n'
+    } > "$tmp"
+    ratio_max=$(awk '/"overhead_ratio"/ { gsub(/[^0-9.]/, "", $2); if ($2 > m) m = $2 } END { print m }' "$tmp")
+    awk "BEGIN { exit !($ratio_max <= $OVERHEAD_BUDGET) }" \
+        || { echo "FAIL: flight overhead ${ratio_max}x exceeds ${OVERHEAD_BUDGET}x budget" >&2; exit 1; }
+    mv "$tmp" results/latency_breakdown.json
+    echo "wrote results/latency_breakdown.json (max flight overhead ${ratio_max}x)"
+    ;;
+
+--self-test)
+    # The gate must actually trip: bias every recorded span by 400
+    # cycles and demand the documented exit code 3, nothing else.
+    base="results/flight/bulk.json"
+    [ -s "$base" ] || { echo "FAIL: $base missing (run --update)" >&2; exit 2; }
+    rc=0
+    $PERF $BULK --flight-sample "$SAMPLE" --gate "$base" \
+        --inject-slowdown 400 >/dev/null 2>&1 || rc=$?
+    if [ "$rc" -ne 3 ]; then
+        echo "FAIL: injected slowdown exited $rc, expected 3" >&2
+        exit 1
+    fi
+    echo "perf gate self-test: OK (injected slowdown trips exit 3)"
+    ;;
+
+*)
+    echo "usage: sh scripts/perf_gate.sh [--update|--self-test]" >&2
+    exit 2
+    ;;
+esac

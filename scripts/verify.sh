@@ -40,6 +40,22 @@ grep -q 'engine.fpc0.stall.fifo_empty' "$out/telem.json" \
     || { echo "FAIL: stall counters missing from telemetry" >&2; exit 1; }
 grep -q 'traceEvents' "$out/telem.trace.json" \
     || { echo "FAIL: trace file is not Chrome-trace JSON" >&2; exit 1; }
+
+echo "==> f4tperf FtFlight / pcap / prometheus smoke"
+cargo run --release -q -p f4t-bench --bin f4tperf -- \
+    --workload echo --cores 2 --flows 256 --duration-ms 1 \
+    --breakdown-json "$out/breakdown.json" --pcap "$out/cap.pcap" \
+    --telemetry "$out/telem.prom" --telemetry-format prometheus >/dev/null
+grep -q '"p99_cycles"' "$out/breakdown.json" \
+    || { echo "FAIL: breakdown JSON lacks stage p99s" >&2; exit 1; }
+grep -q '# TYPE' "$out/telem.prom" \
+    || { echo "FAIL: prometheus export lacks TYPE lines" >&2; exit 1; }
+[ "$(od -An -tx1 -N4 "$out/cap.pcap" | tr -d ' ')" = "d4c3b2a1" ] \
+    || { echo "FAIL: pcap magic wrong" >&2; exit 1; }
 rm -rf "$out"
+
+echo "==> FtFlight perf gate (committed baselines + self-test)"
+sh scripts/perf_gate.sh
+sh scripts/perf_gate.sh --self-test
 
 echo "verify: OK"

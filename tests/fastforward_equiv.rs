@@ -29,6 +29,8 @@ struct Snapshot {
     tcbs: Vec<String>,
     telemetry: [String; 2],
     traces: [String; 2],
+    flights: [String; 2],
+    flight_spans: u64,
     skipped: u64,
     windows: u64,
     violations: u64,
@@ -83,6 +85,10 @@ fn run_scenario(case: u64, fast_forward: bool) -> Snapshot {
         lut_groups: 2,
         flows_per_fpc: 4,
         check: true,
+        // FtFlight at sample=1 stamps every flow at every stage boundary,
+        // so the byte-identity assertion below covers every span path.
+        flight: true,
+        flight_sample: 1,
         fast_forward,
         ..EngineConfig::reference()
     };
@@ -162,6 +168,9 @@ fn run_scenario(case: u64, fast_forward: bool) -> Snapshot {
         tcbs,
         telemetry: [filtered_telemetry(&a), filtered_telemetry(&b)],
         traces: [a.export_chrome_trace(), b.export_chrome_trace()],
+        flights: [a.flight_json().unwrap(), b.flight_json().unwrap()],
+        flight_spans: a.flight().unwrap().spans_recorded()
+            + b.flight().unwrap().spans_recorded(),
         skipped: a.fastforward_skipped_cycles() + b.fastforward_skipped_cycles(),
         windows: a.fastforward_windows() + b.fastforward_windows(),
         violations: a.check_total_violations() + b.check_total_violations(),
@@ -197,7 +206,20 @@ fn fast_forward_is_bit_identical_under_bulk_echo_churn() {
                 ff.traces[side], tbt.traces[side],
                 "case {case} side {side}: Chrome trace drift"
             );
+            // FtFlight latency breakdowns must be byte-identical: every
+            // span is a difference of simulated-clock stamps taken at
+            // executed ticks, never wall time or tick counts.
+            let (l, r): (Vec<_>, Vec<_>) = (
+                ff.flights[side].lines().map(String::from).collect(),
+                tbt.flights[side].lines().map(String::from).collect(),
+            );
+            assert_same_lines(case, "flight breakdown", &l, &r);
         }
+        assert!(
+            ff.flight_spans > 1_000,
+            "case {case}: flight recorder barely engaged ({} spans)",
+            ff.flight_spans
+        );
         assert_eq!(ff.violations, 0, "case {case}: checker fired under fast-forward");
         assert_eq!(tbt.violations, 0, "case {case}: checker fired tick-by-tick");
         // The control run must not skip; the fast-forward run must
