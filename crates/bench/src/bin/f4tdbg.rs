@@ -1,0 +1,443 @@
+//! `f4tdbg` — post-mortem reader for FtJournal black-box dumps.
+//!
+//! `f4tperf --dump-on-failure` (and any harness calling
+//! `Engine::blackbox_json`) writes a self-contained JSON dump on
+//! failure: the journal tail, watchdog alarms, FtVerify violations,
+//! implicated TCBs, the engine config and the FtFlight breakdown.
+//! This tool pretty-prints, filters, diffs and digest-checks those
+//! dumps:
+//!
+//! ```sh
+//! f4tdbg print dump.json --flow 7 --module scheduler --cycles 100..5000
+//! f4tdbg digest dump.json        # recompute + compare the FNV digest
+//! f4tdbg diff a.json b.json      # first divergence between two dumps
+//! ```
+
+use std::collections::HashMap;
+
+/// Exit codes: `0` success / digests match / dumps identical, `1`
+/// digest mismatch or dumps differ, `2` usage or I/O error.
+const EXIT_DIFFERS: i32 = 1;
+const EXIT_USAGE: i32 = 2;
+
+const HELP: &str = "\
+f4tdbg — read FtJournal black-box dumps (written by f4tperf --dump-on-failure)
+
+USAGE:
+  f4tdbg print <DUMP.json> [FILTERS]   pretty-print header, alarms, violations
+                                       and the journal tail
+  f4tdbg digest <DUMP.json>            recompute the FNV-1a digest over the
+                                       retained journal lines and compare it
+                                       with the dump's recorded stream digest
+  f4tdbg diff <A.json> <B.json>        compare two dumps line by line
+
+FILTERS (print):
+  --flow <N>                           only events for flow N
+  --module <NAME>                      only events from one module
+                                       (rx_parser, scheduler, fpc, fpu,
+                                       memory_manager, packet_gen, timers, host)
+  --kind <NAME>                        only events of one kind (seg_accepted,
+                                       event_routed, tcb_migrate_start, ...)
+  --cycles <LO..HI>                    only events with LO <= cycle <= HI
+
+EXIT CODES: 0 success (digest matches / dumps identical) /
+            1 digest mismatch or dumps differ / 2 usage or I/O error
+
+NOTE: the stream digest covers every recorded event, including ones the
+bounded ring has since overwritten; a recomputed digest only matches when
+nothing was overwritten (journal.events_overwritten == 0 at dump time).
+";
+
+/// FNV-1a offset basis (matches `f4t_sim::journal`).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime (matches `f4t_sim::journal`).
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(EXIT_USAGE);
+}
+
+fn read(path: &str) -> String {
+    match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => die(&format!("reading {path}: {e}")),
+    }
+}
+
+/// A parsed dump: the top-level fields f4tdbg consumes. Unknown fields
+/// (config, implicated TCBs, flight) pass through untouched via `raw`.
+struct Dump {
+    reason: String,
+    cycle: u64,
+    workload: Option<String>,
+    journal_digest: u64,
+    journal: Vec<String>,
+    alarms: Vec<String>,
+    violations: Vec<String>,
+}
+
+impl Dump {
+    fn parse(path: &str, text: &str) -> Dump {
+        let top = match top_level_fields(text) {
+            Some(m) => m,
+            None => die(&format!("{path}: not a JSON object")),
+        };
+        let str_field = |k: &str| top.get(k).and_then(|v| parse_json_string(v));
+        let num_field = |k: &str| top.get(k).and_then(|v| v.trim().parse::<u64>().ok());
+        let arr_field = |k: &str| -> Vec<String> {
+            top.get(k).map(|v| parse_string_array(v)).unwrap_or_default()
+        };
+        Dump {
+            reason: str_field("reason").unwrap_or_else(|| "unknown".into()),
+            cycle: num_field("cycle").unwrap_or(0),
+            workload: str_field("workload"),
+            journal_digest: num_field("journal_digest")
+                .unwrap_or_else(|| die(&format!("{path}: missing journal_digest"))),
+            journal: arr_field("journal"),
+            alarms: arr_field("alarms"),
+            violations: arr_field("violations"),
+        }
+    }
+}
+
+/// Splits a JSON object's top level into `key -> raw value slice`,
+/// tracking string escapes and brace/bracket depth so embedded objects
+/// (config, flight) don't confuse the scan. Returns `None` unless the
+/// document is a single object.
+fn top_level_fields(text: &str) -> Option<HashMap<String, String>> {
+    let bytes = text.as_bytes();
+    let open = text.find('{')?;
+    let mut fields = HashMap::new();
+    let mut i = open + 1;
+    loop {
+        // Next key string.
+        while i < bytes.len() && bytes[i] != b'"' && bytes[i] != b'}' {
+            i += 1;
+        }
+        if i >= bytes.len() || bytes[i] == b'}' {
+            return Some(fields);
+        }
+        let (key, after_key) = scan_string(text, i)?;
+        let colon = text[after_key..].find(':')? + after_key;
+        let mut j = colon + 1;
+        // Value: scan to the matching top-level ',' or '}'.
+        let start = j;
+        let mut depth = 0i32;
+        loop {
+            if j >= bytes.len() {
+                return None;
+            }
+            match bytes[j] {
+                b'"' => {
+                    let (_, after) = scan_string(text, j)?;
+                    j = after;
+                    continue;
+                }
+                b'{' | b'[' => depth += 1,
+                b'}' | b']' if depth > 0 => depth -= 1,
+                b'}' if depth == 0 => {
+                    fields.insert(key, text[start..j].trim().to_string());
+                    return Some(fields);
+                }
+                b',' if depth == 0 => {
+                    fields.insert(key, text[start..j].trim().to_string());
+                    i = j + 1;
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+}
+
+/// Scans the JSON string starting at `text[at]` (which must be `"`);
+/// returns its unescaped contents and the index just past the closing
+/// quote.
+fn scan_string(text: &str, at: usize) -> Option<(String, usize)> {
+    let bytes = text.as_bytes();
+    debug_assert_eq!(bytes[at], b'"');
+    let mut out = String::new();
+    let mut i = at + 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' => return Some((out, i + 1)),
+            b'\\' => {
+                i += 1;
+                match bytes.get(i)? {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let code = u32::from_str_radix(text.get(i + 1..i + 5)?, 16).ok()?;
+                        out.push(char::from_u32(code)?);
+                        i += 4;
+                    }
+                    &c => out.push(c as char),
+                }
+            }
+            _ => {
+                // Multi-byte UTF-8: copy the whole scalar.
+                let c = text[i..].chars().next()?;
+                out.push(c);
+                i += c.len_utf8() - 1;
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Parses a raw JSON value slice as a string literal.
+fn parse_json_string(raw: &str) -> Option<String> {
+    let t = raw.trim();
+    if !t.starts_with('"') {
+        return None;
+    }
+    scan_string(t, 0).map(|(s, _)| s)
+}
+
+/// Parses a raw JSON value slice as an array of string literals.
+fn parse_string_array(raw: &str) -> Vec<String> {
+    let t = raw.trim();
+    let mut out = Vec::new();
+    if !t.starts_with('[') {
+        return out;
+    }
+    let mut i = 1;
+    let bytes = t.as_bytes();
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' => match scan_string(t, i) {
+                Some((s, after)) => {
+                    out.push(s);
+                    i = after;
+                }
+                None => return out,
+            },
+            b']' => return out,
+            _ => i += 1,
+        }
+    }
+    out
+}
+
+/// One parsed journal line (`cycle module kind flow a b`, space-joined —
+/// the canonical `JournalEvent::line` rendering).
+struct Entry<'a> {
+    cycle: u64,
+    module: &'a str,
+    kind: &'a str,
+    flow: u32,
+    a: &'a str,
+    b: &'a str,
+}
+
+impl<'a> Entry<'a> {
+    fn parse(line: &'a str) -> Option<Entry<'a>> {
+        let mut it = line.split_whitespace();
+        let e = Entry {
+            cycle: it.next()?.parse().ok()?,
+            module: it.next()?,
+            kind: it.next()?,
+            flow: it.next()?.parse().ok()?,
+            a: it.next()?,
+            b: it.next()?,
+        };
+        it.next().is_none().then_some(e)
+    }
+}
+
+#[derive(Default)]
+struct Filters {
+    flow: Option<u32>,
+    module: Option<String>,
+    kind: Option<String>,
+    cycles: Option<(u64, u64)>,
+}
+
+impl Filters {
+    fn matches(&self, e: &Entry) -> bool {
+        self.flow.is_none_or(|f| e.flow == f)
+            && self.module.as_deref().is_none_or(|m| e.module == m)
+            && self.kind.as_deref().is_none_or(|k| e.kind == k)
+            && self.cycles.is_none_or(|(lo, hi)| (lo..=hi).contains(&e.cycle))
+    }
+}
+
+fn parse_filters(args: &[String]) -> Filters {
+    let mut f = Filters::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| -> &String {
+            it.next().unwrap_or_else(|| die(&format!("{name} needs a value")))
+        };
+        match flag.as_str() {
+            "--flow" => {
+                f.flow = Some(
+                    val("--flow").parse().unwrap_or_else(|e| die(&format!("--flow: {e}"))),
+                )
+            }
+            "--module" => f.module = Some(val("--module").clone()),
+            "--kind" => f.kind = Some(val("--kind").clone()),
+            "--cycles" => {
+                let v = val("--cycles");
+                let (lo, hi) = v
+                    .split_once("..")
+                    .unwrap_or_else(|| die(&format!("--cycles wants LO..HI, got {v}")));
+                let lo = lo.parse().unwrap_or_else(|e| die(&format!("--cycles: {e}")));
+                let hi = hi.parse().unwrap_or_else(|e| die(&format!("--cycles: {e}")));
+                f.cycles = Some((lo, hi));
+            }
+            other => die(&format!("unknown filter {other} (try --help)")),
+        }
+    }
+    f
+}
+
+fn cmd_print(path: &str, filters: &Filters) {
+    let d = Dump::parse(path, &read(path));
+    println!("dump        {path}");
+    println!("reason      {}", d.reason);
+    if let Some(w) = &d.workload {
+        println!("workload    {w}");
+    }
+    println!("cycle       {}", d.cycle);
+    println!("digest      {:016x}", d.journal_digest);
+    if !d.alarms.is_empty() {
+        println!("\nalarms ({}):", d.alarms.len());
+        for a in &d.alarms {
+            println!("  {a}");
+        }
+    }
+    if !d.violations.is_empty() {
+        println!("\nviolations ({}):", d.violations.len());
+        for v in &d.violations {
+            println!("  {v}");
+        }
+    }
+    let mut shown = 0usize;
+    println!("\njournal ({} retained):", d.journal.len());
+    println!("  {:>10}  {:<14}  {:<18}  {:>8}  {:>12}  {:>12}", "cycle", "module", "kind", "flow", "a", "b");
+    for line in &d.journal {
+        let Some(e) = Entry::parse(line) else {
+            println!("  (unparsable: {line})");
+            continue;
+        };
+        if !filters.matches(&e) {
+            continue;
+        }
+        shown += 1;
+        println!(
+            "  {:>10}  {:<14}  {:<18}  {:>8}  {:>12}  {:>12}",
+            e.cycle, e.module, e.kind, e.flow, e.a, e.b
+        );
+    }
+    println!("  ({shown} of {} shown)", d.journal.len());
+}
+
+fn cmd_digest(path: &str) {
+    let d = Dump::parse(path, &read(path));
+    let mut h = FNV_OFFSET;
+    for line in &d.journal {
+        h = fnv1a(h, line.as_bytes());
+    }
+    println!("recorded digest    {:016x}", d.journal_digest);
+    println!("recomputed digest  {:016x} over {} retained lines", h, d.journal.len());
+    if h == d.journal_digest {
+        println!("MATCH — the retained tail replays the full recorded stream");
+    } else {
+        println!(
+            "MISMATCH — the ring overwrote events (the stream digest covers \
+             them; the retained tail cannot) or the dump was edited"
+        );
+        std::process::exit(EXIT_DIFFERS);
+    }
+}
+
+fn cmd_diff(path_a: &str, path_b: &str) {
+    let a = Dump::parse(path_a, &read(path_a));
+    let b = Dump::parse(path_b, &read(path_b));
+    let mut differs = false;
+    if a.reason != b.reason {
+        println!("reason: {} vs {}", a.reason, b.reason);
+        differs = true;
+    }
+    if a.journal_digest != b.journal_digest {
+        println!("digest: {:016x} vs {:016x}", a.journal_digest, b.journal_digest);
+        differs = true;
+    }
+    let n = a.journal.len().max(b.journal.len());
+    let mut shown = 0;
+    for i in 0..n {
+        let la = a.journal.get(i).map(String::as_str);
+        let lb = b.journal.get(i).map(String::as_str);
+        if la != lb {
+            if shown == 0 {
+                println!("journal diverges at entry {i}:");
+            }
+            println!("  - {}", la.unwrap_or("(absent)"));
+            println!("  + {}", lb.unwrap_or("(absent)"));
+            shown += 1;
+            differs = true;
+            if shown >= 16 {
+                println!("  (further divergence suppressed)");
+                break;
+            }
+        }
+    }
+    for (label, xs, ys) in [("alarms", &a.alarms, &b.alarms), ("violations", &a.violations, &b.violations)] {
+        if xs != ys {
+            println!("{label} differ: {} vs {} entries", xs.len(), ys.len());
+            differs = true;
+        }
+    }
+    if differs {
+        std::process::exit(EXIT_DIFFERS);
+    }
+    println!("dumps identical ({} journal entries, digest {:016x})", a.journal.len(), a.journal_digest);
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("--help") | Some("-h") | None => {
+            print!("{HELP}");
+            if argv.is_empty() {
+                std::process::exit(EXIT_USAGE);
+            }
+        }
+        Some("print") => {
+            let Some(path) = argv.get(1) else { die("print needs a dump path") };
+            cmd_print(path, &parse_filters(&argv[2..]));
+        }
+        Some("digest") => {
+            let Some(path) = argv.get(1) else { die("digest needs a dump path") };
+            if argv.len() > 2 {
+                die("digest takes exactly one dump path");
+            }
+            cmd_digest(path);
+        }
+        Some("diff") => {
+            let (Some(a), Some(b)) = (argv.get(1), argv.get(2)) else {
+                die("diff needs two dump paths")
+            };
+            if argv.len() > 3 {
+                die("diff takes exactly two dump paths");
+            }
+            cmd_diff(a, b);
+        }
+        Some(other) => die(&format!("unknown command {other} (try --help)")),
+    }
+}

@@ -51,6 +51,10 @@ struct Args {
     gate: Option<String>,
     inject_slowdown: u64,
     pcap: Option<String>,
+    journal: bool,
+    journal_sample: u32,
+    watchdog: bool,
+    dump_on_failure: Option<String>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -86,6 +90,10 @@ impl Default for Args {
             gate: None,
             inject_slowdown: 0,
             pcap: None,
+            journal: false,
+            journal_sample: 64,
+            watchdog: false,
+            dump_on_failure: None,
         }
     }
 }
@@ -98,6 +106,19 @@ impl Args {
             || self.breakdown_json.is_some()
             || self.gate.is_some()
             || self.inject_slowdown > 0
+    }
+
+    /// Whether the FtJournal must be attached: requested directly, or
+    /// implied by `--dump-on-failure` (a dump without a journal tail
+    /// explains nothing).
+    fn journal_enabled(&self) -> bool {
+        self.journal || self.dump_on_failure.is_some()
+    }
+
+    /// Whether the health watchdog must be attached: requested directly,
+    /// or implied by `--dump-on-failure` (the dump carries its alarms).
+    fn watchdog_enabled(&self) -> bool {
+        self.watchdog || self.dump_on_failure.is_some()
     }
 }
 
@@ -155,6 +176,17 @@ USAGE: f4tperf [OPTIONS]
   --pcap <PATH>                    capture up to 10k wire segments to PATH
                                    as a libpcap file (system workloads
                                    capture both directions)
+  --journal                        attach the FtJournal causal event journal
+                                   (bounded ring; per-flow sampled)
+  --journal-sample <N>             journal 1-in-N flows         [64]
+  --watchdog                       attach the online health watchdog (stuck
+                                   flows, retransmit storms, queue SLO,
+                                   starved LUT entries); any alarm exits 1
+  --dump-on-failure <PATH>         write the FtJournal black-box dump
+                                   (journal tail, watchdog alarms, FtVerify
+                                   violations, implicated TCBs, config,
+                                   flight breakdown) to PATH when the run
+                                   fails; implies --journal and --watchdog
   --telemetry-format <json|prometheus>
                                    FtScope export format        [json]
   --help                           this text
@@ -180,6 +212,9 @@ fn parse() -> Result<Args, String> {
         }
         if args.flight_sample == 0 {
             return Err("--flight-sample must be at least 1".into());
+        }
+        if args.journal_sample == 0 {
+            return Err("--journal-sample must be at least 1".into());
         }
         Ok(())
     };
@@ -242,6 +277,13 @@ fn parse() -> Result<Args, String> {
                     val("--inject-slowdown")?.parse().map_err(|e| format!("{e}"))?
             }
             "--pcap" => args.pcap = Some(val("--pcap")?),
+            "--journal" => args.journal = true,
+            "--journal-sample" => {
+                args.journal_sample =
+                    val("--journal-sample")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--watchdog" => args.watchdog = true,
+            "--dump-on-failure" => args.dump_on_failure = Some(val("--dump-on-failure")?),
             "--trace-depth" => {
                 args.trace_depth = val("--trace-depth")?.parse().map_err(|e| format!("{e}"))?
             }
@@ -288,6 +330,9 @@ fn main() {
         fast_forward: args.fast_forward,
         flight: args.flight_enabled(),
         flight_sample: args.flight_sample,
+        journal: args.journal_enabled(),
+        journal_sample: args.journal_sample,
+        watchdog: args.watchdog_enabled(),
         ..EngineConfig::reference()
     };
 
@@ -399,6 +444,14 @@ fn main() {
         }
     }
 
+    if let Some(j) = sys.a.engine.journal() {
+        println!(
+            "  journal            {:>10} events recorded / digest {:016x} (1/{} sampling)",
+            j.events_recorded(),
+            j.digest(),
+            j.sample_n()
+        );
+    }
     if args.check {
         let violations =
             sys.a.engine.check_total_violations() + sys.b.engine.check_total_violations();
@@ -408,14 +461,40 @@ fn main() {
             }
         }
         if violations > 0 {
+            write_dump(&args, &sys.a.engine, "invariant-violation");
             eprintln!("error: FtVerify found {violations} design-rule violation(s)");
             std::process::exit(EXIT_VIOLATIONS);
         }
+    }
+    let alarms = sys.a.engine.watchdog_alarm_count() + sys.b.engine.watchdog_alarm_count();
+    if alarms > 0 {
+        for e in [&sys.a.engine, &sys.b.engine] {
+            if let Some(w) = e.watchdog() {
+                for a in w.alarms() {
+                    eprintln!("  watchdog alarm     {}", a.line());
+                }
+            }
+        }
+        write_dump(&args, &sys.a.engine, "watchdog-alarm");
+        eprintln!("error: watchdog raised {alarms} alarm(s)");
+        std::process::exit(EXIT_VIOLATIONS);
     }
 
     // Breakdown + gate run last so an FtVerify failure (exit 1) wins
     // over a perf regression (exit 3) when both fire.
     finish_flight(&args, &sys.a.engine);
+}
+
+/// Writes the FtJournal black-box dump to the `--dump-on-failure` path
+/// (no-op without the flag). Called on every failing exit path so the
+/// forensic record exists before the process dies.
+fn write_dump(args: &Args, e: &Engine, reason: &str) {
+    let Some(path) = &args.dump_on_failure else { return };
+    let extra = [("workload", format!("\"{}\"", args.workload))];
+    match std::fs::write(path, e.blackbox_json(reason, &extra)) {
+        Ok(()) => eprintln!("  black-box dump     → {path} ({reason})"),
+        Err(err) => eprintln!("error: writing {path}: {err}"),
+    }
 }
 
 /// Prints the FtFlight summary, writes `--breakdown-json` and runs the
@@ -448,7 +527,17 @@ fn finish_flight(args: &Args, e: &Engine) {
         println!("  breakdown          → {path}");
     }
     if let Some(baseline) = &args.gate {
-        run_gate(baseline, &breakdown);
+        let violations = run_gate(baseline, &breakdown, &args.workload);
+        if violations.is_empty() {
+            println!("  perf gate          PASS vs {baseline}");
+        } else {
+            eprintln!("error: perf gate FAIL vs {baseline}:");
+            for v in &violations {
+                eprintln!("  - {v}");
+            }
+            write_dump(args, e, "gate-failure");
+            std::process::exit(EXIT_PERF_REGRESSION);
+        }
     }
 }
 
@@ -461,9 +550,12 @@ const GATE_P99_RATIO: f64 = 1.25;
 const GATE_P99_SLACK_CYCLES: f64 = 16.0;
 
 /// Compares the current breakdown against a committed baseline and
-/// exits with [`EXIT_PERF_REGRESSION`] if any metric drifts out of
-/// tolerance.
-fn run_gate(baseline_path: &str, current: &str) {
+/// returns one formatted violation per out-of-tolerance metric (empty =
+/// gate passes). Every line names the workload, stage and metric with
+/// the baseline, observed value and allowed bound — the format
+/// `workload=… stage=… metric=… observed=… baseline=… allowed…` is
+/// pinned by `crates/bench/tests/cli.rs`.
+fn run_gate(baseline_path: &str, current: &str, workload: &str) -> Vec<String> {
     let base_text = match std::fs::read_to_string(baseline_path) {
         Ok(t) => t,
         Err(e) => {
@@ -482,43 +574,45 @@ fn run_gate(baseline_path: &str, current: &str) {
     let mut violations = Vec::new();
     match (base.get("cycles"), cur.get("cycles")) {
         (Some(&b), Some(&c)) => {
-            if c > b * GATE_CYCLES_RATIO || c * GATE_CYCLES_RATIO < b {
+            let lo = b / GATE_CYCLES_RATIO;
+            let hi = b * GATE_CYCLES_RATIO;
+            if c > hi || c < lo {
                 violations.push(format!(
-                    "cycles: {c:.0} vs baseline {b:.0} (allowed ±{:.0}%)",
-                    (GATE_CYCLES_RATIO - 1.0) * 100.0
+                    "workload={workload} stage=total metric=cycles observed={c:.0} baseline={b:.0} allowed=[{lo:.0}..{hi:.0}]"
                 ));
             }
         }
-        _ => violations.push("cycles: missing from baseline or current run".into()),
+        _ => violations.push(format!(
+            "workload={workload} stage=total metric=cycles observed=missing baseline=missing allowed=present"
+        )),
     }
     for (key, &b) in &base {
         if !(key.starts_with("flight.stages.") && key.ends_with(".p99_cycles")) {
             continue;
         }
+        let stage = key
+            .trim_start_matches("flight.stages.")
+            .trim_end_matches(".p99_cycles");
         let allowed = b * GATE_P99_RATIO + GATE_P99_SLACK_CYCLES;
         match cur.get(key) {
             Some(&c) if c <= allowed => {}
             Some(&c) => violations.push(format!(
-                "{key}: p99 {c:.0} cycles vs baseline {b:.0} (allowed {allowed:.0})"
+                "workload={workload} stage={stage} metric=p99_cycles observed={c:.0} baseline={b:.0} allowed<={allowed:.0}"
             )),
-            None => violations.push(format!("{key}: stage missing from current run")),
+            None => violations.push(format!(
+                "workload={workload} stage={stage} metric=p99_cycles observed=missing baseline={b:.0} allowed<={allowed:.0}"
+            )),
         }
     }
     if let (Some(&b), Some(&c)) = (base.get("flight.spans_recorded"), cur.get("flight.spans_recorded"))
     {
         if b > 0.0 && c == 0.0 {
-            violations.push("flight.spans_recorded: recorder captured nothing".into());
+            violations.push(format!(
+                "workload={workload} stage=total metric=spans_recorded observed=0 baseline={b:.0} allowed>0"
+            ));
         }
     }
-    if violations.is_empty() {
-        println!("  perf gate          PASS vs {baseline_path}");
-    } else {
-        eprintln!("error: perf gate FAIL vs {baseline_path}:");
-        for v in &violations {
-            eprintln!("  - {v}");
-        }
-        std::process::exit(EXIT_PERF_REGRESSION);
-    }
+    violations
 }
 
 /// Corrupts flow 0's location state so FtVerify has something real to
@@ -692,11 +786,20 @@ fn run_scale(args: &Args, mut cfg: EngineConfig) -> ! {
             }
         }
     }
+    if let Some(j) = e.journal() {
+        println!(
+            "  journal            {:>10} events recorded / digest {:016x} (1/{} sampling)",
+            j.events_recorded(),
+            j.digest(),
+            j.sample_n()
+        );
+    }
     if args.check {
         if let Some(summary) = e.check_summary() {
             println!("  ftverify           {summary}");
         }
         if e.check_total_violations() > 0 {
+            write_dump(args, &e, "invariant-violation");
             eprintln!(
                 "error: FtVerify found {} design-rule violation(s)",
                 e.check_total_violations()
@@ -704,7 +807,18 @@ fn run_scale(args: &Args, mut cfg: EngineConfig) -> ! {
             std::process::exit(EXIT_VIOLATIONS);
         }
     }
+    if e.watchdog_alarm_count() > 0 {
+        if let Some(w) = e.watchdog() {
+            for a in w.alarms() {
+                eprintln!("  watchdog alarm     {}", a.line());
+            }
+        }
+        write_dump(args, &e, "watchdog-alarm");
+        eprintln!("error: watchdog raised {} alarm(s)", e.watchdog_alarm_count());
+        std::process::exit(EXIT_VIOLATIONS);
+    }
     if !completed && args.inject_fault.is_none() {
+        write_dump(args, &e, "stuck-flows");
         eprintln!("error: flows stuck after {} cycles", e.cycles());
         std::process::exit(EXIT_USAGE);
     }

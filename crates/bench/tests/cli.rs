@@ -47,6 +47,8 @@ fn usage_errors_exit_two() {
         &["--workload", "nosuch"][..],
         &["--inject-fault", "nosuch"][..],
         &["--dram"][..], // missing value
+        &["--flight-sample", "0"][..],
+        &["--journal-sample", "0"][..],
     ] {
         let out = f4tperf(bad);
         assert_eq!(out.status.code(), Some(2), "args {bad:?}:\n{}", stderr(&out));
@@ -129,16 +131,106 @@ fn gate_passes_against_own_baseline_and_trips_on_slowdown() {
     assert_eq!(out.status.code(), Some(0), "{}\n{}", stdout(&out), stderr(&out));
     assert!(stdout(&out).contains("perf gate          PASS"), "{}", stdout(&out));
 
-    // A 400-cycle span bias must trip the documented exit code 3.
+    // A 400-cycle span bias must trip the documented exit code 3, and
+    // every violation line must name the workload, stage, metric, the
+    // observed and baseline values, and the allowed bound — this format
+    // is what CI log scrapers key on, so it is pinned here.
     let out = f4tperf(&[SMALL_SCALE, &["--gate", &base, "--inject-slowdown", "400"]].concat());
     assert_eq!(out.status.code(), Some(3), "{}\n{}", stdout(&out), stderr(&out));
-    assert!(stderr(&out).contains("perf gate FAIL"), "{}", stderr(&out));
-    assert!(stderr(&out).contains("p99"), "{}", stderr(&out));
+    let err = stderr(&out);
+    assert!(err.contains("perf gate FAIL"), "{err}");
+    let violation = err
+        .lines()
+        .find(|l| l.contains("metric=p99_cycles"))
+        .unwrap_or_else(|| panic!("no pinned-format p99 violation line in:\n{err}"));
+    assert!(violation.contains("workload=scale"), "{violation}");
+    assert!(violation.contains("stage="), "{violation}");
+    assert!(violation.contains("observed="), "{violation}");
+    assert!(violation.contains("baseline="), "{violation}");
+    assert!(violation.contains("allowed<="), "{violation}");
 
     // A missing baseline is an I/O error (2), not a regression (3).
     let out = f4tperf(&[SMALL_SCALE, &["--gate", "/nonexistent-dir/base.json"]].concat());
     assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
     std::fs::remove_file(&base).ok();
+}
+
+fn f4tdbg(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_f4tdbg"))
+        .args(args)
+        .output()
+        .expect("spawn f4tdbg")
+}
+
+#[test]
+fn journal_run_reports_digest_and_sampling() {
+    let out = f4tperf(&[SMALL_SCALE, &["--journal", "--journal-sample", "8"]].concat());
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("journal"), "{text}");
+    assert!(text.contains("events recorded"), "{text}");
+    assert!(text.contains("(1/8 sampling)"), "{text}");
+}
+
+#[test]
+fn watchdog_clean_run_exits_zero() {
+    let out = f4tperf(&[SMALL_SCALE, &["--watchdog"]].concat());
+    assert_eq!(out.status.code(), Some(0), "{}\n{}", stdout(&out), stderr(&out));
+    assert!(!stderr(&out).contains("watchdog raised"), "{}", stderr(&out));
+}
+
+/// The full forensic round trip, and the digest-replay acceptance
+/// criterion: a fault-triggered black-box dump must replay through
+/// `f4tdbg digest` to the same determinism digest the engine recorded.
+#[test]
+fn dump_on_failure_replays_through_f4tdbg() {
+    // The scale workload spreads events over 128 flows, so the default
+    // 1/64 sampling keeps the stream small enough to fit the ring: the
+    // recomputed digest can only equal the recorded one when no event
+    // was overwritten.
+    let dump = tmp("fault-dump.json");
+    let out = f4tperf(
+        &[SMALL_SCALE, &["--check", "--inject-fault", "lut-misdirect", "--dump-on-failure", &dump]]
+            .concat(),
+    );
+    assert_eq!(out.status.code(), Some(1), "{}\n{}", stdout(&out), stderr(&out));
+    assert!(
+        stderr(&out).contains("black-box dump"),
+        "dump path must be announced on the failure stream:\n{}",
+        stderr(&out)
+    );
+    let text = std::fs::read_to_string(&dump).expect("dump written");
+    assert!(text.contains("\"reason\": \"invariant-violation\""), "{text}");
+
+    // Replay: the recomputed journal digest must match the recorded one.
+    let out = f4tdbg(&["digest", &dump]);
+    assert_eq!(out.status.code(), Some(0), "{}\n{}", stdout(&out), stderr(&out));
+    assert!(stdout(&out).contains("MATCH"), "{}", stdout(&out));
+
+    // Pretty-print with filters narrows the journal view without erroring.
+    let out = f4tdbg(&["print", &dump, "--module", "scheduler"]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    assert!(stdout(&out).contains("reason"), "{}", stdout(&out));
+
+    // A dump diffed against itself is identical (exit 0).
+    let out = f4tdbg(&["diff", &dump, &dump]);
+    assert_eq!(out.status.code(), Some(0), "{}\n{}", stdout(&out), stderr(&out));
+    assert!(stdout(&out).contains("identical"), "{}", stdout(&out));
+
+    std::fs::remove_file(&dump).ok();
+}
+
+#[test]
+fn f4tdbg_usage_errors_exit_two() {
+    for bad in [
+        &[][..],
+        &["nosuch-command", "x.json"][..],
+        &["digest", "/nonexistent-dir/dump.json"][..],
+        &["print", "/nonexistent-dir/dump.json"][..],
+    ] {
+        let out = f4tdbg(bad);
+        assert_eq!(out.status.code(), Some(2), "args {bad:?}:\n{}", stderr(&out));
+    }
 }
 
 #[test]

@@ -25,7 +25,10 @@ use f4t_mem::{DramKind, Location};
 use f4t_sim::check::{InvariantChecker, Violation, ViolationKind};
 use f4t_sim::clock::merge_horizon;
 use f4t_sim::telemetry::{MetricsRegistry, TraceKind, TraceRing};
-use f4t_sim::FlightRecorder;
+use f4t_sim::{
+    FlightRecorder, FlowObservation, Journal, JournalKind, JournalModule, QueueObservation,
+    Watchdog, WatchdogConfig,
+};
 use f4t_tcp::wire::{ArpMessage, IcmpEcho};
 use f4t_tcp::{
     CcAlgorithm, CongestionControl, FlowId, FourTuple, MacAddr, Segment, SeqNum, Tcb, TcpState,
@@ -89,6 +92,27 @@ pub struct EngineConfig {
     /// `0 (mod flight_sample)`. 1 tracks every flow; the default 64
     /// keeps overhead within the ≤1.10x budget on 64K-flow workloads.
     pub flight_sample: u32,
+    /// FtJournal: attach the bounded causal event journal (DESIGN.md
+    /// §11). Off by default; the disabled path costs one branch per
+    /// emission site.
+    pub journal: bool,
+    /// FtJournal sampling divisor: record events for flows whose id is
+    /// `0 (mod journal_sample)`. 1 records every flow; the default 64
+    /// keeps overhead within the ≤1.10x budget. Flow-less events
+    /// (`flow == u32::MAX`, e.g. cuckoo misses) are always recorded.
+    pub journal_sample: u32,
+    /// FtJournal ring capacity in events; older events are overwritten
+    /// but stay folded into the running digest.
+    pub journal_cap: usize,
+    /// FtJournal/watchdog: attach the online health watchdog (stuck
+    /// flows, retransmit storms, queue SLO breaches, starved LUT
+    /// entries). Off by default.
+    pub watchdog: bool,
+    /// Cycles between watchdog sweeps. A sweep walks every resident TCB,
+    /// so it runs on a coarse period (default 65 536 cycles ≈ 262 µs).
+    pub watchdog_interval: u64,
+    /// Watchdog thresholds; see [`WatchdogConfig`].
+    pub watchdog_cfg: WatchdogConfig,
 }
 
 impl EngineConfig {
@@ -112,6 +136,12 @@ impl EngineConfig {
             check: false,
             flight: false,
             flight_sample: 64,
+            journal: false,
+            journal_sample: 64,
+            journal_cap: f4t_sim::journal::JOURNAL_DEFAULT_CAP,
+            watchdog: false,
+            watchdog_interval: 65_536,
+            watchdog_cfg: WatchdogConfig::default(),
         }
     }
 
@@ -266,6 +296,12 @@ pub struct Engine {
     /// FtFlight latency-attribution recorder; attached when
     /// `EngineConfig::flight` is set. Boxed like the checker.
     flight: Option<Box<FlightRecorder>>,
+    /// FtJournal causal event journal; attached when
+    /// `EngineConfig::journal` is set. Boxed like the checker.
+    journal: Option<Box<Journal>>,
+    /// Online health watchdog; attached when `EngineConfig::watchdog` is
+    /// set. Boxed like the checker.
+    watchdog: Option<Box<Watchdog>>,
     /// FtScope pipeline trace (disabled — capacity 0 — by default).
     trace: TraceRing,
     /// Counter snapshots from the previous tick, used to derive per-tick
@@ -295,6 +331,26 @@ const TX_OUT_CAP: usize = 256;
 /// fire inline; the cross-module residency/LUT/conservation audit walks
 /// every table, so it runs every `AUDIT_INTERVAL` cycles instead.
 const AUDIT_INTERVAL: u64 = 64;
+
+/// Minimal JSON string escaping for the black-box dump (quotes,
+/// backslashes and control characters; everything else passes through).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
 
 impl Engine {
     /// Builds an engine from `config` with the configured built-in
@@ -344,6 +400,10 @@ impl Engine {
             ff_windows: 0,
             check: config.check.then(|| Box::new(InvariantChecker::new())),
             flight: None,
+            journal: config
+                .journal
+                .then(|| Box::new(Journal::with_capacity(config.journal_sample, config.journal_cap))),
+            watchdog: config.watchdog.then(|| Box::new(Watchdog::new(config.watchdog_cfg))),
             trace: TraceRing::disabled(),
             trace_prev: TraceCounters::default(),
             mac: MacAddr([0x02, 0xf4, 0x70, 0, 0, 1]),
@@ -351,6 +411,11 @@ impl Engine {
             cycle: 0,
             config,
         };
+        // `is_multiple_of(0)` only holds at cycle 0; treat 0 as "every
+        // cycle" so a zeroed config still sweeps.
+        if engine.config.watchdog_interval == 0 {
+            engine.config.watchdog_interval = 1;
+        }
         if engine.config.flight {
             engine.attach_flight();
         }
@@ -462,9 +527,33 @@ impl Engine {
         if self.scheduler.push_event_at(ev, self.cycle) {
             self.host_events += 1;
             self.trace.record(self.cycle, TraceKind::HostEnqueue, ev.flow.0, 0);
+            if let Some(j) = self.journal.as_deref_mut() {
+                j.record(
+                    self.cycle,
+                    JournalModule::Host,
+                    JournalKind::HostEvent,
+                    ev.flow.0,
+                    Self::event_kind_code(&ev.kind),
+                    0,
+                );
+            }
             true
         } else {
             false
+        }
+    }
+
+    /// Stable numeric code for a host-event kind, journalled as the
+    /// `host_event` `a` payload (timer-driven events never pass through
+    /// the doorbell, so `timeout` only appears via internal paths).
+    fn event_kind_code(kind: &EventKind) -> u64 {
+        match kind {
+            EventKind::Connect => 0,
+            EventKind::Close => 1,
+            EventKind::SendReq { .. } => 2,
+            EventKind::RecvConsumed { .. } => 3,
+            EventKind::RxPacket { .. } => 4,
+            EventKind::Timeout { .. } => 5,
         }
     }
 
@@ -604,6 +693,12 @@ impl Engine {
         if let Some(f) = &self.flight {
             f.collect(&format!("{prefix}.flight"), reg);
         }
+        if let Some(j) = &self.journal {
+            j.collect(&format!("{prefix}.journal"), reg);
+        }
+        if let Some(w) = &self.watchdog {
+            w.collect(&format!("{prefix}.watchdog"), reg);
+        }
     }
 
     /// The FtFlight recorder, when [`EngineConfig::flight`] is set.
@@ -627,6 +722,120 @@ impl Engine {
         if let Some(f) = self.flight.as_deref_mut() {
             f.set_bias(cycles);
         }
+    }
+
+    /// The FtJournal, when [`EngineConfig::journal`] is set.
+    pub fn journal(&self) -> Option<&Journal> {
+        self.journal.as_deref()
+    }
+
+    /// The journal's running determinism digest (0 when the journal is
+    /// off). Covers every recorded event including overwritten ones, so
+    /// two runs with equal digests emitted identical event streams.
+    pub fn journal_digest(&self) -> u64 {
+        self.journal.as_ref().map_or(0, |j| j.digest())
+    }
+
+    /// The health watchdog, when [`EngineConfig::watchdog`] is set.
+    pub fn watchdog(&self) -> Option<&Watchdog> {
+        self.watchdog.as_deref()
+    }
+
+    /// Total watchdog alarms raised (0 when the watchdog is off).
+    pub fn watchdog_alarm_count(&self) -> u64 {
+        self.watchdog.as_ref().map_or(0, |w| w.alarm_count())
+    }
+
+    /// FtJournal post-mortem black-box dump: a self-contained JSON
+    /// document carrying everything needed to explain a failure after the
+    /// fact — the journal tail (with its digest), watchdog alarms,
+    /// FtVerify violations, the TCBs implicated by alarms, the engine
+    /// config and the FtFlight breakdown. `reason` names the trigger
+    /// (e.g. `invariant-violation`, `watchdog-alarm`, `gate-failure`);
+    /// `extra` is a list of pre-rendered top-level JSON fields
+    /// (`(key, rendered-value)`) the caller adds — workload name, RNG
+    /// seed — without this layer needing a JSON writer.
+    pub fn blackbox_json(&self, reason: &str, extra: &[(&str, String)]) -> String {
+        let mut s = String::with_capacity(4096);
+        s.push_str("{\n");
+        s.push_str(&format!("  \"reason\": {},\n", json_str(reason)));
+        s.push_str(&format!("  \"cycle\": {},\n", self.cycle));
+        for (k, v) in extra {
+            s.push_str(&format!("  {}: {},\n", json_str(k), v));
+        }
+        s.push_str(&format!(
+            "  \"config\": {{\"num_fpcs\": {}, \"flows_per_fpc\": {}, \"max_flows\": {}, \"lut_groups\": {}, \"coalescing\": {}, \"fast_forward\": {}, \"journal_sample\": {}, \"watchdog_interval\": {}}},\n",
+            self.config.num_fpcs,
+            self.config.flows_per_fpc,
+            self.config.max_flows,
+            self.config.lut_groups,
+            self.config.coalescing,
+            self.config.fast_forward,
+            self.config.journal_sample,
+            self.config.watchdog_interval,
+        ));
+        // Journal tail: newest-last compact lines plus the running digest.
+        s.push_str(&format!("  \"journal_digest\": {},\n", self.journal_digest()));
+        s.push_str("  \"journal\": [");
+        if let Some(j) = &self.journal {
+            let mut first = true;
+            for line in j.lines() {
+                if !first {
+                    s.push_str(", ");
+                }
+                first = false;
+                s.push_str(&json_str(&line));
+            }
+        }
+        s.push_str("],\n");
+        // Watchdog alarms, in firing order.
+        s.push_str("  \"alarms\": [");
+        let mut implicated: Vec<FlowId> = Vec::new();
+        if let Some(w) = &self.watchdog {
+            for (i, a) in w.alarms().iter().enumerate() {
+                if i > 0 {
+                    s.push_str(", ");
+                }
+                s.push_str(&json_str(&a.line()));
+                if let Some(f) = a.flow {
+                    implicated.push(FlowId(f));
+                }
+            }
+        }
+        s.push_str("],\n");
+        // FtVerify violations (Display-rendered).
+        s.push_str("  \"violations\": [");
+        for (i, v) in self.check_violations().iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&json_str(&v.to_string()));
+        }
+        s.push_str("],\n");
+        // TCBs implicated by per-flow alarms (Debug-rendered; capped so a
+        // storm cannot balloon the dump).
+        implicated.sort();
+        implicated.dedup();
+        implicated.truncate(16);
+        s.push_str("  \"implicated_tcbs\": [");
+        let mut first = true;
+        for flow in implicated {
+            if let Some(tcb) = self.peek_tcb(flow) {
+                if !first {
+                    s.push_str(", ");
+                }
+                first = false;
+                s.push_str(&json_str(&format!("{tcb:?}")));
+            }
+        }
+        s.push_str("],\n");
+        // FtFlight breakdown, when the recorder is attached.
+        match self.flight_json() {
+            Some(fj) => s.push_str(&format!("  \"flight\": {fj}\n")),
+            None => s.push_str("  \"flight\": null\n"),
+        }
+        s.push('}');
+        s
     }
 
     /// Enables (capacity > 0) or disables (capacity 0) the pipeline
@@ -745,7 +954,22 @@ impl Engine {
         // 1. Timers → timeout events.
         for (flow, kind) in self.timers.expired(now) {
             let ev = FlowEvent::new(flow, EventKind::Timeout { kind }, now);
-            if !self.scheduler.push_event_at(ev, cycle) {
+            let accepted = self.scheduler.push_event_at(ev, cycle);
+            if let Some(j) = self.journal.as_deref_mut() {
+                let code = match kind {
+                    TimeoutKind::Rto => 0,
+                    TimeoutKind::Probe => 1,
+                };
+                j.record(
+                    cycle,
+                    JournalModule::Timers,
+                    JournalKind::TimerFired,
+                    flow.0,
+                    code,
+                    u64::from(accepted),
+                );
+            }
+            if !accepted {
                 // Intake full: re-arm slightly later rather than lose it.
                 self.timers.arm(flow, kind, now + 2_000);
             }
@@ -757,7 +981,13 @@ impl Engine {
         //    drops packets.
         if self.scheduler.intake_free() >= 8 {
             let mut rx_out = RxOutput::default();
-            self.rx_parser.tick_flight(now, cycle, &mut rx_out, self.flight.as_deref_mut());
+            self.rx_parser.tick_flight(
+                now,
+                cycle,
+                &mut rx_out,
+                self.flight.as_deref_mut(),
+                self.journal.as_deref_mut(),
+            );
             for ev in rx_out.events {
                 self.trace.record(cycle, TraceKind::RxEnqueue, ev.flow.0, 0);
                 let accepted = self.scheduler.push_event_at(ev, cycle);
@@ -775,6 +1005,7 @@ impl Engine {
             &mut self.mm,
             self.check.as_deref_mut(),
             self.flight.as_deref_mut(),
+            self.journal.as_deref_mut(),
         );
         if self.trace.enabled() {
             // Derive per-cycle trace events from the scheduler's running
@@ -823,6 +1054,18 @@ impl Engine {
                 self.flight.as_deref_mut(),
             );
             for req in out.tx.drain(..) {
+                if req.retransmit {
+                    if let Some(j) = self.journal.as_deref_mut() {
+                        j.record(
+                            cycle,
+                            JournalModule::Fpu,
+                            JournalKind::Retransmit,
+                            req.flow.0,
+                            u64::from(req.seq.0),
+                            u64::from(req.len),
+                        );
+                    }
+                }
                 if self.pkt_gen.can_accept() {
                     self.pkt_gen.push_at(req, cycle);
                 } else {
@@ -831,14 +1074,52 @@ impl Engine {
             }
             for (flow, outcome, tcb) in &out.outcomes {
                 self.trace.record(cycle, TraceKind::Dispatch, flow.0, u64::from(fpc_id));
+                if let Some(j) = self.journal.as_deref_mut() {
+                    j.record(
+                        cycle,
+                        JournalModule::Fpu,
+                        JournalKind::FpuDecision,
+                        flow.0,
+                        u64::from(tcb.snd_una.0),
+                        u64::from(tcb.snd_nxt.0),
+                    );
+                }
                 self.process_outcome(*flow, outcome, tcb);
             }
             for tcb in out.evicted.drain(..) {
                 self.trace.record(cycle, TraceKind::Evict, tcb.flow.0, u64::from(fpc_id));
+                if let Some(j) = self.journal.as_deref_mut() {
+                    j.record(
+                        cycle,
+                        JournalModule::Fpc,
+                        JournalKind::TcbEvict,
+                        tcb.flow.0,
+                        u64::from(fpc_id),
+                        0,
+                    );
+                }
                 self.scheduler.on_evicted(tcb, &mut self.fpcs, &mut self.mm);
             }
             for flow in out.installed.drain(..) {
                 self.trace.record(cycle, TraceKind::SwapIn, flow.0, u64::from(fpc_id));
+                if let Some(j) = self.journal.as_deref_mut() {
+                    j.record(
+                        cycle,
+                        JournalModule::Fpc,
+                        JournalKind::TcbInstall,
+                        flow.0,
+                        u64::from(fpc_id),
+                        0,
+                    );
+                    j.record(
+                        cycle,
+                        JournalModule::Scheduler,
+                        JournalKind::TcbMigrateDone,
+                        flow.0,
+                        1,
+                        u64::from(fpc_id),
+                    );
+                }
                 self.scheduler.on_installed(
                     flow,
                     fpc_id,
@@ -852,15 +1133,45 @@ impl Engine {
 
         // 5. Memory manager.
         let mut mo = MmOutput::default();
-        self.mm.tick_flight(&mut mo, cycle, self.flight.as_deref_mut());
+        self.mm.tick_flight(&mut mo, cycle, self.flight.as_deref_mut(), self.journal.as_deref_mut());
         for flow in mo.swap_in_requests {
+            if let Some(j) = self.journal.as_deref_mut() {
+                j.record(
+                    cycle,
+                    JournalModule::MemoryManager,
+                    JournalKind::TcbSwapInReq,
+                    flow.0,
+                    0,
+                    0,
+                );
+            }
             self.scheduler.request_swap_in_at(flow, cycle);
         }
         for flow in mo.evict_done {
             self.trace.record(cycle, TraceKind::MigrateDone, flow.0, 0);
+            if let Some(j) = self.journal.as_deref_mut() {
+                j.record(
+                    cycle,
+                    JournalModule::MemoryManager,
+                    JournalKind::TcbMigrateDone,
+                    flow.0,
+                    0,
+                    Journal::DRAM_SLOT,
+                );
+            }
             self.scheduler.on_evict_done(flow, cycle, self.check.as_deref_mut());
         }
         for ev in mo.bounced {
+            if let Some(j) = self.journal.as_deref_mut() {
+                j.record(
+                    cycle,
+                    JournalModule::MemoryManager,
+                    JournalKind::EventBounced,
+                    ev.flow.0,
+                    0,
+                    0,
+                );
+            }
             if !self.scheduler.push_event_at(ev, cycle) {
                 // Intake full: treat like a dropped packet; TCP recovers.
                 break;
@@ -871,7 +1182,13 @@ impl Engine {
         if self.tx_out.len() < TX_OUT_CAP {
             let mut segs = std::mem::take(&mut self.seg_scratch);
             segs.clear();
-            self.pkt_gen.tick_flight(now, cycle, &mut segs, self.flight.as_deref_mut());
+            self.pkt_gen.tick_flight(
+                now,
+                cycle,
+                &mut segs,
+                self.flight.as_deref_mut(),
+                self.journal.as_deref_mut(),
+            );
             if self.trace.enabled() {
                 for seg in &segs {
                     self.trace.record(cycle, TraceKind::TxSegment, 0, u64::from(seg.payload_len));
@@ -897,7 +1214,68 @@ impl Engine {
             self.run_audit(cycle);
         }
 
+        // 8. Online health watchdog, on its own coarse period (same
+        //    audit-boundary discipline: fast-forward windows stop at
+        //    every sweep cycle, so sweeps observe identical state in
+        //    fast-forwarded and tick-by-tick runs).
+        if self.watchdog.is_some() && cycle.is_multiple_of(self.config.watchdog_interval) {
+            self.run_watchdog(cycle);
+        }
+
         self.cycle += 1;
+    }
+
+    /// One watchdog sweep: builds flow/queue observations from the live
+    /// module state and feeds them to the [`Watchdog`]. Flows whose TCB
+    /// is mid-migration (in neither an FPC nor the DRAM store this
+    /// instant) are skipped; the `moving` flag covers the LUT side.
+    fn run_watchdog(&mut self, cycle: u64) {
+        let Some(mut wd) = self.watchdog.take() else { return };
+        // Residency map: (snd_una, req) wherever the TCB lives.
+        let mut residency: HashMap<FlowId, (u64, u64)> = HashMap::new();
+        for f in &self.fpcs {
+            for tcb in f.resident_tcbs() {
+                residency.insert(tcb.flow, (u64::from(tcb.snd_una.0), u64::from(tcb.req.0)));
+            }
+        }
+        for tcb in self.mm.resident_tcbs() {
+            residency
+                .entry(tcb.flow)
+                .or_insert((u64::from(tcb.snd_una.0), u64::from(tcb.req.0)));
+        }
+        let mut ids: Vec<FlowId> = self.flows.keys().copied().collect();
+        ids.sort();
+        let mut flow_obs: Vec<FlowObservation> = Vec::with_capacity(ids.len());
+        for flow in ids {
+            let moving = self.scheduler.location(flow) == Location::Moving;
+            let Some(&(una, req)) = residency.get(&flow) else {
+                if moving {
+                    flow_obs.push(FlowObservation {
+                        flow: flow.0,
+                        progress: 0,
+                        outstanding: false,
+                        moving: true,
+                    });
+                }
+                continue;
+            };
+            flow_obs.push(FlowObservation {
+                flow: flow.0,
+                progress: una,
+                outstanding: una != req,
+                moving,
+            });
+        }
+        let queues = [
+            QueueObservation {
+                name: "scheduler.input_fifo",
+                depth: Scheduler::INPUT_FIFO_DEPTH - self.scheduler.intake_free(),
+                cap: Scheduler::INPUT_FIFO_DEPTH,
+            },
+            QueueObservation { name: "engine.tx_out", depth: self.tx_out.len(), cap: TX_OUT_CAP },
+        ];
+        wd.observe(cycle, &flow_obs, &queues, self.pkt_gen.retransmissions());
+        self.watchdog = Some(wd);
     }
 
     /// FtVerify cross-module audit. Per-cycle rules live inline in the
@@ -1084,6 +1462,15 @@ impl Engine {
                 (cycle / AUDIT_INTERVAL + 1) * AUDIT_INTERVAL
             };
             target = target.min(next_audit);
+        }
+        // The watchdog sweeps on its own period; stop every window at the
+        // next sweep cycle so fast-forwarded and tick-by-tick runs observe
+        // identical state at identical cycles.
+        if self.watchdog.is_some() {
+            let iv = self.config.watchdog_interval;
+            let next_sweep =
+                if cycle.is_multiple_of(iv) { cycle } else { (cycle / iv + 1) * iv };
+            target = target.min(next_sweep);
         }
         if target <= cycle {
             return false;

@@ -817,6 +817,12 @@ impl Fpc {
     pub fn resident_flows(&self) -> impl Iterator<Item = FlowId> + '_ {
         self.slots.iter().filter(|s| s.occupied).map(|s| s.tcb.flow)
     }
+
+    /// TCBs currently resident in this FPC (watchdog progress scan: one
+    /// pass over the slot table instead of a per-flow `peek_tcb` search).
+    pub fn resident_tcbs(&self) -> impl Iterator<Item = &Tcb> {
+        self.slots.iter().filter(|s| s.occupied).map(|s| &s.tcb)
+    }
 }
 
 #[cfg(test)]

@@ -19,7 +19,7 @@ use crate::event::{EventKind, FlowEvent, TimeoutKind};
 use crate::fpu::EventView;
 use f4t_mem::{CacheAccess, DramKind, DramModel, TcbCache, TCB_BYTES};
 use f4t_sim::check::InvariantChecker;
-use f4t_sim::{Fifo, FlightRecorder, FlightStage, Histogram};
+use f4t_sim::{Fifo, FlightRecorder, FlightStage, Histogram, Journal, JournalKind, JournalModule};
 use f4t_tcp::{FlowId, Tcb, TcpFlags};
 use std::collections::{HashMap, HashSet, VecDeque};
 
@@ -298,17 +298,20 @@ impl MemoryManager {
 
     /// Advances one engine cycle.
     pub fn tick(&mut self, out: &mut MmOutput) {
-        self.tick_flight(out, 0, None);
+        self.tick_flight(out, 0, None, None);
     }
 
     /// [`tick`](Self::tick) with FtFlight attribution: when a queued event
     /// is handled in place, the span from its routing stamp to `now_cycle`
-    /// (the engine clock) is recorded as DRAM-side `event_accum`.
+    /// (the engine clock) is recorded as DRAM-side `event_accum`, and an
+    /// FtJournal `dram_event_handled` entry is emitted when a journal is
+    /// attached.
     pub fn tick_flight(
         &mut self,
         out: &mut MmOutput,
         now_cycle: u64,
         flight: Option<&mut FlightRecorder>,
+        journal: Option<&mut Journal>,
     ) {
         self.cycle += 1;
         self.dram.tick();
@@ -363,6 +366,16 @@ impl MemoryManager {
                     Self::accumulate(&tcb, &mut ev, &event);
                     self.events_handled += 1;
                     let can_send = Self::check_can_send(&tcb, &ev);
+                    if let Some(j) = journal {
+                        j.record(
+                            now_cycle,
+                            JournalModule::MemoryManager,
+                            JournalKind::DramEventHandled,
+                            flow.0,
+                            charge,
+                            u64::from(can_send),
+                        );
+                    }
                     self.store.insert(flow, (tcb, ev));
                     if charge > 0 {
                         self.cache.fill(tcb);
@@ -421,6 +434,13 @@ impl MemoryManager {
     /// those are mid-migration and their LUT entries say `Moving`.
     pub fn resident_flows(&self) -> impl Iterator<Item = FlowId> + '_ {
         self.store.keys().copied()
+    }
+
+    /// TCBs this module holds, including write-back-queue entries still
+    /// mid-migration (watchdog progress scan — same coverage as
+    /// [`peek_tcb`](Self::peek_tcb), one pass instead of per-flow lookups).
+    pub fn resident_tcbs(&self) -> impl Iterator<Item = &Tcb> {
+        self.store.values().map(|(t, _)| t).chain(self.writeback_queue.iter().map(|(t, _)| t))
     }
 
     /// FtVerify fault injection: plants `tcb` directly in the DRAM store,

@@ -11,7 +11,7 @@
 //! accumulated fractionally.
 
 use crate::event::TxRequest;
-use f4t_sim::{Fifo, FlightRecorder, FlightStage};
+use f4t_sim::{Fifo, FlightRecorder, FlightStage, Journal, JournalKind, JournalModule};
 use f4t_tcp::{Segment, TcpFlags};
 
 /// The packet generator.
@@ -100,18 +100,20 @@ impl PacketGenerator {
     /// Advances one engine (250 MHz) cycle, emitting segments into `out`.
     /// `now_ns` stamps the TSval of data segments.
     pub fn tick(&mut self, now_ns: u64, out: &mut Vec<Segment>) {
-        self.tick_flight(now_ns, 0, out, None);
+        self.tick_flight(now_ns, 0, out, None, None);
     }
 
     /// [`tick`](Self::tick) with FtFlight attribution: when the head
     /// request finishes segmenting, the span from its FPC-exit stamp to
-    /// `cycle` is recorded as `tx_emit`.
+    /// `cycle` is recorded as `tx_emit`. With an FtJournal attached, each
+    /// emitted segment records a `tx_emit` journal event.
     pub fn tick_flight(
         &mut self,
         now_ns: u64,
         cycle: u64,
         out: &mut Vec<Segment>,
         mut flight: Option<&mut FlightRecorder>,
+        mut journal: Option<&mut Journal>,
     ) {
         self.net_cycle_credit += NET_PER_ENGINE_MILLI;
         let mut budget = (self.net_cycle_credit / 1000) * u64::from(self.parallelism);
@@ -145,6 +147,16 @@ impl PacketGenerator {
             self.bytes_out += u64::from(seg.wire_len());
             if req.retransmit {
                 self.retransmissions += 1;
+            }
+            if let Some(j) = journal.as_deref_mut() {
+                j.record(
+                    cycle,
+                    JournalModule::PacketGen,
+                    JournalKind::TxEmit,
+                    req.flow.0,
+                    u64::from(seg.payload_len),
+                    u64::from(req.retransmit),
+                );
             }
             budget -= 1;
             if self.head_offset + seg_len >= req.len {

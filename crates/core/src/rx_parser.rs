@@ -12,7 +12,7 @@
 //! *post-reassembly* in-order pointer, so the FPU never touches payload.
 
 use crate::event::{EventKind, FlowEvent};
-use f4t_sim::{Fifo, FlightRecorder, FlightStage};
+use f4t_sim::{Fifo, FlightRecorder, FlightStage, Journal, JournalKind, JournalModule};
 use f4t_tcp::reassembly::ReassemblyResult;
 use f4t_tcp::{FlowId, FlowTable, ReassemblyTracker, Segment, SeqNum, TcpFlags, TCP_BUFFER};
 use std::collections::HashMap;
@@ -198,8 +198,10 @@ impl RxParser {
         &mut self,
         seg: Segment,
         now_ns: u64,
+        cycle: u64,
         out: &mut RxOutput,
         span: Option<(&mut FlightRecorder, u64, u64)>,
+        mut journal: Option<&mut Journal>,
     ) {
         self.segments_in += 1;
         // Lookup by OUR tuple: the segment's source is the peer.
@@ -210,6 +212,28 @@ impl RxParser {
         if let (Some((f, stamp, cycle)), Some(flow)) = (span, looked_up) {
             f.record(FlightStage::RxIngest, flow.0, cycle.saturating_sub(stamp));
             f.record(FlightStage::CuckooLookup, flow.0, u64::from(probes));
+        }
+        if let Some(j) = journal.as_deref_mut() {
+            match looked_up {
+                Some(flow) => j.record(
+                    cycle,
+                    JournalModule::RxParser,
+                    JournalKind::CuckooHit,
+                    flow.0,
+                    u64::from(probes),
+                    0,
+                ),
+                // Unknown tuple: no flow id exists; the sentinel u32::MAX
+                // marks table misses (SYNs to listening ports included).
+                None => j.record(
+                    cycle,
+                    JournalModule::RxParser,
+                    JournalKind::CuckooMiss,
+                    u32::MAX,
+                    u64::from(probes),
+                    u64::from(seg.flags.contains(TcpFlags::SYN)),
+                ),
+            }
         }
         let Some(flow) = looked_up else {
             if seg.flags.contains(TcpFlags::SYN) && self.listening.contains(&seg.tuple.dst_port) {
@@ -276,6 +300,16 @@ impl RxParser {
             flags.remove(TcpFlags::FIN);
         }
 
+        if let Some(j) = journal {
+            j.record(
+                cycle,
+                JournalModule::RxParser,
+                JournalKind::SegAccepted,
+                flow.0,
+                u64::from(seg.payload_len),
+                u64::from(in_order),
+            );
+        }
         out.events.push(FlowEvent::new(
             flow,
             EventKind::RxPacket {
@@ -296,18 +330,21 @@ impl RxParser {
     /// Advances one engine (250 MHz) cycle, parsing up to the network-rate
     /// budget of segments.
     pub fn tick(&mut self, now_ns: u64, out: &mut RxOutput) {
-        self.tick_flight(now_ns, 0, out, None);
+        self.tick_flight(now_ns, 0, out, None, None);
     }
 
     /// [`tick`](Self::tick) with FtFlight attribution: each parsed segment
     /// records its input-FIFO residency (`rx_ingest`, arrival stamp to
-    /// `cycle`) and its cuckoo probe count (`cuckoo_lookup`).
+    /// `cycle`) and its cuckoo probe count (`cuckoo_lookup`). With an
+    /// FtJournal attached, each segment also emits `cuckoo_hit` /
+    /// `cuckoo_miss` and `seg_accepted` journal events.
     pub fn tick_flight(
         &mut self,
         now_ns: u64,
         cycle: u64,
         out: &mut RxOutput,
         mut flight: Option<&mut FlightRecorder>,
+        mut journal: Option<&mut Journal>,
     ) {
         self.net_cycle_credit += NET_PER_ENGINE_MILLI;
         let mut budget = (self.net_cycle_credit / 1000) * u64::from(self.parallelism);
@@ -319,7 +356,7 @@ impl RxParser {
                 (Some(f), Some(stamp)) => Some((f, stamp, cycle)),
                 _ => None,
             };
-            self.parse_one(seg, now_ns, out, span);
+            self.parse_one(seg, now_ns, cycle, out, span, journal.as_deref_mut());
             budget -= 1;
         }
     }

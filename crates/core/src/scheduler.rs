@@ -14,7 +14,7 @@ use crate::fpu::EventView;
 use crate::memory_manager::MemoryManager;
 use f4t_mem::{Location, LocationLut};
 use f4t_sim::check::{InvariantChecker, ViolationKind};
-use f4t_sim::{Fifo, FlightRecorder, FlightStage};
+use f4t_sim::{Fifo, FlightRecorder, FlightStage, Journal, JournalKind, JournalModule};
 use f4t_tcp::{FlowId, Tcb};
 use std::collections::{HashMap, VecDeque};
 
@@ -375,6 +375,7 @@ impl Scheduler {
     }
 
     /// Begins evicting `flow` from `from_fpc` toward `dest`.
+    #[allow(clippy::too_many_arguments)]
     fn start_migration(
         &mut self,
         flow: FlowId,
@@ -383,6 +384,7 @@ impl Scheduler {
         fpcs: &mut [Fpc],
         cycle: u64,
         chk: Option<&mut InvariantChecker>,
+        journal: Option<&mut Journal>,
     ) -> bool {
         if self.migrations.contains_key(&flow) {
             return false;
@@ -394,6 +396,20 @@ impl Scheduler {
         self.migrations.insert(flow, dest);
         if self.flight_enabled {
             self.migration_started.entry(flow).or_insert(cycle);
+        }
+        if let Some(j) = journal {
+            let to = match dest {
+                MigrationDest::Dram => Journal::DRAM_SLOT,
+                MigrationDest::Fpc(j) => u64::from(j),
+            };
+            j.record(
+                cycle,
+                JournalModule::Scheduler,
+                JournalKind::TcbMigrateStart,
+                flow.0,
+                from_fpc as u64,
+                to,
+            );
         }
         self.stats.migrations += 1;
         true
@@ -417,6 +433,7 @@ impl Scheduler {
         mm: &mut MemoryManager,
         chk: Option<&mut InvariantChecker>,
         flight: Option<&mut FlightRecorder>,
+        mut journal: Option<&mut Journal>,
     ) -> bool {
         let Some(loc) = self.lut.lookup(ev.flow) else {
             return false; // LUT partition budget exhausted this cycle
@@ -424,6 +441,16 @@ impl Scheduler {
         match loc {
             Location::Unallocated => {
                 self.stats.dropped += 1;
+                if let Some(j) = journal {
+                    j.record(
+                        cycle,
+                        JournalModule::Scheduler,
+                        JournalKind::EventDropped,
+                        ev.flow.0,
+                        0,
+                        0,
+                    );
+                }
                 true
             }
             Location::Moving => {
@@ -433,6 +460,16 @@ impl Scheduler {
                     parked_at.unwrap_or(cycle),
                 ));
                 self.stats.parked += 1;
+                if let Some(j) = journal {
+                    j.record(
+                        cycle,
+                        JournalModule::Scheduler,
+                        JournalKind::EventRouted,
+                        ev.flow.0,
+                        Journal::ROUTE_PARKED,
+                        0,
+                    );
+                }
                 true
             }
             Location::Dram => {
@@ -440,6 +477,16 @@ impl Scheduler {
                     self.stats.routed_dram += 1;
                     if let (Some(f), Some(parked)) = (flight, parked_at) {
                         f.record(FlightStage::PendingWait, ev.flow.0, cycle - parked);
+                    }
+                    if let Some(j) = journal {
+                        j.record(
+                            cycle,
+                            JournalModule::Scheduler,
+                            JournalKind::EventRouted,
+                            ev.flow.0,
+                            Journal::ROUTE_DRAM,
+                            0,
+                        );
                     }
                     true
                 } else {
@@ -453,6 +500,16 @@ impl Scheduler {
                         parked_at.unwrap_or(cycle),
                     ));
                     self.stats.parked += 1;
+                    if let Some(j) = journal {
+                        j.record(
+                            cycle,
+                            JournalModule::Scheduler,
+                            JournalKind::EventRouted,
+                            ev.flow.0,
+                            Journal::ROUTE_PARKED,
+                            1,
+                        );
+                    }
                     true
                 }
             }
@@ -462,6 +519,16 @@ impl Scheduler {
                     self.stats.routed_fpc += 1;
                     if let (Some(f), Some(parked)) = (flight, parked_at) {
                         f.record(FlightStage::PendingWait, ev.flow.0, cycle - parked);
+                    }
+                    if let Some(j) = journal {
+                        j.record(
+                            cycle,
+                            JournalModule::Scheduler,
+                            JournalKind::EventRouted,
+                            ev.flow.0,
+                            Journal::ROUTE_FPC,
+                            i as u64,
+                        );
                     }
                     true
                 } else {
@@ -481,6 +548,7 @@ impl Scheduler {
                             fpcs,
                             cycle,
                             chk,
+                            journal.as_deref_mut(),
                         ) {
                             self.pending.push_back((
                                 ev,
@@ -488,6 +556,16 @@ impl Scheduler {
                                 parked_at.unwrap_or(cycle),
                             ));
                             self.stats.parked += 1;
+                            if let Some(j) = journal {
+                                j.record(
+                                    cycle,
+                                    JournalModule::Scheduler,
+                                    JournalKind::EventRouted,
+                                    ev.flow.0,
+                                    Journal::ROUTE_PARKED,
+                                    2,
+                                );
+                            }
                             return true;
                         }
                     }
@@ -509,6 +587,7 @@ impl Scheduler {
         mm: &mut MemoryManager,
         cycle: u64,
         mut chk: Option<&mut InvariantChecker>,
+        mut journal: Option<&mut Journal>,
     ) {
         for _ in 0..Self::SWAP_ACTIONS_PER_CYCLE {
             let Some(&flow) = self.swap_in_queue.front() else { return };
@@ -536,6 +615,16 @@ impl Scheduler {
                         let accepted = fpcs[i].push_tcb(tcb, ev);
                         debug_assert!(accepted, "can_accept_tcb lied on swap-in");
                         self.stats.migrations += 1;
+                        if let Some(j) = journal.as_deref_mut() {
+                            j.record(
+                                cycle,
+                                JournalModule::Scheduler,
+                                JournalKind::TcbMigrateStart,
+                                flow.0,
+                                Journal::DRAM_SLOT,
+                                i as u64,
+                            );
+                        }
                         self.swap_in_queue.pop_front();
                     } else {
                         // DRAM bandwidth exhausted: retry next cycle.
@@ -567,6 +656,7 @@ impl Scheduler {
                             fpcs,
                             cycle,
                             chk.as_deref_mut(),
+                            journal.as_deref_mut(),
                         );
                     } else {
                         return;
@@ -578,13 +668,14 @@ impl Scheduler {
 
     /// Advances one engine cycle.
     pub fn tick(&mut self, cycle: u64, fpcs: &mut [Fpc], mm: &mut MemoryManager) {
-        self.tick_checked(cycle, fpcs, mm, None, None);
+        self.tick_checked(cycle, fpcs, mm, None, None, None);
     }
 
     /// [`Scheduler::tick`] with an optional FtVerify checker validating
-    /// every location-LUT transition against the migration protocol, and an
+    /// every location-LUT transition against the migration protocol, an
     /// optional FtFlight recorder attributing coalesce-FIFO residency and
-    /// pending-queue wait per flow.
+    /// pending-queue wait per flow, and an optional FtJournal receiving
+    /// enqueue / merge / route / migrate events.
     pub fn tick_checked(
         &mut self,
         cycle: u64,
@@ -592,6 +683,7 @@ impl Scheduler {
         mm: &mut MemoryManager,
         mut chk: Option<&mut InvariantChecker>,
         mut flight: Option<&mut FlightRecorder>,
+        mut journal: Option<&mut Journal>,
     ) {
         self.lut.begin_cycle();
 
@@ -615,6 +707,16 @@ impl Scheduler {
                         stamps.pop();
                     }
                     self.stats.coalesced += 1;
+                    if let Some(j) = journal.as_deref_mut() {
+                        j.record(
+                            cycle,
+                            JournalModule::Scheduler,
+                            JournalKind::EventMerged,
+                            ev.flow.0,
+                            q as u64,
+                            0,
+                        );
+                    }
                     continue;
                 }
             }
@@ -631,6 +733,16 @@ impl Scheduler {
                         let ok = cq[q].push(stamp).is_ok();
                         debug_assert!(ok, "coalesce stamp FIFO out of sync");
                     }
+                }
+                if let Some(j) = journal.as_deref_mut() {
+                    j.record(
+                        cycle,
+                        JournalModule::Scheduler,
+                        JournalKind::EventEnqueued,
+                        ev.flow.0,
+                        q as u64,
+                        0,
+                    );
                 }
             }
         }
@@ -649,6 +761,7 @@ impl Scheduler {
                         mm,
                         chk.as_deref_mut(),
                         flight.as_deref_mut(),
+                        journal.as_deref_mut(),
                     ) {
                         self.pending.push_front((ev, cycle + 1, parked_at));
                         break;
@@ -662,7 +775,16 @@ impl Scheduler {
         //    partitions, §4.4.2).
         for q in 0..self.coalesce.len() {
             let Some(&ev) = self.coalesce[q].front() else { continue };
-            if self.route(ev, cycle, None, fpcs, mm, chk.as_deref_mut(), flight.as_deref_mut()) {
+            if self.route(
+                ev,
+                cycle,
+                None,
+                fpcs,
+                mm,
+                chk.as_deref_mut(),
+                flight.as_deref_mut(),
+                journal.as_deref_mut(),
+            ) {
                 self.coalesce[q].pop();
                 if let Some(cq) = self.coalesce_stamps.as_mut() {
                     if let Some(stamp) = cq[q].pop() {
@@ -679,7 +801,7 @@ impl Scheduler {
         }
 
         // 4. Swap-in progress.
-        self.progress_swap_in(fpcs, mm, cycle, chk);
+        self.progress_swap_in(fpcs, mm, cycle, chk, journal);
 
         self.pending_high = self.pending_high.max(self.pending.len());
     }
@@ -891,7 +1013,7 @@ mod tests {
         sched.place_new_flow(established(1), &mut fpcs, &mut mm, 0, None);
         run(&mut sched, &mut fpcs, &mut mm, 0, 10);
         // Force the flow into Moving state via an explicit migration.
-        sched.start_migration(FlowId(1), 0, MigrationDest::Dram, &mut fpcs, 10, None);
+        sched.start_migration(FlowId(1), 0, MigrationDest::Dram, &mut fpcs, 10, None, None);
         assert_eq!(sched.location(FlowId(1)), Location::Moving);
         sched.push_event(send_event(1, 300));
         let (tx, _) = run(&mut sched, &mut fpcs, &mut mm, 10, 600);

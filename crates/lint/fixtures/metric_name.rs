@@ -13,3 +13,11 @@ fn stages() -> [&'static str; 2] {
         stage_name("Rx-Ingest"),
     ]
 }
+
+fn journal_kinds() -> [&'static str; 3] {
+    [
+        event_name("tcb_migrate_start"),
+        event_name("TcbMigrateStart"),
+        journal_event("event_routed"),
+    ]
+}

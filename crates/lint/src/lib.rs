@@ -12,7 +12,7 @@
 //! | `wall_clock` | every crate except `bench` | no `std::time::Instant` / `SystemTime`: simulated time must come from the cycle counter, or determinism and reproducibility die silently |
 //! | `raw_queue` | `core`, `mem` | no `VecDeque<...>` fields/locals — on-chip queues must be `f4t_sim::Fifo` (bounded, with backpressure and conservation counters) |
 //! | `panic_path` | `core` | no `unwrap()`/`expect()`/`panic!`-family in non-test code: everything in `core` is reachable from `Engine::tick`, and a model that panics mid-tick cannot report what went wrong |
-//! | `metric_name` | every crate | FtScope metric names are dotted `snake_case` and unique per file (duplicate registration silently overwrites) |
+//! | `metric_name` | every crate | FtScope metric / FtFlight stage / FtJournal event names are dotted `snake_case` and unique per file (duplicate registration silently overwrites) |
 //! | `cargo_deps` | every manifest | every dependency is `path =` / `workspace = true` — the workspace builds fully offline |
 //!
 //! ## Allow-listing
@@ -41,7 +41,10 @@ pub const RULES: &[(&str, &str)] = &[
     ("wall_clock", "no std::time::Instant/SystemTime outside crates/bench"),
     ("raw_queue", "no VecDeque in crates/core|mem; on-chip queues use f4t_sim::Fifo"),
     ("panic_path", "no unwrap/expect/panic!-family in non-test crates/core code"),
-    ("metric_name", "FtScope metric / FtFlight stage names are dotted snake_case, unique per file"),
+    (
+        "metric_name",
+        "FtScope metric / FtFlight stage / FtJournal event names are dotted snake_case, unique per file",
+    ),
     ("cargo_deps", "every Cargo.toml dependency is path/workspace (offline build)"),
 ];
 
@@ -351,7 +354,12 @@ const PANIC_PATTERNS: &[&str] =
 // `stage_name(` is the FtFlight identity wrapper around stage-name
 // literals (crates/sim/src/flight.rs): flight stages feed telemetry and
 // the breakdown JSON, so they obey the same naming contract.
-const METRIC_METHODS: &[&str] = &[".counter(", ".gauge(", ".histogram(", "stage_name("];
+// `event_name(` / `journal_event(` are the FtJournal equivalents
+// (crates/sim/src/journal.rs): event kinds appear in dump lines,
+// `f4tdbg` filters and METRICS.md, so a misnamed or duplicated literal
+// would silently desynchronize the forensic catalog.
+const METRIC_METHODS: &[&str] =
+    &[".counter(", ".gauge(", ".histogram(", "stage_name(", "event_name(", "journal_event("];
 
 /// Extracts the first string literal at or after column `col` of raw line
 /// `idx`, looking ahead a few lines for multi-line calls. Returns the
@@ -636,11 +644,19 @@ mod tests {
     #[test]
     fn fixture_metric_name_detected() {
         let f = scan_source("metric_name.rs", "sim", &fixture("metric_name.rs"));
-        assert_eq!(rules_of(&f), ["metric_name", "metric_name", "metric_name"], "{f:#?}");
+        assert_eq!(
+            rules_of(&f),
+            ["metric_name", "metric_name", "metric_name", "metric_name"],
+            "{f:#?}"
+        );
         assert!(f[0].message.contains("snake_case"), "{f:#?}");
         assert!(f[1].message.contains("already registered"), "{f:#?}");
         // FtFlight stage names go through the same rule via stage_name().
         assert!(f[2].message.contains("Rx-Ingest"), "{f:#?}");
+        // FtJournal event names go through it via event_name() /
+        // journal_event(); the well-formed literals around the bad one
+        // must stay clean.
+        assert!(f[3].message.contains("TcbMigrateStart"), "{f:#?}");
     }
 
     #[test]

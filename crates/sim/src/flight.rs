@@ -388,6 +388,45 @@ mod tests {
         }
     }
 
+    /// A histogram holding exactly one span must report that span's value
+    /// at every percentile — tail percentiles must never interpolate
+    /// toward zero or overshoot past the only sample.
+    #[test]
+    fn single_sample_percentiles_are_stable() {
+        let mut fr = FlightRecorder::new(1);
+        fr.record(FlightStage::EventAccum, 7, 42);
+        let h = fr.stage_histogram(FlightStage::EventAccum);
+        assert_eq!(h.count(), 1);
+        let (p50, p99, p999) = (h.percentile(50.0), h.percentile(99.0), h.percentile(99.9));
+        assert_eq!(p50, p99, "one sample: p50 and p99 must agree");
+        assert_eq!(p99, p999, "one sample: p99 and p999 must agree");
+        assert!(
+            (h.min()..=h.max()).contains(&p999),
+            "p999 {p999} outside the observed range [{}, {}]",
+            h.min(),
+            h.max()
+        );
+    }
+
+    /// A recorder that never saw a span still serializes: every stage
+    /// appears with zeroed statistics, the flow table is empty, and the
+    /// bytes are identical across calls (the empty breakdown is a valid
+    /// gate baseline).
+    #[test]
+    fn json_is_byte_stable_with_empty_stages() {
+        let fr = FlightRecorder::new(64);
+        let a = fr.to_json(4);
+        assert_eq!(a, fr.to_json(4), "empty breakdown must be byte-stable");
+        for stage in FlightStage::ALL {
+            assert_eq!(a.matches(&format!("    \"{}\":", stage.name())).count(), 1);
+        }
+        assert!(a.contains("\"spans_recorded\": 0"), "{a}");
+        assert!(a.contains("\"flows_tracked\": 0"), "{a}");
+        assert!(a.contains("\"count\": 0"), "{a}");
+        assert_eq!(a.matches('{').count(), a.matches('}').count());
+        assert!(a.ends_with("}\n"), "serialization must stay well-terminated");
+    }
+
     #[test]
     fn json_caps_per_flow_entries() {
         let mut fr = FlightRecorder::new(1);

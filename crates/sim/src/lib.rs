@@ -22,6 +22,10 @@
 //! * [`check`] — FtVerify: the optional cycle-level hazard checker
 //!   ([`InvariantChecker`], [`PortTracker`]) that simulated memories and
 //!   queues register accesses against.
+//! * [`journal`] — FtJournal: the bounded per-flow causal event journal
+//!   ([`Journal`], [`JournalEvent`]) behind post-mortem black-box dumps.
+//! * [`watchdog`] — FtJournal's online health watchdog ([`Watchdog`]):
+//!   stuck flows, retransmit storms, queue SLOs, starved LUT entries.
 //!
 //! # Examples
 //!
@@ -43,17 +47,23 @@ pub mod clock;
 pub mod des;
 pub mod fifo;
 pub mod flight;
+pub mod journal;
 pub mod rng;
 pub mod stats;
 pub mod telemetry;
+pub mod watchdog;
 
 pub use check::{InvariantChecker, PortTracker, Violation, ViolationKind};
 pub use clock::{Cycle, ClockDomain};
 pub use des::EventQueue;
 pub use fifo::Fifo;
 pub use flight::{FlightRecorder, FlightStage};
+pub use journal::{Journal, JournalEvent, JournalKind, JournalModule};
 pub use rng::SimRng;
 pub use stats::{Counter, Histogram, MeanVar};
+pub use watchdog::{
+    Alarm, AlarmKind, FlowObservation, QueueObservation, Watchdog, WatchdogConfig,
+};
 pub use telemetry::{MetricsRegistry, MetricValue, TraceEvent, TraceKind, TraceRing};
 
 /// Converts a byte count over a duration in nanoseconds to gigabits/second.

@@ -1,0 +1,62 @@
+#!/usr/bin/env sh
+# FtJournal overhead baseline (DESIGN.md section 11.4).
+#
+# Measures wall-clock for the scale reference workload with the causal
+# event journal off vs on at the default 1/64 sampling (best-of-$REPS)
+# and records the ratio in results/journal_baseline.json. The budget is
+# <= 1.10x: the journal is a bounded ring plus an FNV fold per sampled
+# event, so default sampling must stay invisible next to the simulation
+# itself.
+#
+# Usage:  sh scripts/journal_baseline.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+SCALE="--workload scale --flows 2048 --size 256 --duration-ms 1"
+SAMPLE=64
+OVERHEAD_BUDGET=1.10
+REPS=3
+
+cargo build --release -q -p f4t-bench
+PERF=./target/release/f4tperf
+
+now_ms() {
+    echo $(( $(date +%s%N) / 1000000 ))
+}
+
+best_ms() {
+    best=""
+    i=0
+    while [ "$i" -lt "$REPS" ]; do
+        t0=$(now_ms)
+        $PERF "$@" >/dev/null
+        t1=$(now_ms)
+        dt=$(( t1 - t0 ))
+        if [ -z "$best" ] || [ "$dt" -lt "$best" ]; then best=$dt; fi
+        i=$(( i + 1 ))
+    done
+    echo "$best"
+}
+
+off=$(best_ms $SCALE)
+on=$(best_ms $SCALE --journal --journal-sample "$SAMPLE")
+ratio=$(awk "BEGIN { printf \"%.3f\", $on / $off }")
+echo "  scale: journal off=${off}ms on=${on}ms ratio=${ratio}x"
+awk "BEGIN { exit !($ratio <= $OVERHEAD_BUDGET) }" \
+    || { echo "FAIL: journal overhead ${ratio}x exceeds ${OVERHEAD_BUDGET}x budget" >&2; exit 1; }
+
+cat > results/journal_baseline.json <<EOF
+{
+ "_note": "FtJournal overhead baseline: the scale reference workload with the causal event journal off vs on at the default 1/$SAMPLE sampling (wall-clock best-of-$REPS, budget <= ${OVERHEAD_BUDGET}x; DESIGN.md section 11.4). Regenerate with: sh scripts/journal_baseline.sh",
+ "journal_sample": $SAMPLE,
+ "overhead_budget": $OVERHEAD_BUDGET,
+ "scale": {
+  "_params": "$SCALE",
+  "wall_ms_journal_off": $off,
+  "wall_ms_journal_on": $on,
+  "overhead_ratio": $ratio
+ }
+}
+EOF
+echo "wrote results/journal_baseline.json (journal overhead ${ratio}x)"

@@ -65,16 +65,23 @@ best_ms() {
 
 case "$mode" in
 gate)
+    # Forensic artifacts land here; CI uploads the directory when a
+    # gate job fails (see .github/workflows/ci.yml).
+    ARTIFACTS="${PERF_GATE_ARTIFACTS:-target/ci-artifacts}"
+    mkdir -p "$ARTIFACTS"
     status=0
     for w in $WORKLOADS; do
         base="results/flight/$w.json"
         [ -s "$base" ] || { echo "FAIL: $base missing (run --update)" >&2; exit 2; }
         t0=$(now_ms)
-        if $PERF $(args_for "$w") --flight-sample "$SAMPLE" --gate "$base" >/dev/null; then
+        if $PERF $(args_for "$w") --flight-sample "$SAMPLE" --gate "$base" \
+            --breakdown-json "$ARTIFACTS/$w-breakdown.json" \
+            --dump-on-failure "$ARTIFACTS/$w-dump.json" >/dev/null; then
             :
         else
             rc=$?
             echo "FAIL: $w perf gate regression (f4tperf exit $rc)" >&2
+            echo "      observed breakdown: $ARTIFACTS/$w-breakdown.json, dump: $ARTIFACTS/$w-dump.json" >&2
             status=$rc
             continue
         fi

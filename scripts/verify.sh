@@ -52,6 +52,31 @@ grep -q '# TYPE' "$out/telem.prom" \
     || { echo "FAIL: prometheus export lacks TYPE lines" >&2; exit 1; }
 [ "$(od -An -tx1 -N4 "$out/cap.pcap" | tr -d ' ')" = "d4c3b2a1" ] \
     || { echo "FAIL: pcap magic wrong" >&2; exit 1; }
+echo "==> FtJournal / f4tdbg forensic smoke"
+# A planted LUT misdirect must produce a black-box dump (exit 1), and
+# the dump must replay through f4tdbg: digest MATCH, filtered print,
+# self-diff identical (DESIGN.md section 11).
+rc=0
+cargo run --release -q -p f4t-bench --bin f4tperf -- \
+    --workload scale --flows 128 --size 256 --duration-ms 1 \
+    --check --inject-fault lut-misdirect \
+    --dump-on-failure "$out/fault-dump.json" >/dev/null 2>&1 || rc=$?
+[ "$rc" -eq 1 ] || { echo "FAIL: planted fault exited $rc, expected 1" >&2; exit 1; }
+[ -s "$out/fault-dump.json" ] || { echo "FAIL: black-box dump missing" >&2; exit 1; }
+cargo run --release -q -p f4t-bench --bin f4tdbg -- \
+    digest "$out/fault-dump.json" | grep -q MATCH \
+    || { echo "FAIL: dump digest does not replay" >&2; exit 1; }
+cargo run --release -q -p f4t-bench --bin f4tdbg -- \
+    print "$out/fault-dump.json" --module scheduler >/dev/null \
+    || { echo "FAIL: f4tdbg print failed" >&2; exit 1; }
+cargo run --release -q -p f4t-bench --bin f4tdbg -- \
+    diff "$out/fault-dump.json" "$out/fault-dump.json" >/dev/null \
+    || { echo "FAIL: dump does not diff clean against itself" >&2; exit 1; }
+# A healthy journal+watchdog run must stay clean (exit 0).
+cargo run --release -q -p f4t-bench --bin f4tperf -- \
+    --workload echo --cores 2 --flows 256 --duration-ms 1 \
+    --journal --watchdog >/dev/null \
+    || { echo "FAIL: healthy journal+watchdog run failed" >&2; exit 1; }
 rm -rf "$out"
 
 echo "==> FtFlight perf gate (committed baselines + self-test)"

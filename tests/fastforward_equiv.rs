@@ -31,6 +31,11 @@ struct Snapshot {
     traces: [String; 2],
     flights: [String; 2],
     flight_spans: u64,
+    journals: [Vec<String>; 2],
+    journal_digests: [u64; 2],
+    journal_events: u64,
+    watchdog_observations: u64,
+    alarms: u64,
     skipped: u64,
     windows: u64,
     violations: u64,
@@ -89,6 +94,16 @@ fn run_scenario(case: u64, fast_forward: bool) -> Snapshot {
         // so the byte-identity assertion below covers every span path.
         flight: true,
         flight_sample: 1,
+        // FtJournal at sample=1 records every emission site; the journals
+        // of the two runs must be byte-identical (events are emitted only
+        // at executed ticks, and fast-forward skips only provably idle
+        // windows).
+        journal: true,
+        journal_sample: 1,
+        // Watchdog on a short period so many sweeps land inside the run;
+        // fast-forward windows must stop at every sweep boundary.
+        watchdog: true,
+        watchdog_interval: 4_096,
         fast_forward,
         ..EngineConfig::reference()
     };
@@ -171,6 +186,16 @@ fn run_scenario(case: u64, fast_forward: bool) -> Snapshot {
         flights: [a.flight_json().unwrap(), b.flight_json().unwrap()],
         flight_spans: a.flight().unwrap().spans_recorded()
             + b.flight().unwrap().spans_recorded(),
+        journals: [
+            a.journal().unwrap().lines().collect(),
+            b.journal().unwrap().lines().collect(),
+        ],
+        journal_digests: [a.journal_digest(), b.journal_digest()],
+        journal_events: a.journal().unwrap().events_recorded()
+            + b.journal().unwrap().events_recorded(),
+        watchdog_observations: a.watchdog().unwrap().observations()
+            + b.watchdog().unwrap().observations(),
+        alarms: a.watchdog_alarm_count() + b.watchdog_alarm_count(),
         skipped: a.fastforward_skipped_cycles() + b.fastforward_skipped_cycles(),
         windows: a.fastforward_windows() + b.fastforward_windows(),
         violations: a.check_total_violations() + b.check_total_violations(),
@@ -214,7 +239,32 @@ fn fast_forward_is_bit_identical_under_bulk_echo_churn() {
                 tbt.flights[side].lines().map(String::from).collect(),
             );
             assert_same_lines(case, "flight breakdown", &l, &r);
+            // The FtJournal contract: every event is emitted at an
+            // executed tick with its absolute cycle, so the two runs'
+            // journals — and their running stream digests, which also
+            // cover any ring-overwritten prefix — are byte-identical.
+            assert_same_lines(case, "journal", &ff.journals[side], &tbt.journals[side]);
+            assert_eq!(
+                ff.journal_digests[side], tbt.journal_digests[side],
+                "case {case} side {side}: journal digest drift"
+            );
         }
+        assert!(
+            ff.journal_events > 1_000,
+            "case {case}: journal barely engaged ({} events)",
+            ff.journal_events
+        );
+        assert_eq!(
+            ff.watchdog_observations, tbt.watchdog_observations,
+            "case {case}: watchdog sweep count drift"
+        );
+        assert!(
+            ff.watchdog_observations > 4,
+            "case {case}: watchdog barely engaged ({} sweeps)",
+            ff.watchdog_observations
+        );
+        assert_eq!(ff.alarms, 0, "case {case}: watchdog alarmed under fast-forward");
+        assert_eq!(tbt.alarms, 0, "case {case}: watchdog alarmed tick-by-tick");
         assert!(
             ff.flight_spans > 1_000,
             "case {case}: flight recorder barely engaged ({} spans)",

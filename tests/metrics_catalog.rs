@@ -17,8 +17,9 @@ use std::net::Ipv4Addr;
 
 /// The reference run: tiny FPCs so flows overflow to DRAM and migrate
 /// (engaging the memory-manager and swap-in metric families), FtFlight
-/// at 1/1 sampling and the FtVerify checker attached, so every metric
-/// family the engine can register is present in one registry.
+/// at 1/1 sampling, FtJournal at 1/1 with the watchdog sweeping, and
+/// the FtVerify checker attached, so every metric family the engine
+/// can register is present in one registry.
 fn reference_registry() -> MetricsRegistry {
     let cfg = EngineConfig {
         num_fpcs: 2,
@@ -27,6 +28,10 @@ fn reference_registry() -> MetricsRegistry {
         check: true,
         flight: true,
         flight_sample: 1,
+        journal: true,
+        journal_sample: 1,
+        watchdog: true,
+        watchdog_interval: 4_096,
         ..EngineConfig::reference()
     };
     let mut a = Engine::new(cfg.clone());
@@ -117,7 +122,11 @@ fn catalog(reg: &MetricsRegistry) -> String {
          counters are monotonic, gauges are instantaneous levels,\n\
          histograms export count/mean/min/max/p50/p99/p999 summaries\n\
          (FtFlight `engine.flight.<stage>.cycles` families are span\n\
-         lengths in engine cycles; see DESIGN.md §10).\n\
+         lengths in engine cycles; see DESIGN.md §10). FtJournal\n\
+         families (`engine.journal.*` per-kind event counts and ring\n\
+         occupancy, `engine.watchdog.*` sweep and per-alarm counts)\n\
+         appear when the forensic journal/watchdog are enabled; see\n\
+         DESIGN.md §11.\n\
          \n\
          | metric | kind |\n\
          |--------|------|\n",
@@ -157,8 +166,14 @@ fn reference_run_engages_every_family() {
         "engine.mm.dram.accesses",
         "engine.mm.migration_latency_cycles",
         "engine.scheduler.coalesce_fifo0.depth",
+        "engine.journal.events_recorded",
+        "engine.journal.kind.tcb_migrate_done",
+        "engine.watchdog.observations",
+        "engine.watchdog.alarm.stuck_flow",
     ] {
         assert!(reg.get(needle).is_some(), "reference run never registered {needle}");
     }
+    assert!(reg.counter_value("engine.journal.events_recorded") > 0);
+    assert!(reg.counter_value("engine.watchdog.observations") > 0);
     assert!(reg.counter_value("engine.flight.spans_recorded") > 0);
 }

@@ -37,7 +37,17 @@ fn tuple_for(i: usize) -> FourTuple {
 }
 
 fn scale_smoke(total_flows: usize, cycle_budget: u64) {
-    let cfg = EngineConfig { check: true, ..EngineConfig::reference() };
+    // Watchdog on at the default production thresholds: a healthy scale
+    // run must complete without a single stuck-flow / retx-storm /
+    // queue-SLO / starved-LUT alarm. Journal at the default 1/64
+    // sampling rides along to keep its overhead on the hot migration
+    // path exercised at scale.
+    let cfg = EngineConfig {
+        check: true,
+        journal: true,
+        watchdog: true,
+        ..EngineConfig::reference()
+    };
     assert!(total_flows <= cfg.max_flows);
     let mut e = Engine::new(cfg);
     let isn = SeqNum(0);
@@ -129,6 +139,18 @@ fn scale_smoke(total_flows: usize, cycle_budget: u64) {
         0,
         "invariant violations at {total_flows} flows:\n{}",
         e.check_summary().unwrap_or_default()
+    );
+    assert_eq!(
+        e.watchdog_alarm_count(),
+        0,
+        "watchdog alarms on a healthy scale run:\n{}",
+        e.watchdog()
+            .map(|w| w.alarms().iter().map(|a| a.line()).collect::<Vec<_>>().join("\n"))
+            .unwrap_or_default()
+    );
+    assert!(
+        e.journal().is_some_and(|j| j.events_recorded() > 0),
+        "journal never engaged at scale"
     );
     // Fast-forward must have engaged (the drain gaps between migration
     // waves are skippable even with the 64-cycle audit cap).
