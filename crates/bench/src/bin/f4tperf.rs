@@ -12,7 +12,7 @@
 //! ```
 
 use f4t_core::fpc::ScanPolicy;
-use f4t_core::{Engine, EngineConfig, EventKind};
+use f4t_core::{fold_digests, Engine, EngineConfig, EventKind, ParallelRunner, RENDEZVOUS_QUANTUM};
 use f4t_mem::{DramKind, Location};
 use f4t_system::F4tSystem;
 use f4t_tcp::{CcAlgorithm, FlowId};
@@ -31,6 +31,7 @@ struct Args {
     cores: usize,
     size: u32,
     flows: usize,
+    threads: usize,
     dram: DramKind,
     cc: CcAlgorithm,
     fpcs: usize,
@@ -70,6 +71,7 @@ impl Default for Args {
             cores: 1,
             size: 128,
             flows: 0, // workload default
+            threads: 1,
             dram: DramKind::Hbm,
             cc: CcAlgorithm::NewReno,
             fpcs: 8,
@@ -137,6 +139,11 @@ USAGE: f4tperf [OPTIONS]
   --size <BYTES>                   request size            [128]
   --flows <N>                      total flows (echo/http; rr uses 16/core;
                                    scale defaults to 65536)
+  --threads <N>                    scale workload: shard the flows across N
+                                   independent engines on N worker threads
+                                   with a deterministic rendezvous barrier;
+                                   merged digests are thread-count
+                                   independent                [1]
   --dram <hbm|ddr4>                on-board memory         [hbm]
   --cc <newreno|cubic|vegas>       congestion control      [newreno]
   --fpcs <N>                       parallel FPCs           [8]
@@ -216,6 +223,26 @@ fn parse() -> Result<Args, String> {
         if args.journal_sample == 0 {
             return Err("--journal-sample must be at least 1".into());
         }
+        if args.threads == 0 {
+            return Err("--threads must be at least 1".into());
+        }
+        if args.threads > 1 {
+            if args.workload != "scale" {
+                return Err("--threads is only supported with --workload scale".into());
+            }
+            if args.pcap.is_some() {
+                return Err("--pcap is not supported with --threads > 1".into());
+            }
+            if args.inject_fault.is_some() {
+                return Err("--inject-fault is not supported with --threads > 1".into());
+            }
+            if args.gate.is_some() {
+                return Err("--gate baselines are single-engine; not supported with --threads > 1".into());
+            }
+            if args.telemetry_format == TelemetryFormat::Prometheus {
+                return Err("--telemetry-format prometheus is not supported with --threads > 1".into());
+            }
+        }
         Ok(())
     };
     let mut it = std::env::args().skip(1);
@@ -228,6 +255,7 @@ fn parse() -> Result<Args, String> {
             "--cores" => args.cores = val("--cores")?.parse().map_err(|e| format!("{e}"))?,
             "--size" => args.size = val("--size")?.parse().map_err(|e| format!("{e}"))?,
             "--flows" => args.flows = val("--flows")?.parse().map_err(|e| format!("{e}"))?,
+            "--threads" => args.threads = val("--threads")?.parse().map_err(|e| format!("{e}"))?,
             "--fpcs" => args.fpcs = val("--fpcs")?.parse().map_err(|e| format!("{e}"))?,
             "--warmup-ms" => {
                 args.warmup_ms = val("--warmup-ms")?.parse().map_err(|e| format!("{e}"))?
@@ -337,6 +365,9 @@ fn main() {
     };
 
     if args.workload == "scale" {
+        if args.threads > 1 {
+            run_scale_sharded(&args, engine);
+        }
         run_scale(&args, engine);
     }
 
@@ -823,5 +854,292 @@ fn run_scale(args: &Args, mut cfg: EngineConfig) -> ! {
         std::process::exit(EXIT_USAGE);
     }
     finish_flight(args, &e);
+    std::process::exit(0);
+}
+
+/// The `scale` workload sharded across `--threads` independent engines
+/// (FtTurbo). Each shard owns a disjoint slice of the flow range and its
+/// own `Engine`; all shards advance in lock-step rendezvous rounds of
+/// [`RENDEZVOUS_QUANTUM`] cycles through [`ParallelRunner`], and the
+/// merged artifacts (journal digest, telemetry, flight breakdown) are
+/// folded in fixed shard order after the run — so the worker-pool size
+/// changes wall-clock only, never output.
+fn run_scale_sharded(args: &Args, cfg: EngineConfig) -> ! {
+    use f4t_tcp::{FourTuple, Segment, SeqNum, TCP_BUFFER};
+    use std::collections::HashMap;
+    use std::net::Ipv4Addr;
+
+    /// Idle-tail cycles advanced per rendezvous round: a multiple of the
+    /// quantum big enough that fast-forward amortizes the round loop.
+    const IDLE_CHUNK: u64 = RENDEZVOUS_QUANTUM * 4096;
+
+    let total_flows = if args.flows == 0 { 65_536 } else { args.flows };
+    // More shards than flows would create empty engines; shard count is
+    // part of the workload's identity, so cap it explicitly and say so.
+    let shard_count = args.threads.min(total_flows).max(1);
+    if shard_count != args.threads {
+        println!("  threads capped     {} → {shard_count} (one shard per flow max)", args.threads);
+    }
+    let isn = SeqNum(0);
+    let target = isn.add(args.size);
+    let tuple_for = |i: usize| {
+        let ip = Ipv4Addr::new(10, 0, (i / 32_768) as u8, 1);
+        FourTuple::new(ip, 1024 + (i % 32_768) as u16, Ipv4Addr::new(10, 0, 0, 2), 80)
+    };
+
+    struct Shard {
+        engine: Engine,
+        flows: Vec<f4t_tcp::FlowId>,
+        tuples: Vec<FourTuple>,
+        by_tuple: HashMap<FourTuple, usize>,
+        pending_ack: Vec<Option<SeqNum>>,
+        issued: usize,
+        completed: bool,
+        active_cycles: u64,
+        idle_left: u64,
+        budget: u64,
+        stuck: bool,
+    }
+
+    /// One rendezvous quantum of simulated time for one shard: run the
+    /// engine, harvest TX, synthesize the ideal peer's cumulative ACKs.
+    fn pump(sh: &mut Shard, isn: SeqNum) {
+        sh.engine.run(RENDEZVOUS_QUANTUM);
+        while let Some(seg) = sh.engine.pop_tx() {
+            if seg.has_payload() {
+                let i = sh.by_tuple[&seg.tuple];
+                let end = seg.seq_end();
+                sh.pending_ack[i] = Some(match sh.pending_ack[i] {
+                    Some(h) => h.max_seq(end),
+                    None => end,
+                });
+            }
+        }
+        for i in 0..sh.pending_ack.len() {
+            let Some(h) = sh.pending_ack[i] else { continue };
+            if sh.engine.push_rx(Segment::pure_ack(sh.tuples[i].reversed(), isn, h, TCP_BUFFER)) {
+                sh.pending_ack[i] = None;
+            }
+        }
+        while sh.engine.pop_notification().is_some() {}
+    }
+
+    let started = std::time::Instant::now();
+    let mut shards = Vec::with_capacity(shard_count);
+    for s in 0..shard_count {
+        let lo = total_flows * s / shard_count;
+        let hi = total_flows * (s + 1) / shard_count;
+        let n = hi - lo;
+        let mut scfg = cfg.clone();
+        scfg.max_flows = n;
+        let mut engine = Engine::new(scfg);
+        if args.telemetry.is_some() {
+            engine.set_trace_capacity(args.trace_depth);
+        }
+        if args.inject_slowdown > 0 {
+            engine.set_flight_bias(args.inject_slowdown);
+        }
+        let mut flows = Vec::with_capacity(n);
+        let mut tuples = Vec::with_capacity(n);
+        let mut by_tuple = HashMap::with_capacity(n);
+        for i in 0..n {
+            let t = tuple_for(lo + i);
+            let Some(f) = engine.open_established(t, isn) else {
+                eprintln!("error: shard {s} flow table full at {i} flows");
+                std::process::exit(EXIT_USAGE);
+            };
+            by_tuple.insert(t, i);
+            tuples.push(t);
+            flows.push(f);
+        }
+        shards.push(Shard {
+            engine,
+            flows,
+            tuples,
+            by_tuple,
+            pending_ack: vec![None; n],
+            issued: 0,
+            completed: false,
+            active_cycles: 0,
+            idle_left: args.duration_ms * 250_000,
+            budget: n as u64 * 20_000 + 10_000_000,
+            stuck: false,
+        });
+    }
+    if args.inject_slowdown > 0 {
+        println!("  slowdown injected  {} cycles per flight span", args.inject_slowdown);
+    }
+
+    let mut runner = ParallelRunner::new(shards);
+    runner.run_rounds(args.threads, |sh, round| {
+        if sh.stuck {
+            return false;
+        }
+        if sh.issued < sh.flows.len() {
+            while sh.issued < sh.flows.len()
+                && sh.engine.push_host(sh.flows[sh.issued], EventKind::SendReq { req: target })
+            {
+                sh.issued += 1;
+            }
+            pump(sh, isn);
+            if sh.issued < sh.flows.len() && sh.engine.cycles() >= sh.budget {
+                sh.stuck = true;
+                return false;
+            }
+            true
+        } else if !sh.completed {
+            pump(sh, isn);
+            if round % 256 == 255 {
+                sh.completed = sh
+                    .flows
+                    .iter()
+                    .all(|&f| sh.engine.peek_tcb(f).is_some_and(|t| t.snd_una == target));
+                if sh.completed {
+                    sh.active_cycles = sh.engine.cycles();
+                }
+            }
+            if !sh.completed && sh.engine.cycles() >= sh.budget {
+                sh.stuck = true;
+                return false;
+            }
+            true
+        } else if sh.idle_left > 0 {
+            // Post-completion idle tail, where fast-forward dominates.
+            let n = sh.idle_left.min(IDLE_CHUNK);
+            sh.engine.run(n);
+            sh.idle_left -= n;
+            sh.idle_left > 0
+        } else {
+            false
+        }
+    });
+    let wall = started.elapsed();
+
+    // Everything below runs on one thread, walking shards in fixed
+    // order — the merge side of the determinism contract.
+    let shards = runner.into_shards();
+    let completed = shards.iter().all(|s| s.completed);
+    let cycles: u64 = shards.iter().map(|s| s.engine.cycles()).sum();
+    let active: u64 = shards.iter().map(|s| s.active_cycles).sum();
+    let skipped: u64 = shards.iter().map(|s| s.engine.fastforward_skipped_cycles()).sum();
+    let windows: u64 = shards.iter().map(|s| s.engine.fastforward_windows()).sum();
+    let executed = cycles - skipped;
+    let migrations: u64 = shards.iter().map(|s| s.engine.stats().migrations).sum();
+    let dram_events: u64 = shards.iter().map(|s| s.engine.stats().dram_events).sum();
+    println!("f4tperf: {args:?}");
+    println!();
+    println!(
+        "  flows              {total_flows:>10} in {shard_count} shards ({})",
+        if completed { "all completed" } else { "INCOMPLETE" }
+    );
+    for (s, sh) in shards.iter().enumerate() {
+        println!(
+            "  shard {s:<12} {:>10} flows / {} cycles / {}",
+            sh.flows.len(),
+            sh.engine.cycles(),
+            if sh.stuck { "STUCK" } else if sh.completed { "completed" } else { "incomplete" }
+        );
+    }
+    println!("  cycles simulated   {cycles:>10} summed ({active} active + idle tails)");
+    println!("  ticks executed     {executed:>10}");
+    println!("  ff skipped         {skipped:>10} cycles in {windows} windows");
+    println!("  tick reduction     {:>10.1}x", cycles as f64 / executed.max(1) as f64);
+    println!("  wall time          {:>10.0} ms", wall.as_secs_f64() * 1e3);
+    println!("  TCB migrations     {migrations:>10}");
+    println!("  DRAM events        {dram_events:>10}");
+
+    if let Some(path) = &args.telemetry {
+        let parts: Vec<String> = shards.iter().map(|s| s.engine.telemetry().to_json()).collect();
+        let text = format!("{{\"shards\": [{}]}}", parts.join(", "));
+        if let Err(err) = std::fs::write(path, text) {
+            eprintln!("error: writing {path}: {err}");
+            std::process::exit(EXIT_USAGE);
+        }
+        let trace_path = format!("{}.trace.json", path.trim_end_matches(".json"));
+        let traces: Vec<String> =
+            shards.iter().map(|s| s.engine.export_chrome_trace()).collect();
+        let trace = format!("{{\"shards\": [{}]}}", traces.join(", "));
+        if let Err(err) = std::fs::write(&trace_path, trace) {
+            eprintln!("error: writing {trace_path}: {err}");
+            std::process::exit(EXIT_USAGE);
+        }
+        println!("  telemetry → {path}, trace → {trace_path}");
+    }
+    if args.journal_enabled() {
+        let events: u64 =
+            shards.iter().filter_map(|s| s.engine.journal()).map(|j| j.events_recorded()).sum();
+        let digest =
+            fold_digests(shards.iter().filter_map(|s| s.engine.journal()).map(|j| j.digest()));
+        println!(
+            "  journal            {events:>10} events recorded / merged digest {digest:016x} (1/{} sampling, {shard_count} shards)",
+            args.journal_sample
+        );
+    }
+    if args.check {
+        let violations: u64 =
+            shards.iter().map(|s| s.engine.check_total_violations()).sum();
+        for (s, sh) in shards.iter().enumerate() {
+            if let Some(summary) = sh.engine.check_summary() {
+                println!("  ftverify[{s}]        {summary}");
+            }
+        }
+        if violations > 0 {
+            let bad = shards
+                .iter()
+                .find(|s| s.engine.check_total_violations() > 0)
+                .expect("violations imply a violating shard");
+            write_dump(args, &bad.engine, "invariant-violation");
+            eprintln!("error: FtVerify found {violations} design-rule violation(s)");
+            std::process::exit(EXIT_VIOLATIONS);
+        }
+    }
+    let alarms: u64 = shards.iter().map(|s| s.engine.watchdog_alarm_count()).sum();
+    if alarms > 0 {
+        for sh in &shards {
+            if let Some(w) = sh.engine.watchdog() {
+                for a in w.alarms() {
+                    eprintln!("  watchdog alarm     {}", a.line());
+                }
+            }
+        }
+        let bad = shards
+            .iter()
+            .find(|s| s.engine.watchdog_alarm_count() > 0)
+            .expect("alarms imply an alarming shard");
+        write_dump(args, &bad.engine, "watchdog-alarm");
+        eprintln!("error: watchdog raised {alarms} alarm(s)");
+        std::process::exit(EXIT_VIOLATIONS);
+    }
+    if !completed {
+        let bad = shards.iter().find(|s| !s.completed).expect("incomplete run has such a shard");
+        write_dump(args, &bad.engine, "stuck-flows");
+        eprintln!("error: flows stuck after {} cycles", bad.engine.cycles());
+        std::process::exit(EXIT_USAGE);
+    }
+    if args.flight_enabled() {
+        let spans: u64 =
+            shards.iter().filter_map(|s| s.engine.flight()).map(|f| f.spans_recorded()).sum();
+        println!("  flight spans       {spans:>10} recorded across {shard_count} shards");
+        if let Some(path) = &args.breakdown_json {
+            let parts: Vec<String> = shards
+                .iter()
+                .filter_map(|s| {
+                    s.engine.flight_json().map(|fj| {
+                        format!("{{\"cycles\": {}, \"flight\": {fj}}}", s.engine.cycles())
+                    })
+                })
+                .collect();
+            let breakdown = format!(
+                "{{\"workload\": \"{}\", \"threads\": {shard_count}, \"shards\": [{}]}}",
+                args.workload,
+                parts.join(", ")
+            );
+            if let Err(err) = std::fs::write(path, &breakdown) {
+                eprintln!("error: writing {path}: {err}");
+                std::process::exit(EXIT_USAGE);
+            }
+            println!("  breakdown          → {path}");
+        }
+    }
     std::process::exit(0);
 }

@@ -49,6 +49,10 @@ fn usage_errors_exit_two() {
         &["--dram"][..], // missing value
         &["--flight-sample", "0"][..],
         &["--journal-sample", "0"][..],
+        &["--threads", "0"][..],
+        &["--workload", "bulk", "--threads", "2"][..],
+        &["--workload", "scale", "--threads", "2", "--pcap", "x.pcap"][..],
+        &["--workload", "scale", "--threads", "2", "--gate", "base.json"][..],
     ] {
         let out = f4tperf(bad);
         assert_eq!(out.status.code(), Some(2), "args {bad:?}:\n{}", stderr(&out));
@@ -170,6 +174,31 @@ fn journal_run_reports_digest_and_sampling() {
     assert!(text.contains("journal"), "{text}");
     assert!(text.contains("events recorded"), "{text}");
     assert!(text.contains("(1/8 sampling)"), "{text}");
+}
+
+/// FtTurbo: the sharded scale path must complete, report per-shard and
+/// merged results, and the merged journal digest must be identical
+/// run-to-run (the CLI ties pool size to shard count, so the deeper
+/// pool-size invariance is pinned at API level in tests/determinism.rs).
+#[test]
+fn threaded_scale_run_is_deterministic() {
+    let run = || {
+        let out = f4tperf(&[SMALL_SCALE, &["--threads", "2", "--check", "--journal"]].concat());
+        assert_eq!(out.status.code(), Some(0), "{}\n{}", stdout(&out), stderr(&out));
+        let text = stdout(&out);
+        assert!(text.contains("in 2 shards (all completed)"), "{text}");
+        assert!(text.contains("shard 0"), "{text}");
+        assert!(text.contains("shard 1"), "{text}");
+        assert!(text.contains("ftverify[0]        check: 0 violation(s)"), "{text}");
+        assert!(text.contains("ftverify[1]        check: 0 violation(s)"), "{text}");
+        let digest = text
+            .lines()
+            .find(|l| l.contains("merged digest"))
+            .unwrap_or_else(|| panic!("no merged journal digest line in:\n{text}"))
+            .to_owned();
+        digest
+    };
+    assert_eq!(run(), run(), "merged digest must not vary run-to-run");
 }
 
 #[test]

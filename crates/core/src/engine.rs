@@ -26,15 +26,15 @@ use f4t_sim::check::{InvariantChecker, Violation, ViolationKind};
 use f4t_sim::clock::merge_horizon;
 use f4t_sim::telemetry::{MetricsRegistry, TraceKind, TraceRing};
 use f4t_sim::{
-    FlightRecorder, FlowObservation, Journal, JournalKind, JournalModule, QueueObservation,
-    Watchdog, WatchdogConfig,
+    FlightRecorder, FlowObservation, FlowSet, FlowSlab, Journal, JournalKind, JournalModule,
+    QueueObservation, Watchdog, WatchdogConfig,
 };
 use f4t_tcp::wire::{ArpMessage, IcmpEcho};
 use f4t_tcp::{
     CcAlgorithm, CongestionControl, FlowId, FourTuple, MacAddr, Segment, SeqNum, Tcb, TcpState,
     MSS,
 };
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 /// Engine configuration. [`EngineConfig::reference`] is the paper's
@@ -273,7 +273,10 @@ pub struct Engine {
     // f4tlint: allow(raw_queue): models the DMA completion ring toward
     // host memory, which the host must drain; not an on-chip queue.
     notifications: VecDeque<HostNotification>,
-    flows: HashMap<FlowId, FourTuple>,
+    /// Open flows, keyed by flow id on a dense FtTurbo slab: O(1)
+    /// id-keyed access with deterministic ascending-id iteration for the
+    /// audit and watchdog sweeps.
+    flows: FlowSlab<FourTuple>,
     /// Reused per-tick scratch buffers (hot path; avoids reallocating).
     fpc_scratch: FpcOutput,
     seg_scratch: Vec<Segment>,
@@ -330,7 +333,7 @@ const TX_OUT_CAP: usize = 256;
 /// FtVerify structural-audit period. Per-cycle rules (ports, parity, RMW)
 /// fire inline; the cross-module residency/LUT/conservation audit walks
 /// every table, so it runs every `AUDIT_INTERVAL` cycles instead.
-const AUDIT_INTERVAL: u64 = 64;
+pub(crate) const AUDIT_INTERVAL: u64 = 64;
 
 /// Minimal JSON string escaping for the black-box dump (quotes,
 /// backslashes and control characters; everything else passes through).
@@ -390,7 +393,7 @@ impl Engine {
             tx_overflow: VecDeque::new(),
             tx_out: VecDeque::new(),
             notifications: VecDeque::new(),
-            flows: HashMap::new(),
+            flows: FlowSlab::with_capacity(0),
             fpc_scratch: FpcOutput::default(),
             seg_scratch: Vec::new(),
             next_flow: 0,
@@ -471,7 +474,7 @@ impl Engine {
         let mut tcb = Tcb::established(flow, tuple, isn);
         self.config.cc.instance().init(&mut tcb);
         self.rx_parser.register_flow(tuple, flow, isn).ok()?;
-        self.flows.insert(flow, tuple);
+        self.flows.insert(flow.0, tuple);
         self.scheduler.place_new_flow(
             tcb,
             &mut self.fpcs,
@@ -495,7 +498,7 @@ impl Engine {
         tcb.recover = isn;
         // Peer ISN unknown: the tracker re-anchors on the SYN|ACK.
         self.rx_parser.register_flow(tuple, flow, SeqNum::ZERO).ok()?;
-        self.flows.insert(flow, tuple);
+        self.flows.insert(flow.0, tuple);
         self.scheduler.place_new_flow(
             tcb,
             &mut self.fpcs,
@@ -886,7 +889,7 @@ impl Engine {
         if self.rx_parser.register_flow(tuple, flow, SeqNum::ZERO).is_err() {
             return;
         }
-        self.flows.insert(flow, tuple);
+        self.flows.insert(flow.0, tuple);
         self.scheduler.place_new_flow(
             tcb,
             &mut self.fpcs,
@@ -917,7 +920,7 @@ impl Engine {
             // Full teardown: release the flow-table entry, reassembly
             // state, routing state and the flow-count slot. (TIME_WAIT is
             // skipped in the prototype model; see DESIGN.md §6.)
-            if let Some(tuple) = self.flows.remove(&flow) {
+            if let Some(tuple) = self.flows.remove(flow.0) {
                 self.rx_parser.remove_flow(&tuple, flow);
             }
             self.scheduler.on_flow_closed(flow, self.cycle, self.check.as_deref_mut());
@@ -1231,24 +1234,26 @@ impl Engine {
     /// instant) are skipped; the `moving` flag covers the LUT side.
     fn run_watchdog(&mut self, cycle: u64) {
         let Some(mut wd) = self.watchdog.take() else { return };
-        // Residency map: (snd_una, req) wherever the TCB lives.
-        let mut residency: HashMap<FlowId, (u64, u64)> = HashMap::new();
+        // Residency map: (snd_una, req) wherever the TCB lives, on a
+        // dense slab (no hashing, deterministic iteration).
+        let mut residency: FlowSlab<(u64, u64)> = FlowSlab::with_capacity(0);
         for f in &self.fpcs {
             for tcb in f.resident_tcbs() {
-                residency.insert(tcb.flow, (u64::from(tcb.snd_una.0), u64::from(tcb.req.0)));
+                residency.insert(tcb.flow.0, (u64::from(tcb.snd_una.0), u64::from(tcb.req.0)));
             }
         }
         for tcb in self.mm.resident_tcbs() {
-            residency
-                .entry(tcb.flow)
-                .or_insert((u64::from(tcb.snd_una.0), u64::from(tcb.req.0)));
+            if !residency.contains(tcb.flow.0) {
+                residency.insert(tcb.flow.0, (u64::from(tcb.snd_una.0), u64::from(tcb.req.0)));
+            }
         }
-        let mut ids: Vec<FlowId> = self.flows.keys().copied().collect();
-        ids.sort();
+        // Slab iteration is already ascending by flow id — the order the
+        // sweep previously had to sort into.
+        let ids: Vec<FlowId> = self.flows.ids().map(FlowId).collect();
         let mut flow_obs: Vec<FlowObservation> = Vec::with_capacity(ids.len());
         for flow in ids {
             let moving = self.scheduler.location(flow) == Location::Moving;
-            let Some(&(una, req)) = residency.get(&flow) else {
+            let Some(&(una, req)) = residency.get(flow.0) else {
                 if moving {
                     flow_obs.push(FlowObservation {
                         flow: flow.0,
@@ -1293,10 +1298,12 @@ impl Engine {
         self.rx_parser.audit(cycle, &mut chk);
 
         // Residency map: which memory actually holds each flow right now.
-        let mut sram: HashMap<FlowId, u8> = HashMap::new();
+        // Slab/bitset-backed so audit reports come out in deterministic
+        // (ascending flow id) order run over run.
+        let mut sram: FlowSlab<u8> = FlowSlab::with_capacity(0);
         for f in &self.fpcs {
             for flow in f.resident_flows() {
-                if let Some(prev) = sram.insert(flow, f.id()) {
+                if let Some(prev) = sram.insert(flow.0, f.id()) {
                     chk.report(
                         cycle,
                         ViolationKind::MigrationRace,
@@ -1306,9 +1313,12 @@ impl Engine {
                 }
             }
         }
-        let dram: std::collections::HashSet<FlowId> = self.mm.resident_flows().collect();
-        for &flow in &dram {
-            if let Some(&fpc) = sram.get(&flow) {
+        let mut dram = FlowSet::with_capacity(0);
+        for flow in self.mm.resident_flows() {
+            dram.insert(flow.0);
+        }
+        for flow in dram.iter().map(FlowId) {
+            if let Some(&fpc) = sram.get(flow.0) {
                 chk.report(
                     cycle,
                     ViolationKind::MigrationRace,
@@ -1319,10 +1329,10 @@ impl Engine {
         }
         // Every open flow's LUT entry must match actual residency.
         // `Moving` is the sanctioned transient and is skipped.
-        for &flow in self.flows.keys() {
+        for flow in self.flows.ids().map(FlowId) {
             match self.scheduler.location(flow) {
                 Location::Fpc(i) => {
-                    if sram.get(&flow) != Some(&i) {
+                    if sram.get(flow.0) != Some(&i) {
                         chk.report(
                             cycle,
                             ViolationKind::MigrationRace,
@@ -1332,7 +1342,7 @@ impl Engine {
                     }
                 }
                 Location::Dram => {
-                    if !dram.contains(&flow) {
+                    if !dram.contains(flow.0) {
                         chk.report(
                             cycle,
                             ViolationKind::MigrationRace,

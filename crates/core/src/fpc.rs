@@ -26,7 +26,7 @@ use crate::fpu::{EventView, Fpu, FpuOutcome};
 use f4t_mem::Cam;
 use f4t_sim::check::{InvariantChecker, PortTracker, ViolationKind};
 use f4t_sim::clock::odd_cycles_in;
-use f4t_sim::{Fifo, FlightRecorder, FlightStage};
+use f4t_sim::{Fifo, FlightRecorder, FlightStage, FlowSet};
 use f4t_tcp::{CongestionControl, FlowId, Tcb, TcpFlags};
 use std::sync::Arc;
 
@@ -44,51 +44,65 @@ pub enum ScanPolicy {
     FullIteration,
 }
 
-/// One TCB slot: the TCB-table half and the event-table half of the dual
-/// memory, plus scheduling metadata.
-#[derive(Debug, Clone)]
-struct Slot {
-    tcb: Tcb,
-    ev: EventView,
-    pending: bool,
-    in_fpu: bool,
-    occupied: bool,
-    /// Last cycle this slot was installed or dispatched; the FtVerify
+/// FtTurbo struct-of-arrays slot table: the dual memory's TCB half and
+/// event half plus the scheduling metadata live in parallel arrays
+/// indexed by slot, with the three per-slot flags held as dense bitsets
+/// ([`FlowSet`] keyed by slot index). The dispatch scan, the FtVerify
+/// audit and the watchdog residency pass touch only the word-packed
+/// flags and the one array they need, instead of striding over a
+/// ~200-byte AoS `Slot` per probe.
+struct SlotTable {
+    tcbs: Vec<Tcb>,
+    evs: Vec<EventView>,
+    occupied: FlowSet,
+    in_fpu: FlowSet,
+    /// Slots whose event-table entry has at least one valid bit set; its
+    /// `len()` is the FtScope valid-bit utilization gauge.
+    pending: FlowSet,
+    /// Last cycle each slot was installed or dispatched; the FtVerify
     /// audit uses it to bound how long a valid event entry may sit
     /// without being scheduled (valid-bit leak detection).
-    last_progress_cycle: u64,
-    /// Cycle the slot's event-table entry last turned valid (pending
+    last_progress: Vec<u64>,
+    /// Cycle each slot's event-table entry last turned valid (pending
     /// false→true); the FtFlight `event_accum` span runs from here to the
     /// FPU issue that consumes the accumulated view.
-    pending_since: u64,
+    pending_since: Vec<u64>,
 }
 
-/// Sets a slot's pending flag, keeping the FPC's valid-entry count in
-/// step (free function to satisfy the borrow checker at call sites that
-/// hold `&mut Slot` out of `self.slots`).
-#[inline]
-fn set_pending(slot: &mut Slot, pending_count: &mut usize, pending: bool, cycle: u64) {
-    if slot.pending != pending {
-        if pending {
-            *pending_count += 1;
-            slot.pending_since = cycle;
-        } else {
-            *pending_count -= 1;
+impl SlotTable {
+    fn new(slots: usize) -> SlotTable {
+        SlotTable {
+            tcbs: vec![Tcb::new(FlowId(u32::MAX)); slots],
+            evs: vec![EventView::default(); slots],
+            occupied: FlowSet::with_capacity(slots),
+            in_fpu: FlowSet::with_capacity(slots),
+            pending: FlowSet::with_capacity(slots),
+            last_progress: vec![0; slots],
+            pending_since: vec![0; slots],
         }
-        slot.pending = pending;
     }
-}
 
-impl Slot {
-    fn empty() -> Slot {
-        Slot {
-            tcb: Tcb::new(FlowId(u32::MAX)),
-            ev: EventView::default(),
-            pending: false,
-            in_fpu: false,
-            occupied: false,
-            last_progress_cycle: 0,
-            pending_since: 0,
+    fn len(&self) -> usize {
+        self.tcbs.len()
+    }
+
+    /// Occupied, has a valid event entry, and its TCB is not in flight.
+    #[inline]
+    fn dispatchable(&self, idx: usize) -> bool {
+        let i = idx as u32;
+        self.occupied.contains(i) && self.pending.contains(i) && !self.in_fpu.contains(i)
+    }
+
+    /// Sets a slot's valid-entry flag, stamping `pending_since` on the
+    /// false→true transition.
+    #[inline]
+    fn set_pending(&mut self, idx: usize, pending: bool, cycle: u64) {
+        if pending {
+            if self.pending.insert(idx as u32) {
+                self.pending_since[idx] = cycle;
+            }
+        } else {
+            self.pending.remove(idx as u32);
         }
     }
 }
@@ -111,7 +125,7 @@ pub struct FpcOutput {
 /// A flow processing core.
 pub struct Fpc {
     id: u8,
-    slots: Vec<Slot>,
+    table: SlotTable,
     cam: Cam,
     fpu: Fpu,
     rr_ptr: usize,
@@ -130,9 +144,6 @@ pub struct Fpc {
     events_handled: u64,
     dispatches: u64,
     stale_events: u64,
-    /// Slots whose event-table entry has at least one valid bit set
-    /// (maintained incrementally; the FtScope valid-bit utilization gauge).
-    pending_count: usize,
     /// Events accumulated while the slot's TCB was in flight in the FPU —
     /// each one would have stalled a w-RMW design (paper §4.2.1).
     rmw_hazard_events: u64,
@@ -185,7 +196,7 @@ impl Fpc {
     ) -> Fpc {
         Fpc {
             id,
-            slots: vec![Slot::empty(); slots],
+            table: SlotTable::new(slots),
             cam: Cam::new(slots),
             fpu: Fpu::new(cc, fpu_latency_override, mss),
             rr_ptr: 0,
@@ -196,7 +207,6 @@ impl Fpc {
             events_handled: 0,
             dispatches: 0,
             stale_events: 0,
-            pending_count: 0,
             rmw_hazard_events: 0,
             rmw_stall_cycles: 0,
             stall_fifo_empty: 0,
@@ -342,27 +352,31 @@ impl Fpc {
     /// pass. Returns `false` if the flow is not resident.
     pub fn request_evict(&mut self, flow: FlowId) -> bool {
         let Some(slot_idx) = self.cam.lookup(flow) else { return false };
-        let slot = &mut self.slots[slot_idx];
-        slot.tcb.evict = true;
-        let since = slot.last_progress_cycle;
-        set_pending(slot, &mut self.pending_count, true, since); // force a prompt FPU pass
+        self.table.tcbs[slot_idx].evict = true;
+        let since = self.table.last_progress[slot_idx];
+        self.table.set_pending(slot_idx, true, since); // force a prompt FPU pass
         true
     }
 
     /// The least-recently-active resident flow not already being evicted
     /// (the "coldest" flow the FPC answers the scheduler with, Fig. 6 ②).
     pub fn coldest_flow(&self) -> Option<FlowId> {
-        self.slots
+        self.table
+            .occupied
             .iter()
-            .filter(|s| s.occupied && !s.tcb.evict && !s.in_fpu)
-            .min_by_key(|s| s.tcb.last_active_ns)
-            .map(|s| s.tcb.flow)
+            .filter(|&i| !self.table.tcbs[i as usize].evict && !self.table.in_fpu.contains(i))
+            .min_by_key(|&i| self.table.tcbs[i as usize].last_active_ns)
+            .map(|i| self.table.tcbs[i as usize].flow)
     }
 
     /// Read-only view of a resident flow's TCB (diagnostics, Fig. 14
     /// congestion-window traces).
     pub fn peek_tcb(&self, flow: FlowId) -> Option<&Tcb> {
-        self.slots.iter().find(|s| s.occupied && s.tcb.flow == flow).map(|s| &s.tcb)
+        self.table
+            .occupied
+            .iter()
+            .map(|i| &self.table.tcbs[i as usize])
+            .find(|t| t.flow == flow)
     }
 
     /// Event-handler write: accumulate `event` into the event table.
@@ -399,29 +413,32 @@ impl Fpc {
             self.stale_events += 1;
             return;
         };
-        let slot = &mut self.slots[slot_idx];
-        if slot.in_fpu {
+        if self.table.in_fpu.contains(slot_idx as u32) {
             // A w-RMW design would stall here until the in-flight TCB
             // returned; F4T accumulates into the event table and moves on.
             self.rmw_hazard_events += 1;
         }
-        set_pending(slot, &mut self.pending_count, true, cycle);
-        slot.tcb.last_active_ns = now_ns;
+        self.table.set_pending(slot_idx, true, cycle);
+        self.table.tcbs[slot_idx].last_active_ns = now_ns;
         self.events_handled += 1;
+        // SoA split borrow: the event-table row is written against a
+        // read-only view of the TCB-table row.
+        let tcb = &self.table.tcbs[slot_idx];
+        let ev = &mut self.table.evs[slot_idx];
         match event.kind {
-            EventKind::Connect => slot.ev.connect = true,
-            EventKind::Close => slot.ev.close = true,
+            EventKind::Connect => ev.connect = true,
+            EventKind::Close => ev.close = true,
             EventKind::SendReq { req } => {
-                let merged = slot.ev.req.unwrap_or(slot.tcb.req).max_seq(req);
-                slot.ev.req = Some(merged);
+                let merged = ev.req.unwrap_or(tcb.req).max_seq(req);
+                ev.req = Some(merged);
             }
             EventKind::RecvConsumed { consumed } => {
-                let merged = slot.ev.consumed.unwrap_or(slot.tcb.rcv_consumed).max_seq(consumed);
-                slot.ev.consumed = Some(merged);
+                let merged = ev.consumed.unwrap_or(tcb.rcv_consumed).max_seq(consumed);
+                ev.consumed = Some(merged);
             }
             EventKind::Timeout { kind } => match kind {
-                TimeoutKind::Rto => slot.ev.rto_fired = true,
-                TimeoutKind::Probe => slot.ev.probe_fired = true,
+                TimeoutKind::Rto => ev.rto_fired = true,
+                TimeoutKind::Probe => ev.probe_fired = true,
             },
             EventKind::RxPacket {
                 ack,
@@ -435,39 +452,38 @@ impl Fpc {
                 ts_ecr,
             } => {
                 // Merged views (event table if valid, else TCB table).
-                let cur_ack = slot.ev.ack.unwrap_or(slot.tcb.snd_una);
-                let cur_wnd = slot.ev.wnd.unwrap_or(slot.tcb.snd_wnd);
-                let in_flight = slot.tcb.snd_nxt.gt(cur_ack);
+                let cur_ack = ev.ack.unwrap_or(tcb.snd_una);
+                let cur_wnd = ev.wnd.unwrap_or(tcb.snd_wnd);
+                let in_flight = tcb.snd_nxt.gt(cur_ack);
                 if ack.gt(cur_ack) {
-                    slot.ev.ack = Some(ack);
-                    slot.ev.dup_acks = Some(0);
+                    ev.ack = Some(ack);
+                    ev.dup_acks = Some(0);
                 } else if ack == cur_ack && !had_payload && wnd == cur_wnd && in_flight {
                     // The single-cycle RMW: increment the merged count.
-                    let cur_dup = slot.ev.dup_acks.unwrap_or(slot.tcb.dup_acks);
-                    slot.ev.dup_acks = Some(cur_dup.saturating_add(1));
+                    let cur_dup = ev.dup_acks.unwrap_or(tcb.dup_acks);
+                    ev.dup_acks = Some(cur_dup.saturating_add(1));
                 }
                 if flags.contains(TcpFlags::SYN) {
                     // A SYN (re)anchors the receive sequence space at the
                     // peer's ISN; circular max-merging against the
                     // pre-handshake placeholder would pick the wrong side
                     // when the ISN is more than 2^31 away.
-                    slot.ev.rcv_nxt = Some(rcv_nxt);
+                    ev.rcv_nxt = Some(rcv_nxt);
                 } else {
-                    let merged_rcv =
-                        slot.ev.rcv_nxt.unwrap_or(slot.tcb.rcv_nxt).max_seq(rcv_nxt);
-                    slot.ev.rcv_nxt = Some(merged_rcv);
+                    let merged_rcv = ev.rcv_nxt.unwrap_or(tcb.rcv_nxt).max_seq(rcv_nxt);
+                    ev.rcv_nxt = Some(merged_rcv);
                 }
-                slot.ev.wnd = Some(wnd);
-                slot.ev.flags.insert(flags);
-                slot.ev.needs_ack |= needs_ack;
+                ev.wnd = Some(wnd);
+                ev.flags.insert(flags);
+                ev.needs_ack |= needs_ack;
                 if needs_ack && !in_order {
-                    slot.ev.dup_ack_gen = slot.ev.dup_ack_gen.saturating_add(1);
+                    ev.dup_ack_gen = ev.dup_ack_gen.saturating_add(1);
                 }
                 if ts_val != 0 {
-                    slot.ev.ts_val = ts_val;
+                    ev.ts_val = ts_val;
                 }
                 if ts_ecr != 0 {
-                    slot.ev.ts_ecr = ts_ecr;
+                    ev.ts_ecr = ts_ecr;
                 }
             }
         }
@@ -488,7 +504,7 @@ impl Fpc {
             self.stall_backpressure += 1;
             return;
         }
-        let n = self.slots.len();
+        let n = self.table.len();
         let issued = match self.scan {
             ScanPolicy::FullIteration => {
                 let idx = self.rr_ptr;
@@ -499,8 +515,7 @@ impl Fpc {
                 let mut issued = false;
                 for off in 0..n {
                     let idx = (self.rr_ptr + off) % n;
-                    let s = &self.slots[idx];
-                    if s.occupied && s.pending && !s.in_fpu {
+                    if self.table.dispatchable(idx) {
                         self.rr_ptr = (idx + 1) % n;
                         issued = self.try_issue(idx, now_cycle, chk, flight);
                         break;
@@ -512,7 +527,7 @@ impl Fpc {
         if !issued {
             // Classify the bubble: was there simply nothing to do, or was
             // pending work blocked on a TCB still in the FPU pipeline?
-            if self.pending_count == 0 && self.input_events.is_empty() {
+            if self.table.pending.is_empty() && self.input_events.is_empty() {
                 self.stall_fifo_empty += 1;
             } else {
                 self.stall_tcb_wait += 1;
@@ -527,7 +542,7 @@ impl Fpc {
         chk: Option<&mut InvariantChecker>,
         flight: Option<&mut FlightRecorder>,
     ) -> bool {
-        if !(self.slots[idx].occupied && self.slots[idx].pending && !self.slots[idx].in_fpu) {
+        if !self.table.dispatchable(idx) {
             return false;
         }
         if let Some(chk) = chk {
@@ -547,42 +562,40 @@ impl Fpc {
             // Structural stall-free check: the in-FPU guard above must
             // agree with the pipeline's actual contents, otherwise a TCB
             // is read-modify-written while an older copy is in flight.
-            if self.fpu.in_flight(self.slots[idx].tcb.flow) {
+            if self.fpu.in_flight(self.table.tcbs[idx].flow) {
                 chk.report(
                     now_cycle,
                     ViolationKind::RmwHazard,
                     format!("fpc{}", self.id),
                     format!(
                         "flow {} dispatched while already in the FPU pipeline",
-                        self.slots[idx].tcb.flow
+                        self.table.tcbs[idx].flow
                     ),
                 );
             }
         }
-        let slot = &mut self.slots[idx];
         if let Some(f) = flight {
             // The accumulation wait: valid bits first set to the merged
             // view being consumed by this FPU issue.
             f.record(
                 FlightStage::EventAccum,
-                slot.tcb.flow.0,
-                now_cycle.saturating_sub(slot.pending_since),
+                self.table.tcbs[idx].flow.0,
+                now_cycle.saturating_sub(self.table.pending_since[idx]),
             );
         }
         // Construct the merged TCB: event-table values with valid bits set
         // override; dup-ACK count rides in the EventView (its valid bit is
         // NOT cleared at dispatch — see the event handler above).
-        let merged_ev = slot.ev;
+        let merged_ev = self.table.evs[idx];
         // Clear valid bits (§4.2.3 step ④), except the dup-ACK counter
         // which must keep accumulating against the merged view while the
         // FPU is in flight.
-        let dup_keep = slot.ev.dup_acks;
-        slot.ev = EventView { dup_acks: dup_keep, ..EventView::default() };
-        set_pending(slot, &mut self.pending_count, false, now_cycle);
-        slot.in_fpu = true;
-        slot.last_progress_cycle = now_cycle;
+        self.table.evs[idx] = EventView { dup_acks: merged_ev.dup_acks, ..EventView::default() };
+        self.table.set_pending(idx, false, now_cycle);
+        self.table.in_fpu.insert(idx as u32);
+        self.table.last_progress[idx] = now_cycle;
         self.dispatches += 1;
-        self.fpu.issue(slot.tcb, merged_ev, now_cycle);
+        self.fpu.issue(self.table.tcbs[idx], merged_ev, now_cycle);
         true
     }
 
@@ -613,7 +626,7 @@ impl Fpc {
         // FtScope occupancy gauges: three u64 adds per cycle.
         self.ticks += 1;
         self.occupied_sum += self.cam.len() as u64;
-        self.valid_sum += self.pending_count as u64;
+        self.valid_sum += self.table.pending.len() as u64;
         self.fpu_depth_sum += self.fpu.depth_used() as u64;
         // FPU advances every cycle; completions write back / evict.
         if let Some(result) = self.fpu.tick(cycle, now_ns) {
@@ -630,9 +643,8 @@ impl Fpc {
                 self.tcb_ports.access(cycle, 1, c);
             }
             if let Some(idx) = self.cam.lookup(flow) {
-                let slot = &mut self.slots[idx];
                 if let Some(c) = chk.as_deref_mut() {
-                    if !slot.in_fpu {
+                    if !self.table.in_fpu.contains(idx as u32) {
                         // The pipeline returned a TCB the slot bookkeeping
                         // no longer considers in flight: a stale copy was
                         // processed concurrently with the live slot.
@@ -644,10 +656,10 @@ impl Fpc {
                         );
                     }
                 }
-                slot.in_fpu = false;
+                self.table.in_fpu.remove(idx as u32);
                 // The evict flag may have been set on the slot while this
                 // TCB was in flight; honour it either way.
-                let evict_requested = result.tcb.evict || slot.tcb.evict;
+                let evict_requested = result.tcb.evict || self.table.tcbs[idx].evict;
                 // Evict checker: divert processed TCBs with the flag set,
                 // but only once no unprocessed events remain (ensuring
                 // "TCBs are always processed before they are evicted").
@@ -655,23 +667,26 @@ impl Fpc {
                     // Connection fully closed: free the slot and CAM
                     // entry; the engine tears down the flow-table and
                     // location-LUT state from the Closed notification.
-                    slot.occupied = false;
-                    slot.ev = EventView::default();
-                    slot.tcb.evict = false;
-                    set_pending(slot, &mut self.pending_count, false, cycle);
+                    self.table.occupied.remove(idx as u32);
+                    self.table.evs[idx] = EventView::default();
+                    self.table.tcbs[idx].evict = false;
+                    self.table.set_pending(idx, false, cycle);
                     self.cam.remove(flow);
-                } else if evict_requested && !slot.ev.any_except_dup_acks() && !slot.pending {
+                } else if evict_requested
+                    && !self.table.evs[idx].any_except_dup_acks()
+                    && !self.table.pending.contains(idx as u32)
+                {
                     let mut tcb = result.tcb;
                     tcb.evict = false;
-                    slot.occupied = false;
-                    slot.ev = EventView::default();
+                    self.table.occupied.remove(idx as u32);
+                    self.table.evs[idx] = EventView::default();
                     self.cam.remove(flow);
                     out.evicted.push(tcb);
                 } else {
-                    slot.tcb = result.tcb;
-                    slot.tcb.evict = evict_requested;
+                    self.table.tcbs[idx] = result.tcb;
+                    self.table.tcbs[idx].evict = evict_requested;
                     if evict_requested || result.outcome.more_work {
-                        set_pending(slot, &mut self.pending_count, true, cycle);
+                        self.table.set_pending(idx, true, cycle);
                     }
                 }
                 out.tx.extend_from_slice(&result.outcome.tx);
@@ -698,14 +713,13 @@ impl Fpc {
                     self.ev_ports.access(cycle, 1, c);
                 }
                 if let Some(slot_idx) = self.cam.insert(flow) {
-                    let slot = &mut self.slots[slot_idx];
                     let pending = tcb.can_send() || ev.any();
-                    slot.tcb = tcb;
-                    slot.ev = ev;
-                    set_pending(slot, &mut self.pending_count, pending, cycle);
-                    slot.in_fpu = false;
-                    slot.occupied = true;
-                    slot.last_progress_cycle = cycle;
+                    self.table.tcbs[slot_idx] = tcb;
+                    self.table.evs[slot_idx] = ev;
+                    self.table.set_pending(slot_idx, pending, cycle);
+                    self.table.in_fpu.remove(slot_idx as u32);
+                    self.table.occupied.insert(slot_idx as u32);
+                    self.table.last_progress[slot_idx] = cycle;
                     out.installed.push(flow);
                 } else {
                     if let Some(c) = chk.as_deref_mut() {
@@ -736,8 +750,10 @@ impl Fpc {
             return Some(cycle);
         }
         // A pending slot whose TCB is not in flight dispatches on the
-        // next odd cycle; treat it as immediate work.
-        if self.slots.iter().any(|s| s.occupied && s.pending && !s.in_fpu) {
+        // next odd cycle; treat it as immediate work. Scanning the
+        // valid-entry bitset alone (instead of every slot) keeps the
+        // fast-forward probe O(pending), the common case being empty.
+        if self.table.pending.iter().any(|i| self.table.dispatchable(i as usize)) {
             return Some(cycle);
         }
         self.fpu.next_activity().map(|c| c.max(cycle))
@@ -757,19 +773,19 @@ impl Fpc {
         );
         self.ticks += n;
         self.occupied_sum += self.cam.len() as u64 * n;
-        self.valid_sum += self.pending_count as u64 * n;
+        self.valid_sum += self.table.pending.len() as u64 * n;
         self.fpu_depth_sum += self.fpu.depth_used() as u64 * n;
         let odd = odd_cycles_in(from_cycle, n);
         // Same bubble taxonomy as `dispatch`: with no dispatchable slot,
         // pending work (necessarily in flight here) classifies the odd
         // cycles as TCB-wait, otherwise the FIFOs are simply empty.
-        if self.pending_count == 0 && self.input_events.is_empty() {
+        if self.table.pending.is_empty() && self.input_events.is_empty() {
             self.stall_fifo_empty += odd;
         } else {
             self.stall_tcb_wait += odd;
         }
         if self.scan == ScanPolicy::FullIteration {
-            let slots = self.slots.len() as u64;
+            let slots = self.table.len() as u64;
             self.rr_ptr = ((self.rr_ptr as u64 + odd % slots) % slots) as usize;
         }
     }
@@ -780,7 +796,7 @@ impl Fpc {
     pub fn audit(&self, cycle: u64, chk: &mut InvariantChecker) {
         chk.check_fifo(cycle, &format!("fpc{}.input_fifo", self.id), &self.input_events);
         chk.check_fifo(cycle, &format!("fpc{}.swapin_fifo", self.id), &self.input_tcbs);
-        let occupied = self.slots.iter().filter(|s| s.occupied).count();
+        let occupied = self.table.occupied.len();
         if occupied != self.cam.len() {
             chk.report(
                 cycle,
@@ -793,9 +809,11 @@ impl Fpc {
                 ),
             );
         }
-        for s in &self.slots {
-            if s.occupied && s.pending && !s.in_fpu {
-                let idle = cycle.saturating_sub(s.last_progress_cycle);
+        // Walk only the valid-entry bitset (ascending slot order, the
+        // same order the AoS scan reported in).
+        for i in self.table.pending.iter() {
+            if self.table.dispatchable(i as usize) {
+                let idle = cycle.saturating_sub(self.table.last_progress[i as usize]);
                 if idle > chk.leak_bound() {
                     chk.report(
                         cycle,
@@ -803,7 +821,7 @@ impl Fpc {
                         format!("fpc{}", self.id),
                         format!(
                             "flow {} has a valid event-table entry undispatched for {idle} cycles",
-                            s.tcb.flow
+                            self.table.tcbs[i as usize].flow
                         ),
                     );
                 }
@@ -815,13 +833,14 @@ impl Fpc {
     /// support: residency is cross-checked against the location LUT and
     /// the DRAM store).
     pub fn resident_flows(&self) -> impl Iterator<Item = FlowId> + '_ {
-        self.slots.iter().filter(|s| s.occupied).map(|s| s.tcb.flow)
+        self.table.occupied.iter().map(|i| self.table.tcbs[i as usize].flow)
     }
 
     /// TCBs currently resident in this FPC (watchdog progress scan: one
-    /// pass over the slot table instead of a per-flow `peek_tcb` search).
+    /// pass over the occupancy bitset instead of a per-flow `peek_tcb`
+    /// search).
     pub fn resident_tcbs(&self) -> impl Iterator<Item = &Tcb> {
-        self.slots.iter().filter(|s| s.occupied).map(|s| &s.tcb)
+        self.table.occupied.iter().map(|i| &self.table.tcbs[i as usize])
     }
 }
 

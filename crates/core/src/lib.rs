@@ -41,6 +41,7 @@ pub mod fpc;
 pub mod fpu;
 pub mod memory_manager;
 pub mod packet_gen;
+pub mod parallel;
 pub mod resources;
 pub mod rx_parser;
 pub mod scheduler;
@@ -52,6 +53,7 @@ pub use fpc::Fpc;
 pub use fpu::Fpu;
 pub use memory_manager::MemoryManager;
 pub use packet_gen::PacketGenerator;
+pub use parallel::{fold_digests, ParallelRunner, RENDEZVOUS_QUANTUM};
 pub use resources::{resource_report, ResourceRow};
 pub use rx_parser::RxParser;
 pub use scheduler::Scheduler;

@@ -19,9 +19,11 @@ use crate::event::{EventKind, FlowEvent, TimeoutKind};
 use crate::fpu::EventView;
 use f4t_mem::{CacheAccess, DramKind, DramModel, TcbCache, TCB_BYTES};
 use f4t_sim::check::InvariantChecker;
-use f4t_sim::{Fifo, FlightRecorder, FlightStage, Histogram, Journal, JournalKind, JournalModule};
+use f4t_sim::{
+    Fifo, FlightRecorder, FlightStage, FlowSet, FlowSlab, Histogram, Journal, JournalKind,
+    JournalModule, SlabQueue,
+};
 use f4t_tcp::{FlowId, Tcb, TcpFlags};
-use std::collections::{HashMap, HashSet, VecDeque};
 
 /// Per-cycle outputs of the memory manager.
 #[derive(Debug, Default)]
@@ -40,7 +42,10 @@ pub struct MmOutput {
 /// The memory manager.
 #[derive(Debug)]
 pub struct MemoryManager {
-    store: HashMap<FlowId, (Tcb, EventView)>,
+    /// DRAM-resident flows: a dense `FlowId -> slot` slab (FtTurbo), so
+    /// every event-handling lookup is two array indexes instead of a
+    /// hash, and iteration order is ascending flow id by construction.
+    store: FlowSlab<(Tcb, EventView)>,
     cache: TcbCache,
     dram: DramModel,
     input: Fifo<FlowEvent>,
@@ -48,12 +53,12 @@ pub struct MemoryManager {
     /// routed here (`None` until [`enable_flight`](Self::enable_flight)).
     input_stamps: Option<Fifo<u64>>,
     /// Evicted TCBs from FPCs awaiting their DRAM write (bandwidth),
-    /// tagged with the cycle they entered the queue.
-    // f4tlint: allow(raw_queue): bounded by the migration-control window
-    // (at most one eviction in flight per FPC plus new placements).
-    writeback_queue: VecDeque<(Tcb, u64)>,
+    /// tagged with the cycle they entered the queue. Bounded by the
+    /// migration-control window (at most one eviction in flight per FPC
+    /// plus new placements).
+    writeback_queue: SlabQueue<(Tcb, u64)>,
     /// Flows with an outstanding swap-in request (dedup).
-    swap_requested: HashSet<FlowId>,
+    swap_requested: FlowSet,
     events_handled: u64,
     /// Local cycle count (incremented per tick) for latency measurement.
     cycle: u64,
@@ -72,13 +77,13 @@ impl MemoryManager {
     /// `cache_sets` direct-mapped entries.
     pub fn new(dram: DramKind, cache_sets: usize) -> MemoryManager {
         MemoryManager {
-            store: HashMap::new(),
+            store: FlowSlab::with_capacity(0),
             cache: TcbCache::new(cache_sets),
             dram: DramModel::new(dram),
             input: Fifo::new(Self::INPUT_FIFO_DEPTH),
             input_stamps: None,
-            writeback_queue: VecDeque::new(),
-            swap_requested: HashSet::new(),
+            writeback_queue: SlabQueue::with_capacity(16),
+            swap_requested: FlowSet::with_capacity(0),
             events_handled: 0,
             cycle: 0,
             writeback_latency: Histogram::new(),
@@ -142,7 +147,7 @@ impl MemoryManager {
     /// Returns `None` when the flow is unknown or this cycle's DRAM
     /// budget is exhausted (the scheduler retries).
     pub fn take_for_swap_in(&mut self, flow: FlowId) -> Option<(Tcb, EventView)> {
-        if !self.store.contains_key(&flow) {
+        if !self.store.contains(flow.0) {
             return None;
         }
         // Migration always reads the authoritative DRAM copy (the cache
@@ -151,15 +156,15 @@ impl MemoryManager {
             return None;
         }
         self.cache.invalidate(flow);
-        self.swap_requested.remove(&flow);
-        self.store.remove(&flow)
+        self.swap_requested.remove(flow.0);
+        self.store.remove(flow.0)
     }
 
     /// Read-only view of a DRAM-resident TCB, including TCBs still in
     /// the write-back queue (diagnostics).
     pub fn peek_tcb(&self, flow: FlowId) -> Option<&Tcb> {
         self.store
-            .get(&flow)
+            .get(flow.0)
             .map(|(t, _)| t)
             .or_else(|| self.writeback_queue.iter().map(|(t, _)| t).find(|t| t.flow == flow))
     }
@@ -321,17 +326,17 @@ impl MemoryManager {
             if let Some((tcb, enqueued)) = self.writeback_queue.pop_front() {
                 let flow = tcb.flow;
                 self.writeback_latency.record(self.cycle - enqueued);
-                self.store.insert(flow, (tcb, EventView::default()));
+                self.store.insert(flow.0, (tcb, EventView::default()));
                 self.cache.fill(tcb);
                 // Fresh DRAM residency: any previous swap-in request is
                 // void (it may have been dropped while we were in
                 // transit), so the check logic may fire again.
-                self.swap_requested.remove(&flow);
+                self.swap_requested.remove(flow.0);
                 // The freshly stored TCB may already be sendable (events
                 // can accumulate on it immediately); let the check logic
                 // evaluate it now rather than waiting for the next event.
                 if Self::check_can_send(&tcb, &EventView::default())
-                    && self.swap_requested.insert(flow)
+                    && self.swap_requested.insert(flow.0)
                 {
                     out.swap_in_requests.push(flow);
                 }
@@ -342,7 +347,7 @@ impl MemoryManager {
         // 2. Event handling: one event per cycle when bandwidth allows.
         if let Some(&event) = self.input.front() {
             let flow = event.flow;
-            if let Some(entry) = self.store.get(&flow) {
+            if let Some(entry) = self.store.get(flow.0) {
                 // Charge the memory system: cache hit = SRAM (free);
                 // miss = TCB read + write-back of the RMW (2×128 B), plus
                 // a dirty victim write.
@@ -376,7 +381,7 @@ impl MemoryManager {
                             u64::from(can_send),
                         );
                     }
-                    self.store.insert(flow, (tcb, ev));
+                    self.store.insert(flow.0, (tcb, ev));
                     if charge > 0 {
                         self.cache.fill(tcb);
                     }
@@ -384,7 +389,7 @@ impl MemoryManager {
                         // Keep the cached copy coherent (dirty).
                         *e = tcb;
                     }
-                    if can_send && self.swap_requested.insert(flow) {
+                    if can_send && self.swap_requested.insert(flow.0) {
                         out.swap_in_requests.push(flow);
                     }
                 }
@@ -429,18 +434,21 @@ impl MemoryManager {
         self.dram.tick_n(n);
     }
 
-    /// Flows currently resident in the DRAM store (FtVerify audit
-    /// support). Excludes TCBs still waiting in the write-back queue —
-    /// those are mid-migration and their LUT entries say `Moving`.
+    /// Flows currently resident in the DRAM store, in ascending flow-id
+    /// order (FtVerify audit support). Excludes TCBs still waiting in
+    /// the write-back queue — those are mid-migration and their LUT
+    /// entries say `Moving`.
     pub fn resident_flows(&self) -> impl Iterator<Item = FlowId> + '_ {
-        self.store.keys().copied()
+        self.store.ids().map(FlowId)
     }
 
     /// TCBs this module holds, including write-back-queue entries still
     /// mid-migration (watchdog progress scan — same coverage as
-    /// [`peek_tcb`](Self::peek_tcb), one pass instead of per-flow lookups).
+    /// [`peek_tcb`](Self::peek_tcb), one pass instead of per-flow
+    /// lookups). Deterministic order: store ascending by flow id, then
+    /// the write-back queue head-first.
     pub fn resident_tcbs(&self) -> impl Iterator<Item = &Tcb> {
-        self.store.values().map(|(t, _)| t).chain(self.writeback_queue.iter().map(|(t, _)| t))
+        self.store.iter().map(|(_, (t, _))| t).chain(self.writeback_queue.iter().map(|(t, _)| t))
     }
 
     /// FtVerify fault injection: plants `tcb` directly in the DRAM store,
@@ -448,7 +456,7 @@ impl MemoryManager {
     /// the negative tests can seed a dual-residency migration race the
     /// audit must detect; never called from protocol paths.
     pub fn fault_inject_store(&mut self, tcb: Tcb) {
-        self.store.insert(tcb.flow, (tcb, EventView::default()));
+        self.store.insert(tcb.flow.0, (tcb, EventView::default()));
     }
 
     /// FtVerify periodic audit: conservation on the event input FIFO.

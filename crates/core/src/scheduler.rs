@@ -14,9 +14,10 @@ use crate::fpu::EventView;
 use crate::memory_manager::MemoryManager;
 use f4t_mem::{Location, LocationLut};
 use f4t_sim::check::{InvariantChecker, ViolationKind};
-use f4t_sim::{Fifo, FlightRecorder, FlightStage, Journal, JournalKind, JournalModule};
+use f4t_sim::{
+    Fifo, FlightRecorder, FlightStage, FlowSlab, Journal, JournalKind, JournalModule, SlabQueue,
+};
 use f4t_tcp::{FlowId, Tcb};
-use std::collections::{HashMap, VecDeque};
 
 /// Whether a location-LUT state transition is part of the migration
 /// protocol (Fig. 6): every move between SRAM and DRAM passes through
@@ -82,21 +83,26 @@ pub struct Scheduler {
     /// Whether FtFlight stamping is on (gates the migration stamp map).
     flight_enabled: bool,
     lut: LocationLut,
-    // f4tlint: allow(raw_queue): pending retry queue for events whose flow
-    // is mid-migration; bounded by intake backpressure (events only enter
-    // via the bounded input/coalesce FIFOs). Tuple: (event, retry cycle,
-    // cycle first parked — the FtFlight `pending_wait` span start, kept
-    // across re-parks).
-    pending: VecDeque<(FlowEvent, u64, u64)>,
+    /// Pending retry queue for events whose flow is mid-migration;
+    /// bounded by intake backpressure (events only enter via the bounded
+    /// input/coalesce FIFOs). Tuple: (event, retry cycle, cycle first
+    /// parked — the FtFlight `pending_wait` span start, kept across
+    /// re-parks).
+    pending: SlabQueue<(FlowEvent, u64, u64)>,
+    /// Reused per-tick batch buffer for the pending drain (hot path;
+    /// avoids reallocating).
+    pending_scratch: Vec<(FlowEvent, u64, u64)>,
     pending_high: usize,
-    migrations: HashMap<FlowId, MigrationDest>,
+    /// In-flight migrations, keyed by flow id on a dense FtTurbo slab
+    /// (no hashing on the routing path; ascending-id iteration).
+    migrations: FlowSlab<MigrationDest>,
     /// FtFlight: cycle each in-flight migration / swap-in began, recorded
     /// as `tcb_fetch_dram` when the flow lands in an FPC. Only populated
     /// while flight is enabled; entries leave with `migrations`.
-    migration_started: HashMap<FlowId, u64>,
-    // f4tlint: allow(raw_queue): at most one entry per DRAM-resident flow
-    // (the memory manager deduplicates swap-in requests).
-    swap_in_queue: VecDeque<FlowId>,
+    migration_started: FlowSlab<u64>,
+    /// At most one entry per DRAM-resident flow (the memory manager
+    /// deduplicates swap-in requests).
+    swap_in_queue: SlabQueue<FlowId>,
     stats: SchedulerStats,
 }
 
@@ -129,11 +135,12 @@ impl Scheduler {
             coalescing,
             flight_enabled: false,
             lut: LocationLut::new(max_flows, lut_groups),
-            pending: VecDeque::new(),
+            pending: SlabQueue::with_capacity(16),
+            pending_scratch: Vec::new(),
             pending_high: 0,
-            migrations: HashMap::new(),
-            migration_started: HashMap::new(),
-            swap_in_queue: VecDeque::new(),
+            migrations: FlowSlab::with_capacity(0),
+            migration_started: FlowSlab::with_capacity(0),
+            swap_in_queue: SlabQueue::with_capacity(16),
             stats: SchedulerStats::default(),
         }
     }
@@ -205,8 +212,8 @@ impl Scheduler {
     /// cycle, recorded as the FtFlight `tcb_fetch_dram` span start (the
     /// DRAM→FPC migration wait measured to the swap-in install).
     pub fn request_swap_in_at(&mut self, flow: FlowId, cycle: u64) {
-        if self.flight_enabled {
-            self.migration_started.entry(flow).or_insert(cycle);
+        if self.flight_enabled && !self.migration_started.contains(flow.0) {
+            self.migration_started.insert(flow.0, cycle);
         }
         self.swap_in_queue.push_back(flow);
     }
@@ -321,8 +328,8 @@ impl Scheduler {
         flight: Option<&mut FlightRecorder>,
     ) {
         self.set_location(flow, Location::Fpc(fpc), cycle, chk);
-        self.migrations.remove(&flow);
-        if let Some(start) = self.migration_started.remove(&flow) {
+        self.migrations.remove(flow.0);
+        if let Some(start) = self.migration_started.remove(flow.0) {
             if let Some(f) = flight {
                 f.record(FlightStage::TcbFetchDram, flow.0, cycle.saturating_sub(start));
             }
@@ -338,8 +345,8 @@ impl Scheduler {
         chk: Option<&mut InvariantChecker>,
     ) {
         self.set_location(flow, Location::Dram, cycle, chk);
-        self.migrations.remove(&flow);
-        self.migration_started.remove(&flow);
+        self.migrations.remove(flow.0);
+        self.migration_started.remove(flow.0);
     }
 
     /// Engine callback: the connection fully closed; release routing
@@ -351,24 +358,24 @@ impl Scheduler {
         chk: Option<&mut InvariantChecker>,
     ) {
         self.set_location(flow, Location::Unallocated, cycle, chk);
-        self.migrations.remove(&flow);
-        self.migration_started.remove(&flow);
+        self.migrations.remove(flow.0);
+        self.migration_started.remove(flow.0);
     }
 
     /// Engine callback: an evict checker diverted `tcb` out of an FPC.
     /// Forwards it to its migration destination.
     pub fn on_evicted(&mut self, tcb: Tcb, fpcs: &mut [Fpc], mm: &mut MemoryManager) {
         let flow = tcb.flow;
-        match self.migrations.get(&flow).copied() {
+        match self.migrations.get(flow.0).copied() {
             Some(MigrationDest::Fpc(j)) => {
                 if !fpcs[j as usize].push_tcb(tcb, EventView::default()) {
                     // Target filled up meanwhile: fall back to DRAM.
-                    self.migrations.insert(flow, MigrationDest::Dram);
+                    self.migrations.insert(flow.0, MigrationDest::Dram);
                     mm.accept_eviction(tcb);
                 }
             }
             Some(MigrationDest::Dram) | None => {
-                self.migrations.insert(flow, MigrationDest::Dram);
+                self.migrations.insert(flow.0, MigrationDest::Dram);
                 mm.accept_eviction(tcb);
             }
         }
@@ -386,16 +393,16 @@ impl Scheduler {
         chk: Option<&mut InvariantChecker>,
         journal: Option<&mut Journal>,
     ) -> bool {
-        if self.migrations.contains_key(&flow) {
+        if self.migrations.contains(flow.0) {
             return false;
         }
         if !fpcs[from_fpc].request_evict(flow) {
             return false;
         }
         self.set_location(flow, Location::Moving, cycle, chk);
-        self.migrations.insert(flow, dest);
-        if self.flight_enabled {
-            self.migration_started.entry(flow).or_insert(cycle);
+        self.migrations.insert(flow.0, dest);
+        if self.flight_enabled && !self.migration_started.contains(flow.0) {
+            self.migration_started.insert(flow.0, cycle);
         }
         if let Some(j) = journal {
             let to = match dest {
@@ -591,10 +598,12 @@ impl Scheduler {
     ) {
         for _ in 0..Self::SWAP_ACTIONS_PER_CYCLE {
             let Some(&flow) = self.swap_in_queue.front() else { return };
-            if self.migrations.contains_key(&flow) {
+            if self.migrations.contains(flow.0) {
                 // Mid-migration: rotate so one moving flow does not block
                 // the queue.
-                self.swap_in_queue.rotate_left(1);
+                if let Some(f) = self.swap_in_queue.pop_front() {
+                    self.swap_in_queue.push_back(f);
+                }
                 continue;
             }
             if mm.peek_tcb(flow).is_none() {
@@ -636,7 +645,7 @@ impl Scheduler {
                     // (Fig. 6), concurrency bounded by demand.
                     let dram_bound = self
                         .migrations
-                        .values()
+                        .iter_dense()
                         .filter(|d| **d == MigrationDest::Dram)
                         .count();
                     if dram_bound >= self.swap_in_queue.len().min(256) {
@@ -748,27 +757,48 @@ impl Scheduler {
         }
 
         // 2. Retry pending events whose timer elapsed (ahead of new
-        //    routing so ordering per flow is preserved).
-        for _ in 0..4 {
-            match self.pending.front() {
-                Some(&(ev, retry, parked_at)) if retry <= cycle => {
-                    self.pending.pop_front();
-                    if !self.route(
-                        ev,
-                        cycle,
-                        Some(parked_at),
-                        fpcs,
-                        mm,
-                        chk.as_deref_mut(),
-                        flight.as_deref_mut(),
-                        journal.as_deref_mut(),
-                    ) {
-                        self.pending.push_front((ev, cycle + 1, parked_at));
-                        break;
-                    }
+        //    routing so ordering per flow is preserved). The due prefix is
+        //    drained from the ring in one batch per tick instead of one
+        //    pop per entry; anything routing re-parks (and anything route
+        //    itself parks) carries a retry past `cycle`, so the upfront
+        //    prefix equals what an incremental pop loop would take.
+        let due = self
+            .pending
+            .iter()
+            .take(4)
+            .take_while(|&&(_, retry, _)| retry <= cycle)
+            .count();
+        if due > 0 {
+            let mut batch = std::mem::take(&mut self.pending_scratch);
+            batch.clear();
+            batch.extend(self.pending.drain_front(due));
+            let mut failed_at = None;
+            for (i, &(ev, _, parked_at)) in batch.iter().enumerate() {
+                if !self.route(
+                    ev,
+                    cycle,
+                    Some(parked_at),
+                    fpcs,
+                    mm,
+                    chk.as_deref_mut(),
+                    flight.as_deref_mut(),
+                    journal.as_deref_mut(),
+                ) {
+                    failed_at = Some(i);
+                    break;
                 }
-                _ => break,
             }
+            if let Some(i) = failed_at {
+                // Re-park the unrouted tail at the front in order, then
+                // the failed entry ahead of it with a next-cycle retry —
+                // the exact state the per-entry loop left behind.
+                for &entry in batch[i + 1..].iter().rev() {
+                    self.pending.push_front(entry);
+                }
+                let (ev, _, parked_at) = batch[i];
+                self.pending.push_front((ev, cycle + 1, parked_at));
+            }
+            self.pending_scratch = batch;
         }
 
         // 3. Route one event per coalesce FIFO (up to 4/cycle with 4 LUT

@@ -1,0 +1,62 @@
+// Fixture for the `hashmap_iter` rule: nondeterministic hash-order
+// iteration in core/mem code. Expected findings: lines 12, 15, 19, 22.
+use std::collections::{HashMap, HashSet};
+
+struct Lut {
+    entries: HashMap<u32, u64>,
+    members: HashSet<u32>,
+}
+
+impl Lut {
+    fn bad_iter(&self) {
+        for (k, v) in self.entries.iter() {
+            let _ = (k, v);
+        }
+        for k in self.members.iter() {
+            let _ = k;
+        }
+        let mut local: HashMap<u32, u64> = HashMap::new();
+        for v in local.values_mut() {
+            *v += 1;
+        }
+        for k in &self.members {
+            let _ = k;
+        }
+    }
+
+    fn fine(&self) {
+        // Order-insensitive folds are not for-loops and stay legal.
+        let _sum: u64 = self.entries.values().sum();
+        // Non-hash containers iterate freely.
+        let v = vec![1, 2, 3];
+        for x in &v {
+            let _ = x;
+        }
+        for x in v.iter() {
+            let _ = x;
+        }
+    }
+
+    fn allowed(&self) -> u64 {
+        let mut acc = 0;
+        // f4tlint: allow(hashmap_iter): keys fold into an order-insensitive sum.
+        for k in self.members.iter() {
+            acc += u64::from(*k);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tests_may_iterate() {
+        let mut m = HashMap::new();
+        m.insert(1u32, 2u64);
+        for (k, v) in m.iter() {
+            let _ = (k, v);
+        }
+    }
+}

@@ -12,6 +12,7 @@
 //! | `wall_clock` | every crate except `bench` | no `std::time::Instant` / `SystemTime`: simulated time must come from the cycle counter, or determinism and reproducibility die silently |
 //! | `raw_queue` | `core`, `mem` | no `VecDeque<...>` fields/locals — on-chip queues must be `f4t_sim::Fifo` (bounded, with backpressure and conservation counters) |
 //! | `panic_path` | `core` | no `unwrap()`/`expect()`/`panic!`-family in non-test code: everything in `core` is reachable from `Engine::tick`, and a model that panics mid-tick cannot report what went wrong |
+//! | `hashmap_iter` | `core`, `mem` | no `for … in` loops over `HashMap`/`HashSet` iterators in non-test code — std hash iteration order is unspecified, which silently breaks the determinism contract; iterate a `FlowSlab`/`FlowSet` or collect-and-sort |
 //! | `metric_name` | every crate | FtScope metric / FtFlight stage / FtJournal event names are dotted `snake_case` and unique per file (duplicate registration silently overwrites) |
 //! | `cargo_deps` | every manifest | every dependency is `path =` / `workspace = true` — the workspace builds fully offline |
 //!
@@ -41,6 +42,10 @@ pub const RULES: &[(&str, &str)] = &[
     ("wall_clock", "no std::time::Instant/SystemTime outside crates/bench"),
     ("raw_queue", "no VecDeque in crates/core|mem; on-chip queues use f4t_sim::Fifo"),
     ("panic_path", "no unwrap/expect/panic!-family in non-test crates/core code"),
+    (
+        "hashmap_iter",
+        "no for-loops over HashMap/HashSet iterators in crates/core|mem; order is nondeterministic",
+    ),
     (
         "metric_name",
         "FtScope metric / FtFlight stage / FtJournal event names are dotted snake_case, unique per file",
@@ -327,6 +332,10 @@ fn rule_applies(rule: &str, crate_name: &str) -> bool {
         "wall_clock" => crate_name != "bench",
         "raw_queue" => matches!(crate_name, "core" | "mem"),
         "panic_path" => crate_name == "core",
+        // Hash iteration order feeds straight into tick ordering in the
+        // hardware-model crates; elsewhere determinism-sensitive loops
+        // are covered by the golden-digest tests.
+        "hashmap_iter" => matches!(crate_name, "core" | "mem"),
         "metric_name" => true,
         _ => false,
     }
@@ -350,6 +359,74 @@ fn word_match(haystack: &str, word: &str) -> bool {
 
 const PANIC_PATTERNS: &[&str] =
     &[".unwrap()", ".expect(", "panic!(", "unreachable!(", "todo!(", "unimplemented!("];
+
+/// Iterator-producing methods whose order is the hash order.
+const HASH_ITER_METHODS: &[&str] =
+    &[".iter()", ".iter_mut()", ".keys()", ".values()", ".values_mut()", ".drain()", ".into_iter()"];
+
+/// Trailing `[a-zA-Z0-9_]+` identifier of `s` (empty if none).
+fn trailing_ident(s: &str) -> String {
+    let tail: Vec<char> =
+        s.chars().rev().take_while(|c| c.is_alphanumeric() || *c == '_').collect();
+    tail.into_iter().rev().collect()
+}
+
+/// Identifiers this file declares with a `HashMap`/`HashSet` type or
+/// constructor: `name: HashMap<..>` fields/params and
+/// `let [mut] name = HashMap::new()`-style bindings.
+fn hash_container_idents(code: &[String]) -> HashSet<String> {
+    let mut names = HashSet::new();
+    for line in code {
+        for pat in ["HashMap<", "HashSet<", "HashMap::", "HashSet::"] {
+            let mut start = 0;
+            while let Some(pos) = line[start..].find(pat) {
+                let at = start + pos;
+                let before = line[..at].trim_end();
+                let binding = before
+                    .strip_suffix(':')
+                    .or_else(|| before.strip_suffix('='))
+                    .map(str::trim_end);
+                if let Some(b) = binding {
+                    let ident = trailing_ident(b);
+                    if !ident.is_empty() && !ident.starts_with(|c: char| c.is_ascii_digit()) {
+                        names.insert(ident);
+                    }
+                }
+                start = at + pat.len();
+            }
+        }
+    }
+    names
+}
+
+/// Whether the loop expression after `for … in` iterates one of the
+/// file's hash containers: `name.iter()` / `.keys()` / … (including
+/// `self.name.iter()`), or by-reference `&name` / `&mut name`.
+fn iterates_hash_container(expr: &str, names: &HashSet<String>) -> bool {
+    for method in HASH_ITER_METHODS {
+        let mut start = 0;
+        while let Some(pos) = expr[start..].find(method) {
+            let at = start + pos;
+            if names.contains(&trailing_ident(&expr[..at])) {
+                return true;
+            }
+            start = at + method.len();
+        }
+    }
+    let t = expr.trim_start();
+    if let Some(r) = t.strip_prefix('&') {
+        let r = r.trim_start();
+        let r = r.strip_prefix("mut ").unwrap_or(r).trim_start();
+        let r = r.strip_prefix("self.").unwrap_or(r);
+        let ident: String =
+            r.chars().take_while(|c| c.is_alphanumeric() || *c == '_').collect();
+        let rest = r[ident.len()..].trim_start();
+        if names.contains(&ident) && (rest.is_empty() || rest.starts_with('{')) {
+            return true;
+        }
+    }
+    false
+}
 
 // `stage_name(` is the FtFlight identity wrapper around stage-name
 // literals (crates/sim/src/flight.rs): flight stages feed telemetry and
@@ -413,6 +490,7 @@ pub fn scan_source(file: &str, crate_name: &str, src: &str) -> Vec<Finding> {
     let (allowed, file_allowed) = parse_directives(&stripped);
     let mut findings = Vec::new();
     let mut seen_metrics: HashMap<String, usize> = HashMap::new();
+    let hash_idents = hash_container_idents(&stripped.code);
 
     let active = |rule: &'static str, line: usize| {
         rule_applies(rule, crate_name)
@@ -442,6 +520,25 @@ pub fn scan_source(file: &str, crate_name: &str, src: &str) -> Vec<Finding> {
                           justify with // f4tlint: allow(raw_queue): <why bounded>"
                     .into(),
             });
+        }
+        if active("hashmap_iter", i) && !tests[i] && word_match(code, "for") {
+            // Line-based: the loop expression is everything after the
+            // last ` in ` on the `for` line (good enough for rustfmt'd
+            // single-line headers; multi-line headers are rare).
+            if let Some(pos) = code.rfind(" in ") {
+                if iterates_hash_container(&code[pos + 4..], &hash_idents) {
+                    findings.push(Finding {
+                        file: file.into(),
+                        line: lineno,
+                        rule: "hashmap_iter",
+                        message: "for-loop over HashMap/HashSet iteration order is \
+                                  nondeterministic and breaks the golden-digest contract; \
+                                  iterate a FlowSlab/FlowSet or collect-and-sort (or justify \
+                                  with // f4tlint: allow(hashmap_iter): <why order-insensitive>)"
+                            .into(),
+                    });
+                }
+            }
         }
         if active("panic_path", i) && !tests[i] {
             for pat in PANIC_PATTERNS {
@@ -639,6 +736,29 @@ mod tests {
         let f = scan_source("panic_path.rs", "core", &fixture("panic_path.rs"));
         assert_eq!(rules_of(&f), ["panic_path", "panic_path"], "{f:#?}");
         assert!(f.iter().all(|x| x.line < 20), "test-module panics exempt: {f:#?}");
+    }
+
+    #[test]
+    fn fixture_hashmap_iter_detected() {
+        let f = scan_source("hashmap_iter.rs", "core", &fixture("hashmap_iter.rs"));
+        assert_eq!(
+            rules_of(&f),
+            ["hashmap_iter", "hashmap_iter", "hashmap_iter", "hashmap_iter"],
+            "{f:#?}"
+        );
+        // Field iter, method-chain iter, local binding, by-reference loop;
+        // the allow-listed loop, the order-insensitive fold, the Vec loops
+        // and the #[cfg(test)] loop are all exempt.
+        assert_eq!(
+            f.iter().map(|x| x.line).collect::<Vec<_>>(),
+            [12, 15, 19, 22],
+            "{f:#?}"
+        );
+        assert!(f[0].message.contains("nondeterministic"), "{f:#?}");
+        // mem is in scope too; other crates are not.
+        assert_eq!(scan_source("hashmap_iter.rs", "mem", &fixture("hashmap_iter.rs")).len(), 4);
+        assert!(scan_source("hashmap_iter.rs", "host", &fixture("hashmap_iter.rs")).is_empty());
+        assert!(scan_source("hashmap_iter.rs", "bench", &fixture("hashmap_iter.rs")).is_empty());
     }
 
     #[test]

@@ -26,6 +26,10 @@
 //!   ([`Journal`], [`JournalEvent`]) behind post-mortem black-box dumps.
 //! * [`watchdog`] — FtJournal's online health watchdog ([`Watchdog`]):
 //!   stuck flows, retransmit storms, queue SLOs, starved LUT entries.
+//! * [`slab`] — FtTurbo struct-of-arrays slab allocators ([`Slab`],
+//!   [`FlowSlab`], [`SlabQueue`], [`FlowSet`]): the dense, hash-free,
+//!   deterministically-iterable stores behind every tick-path per-flow
+//!   structure.
 //!
 //! # Examples
 //!
@@ -49,6 +53,7 @@ pub mod fifo;
 pub mod flight;
 pub mod journal;
 pub mod rng;
+pub mod slab;
 pub mod stats;
 pub mod telemetry;
 pub mod watchdog;
@@ -60,6 +65,7 @@ pub use fifo::Fifo;
 pub use flight::{FlightRecorder, FlightStage};
 pub use journal::{Journal, JournalEvent, JournalKind, JournalModule};
 pub use rng::SimRng;
+pub use slab::{FlowSet, FlowSlab, Slab, SlabCursor, SlabHandle, SlabQueue};
 pub use stats::{Counter, Histogram, MeanVar};
 pub use watchdog::{
     Alarm, AlarmKind, FlowObservation, QueueObservation, Watchdog, WatchdogConfig,

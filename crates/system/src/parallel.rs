@@ -1,0 +1,147 @@
+//! FtTurbo at testbed level: a fleet of **independent** [`F4tSystem`]
+//! instances on worker threads.
+//!
+//! One `F4tSystem` couples its two nodes through the link every cycle,
+//! so it can never be threaded internally; what does parallelize is a
+//! *fleet* of closed systems (parameter sweeps, per-tenant testbeds,
+//! sharded scale runs). This module reuses the engine-level
+//! [`ParallelRunner`]: every rendezvous round advances each system by
+//! [`RENDEZVOUS_QUANTUM`] cycles, and merged artifacts are folded in
+//! fixed system order after the run — so results are a pure function of
+//! the fleet, never of the worker-pool size.
+
+use crate::F4tSystem;
+use f4t_core::{fold_digests, ParallelRunner, RENDEZVOUS_QUANTUM};
+use crate::system::CYCLE_NS;
+
+/// A fixed-order fleet of independent systems with deterministic
+/// parallel execution.
+///
+/// # Examples
+///
+/// ```
+/// use f4t_core::EngineConfig;
+/// use f4t_system::{F4tSystem, SystemFleet};
+///
+/// let mk = || {
+///     let fleet = (0..2)
+///         .map(|i| F4tSystem::bulk(1, 64 + i * 64, EngineConfig::reference()))
+///         .collect();
+///     SystemFleet::new(fleet)
+/// };
+/// let run = |threads| {
+///     let mut f = mk();
+///     f.run_ns(threads, 200_000);
+///     f.merged_telemetry_json()
+/// };
+/// assert_eq!(run(1), run(2), "pool size must not change merged output");
+/// ```
+pub struct SystemFleet {
+    runner: ParallelRunner<F4tSystem>,
+}
+
+impl SystemFleet {
+    /// Wraps a fixed, ordered fleet. The fleet's order and contents are
+    /// part of the workload's identity; only the worker-pool size passed
+    /// to [`run_ns`](Self::run_ns) may vary between runs.
+    pub fn new(systems: Vec<F4tSystem>) -> SystemFleet {
+        SystemFleet { runner: ParallelRunner::new(systems) }
+    }
+
+    /// Number of systems in the fleet.
+    pub fn len(&self) -> usize {
+        self.runner.len()
+    }
+
+    /// Whether the fleet is empty.
+    pub fn is_empty(&self) -> bool {
+        self.runner.is_empty()
+    }
+
+    /// The systems, in fixed fleet order.
+    pub fn systems(&self) -> &[F4tSystem] {
+        self.runner.shards()
+    }
+
+    /// Mutable access (setup between runs).
+    pub fn systems_mut(&mut self) -> &mut [F4tSystem] {
+        self.runner.shards_mut()
+    }
+
+    /// Unwraps the fleet, in fixed order.
+    pub fn into_systems(self) -> Vec<F4tSystem> {
+        self.runner.into_shards()
+    }
+
+    /// Advances every system by (at least) `ns` of simulated time on a
+    /// pool of `threads` workers, in rendezvous rounds of
+    /// [`RENDEZVOUS_QUANTUM`] cycles. Returns the rounds executed.
+    /// Every system runs the same whole number of quanta, so per-system
+    /// state after the call is independent of the pool size.
+    pub fn run_ns(&mut self, threads: usize, ns: u64) -> u64 {
+        let cycles = ns.div_ceil(CYCLE_NS);
+        let quanta = cycles.div_ceil(RENDEZVOUS_QUANTUM);
+        self.runner.run_rounds(threads, move |sys, round| {
+            sys.run_cycles(RENDEZVOUS_QUANTUM);
+            round + 1 < quanta
+        })
+    }
+
+    /// Merged FtScope snapshot, one JSON object per system in fixed
+    /// fleet order: `{"systems": [...]}`.
+    pub fn merged_telemetry_json(&self) -> String {
+        let parts: Vec<String> =
+            self.systems().iter().map(|s| s.telemetry().to_json()).collect();
+        format!("{{\"systems\": [{}]}}", parts.join(", "))
+    }
+
+    /// Merged FtJournal digest over both engines of every system, folded
+    /// in fixed fleet order (0 for engines without a journal).
+    pub fn merged_journal_digest(&self) -> u64 {
+        fold_digests(self.systems().iter().flat_map(|s| {
+            [
+                s.a.engine.journal().map_or(0, |j| j.digest()),
+                s.b.engine.journal().map_or(0, |j| j.digest()),
+            ]
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use f4t_core::EngineConfig;
+
+    fn fleet() -> SystemFleet {
+        let cfg = EngineConfig { journal: true, journal_sample: 1, ..EngineConfig::reference() };
+        SystemFleet::new(
+            (0..3u32)
+                .map(|i| F4tSystem::bulk(1, 64 + i * 96, cfg.clone()))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn pool_size_does_not_change_fleet_artifacts() {
+        let run = |threads: usize| {
+            let mut f = fleet();
+            let rounds = f.run_ns(threads, 300_000);
+            (rounds, f.merged_telemetry_json(), f.merged_journal_digest())
+        };
+        let reference = run(1);
+        assert!(reference.0 > 0, "fleet must actually run");
+        for threads in [2, 3, 8] {
+            assert_eq!(run(threads), reference, "pool of {threads} diverged");
+        }
+    }
+
+    #[test]
+    fn every_system_advances_the_same_quanta() {
+        let mut f = fleet();
+        let rounds = f.run_ns(2, 100_000);
+        let ns: Vec<u64> = f.systems().iter().map(|s| s.now_ns()).collect();
+        assert!(ns.iter().all(|&n| n == ns[0]), "uneven advance: {ns:?}");
+        assert!(ns[0] >= 100_000, "short advance: {ns:?}");
+        assert_eq!(rounds, 100_000u64.div_ceil(CYCLE_NS).div_ceil(RENDEZVOUS_QUANTUM));
+    }
+}

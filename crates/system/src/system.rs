@@ -14,7 +14,7 @@ use f4t_workloads::{
 use std::net::Ipv4Addr;
 
 /// Engine-core period in nanoseconds.
-const CYCLE_NS: u64 = 4;
+pub(crate) const CYCLE_NS: u64 = 4;
 
 /// Packet-capture cap: recording stops after this many packets so bulk
 /// runs cannot balloon the in-memory capture (tcpdump `-c` style).

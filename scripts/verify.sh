@@ -79,6 +79,9 @@ cargo run --release -q -p f4t-bench --bin f4tperf -- \
     || { echo "FAIL: healthy journal+watchdog run failed" >&2; exit 1; }
 rm -rf "$out"
 
+echo "==> FtTurbo smoke (slab + threaded scale paths)"
+sh scripts/turbo_baseline.sh --smoke
+
 echo "==> FtFlight perf gate (committed baselines + self-test)"
 sh scripts/perf_gate.sh
 sh scripts/perf_gate.sh --self-test

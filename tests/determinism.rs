@@ -208,3 +208,117 @@ fn runs_are_deterministic_and_match_golden_digest() {
         diff_summary(&golden_telem, &r1)
     );
 }
+
+/// FtTurbo pool-size invariance: the same fixed shard set driven
+/// through [`ParallelRunner`] in rendezvous rounds must produce
+/// byte-identical artifacts — telemetry, Chrome traces and journal
+/// digests — whether the worker pool holds 1 thread (the inline
+/// reference sequence) or several. Shards are deliberately uneven (flow
+/// counts and tail lengths differ) so completion order varies and a
+/// scheduling-order dependence would surface.
+#[test]
+fn parallel_pool_size_does_not_change_artifacts() {
+    use f4t::core::{fold_digests, ParallelRunner};
+    use f4t::tcp::FlowId;
+
+    struct Shard {
+        a: Engine,
+        b: Engine,
+        pairs: Vec<(FlowId, FlowId, SeqNum)>,
+        tail: u64,
+    }
+
+    const ACTIVE_ROUNDS: u64 = 24;
+
+    fn make_shards() -> Vec<Shard> {
+        (0..4u16)
+            .map(|s| {
+                let cfg = EngineConfig {
+                    num_fpcs: 2,
+                    lut_groups: 2,
+                    flows_per_fpc: 4,
+                    check: true,
+                    journal: true,
+                    journal_sample: 1,
+                    ..EngineConfig::reference()
+                };
+                let mut a = Engine::new(cfg.clone());
+                let mut b = Engine::new(cfg);
+                a.set_trace_capacity(512);
+                b.set_trace_capacity(512);
+                let mut pairs = Vec::new();
+                for p in 0..(6 + s % 3) {
+                    let t = FourTuple::new(
+                        Ipv4Addr::new(10, 0, 1 + s as u8, 1),
+                        50_000 + p,
+                        Ipv4Addr::new(10, 0, 0, 2),
+                        80,
+                    );
+                    let fa = a.open_established(t, SeqNum(0)).unwrap();
+                    let fb = b.open_established(t.reversed(), SeqNum(0)).unwrap();
+                    pairs.push((fa, fb, SeqNum(0)));
+                }
+                Shard { a, b, pairs, tail: 20 + u64::from(s) * 9 }
+            })
+            .collect()
+    }
+
+    fn step(sh: &mut Shard, round: u64) -> bool {
+        if round < ACTIVE_ROUNDS {
+            let i = (round as usize) % sh.pairs.len();
+            let (fa, _, req_a) = &mut sh.pairs[i];
+            let acked = sh.a.peek_tcb(*fa).map(|t| t.snd_una).unwrap_or(*req_a);
+            let add = 512 + (round as u32 * 73) % 1024;
+            if req_a.since(acked).saturating_add(add) <= f4t::tcp::TCP_BUFFER {
+                *req_a = req_a.add(add);
+                sh.a.push_host(*fa, EventKind::SendReq { req: *req_a });
+            }
+            exchange(&mut sh.a, &mut sh.b, 1 + round % 3);
+            true
+        } else if round < ACTIVE_ROUNDS + sh.tail {
+            exchange(&mut sh.a, &mut sh.b, 2);
+            round + 1 < ACTIVE_ROUNDS + sh.tail
+        } else {
+            false
+        }
+    }
+
+    /// (telemetry, chrome traces, journal digest a, journal digest b).
+    type ShardArtifacts = (String, String, u64, u64);
+
+    fn run(pool: usize) -> (u64, Vec<ShardArtifacts>, u64) {
+        let mut r = ParallelRunner::new(make_shards());
+        let rounds = r.run_rounds(pool, step);
+        let arts: Vec<_> = r
+            .shards()
+            .iter()
+            .map(|sh| {
+                assert_eq!(
+                    sh.a.check_total_violations() + sh.b.check_total_violations(),
+                    0,
+                    "checker fired inside a shard"
+                );
+                (
+                    format!("{}{}", sh.a.telemetry().to_json(), sh.b.telemetry().to_json()),
+                    format!("{}{}", sh.a.export_chrome_trace(), sh.b.export_chrome_trace()),
+                    sh.a.journal_digest(),
+                    sh.b.journal_digest(),
+                )
+            })
+            .collect();
+        let merged = fold_digests(arts.iter().flat_map(|(_, _, ja, jb)| [*ja, *jb]));
+        (rounds, arts, merged)
+    }
+
+    let reference = run(1);
+    for pool in [2, 4] {
+        let got = run(pool);
+        assert_eq!(got.0, reference.0, "pool of {pool} changed the round count");
+        for (s, (g, r)) in got.1.iter().zip(reference.1.iter()).enumerate() {
+            assert_eq!(g.0, r.0, "pool of {pool}: shard {s} telemetry diverged");
+            assert_eq!(g.1, r.1, "pool of {pool}: shard {s} Chrome trace diverged");
+            assert_eq!((g.2, g.3), (r.2, r.3), "pool of {pool}: shard {s} journal digest diverged");
+        }
+        assert_eq!(got.2, reference.2, "pool of {pool}: merged digest diverged");
+    }
+}

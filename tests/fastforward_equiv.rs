@@ -283,3 +283,49 @@ fn fast_forward_is_bit_identical_under_bulk_echo_churn() {
         );
     }
 }
+
+/// FtTurbo: the same scenarios executed as [`ParallelRunner`] shards on
+/// worker threads must reproduce the inline fast-forward runs
+/// byte-for-byte — wire order, telemetry, traces, flight breakdowns and
+/// journal digests. The engine holds no global state, so moving it to a
+/// worker thread must be observationally invisible.
+#[test]
+fn parallel_shards_reproduce_inline_runs() {
+    use f4t::core::ParallelRunner;
+
+    let inline: Vec<Snapshot> = (0..3u64).map(|c| run_scenario(c, true)).collect();
+    let mut runner: ParallelRunner<(u64, Option<Snapshot>)> =
+        ParallelRunner::new((0..3u64).map(|c| (c, None)).collect());
+    runner.run_rounds(3, |(case, slot), _round| {
+        if slot.is_none() {
+            *slot = Some(run_scenario(*case, true));
+        }
+        false
+    });
+    for ((case, got), want) in runner.into_shards().into_iter().zip(&inline) {
+        let got = got.expect("shard executed its scenario");
+        assert_same_lines(case, "wire trace (threaded)", &got.wire, &want.wire);
+        assert_same_lines(case, "final TCBs (threaded)", &got.tcbs, &want.tcbs);
+        for side in 0..2 {
+            assert_eq!(
+                got.telemetry[side], want.telemetry[side],
+                "case {case} side {side}: telemetry drift on worker thread"
+            );
+            assert_eq!(
+                got.traces[side], want.traces[side],
+                "case {case} side {side}: Chrome trace drift on worker thread"
+            );
+            assert_eq!(
+                got.flights[side], want.flights[side],
+                "case {case} side {side}: flight breakdown drift on worker thread"
+            );
+            assert_same_lines(case, "journal (threaded)", &got.journals[side], &want.journals[side]);
+            assert_eq!(
+                got.journal_digests[side], want.journal_digests[side],
+                "case {case} side {side}: journal digest drift on worker thread"
+            );
+        }
+        assert_eq!(got.skipped, want.skipped, "case {case}: skip-cycle drift on worker thread");
+        assert_eq!(got.violations, 0, "case {case}: checker fired on worker thread");
+    }
+}
