@@ -1,0 +1,28 @@
+// Fixture for the `float_in_digest` rule: f32/f64 arithmetic reachable
+// from a digest/merge entry point. Expected findings: the f64 cast in
+// weight() and the float literal in mix() (both reachable from
+// fold_digests); the floats in rate() are unreachable from any digest
+// entry and exempt.
+pub fn fold_digests(parts: &[u64]) -> u64 {
+    let mut acc = 0xcbf2_9ce4_8422_2325u64;
+    for p in parts {
+        acc = mix(acc, *p);
+    }
+    acc
+}
+
+fn mix(a: u64, b: u64) -> u64 {
+    let bias = 0.5;
+    let _ = bias;
+    a ^ weight(b)
+}
+
+fn weight(x: u64) -> u64 {
+    let scaled = x as f64;
+    scaled as u64
+}
+
+pub fn rate(hits: u64, total: u64) -> u64 {
+    let r = hits as f64 / total.max(1) as f64;
+    (r * 100.0) as u64
+}

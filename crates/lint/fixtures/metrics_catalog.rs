@@ -1,0 +1,19 @@
+// Fixture for the `metrics_catalog` rule: registration literals checked
+// against METRICS.md. With the self-test catalog (engine.rx.segments,
+// engine.<i>.drops, engine.flight.rx_ingest.cycles,
+// engine.journal.kind.tcb_migrate_start), expected findings: the
+// uncatalogued counter "engine.rx.bytes_total" and the uncatalogued
+// stage "tx_emit"; the other three registrations match.
+pub fn register(scope: &mut Scope, i: usize) {
+    scope.counter("engine.rx.segments");
+    scope.counter("engine.rx.bytes_total");
+    scope.gauge(&format!("engine.{i}.drops"));
+}
+
+pub fn stages() -> (&'static str, &'static str, &'static str) {
+    (
+        stage_name("rx_ingest"),
+        stage_name("tx_emit"),
+        event_name("tcb_migrate_start"),
+    )
+}

@@ -1,0 +1,16 @@
+// Cross-file fixture (pair with state.rs): this file never mentions
+// HashMap — the field type flows through the workspace symbol index.
+impl FlowDir {
+    pub fn broadcast(&self) {
+        for (flow, port) in self.routes.iter() {
+            let _ = (flow, port);
+        }
+    }
+
+    pub fn fine(&self) {
+        // Vec fields iterate freely.
+        for name in self.names.iter() {
+            let _ = name;
+        }
+    }
+}

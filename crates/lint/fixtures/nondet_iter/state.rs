@@ -1,0 +1,8 @@
+// Cross-file fixture (pair with routes.rs): the unordered field type is
+// declared here; the offending loop lives in the other file.
+use std::collections::HashMap;
+
+pub struct FlowDir {
+    pub routes: HashMap<u32, u16>,
+    pub names: Vec<String>,
+}

@@ -1,5 +1,5 @@
-// Fixture for the `hashmap_iter` rule: nondeterministic hash-order
-// iteration in core/mem code. Expected findings: lines 12, 15, 19, 22.
+// Fixture for the `nondeterministic_iter` rule: hash-order iteration
+// in non-test workspace code. Expected findings: lines 12, 15, 19, 22.
 use std::collections::{HashMap, HashSet};
 
 struct Lut {
@@ -39,7 +39,7 @@ impl Lut {
 
     fn allowed(&self) -> u64 {
         let mut acc = 0;
-        // f4tlint: allow(hashmap_iter): keys fold into an order-insensitive sum.
+        // f4tlint: allow(nondeterministic_iter): keys fold into an order-insensitive sum.
         for k in self.members.iter() {
             acc += u64::from(*k);
         }

@@ -1,0 +1,19 @@
+// Fixture for the `stale_allow` rule: allow directives that suppress
+// nothing. Expected findings: the allow(panic_path) in fine() (the code
+// it excused no longer panics) and the allow(hashmap_iter) (a rule name
+// that no longer exists); the load-bearing allow(raw_queue) suppresses a
+// real VecDeque finding and is exempt.
+use std::collections::VecDeque;
+
+pub struct Q {
+    // f4tlint: allow(raw_queue): bounded by the dispatch gate upstream.
+    pub depth: VecDeque<u32>,
+}
+
+pub fn fine() -> u32 {
+    // f4tlint: allow(panic_path): nothing here panics anymore.
+    42
+}
+
+// f4tlint: allow(hashmap_iter): rule was renamed to nondeterministic_iter.
+pub fn also_fine() {}

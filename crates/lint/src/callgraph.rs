@@ -1,0 +1,162 @@
+//! Pass 4 — the approximate call graph.
+//!
+//! Edges come from syntactic call sites in each function body, resolved
+//! against the symbol index:
+//!
+//! * `self.name(…)` — methods of the enclosing impl type;
+//! * `Type::name(…)` — methods of that impl type (no edge for foreign
+//!   types such as `Vec`), lowercase qualifiers (`module::name(…)`)
+//!   fall back to free functions by name;
+//! * `recv.name(…)` — **every** workspace method with that name (the
+//!   receiver's type is unknown, so reachability over-approximates —
+//!   the safe direction for `panic_reachable`-style rules);
+//! * `name(…)` — free functions by name.
+//!
+//! Macros (`name!(…)`) and keywords never produce edges; closure bodies
+//! belong to their lexically enclosing function.
+
+use crate::index::{FnId, SymbolIndex};
+use crate::lexer::{trailing_ident, SourceFile};
+use std::collections::VecDeque;
+
+const KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "return", "in", "fn", "loop", "as", "let", "mut", "impl",
+    "ref", "move", "dyn", "where", "else", "break", "continue", "unsafe", "pub", "use", "mod",
+    "crate", "super", "Some", "None", "Ok", "Err",
+];
+
+/// One syntactic call site.
+enum Call {
+    SelfMethod(String),
+    Method(String),
+    Qualified(String, String),
+    Free(String),
+}
+
+/// Extracts call sites from one stripped code line.
+fn calls_on_line(line: &str, out: &mut Vec<Call>) {
+    for (pos, _) in line.match_indices('(') {
+        let before = &line[..pos];
+        let name = trailing_ident(before);
+        if name.is_empty() || KEYWORDS.contains(&name.as_str()) {
+            continue;
+        }
+        if name.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+            continue;
+        }
+        let prefix = &before[..before.len() - name.len()];
+        if let Some(p) = prefix.strip_suffix('.') {
+            if trailing_ident(p) == "self" && p.ends_with("self") {
+                out.push(Call::SelfMethod(name));
+            } else {
+                out.push(Call::Method(name));
+            }
+        } else if let Some(p) = prefix.strip_suffix("::") {
+            let qual = trailing_ident(p);
+            out.push(Call::Qualified(qual, name));
+        } else if prefix.ends_with("fn ") || prefix.ends_with("fn") {
+            // Definition site, not a call.
+        } else {
+            out.push(Call::Free(name));
+        }
+    }
+}
+
+/// The workspace call graph: `edges[f]` are the functions `f` may call.
+pub struct CallGraph {
+    /// Outgoing edges per function (deduplicated, sorted).
+    pub edges: Vec<Vec<FnId>>,
+}
+
+impl CallGraph {
+    /// Builds edges for every function body.
+    pub fn build(files: &[SourceFile], idx: &SymbolIndex) -> CallGraph {
+        let mut edges: Vec<Vec<FnId>> = vec![Vec::new(); idx.fns.len()];
+        let mut sites = Vec::new();
+        for (id, f) in idx.fns.iter().enumerate() {
+            let Some((start, end)) = f.body else { continue };
+            let file = &files[f.file];
+            sites.clear();
+            for line in file.code.iter().take(end + 1).skip(start) {
+                calls_on_line(line, &mut sites);
+            }
+            let out = &mut edges[id];
+            for call in sites.drain(..) {
+                match call {
+                    Call::SelfMethod(name) => {
+                        if let Some(ty) = &f.impl_type {
+                            out.extend_from_slice(idx.methods_of(ty, &name));
+                        } else {
+                            out.extend_from_slice(idx.methods_named(&name));
+                        }
+                    }
+                    Call::Method(name) => out.extend_from_slice(idx.methods_named(&name)),
+                    Call::Qualified(qual, name) => {
+                        if qual.chars().next().is_some_and(char::is_uppercase) {
+                            out.extend_from_slice(idx.methods_of(&qual, &name));
+                        } else {
+                            out.extend_from_slice(idx.free_fns_named(&name));
+                        }
+                    }
+                    Call::Free(name) => out.extend_from_slice(idx.free_fns_named(&name)),
+                }
+            }
+            out.sort_unstable();
+            out.dedup();
+        }
+        CallGraph { edges }
+    }
+
+    /// BFS from `entries`; returns `pred[f] = Some(parent)` for every
+    /// reached function (an entry is its own parent). Unreached
+    /// functions stay `None`.
+    pub fn reachable_from(&self, entries: &[FnId]) -> Vec<Option<FnId>> {
+        let mut pred: Vec<Option<FnId>> = vec![None; self.edges.len()];
+        let mut queue = VecDeque::new();
+        for &e in entries {
+            if e < pred.len() && pred[e].is_none() {
+                pred[e] = Some(e);
+                queue.push_back(e);
+            }
+        }
+        while let Some(f) = queue.pop_front() {
+            for &g in &self.edges[f] {
+                if pred[g].is_none() {
+                    pred[g] = Some(f);
+                    queue.push_back(g);
+                }
+            }
+        }
+        pred
+    }
+
+    /// Renders a short `callee ← … ← entry` chain for finding messages.
+    pub fn path_to_entry(
+        &self,
+        idx: &SymbolIndex,
+        pred: &[Option<FnId>],
+        mut f: FnId,
+    ) -> String {
+        let mut parts = Vec::new();
+        for _ in 0..6 {
+            parts.push(qualified_name(idx, f));
+            match pred[f] {
+                Some(p) if p != f => f = p,
+                _ => break,
+            }
+        }
+        if pred[f] != Some(f) && parts.len() == 6 {
+            parts.push("…".to_string());
+        }
+        parts.join(" <- ")
+    }
+}
+
+/// `Type::name` or `name` for messages.
+pub fn qualified_name(idx: &SymbolIndex, f: FnId) -> String {
+    let r = &idx.fns[f];
+    match &r.impl_type {
+        Some(t) => format!("{t}::{}", r.name),
+        None => r.name.clone(),
+    }
+}

@@ -1,0 +1,225 @@
+//! Pass 3 — the workspace symbol index.
+//!
+//! Flattens every file's parsed items into workspace-wide lookup
+//! tables: functions by bare name, by `(impl type, name)`, free
+//! functions by name, struct fields declared with unordered-container
+//! types, and every metric/stage/event name literal. The call-graph
+//! pass and the semantic rules resolve against these tables instead of
+//! re-walking the tree.
+
+use crate::lexer::SourceFile;
+use crate::parse::{parse_file, ParsedFile};
+use std::collections::BTreeMap;
+
+/// Index of one function across the workspace.
+pub type FnId = usize;
+
+/// One function with its owning file.
+#[derive(Debug, Clone)]
+pub struct FnRef {
+    /// Index into the workspace file list.
+    pub file: usize,
+    /// Bare function name.
+    pub name: String,
+    /// Enclosing `impl`/`trait` type, if any.
+    pub impl_type: Option<String>,
+    /// 0-based signature line.
+    pub line: usize,
+    /// 0-based inclusive body range (`None` for signature-only).
+    pub body: Option<(usize, usize)>,
+    /// Whether the signature sits in a `#[cfg(test)]` region or a
+    /// `tests/`/`examples/` file.
+    pub is_test: bool,
+}
+
+/// One struct field declared with an unordered container type.
+#[derive(Debug, Clone)]
+pub struct UnorderedField {
+    /// Index into the workspace file list.
+    pub file: usize,
+    /// Crate the declaring struct lives in.
+    pub crate_name: String,
+    /// Declaring struct.
+    pub owner: String,
+    /// Field name.
+    pub name: String,
+    /// 0-based declaration line.
+    pub line: usize,
+}
+
+/// One metric/stage/event name registration site.
+#[derive(Debug, Clone)]
+pub struct MetricLit {
+    /// Index into the workspace file list.
+    pub file: usize,
+    /// The registration method (`.counter(`, `stage_name(`, …).
+    pub method: &'static str,
+    /// Literal contents, placeholders intact.
+    pub literal: String,
+    /// 0-based line of the literal.
+    pub line: usize,
+}
+
+/// Registration calls whose string argument names a metric family.
+///
+/// `stage_name(` is the FtFlight identity wrapper around stage-name
+/// literals (crates/sim/src/flight.rs); `event_name(` / `journal_event(`
+/// are the FtJournal equivalents (crates/sim/src/journal.rs). All feed
+/// telemetry, dump lines and METRICS.md, so they obey the same naming
+/// and cataloguing contract as FtScope registrations.
+pub const METRIC_METHODS: &[&str] =
+    &[".counter(", ".gauge(", ".histogram(", "stage_name(", "event_name(", "journal_event("];
+
+/// The symbol index over a whole workspace.
+pub struct SymbolIndex {
+    /// Every function, densely numbered (`FnId` indexes this).
+    pub fns: Vec<FnRef>,
+    /// Parsed item structure per file (same order as the file list).
+    pub parsed: Vec<ParsedFile>,
+    /// All metric-name registration sites.
+    pub metrics: Vec<MetricLit>,
+    /// Struct fields with `HashMap`/`HashSet` declared types.
+    pub unordered_fields: Vec<UnorderedField>,
+    by_name: BTreeMap<String, Vec<FnId>>,
+    methods_by_name: BTreeMap<String, Vec<FnId>>,
+    by_type_and_name: BTreeMap<(String, String), Vec<FnId>>,
+    free_by_name: BTreeMap<String, Vec<FnId>>,
+}
+
+impl SymbolIndex {
+    /// Builds the index over `files` (parses each file exactly once).
+    pub fn build(files: &[SourceFile]) -> SymbolIndex {
+        let mut idx = SymbolIndex {
+            fns: Vec::new(),
+            parsed: Vec::new(),
+            metrics: Vec::new(),
+            unordered_fields: Vec::new(),
+            by_name: BTreeMap::new(),
+            methods_by_name: BTreeMap::new(),
+            by_type_and_name: BTreeMap::new(),
+            free_by_name: BTreeMap::new(),
+        };
+        for (fi, file) in files.iter().enumerate() {
+            let parsed = parse_file(file);
+            for f in &parsed.fns {
+                let id = idx.fns.len();
+                let is_test =
+                    file.test_file || file.tests.get(f.line).copied().unwrap_or(false);
+                idx.by_name.entry(f.name.clone()).or_default().push(id);
+                match &f.impl_type {
+                    Some(t) => {
+                        idx.methods_by_name.entry(f.name.clone()).or_default().push(id);
+                        idx.by_type_and_name
+                            .entry((t.clone(), f.name.clone()))
+                            .or_default()
+                            .push(id);
+                    }
+                    None => idx.free_by_name.entry(f.name.clone()).or_default().push(id),
+                }
+                idx.fns.push(FnRef {
+                    file: fi,
+                    name: f.name.clone(),
+                    impl_type: f.impl_type.clone(),
+                    line: f.line,
+                    body: f.body,
+                    is_test,
+                });
+            }
+            for field in &parsed.fields {
+                if field.ty.contains("HashMap") || field.ty.contains("HashSet") {
+                    idx.unordered_fields.push(UnorderedField {
+                        file: fi,
+                        crate_name: file.crate_name.clone(),
+                        owner: field.owner.clone(),
+                        name: field.name.clone(),
+                        line: field.line,
+                    });
+                }
+            }
+            extract_metric_lits(fi, file, &mut idx.metrics);
+            idx.parsed.push(parsed);
+        }
+        idx
+    }
+
+    /// Functions (anywhere) with this bare name.
+    pub fn fns_named(&self, name: &str) -> &[FnId] {
+        self.by_name.get(name).map_or(&[], Vec::as_slice)
+    }
+
+    /// Methods (fns inside any impl/trait) with this name.
+    pub fn methods_named(&self, name: &str) -> &[FnId] {
+        self.methods_by_name.get(name).map_or(&[], Vec::as_slice)
+    }
+
+    /// Methods of one specific impl type.
+    pub fn methods_of(&self, ty: &str, name: &str) -> &[FnId] {
+        self.by_type_and_name.get(&(ty.to_string(), name.to_string())).map_or(&[], Vec::as_slice)
+    }
+
+    /// Free functions with this name.
+    pub fn free_fns_named(&self, name: &str) -> &[FnId] {
+        self.free_by_name.get(name).map_or(&[], Vec::as_slice)
+    }
+
+    /// The innermost function whose body contains 0-based `line` of
+    /// file `fi`.
+    pub fn enclosing_fn(&self, fi: usize, line: usize) -> Option<FnId> {
+        let mut best: Option<(usize, FnId)> = None;
+        for (id, f) in self.fns.iter().enumerate() {
+            if f.file != fi {
+                continue;
+            }
+            if let Some((start, end)) = f.body {
+                if start <= line && line <= end {
+                    let span = end - start;
+                    if best.is_none_or(|(s, _)| span < s) {
+                        best = Some((span, id));
+                    }
+                }
+            }
+        }
+        best.map(|(_, id)| id)
+    }
+}
+
+/// Extracts the first string literal at or after column `col` of raw
+/// line `idx`, looking ahead a few lines for multi-line calls. Returns
+/// the literal contents (without quotes) and its 0-based line index.
+pub fn extract_literal(raw: &[String], idx: usize, col: usize) -> Option<(String, usize)> {
+    for (k, line) in raw.iter().enumerate().skip(idx).take(4) {
+        let from = if k == idx { col.min(line.len()) } else { 0 };
+        let tail = &line[from..];
+        if let Some(q) = tail.find('"') {
+            let mut lit = String::new();
+            let mut esc = false;
+            for c in tail[q + 1..].chars() {
+                if esc {
+                    lit.push(c);
+                    esc = false;
+                } else if c == '\\' {
+                    esc = true;
+                } else if c == '"' {
+                    return Some((lit, k));
+                } else {
+                    lit.push(c);
+                }
+            }
+            return None; // unterminated on this line: dynamic, skip
+        }
+    }
+    None
+}
+
+fn extract_metric_lits(fi: usize, file: &SourceFile, out: &mut Vec<MetricLit>) {
+    for (i, code) in file.code.iter().enumerate() {
+        if file.tests.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        for method in METRIC_METHODS {
+            let Some(col) = code.find(method) else { continue };
+            let Some((lit, at)) = extract_literal(&file.raw, i, col) else { continue };
+            out.push(MetricLit { file: fi, method, literal: lit, line: at });
+        }
+    }
+}

@@ -1,8 +1,13 @@
 //! `f4tlint` — scan the workspace for design-rule violations.
 //!
 //! ```text
-//! f4tlint [--root <dir>] [--rules]
+//! f4tlint [--root <dir>] [--rule <name>]... [--format text|json] [--timings] [--rules]
 //! ```
+//!
+//! `--rule` filters the *output* to the named rule(s); every pass still
+//! runs (staleness tracking needs the full picture). `--format json`
+//! emits one machine-readable object (findings, per-pass timings, file
+//! count) for the CI artifact. `--timings` prints the per-pass table.
 //!
 //! Exit status: 0 when clean, 1 when violations were found, 2 on usage or
 //! I/O errors. Run from anywhere inside the workspace; the root is found
@@ -26,8 +31,54 @@ fn find_workspace_root(start: PathBuf) -> Option<PathBuf> {
     }
 }
 
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn print_json(report: &f4t_lint::Report) {
+    let findings: Vec<String> = report
+        .findings
+        .iter()
+        .map(|f| {
+            format!(
+                "{{\"file\":\"{}\",\"line\":{},\"rule\":\"{}\",\"message\":\"{}\"}}",
+                json_escape(&f.file),
+                f.line,
+                f.rule,
+                json_escape(&f.message)
+            )
+        })
+        .collect();
+    let timings: Vec<String> = report
+        .timings
+        .iter()
+        .map(|(pass, ms)| format!("{{\"pass\":\"{pass}\",\"ms\":{ms:.3}}}"))
+        .collect();
+    println!(
+        "{{\"findings\":[{}],\"files_scanned\":{},\"timings\":[{}]}}",
+        findings.join(","),
+        report.files_scanned,
+        timings.join(",")
+    );
+}
+
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
+    let mut json = false;
+    let mut timings = false;
+    let mut rule_filter: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -38,14 +89,46 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--format" => match args.next().as_deref() {
+                Some("json") => json = true,
+                Some("text") => json = false,
+                other => {
+                    eprintln!("f4tlint: --format takes text or json, got {other:?}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--rule" => match args.next() {
+                Some(name) => {
+                    if !f4t_lint::RULES.iter().any(|(n, _)| *n == name) {
+                        eprintln!(
+                            "f4tlint: unknown rule {name:?}; known: {}",
+                            f4t_lint::RULES
+                                .iter()
+                                .map(|(n, _)| *n)
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        );
+                        return ExitCode::from(2);
+                    }
+                    rule_filter.push(name);
+                }
+                None => {
+                    eprintln!("f4tlint: --rule needs a rule name");
+                    return ExitCode::from(2);
+                }
+            },
+            "--timings" => timings = true,
             "--rules" => {
                 for (name, desc) in f4t_lint::RULES {
-                    println!("{name:12} {desc}");
+                    println!("{name:24} {desc}");
                 }
                 return ExitCode::SUCCESS;
             }
             "--help" | "-h" => {
-                println!("usage: f4tlint [--root <dir>] [--rules]");
+                println!(
+                    "usage: f4tlint [--root <dir>] [--rule <name>]... [--format text|json] \
+                     [--timings] [--rules]"
+                );
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -67,15 +150,33 @@ fn main() -> ExitCode {
             }
         }
     };
-    let findings = f4t_lint::scan_workspace(&root);
-    for f in &findings {
-        println!("{f}");
+    let mut report = f4t_lint::scan_workspace_report(&root);
+    if !rule_filter.is_empty() {
+        report.findings.retain(|f| rule_filter.iter().any(|r| r == f.rule));
     }
-    if findings.is_empty() {
-        println!("f4tlint: clean ({} rules)", f4t_lint::RULES.len());
+    if json {
+        print_json(&report);
+    } else {
+        for f in &report.findings {
+            println!("{f}");
+        }
+        if timings {
+            let total: f64 = report.timings.iter().map(|(_, ms)| ms).sum();
+            println!("f4tlint: pass timings ({} files):", report.files_scanned);
+            for (pass, ms) in &report.timings {
+                println!("  {pass:24} {ms:9.2} ms");
+            }
+            println!("  {:24} {total:9.2} ms", "total");
+        }
+        if report.findings.is_empty() {
+            println!("f4tlint: clean ({} rules)", f4t_lint::RULES.len());
+        } else {
+            println!("f4tlint: {} violation(s)", report.findings.len());
+        }
+    }
+    if report.findings.is_empty() {
         ExitCode::SUCCESS
     } else {
-        println!("f4tlint: {} violation(s)", findings.len());
         ExitCode::FAILURE
     }
 }

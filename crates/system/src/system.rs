@@ -100,7 +100,7 @@ impl F4tSystem {
         // Drain TX at line rate (MAC backpressure otherwise).
         while let Some(seg) = self.a.engine.peek_tx() {
             if self.link.can_send(A_TO_B, seg.wire_len()) {
-                let seg = self.a.engine.pop_tx().expect("peeked");
+                let Some(seg) = self.a.engine.pop_tx() else { break };
                 if let Some(w) = &mut self.pcap {
                     if w.packets() < PCAP_MAX_PACKETS {
                         let _ = w.record(now, &seg, self.a.engine.mac, self.b.engine.mac);
@@ -113,7 +113,7 @@ impl F4tSystem {
         }
         while let Some(seg) = self.b.engine.peek_tx() {
             if self.link.can_send(B_TO_A, seg.wire_len()) {
-                let seg = self.b.engine.pop_tx().expect("peeked");
+                let Some(seg) = self.b.engine.pop_tx() else { break };
                 if let Some(w) = &mut self.pcap {
                     if w.packets() < PCAP_MAX_PACKETS {
                         let _ = w.record(now, &seg, self.b.engine.mac, self.a.engine.mac);

@@ -162,8 +162,14 @@ impl FlowTable {
                 }
             }
             // Bucket full: kick the first resident to its other table.
+            // The slot is occupied (the free-slot scan above found none),
+            // but defend rather than panic mid-tick.
             let victim_slot = &mut self.tables[which][b];
-            let victim = victim_slot.take().expect("bucket was full");
+            let Some(victim) = victim_slot.take() else {
+                *victim_slot = Some(entry);
+                self.len += 1;
+                return Ok(());
+            };
             *victim_slot = Some(entry);
             entry = victim;
             which ^= 1;
@@ -191,9 +197,10 @@ impl FlowTable {
             let b = self.bucket(key, which);
             for slot in &mut self.tables[which][b..b + BUCKET_WAYS] {
                 if matches!(slot, Some(e) if e.key == *key) {
-                    let e = slot.take().expect("matched entry");
-                    self.len -= 1;
-                    return Some(e.value);
+                    if let Some(e) = slot.take() {
+                        self.len -= 1;
+                        return Some(e.value);
+                    }
                 }
             }
         }

@@ -83,10 +83,11 @@ impl EchoClient {
         // Send the next ping.
         match lib.send(flow, self.msg_bytes) {
             Ok(_) => {
-                let st = self.states.get_mut(&flow).expect("state exists");
-                st.expect = st.expect.add(self.msg_bytes);
-                st.sent_ns = now_ns.max(1);
-                st.next_send_ns = now_ns + self.pace_ns;
+                if let Some(st) = self.states.get_mut(&flow) {
+                    st.expect = st.expect.add(self.msg_bytes);
+                    st.sent_ns = now_ns.max(1);
+                    st.next_send_ns = now_ns + self.pace_ns;
+                }
                 true
             }
             Err(SendError::BufferFull | SendError::QueueFull) => false,

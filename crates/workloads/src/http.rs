@@ -62,9 +62,10 @@ impl HttpClient {
         }
         match lib.send(flow, WRK_REQUEST_BYTES) {
             Ok(_) => {
-                let st = self.states.get_mut(&flow).expect("state exists");
-                st.expect = st.expect.add(NGINX_RESPONSE_BYTES);
-                st.sent_ns = now_ns.max(1);
+                if let Some(st) = self.states.get_mut(&flow) {
+                    st.expect = st.expect.add(NGINX_RESPONSE_BYTES);
+                    st.sent_ns = now_ns.max(1);
+                }
                 true
             }
             Err(SendError::BufferFull | SendError::QueueFull) => false,

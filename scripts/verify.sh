@@ -19,8 +19,9 @@ cargo test -q --release -p f4t --test fastforward_equiv
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> f4tlint (design-rule source scan)"
-cargo run --release -q -p f4t-lint --bin f4tlint
+echo "==> f4tlint (FtProve design-rule scan, per-pass timings)"
+cargo run --release -q -p f4t-lint --bin f4tlint -- --timings
+cargo run --release -q -p f4t-lint --bin f4tlint -- --format json >/dev/null
 
 echo "==> f4tperf --check smoke (FtVerify hazard checker)"
 cargo run --release -q -p f4t-bench --bin f4tperf -- \
