@@ -14,8 +14,10 @@
 use f4t_core::fpc::ScanPolicy;
 use f4t_core::{fold_digests, Engine, EngineConfig, EventKind, ParallelRunner, RENDEZVOUS_QUANTUM};
 use f4t_mem::{DramKind, Location};
+use f4t_netsim::Impairments;
 use f4t_system::F4tSystem;
 use f4t_tcp::{CcAlgorithm, FlowId};
+use f4t_workloads::{INCAST_EPOCH_NS, SLOWLORIS_DRIP_BYTES};
 
 /// Process exit codes (also in `--help`): `0` success, `1` FtVerify
 /// design-rule violations, `2` usage or I/O error, `3` perf-gate
@@ -56,6 +58,7 @@ struct Args {
     journal_sample: u32,
     watchdog: bool,
     dump_on_failure: Option<String>,
+    impair: String,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -96,6 +99,7 @@ impl Default for Args {
             journal_sample: 64,
             watchdog: false,
             dump_on_failure: None,
+            impair: "clean".into(),
         }
     }
 }
@@ -129,12 +133,21 @@ f4tperf — drive the simulated F4T testbed
 
 USAGE: f4tperf [OPTIONS]
 
-  --workload <bulk|rr|echo|http|scale>
+  --workload <bulk|rr|echo|http|scale|incast|churnstorm|slowloris|httpstorm>
                                    workload pattern        [bulk]
                                    scale: N flows vs an ideal peer on a bare
                                    engine driven through Engine::run, where
                                    fast-forward engages; --duration-ms sets
                                    the post-completion idle tail
+                                   incast: N senders release synchronized
+                                   bursts of --size bytes at a shared sink
+                                   churnstorm: connections opened, used once,
+                                   and torn down continuously (--flows sets
+                                   the live target)
+                                   slowloris: --flows mostly-idle connections
+                                   trickling a few bytes each
+                                   httpstorm: the http workload at storm-scale
+                                   concurrency (--flows defaults to 1024)
   --cores <N>                      application cores/side  [1]
   --size <BYTES>                   request size            [128]
   --flows <N>                      total flows (echo/http; rr uses 16/core;
@@ -180,6 +193,10 @@ USAGE: f4tperf [OPTIONS]
   --inject-slowdown <CYCLES>       bias every recorded flight span by N
                                    cycles (perf-gate exit-path testing;
                                    implies --flight)
+  --impair <PROFILE>               apply a hostile-network impairment profile
+                                   to both link directions: clean, reorder,
+                                   burst-loss, duplicate, jitter, lossy
+                                   (deterministic, data segments only) [clean]
   --pcap <PATH>                    capture up to 10k wire segments to PATH
                                    as a libpcap file (system workloads
                                    capture both directions)
@@ -225,6 +242,18 @@ fn parse() -> Result<Args, String> {
         }
         if args.threads == 0 {
             return Err("--threads must be at least 1".into());
+        }
+        if Impairments::profile(&args.impair).is_none() {
+            return Err(format!(
+                "unknown impairment profile {} (expected one of: {})",
+                args.impair,
+                Impairments::profile_names().join(", ")
+            ));
+        }
+        if args.impair != "clean" && args.workload == "scale" {
+            return Err(
+                "--impair is not supported with --workload scale (bare engine, no link)".into(),
+            );
         }
         if args.threads > 1 {
             if args.workload != "scale" {
@@ -310,6 +339,7 @@ fn parse() -> Result<Args, String> {
                 args.journal_sample =
                     val("--journal-sample")?.parse().map_err(|e| format!("{e}"))?
             }
+            "--impair" => args.impair = val("--impair")?,
             "--watchdog" => args.watchdog = true,
             "--dump-on-failure" => args.dump_on_failure = Some(val("--dump-on-failure")?),
             "--trace-depth" => {
@@ -382,11 +412,31 @@ fn main() {
             let flows = if args.flows == 0 { args.cores * 64 } else { args.flows };
             F4tSystem::http((args.cores * 2).max(2), args.cores, flows, engine)
         }
+        "incast" => {
+            let senders = if args.flows == 0 { 32 } else { args.flows };
+            F4tSystem::incast(senders, args.cores, args.size, INCAST_EPOCH_NS, engine)
+        }
+        "churnstorm" => {
+            let target = if args.flows == 0 { args.cores * 16 } else { args.flows };
+            F4tSystem::churnstorm(args.cores, target, engine)
+        }
+        "slowloris" => {
+            let flows = if args.flows == 0 { 2048 } else { args.flows };
+            F4tSystem::slowloris(args.cores, flows, SLOWLORIS_DRIP_BYTES, 2_000, engine)
+        }
+        "httpstorm" => {
+            let flows = if args.flows == 0 { 1024 } else { args.flows };
+            F4tSystem::http((args.cores * 2).max(2), args.cores, flows, engine)
+        }
         other => {
             eprintln!("error: unknown workload {other}");
             std::process::exit(EXIT_USAGE);
         }
     };
+    let imp = Impairments::profile(&args.impair).expect("validated at parse time");
+    if imp.is_active() {
+        sys.set_impairments(imp);
+    }
     if args.compact {
         sys.a.use_compact_commands();
         sys.b.use_compact_commands();
@@ -438,6 +488,13 @@ fn main() {
         );
     }
     println!("  retransmissions    {:>10}", m.retransmissions);
+    if imp.is_active() {
+        println!(
+            "  impairment events  {:>10} ({} profile, both directions)",
+            sys.impairment_events(),
+            args.impair
+        );
+    }
     println!("  TCB migrations     {:>10}", m.migrations);
     println!("  events coalesced   {:>10}", sa.events_coalesced);
     println!("  TCB cache hit      {:>9.1}%", sa.tcb_cache_hit_rate * 100.0);

@@ -112,6 +112,7 @@ fn reference_trace(algo: RefAlgo, duration_ns: u64, drop_every: u64) -> Vec<(u64
             delay_ns: 50_000,
             queue_pkts: 2_000,
             drops: DropPolicy::EveryNth { n: drop_every, start: drop_every },
+            ..LinkConfig::default()
         },
         mss: MSS,
         duration_ns,

@@ -607,6 +607,19 @@ impl Engine {
         self.mm.peek_tcb(flow).copied()
     }
 
+    /// Flows currently allocated (established, handshaking, or still
+    /// draining teardown). Zero after every connection fully closes.
+    pub fn live_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// LUT occupancy census across the scheduler's partitions:
+    /// `(in_fpc, in_dram, moving)`. `(0, 0, 0)` proves no flow holds a
+    /// location entry — the structural leak audit for churn tests.
+    pub fn lut_census(&self) -> (usize, usize, usize) {
+        self.scheduler.lut_census()
+    }
+
     /// Answers an ARP request addressed to us (hardware ARP, §4.1.2).
     pub fn handle_arp(&self, req: &ArpMessage) -> Option<ArpMessage> {
         req.is_request.then(|| req.reply_from(self.mac))

@@ -392,15 +392,23 @@ pub fn process(
 
     // --- 10. retransmit ---
     if retransmit_due && tcb.flight_size() > 0 {
-        let len = tcb.flight_size().min(mss);
+        // `span` is sequence space; when our FIN is in flight its
+        // phantom byte sits at `snd_max - 1`. A retransmission whose
+        // range reaches it must carry the FIN flag again and shed the
+        // phantom from the payload length — otherwise the receiver's
+        // reassembler sequences the phantom as silent data, ACKs the
+        // whole stream, and the peer never learns the stream ended.
+        let span = tcb.flight_size().min(mss);
+        let fin = matches!(tcb.state, TcpState::FinWait | TcpState::Closing)
+            && tcb.snd_una.add(span) == tcb.snd_max;
         out.tx.push(TxRequest {
             flow: tcb.flow,
             tuple: tcb.tuple,
             seq: tcb.snd_una,
-            len,
+            len: span - u32::from(fin),
             ack: tcb.rcv_nxt,
             wnd: tcb.advertised_window(),
-            flags: TcpFlags::ACK,
+            flags: if fin { TcpFlags::FIN | TcpFlags::ACK } else { TcpFlags::ACK },
             retransmit: true,
             ts_ecr: tcb.ts_recent,
         });
@@ -408,7 +416,7 @@ pub fn process(
             // Go-back-N: everything beyond the retransmitted head is
             // considered unsent again and flows through the normal send
             // path as the window reopens.
-            tcb.snd_nxt = tcb.snd_una.add(len);
+            tcb.snd_nxt = tcb.snd_una.add(span);
         }
         ack_due = false;
     }

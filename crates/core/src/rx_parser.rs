@@ -45,6 +45,12 @@ pub struct RxParser {
     flow_table: FlowTable,
     trackers: HashMap<FlowId, ReassemblyTracker>,
     ack_watch: HashMap<FlowId, AckWatch>,
+    /// Sequence end of a FIN whose flag was withheld because the segment
+    /// arrived out of order. The flag is re-delivered on the first event
+    /// after reassembly passes this point — without this, a gap filled by
+    /// a retransmission that does not itself carry FIN would silently
+    /// absorb the phantom byte and the FPU would never see the close.
+    pending_fins: HashMap<FlowId, SeqNum>,
     listening: std::collections::HashSet<u16>,
     input: Fifo<Segment>,
     /// FtFlight stamp mirror of `input`: the engine cycle each segment was
@@ -76,6 +82,7 @@ impl RxParser {
             flow_table: FlowTable::with_capacity(max_flows),
             trackers: HashMap::new(),
             ack_watch: HashMap::new(),
+            pending_fins: HashMap::new(),
             listening: std::collections::HashSet::new(),
             input: Fifo::new(Self::INPUT_FIFO_DEPTH),
             ingest_stamps: None,
@@ -127,6 +134,7 @@ impl RxParser {
         self.flow_table.remove(tuple);
         self.trackers.remove(&flow);
         self.ack_watch.remove(&flow);
+        self.pending_fins.remove(&flow);
     }
 
     /// Offers a segment from the network; returns `false` when the input
@@ -249,6 +257,7 @@ impl RxParser {
         if seg.flags.contains(TcpFlags::SYN) {
             // (Re)anchor reassembly at the peer's ISN + 1.
             *tracker = ReassemblyTracker::new(seg.seq.add(1), TCP_BUFFER);
+            self.pending_fins.remove(&flow);
         }
 
         // FIN occupies one phantom byte of sequence space so it is only
@@ -295,9 +304,17 @@ impl RxParser {
 
         // The FIN flag is reported only once its phantom byte has been
         // sequenced (rcv_nxt passed it), so the FPU sees an in-order FIN.
+        // A withheld flag is parked and re-attached to the first event
+        // after the gap fills — the filling segment need not carry FIN.
         let mut flags = seg.flags;
         if fin_phantom == 1 && tracker.rcv_nxt().lt(seg.seq_end()) {
             flags.remove(TcpFlags::FIN);
+            self.pending_fins.insert(flow, seg.seq_end());
+        } else if let Some(&fin_end) = self.pending_fins.get(&flow) {
+            if tracker.rcv_nxt().ge(fin_end) {
+                flags.insert(TcpFlags::FIN);
+                self.pending_fins.remove(&flow);
+            }
         }
 
         if let Some(j) = journal {
@@ -507,11 +524,32 @@ mod tests {
         let out = drain(&mut p, 4);
         let EventKind::RxPacket { flags, .. } = out.events[0].kind else { panic!() };
         assert!(!flags.contains(TcpFlags::FIN), "out-of-order FIN withheld");
-        // The missing data arrives; FIN phantom completes.
+        // The missing data arrives (a plain retransmission, no FIN flag of
+        // its own); the phantom completes and the parked flag rides out on
+        // this event — losing it here would leave the FPU half-closed
+        // forever, since the peer sees everything ACKed and stops resending.
         p.push_segment(peer_data(0, 500));
         let out = drain(&mut p, 4);
-        let EventKind::RxPacket { rcv_nxt, .. } = out.events[0].kind else { panic!() };
+        let EventKind::RxPacket { rcv_nxt, flags, .. } = out.events[0].kind else { panic!() };
         assert_eq!(rcv_nxt, SeqNum(501), "data + FIN phantom sequenced");
+        assert!(flags.contains(TcpFlags::FIN), "withheld FIN re-delivered after gap fill");
+    }
+
+    #[test]
+    fn withheld_fin_not_leaked_across_reuse() {
+        let mut p = parser_with_flow();
+        let mut fin = peer_data(500, 0);
+        fin.flags = TcpFlags::FIN | TcpFlags::ACK;
+        p.push_segment(fin);
+        drain(&mut p, 4);
+        // The flow is torn down with the FIN still parked, and the id is
+        // reissued to a fresh connection on the same tuple.
+        p.remove_flow(&our_tuple(), FlowId(1));
+        p.register_flow(our_tuple(), FlowId(1), SeqNum(0)).unwrap();
+        p.push_segment(peer_data(0, 600));
+        let out = drain(&mut p, 4);
+        let EventKind::RxPacket { flags, .. } = out.events[0].kind else { panic!() };
+        assert!(!flags.contains(TcpFlags::FIN), "stale pending FIN must not resurface");
     }
 
     #[test]

@@ -203,6 +203,13 @@ impl Scheduler {
         self.lut.stalls()
     }
 
+    /// LUT occupancy census: `(in_fpc, in_dram, moving)` flow counts.
+    /// All three are zero exactly when no flow holds a LUT entry — the
+    /// structural leak check churn tests assert after full teardown.
+    pub fn lut_census(&self) -> (usize, usize, usize) {
+        self.lut.census()
+    }
+
     /// Queues a check-logic swap-in request from the memory manager.
     pub fn request_swap_in(&mut self, flow: FlowId) {
         self.request_swap_in_at(flow, 0);

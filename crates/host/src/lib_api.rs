@@ -273,6 +273,50 @@ impl F4tLib {
         }
     }
 
+    /// Registers an accepted server-side socket with asymmetric sequence
+    /// bases: our transmit direction starts at `snd_isn`, the peer's at
+    /// `rcv_isn` (the directions pick independent ISNs, so a single-ISN
+    /// [`Self::register`] cannot represent an accepted flow).
+    pub fn register_accepted(&mut self, flow: FlowId, snd_isn: SeqNum, rcv_isn: SeqNum) {
+        self.sockets.insert(
+            flow,
+            SocketState {
+                acked: snd_isn,
+                req: snd_isn,
+                received: rcv_isn,
+                consumed: rcv_isn,
+                connected: true,
+                eof: false,
+                closed: false,
+            },
+        );
+    }
+
+    /// Forgets a socket entirely (post-close reclamation, so flow-id
+    /// reuse under churn cannot alias stale pointers).
+    pub fn deregister(&mut self, flow: FlowId) {
+        self.sockets.remove(&flow);
+    }
+
+    /// Re-seeds both directions once the engine reports the handshake
+    /// complete: `snd` is our first data byte, `rcv` the peer's (the
+    /// SYN and SYN|ACK each consume one sequence number, so bases
+    /// registered before Established are provisional). A direction
+    /// with in-flight progress is left alone — re-basing would orphan
+    /// the outstanding transfer.
+    pub fn seed_handshake(&mut self, flow: FlowId, snd: SeqNum, rcv: SeqNum) {
+        if let Some(s) = self.sockets.get_mut(&flow) {
+            if s.req == s.acked {
+                s.req = snd;
+                s.acked = snd;
+            }
+            if s.received == s.consumed {
+                s.received = rcv;
+                s.consumed = rcv;
+            }
+        }
+    }
+
     /// Peeks the oldest outgoing command (the runtime's DMA view).
     pub fn commands_front(&self) -> Option<&Command> {
         self.commands.front()
@@ -397,6 +441,23 @@ mod tests {
         lib.on_completion(Completion::Acked { flow, upto: SeqNum(1100) });
         lib.on_completion(Completion::Acked { flow, upto: SeqNum(1050) });
         assert_eq!(lib.socket(flow).unwrap().acked, SeqNum(1100));
+    }
+
+    #[test]
+    fn accepted_registration_uses_asymmetric_bases() {
+        let mut lib = F4tLib::new();
+        let flow = FlowId(7);
+        lib.register_accepted(flow, SeqNum(5000), SeqNum(9000));
+        let s = *lib.socket(flow).unwrap();
+        assert!(s.connected);
+        assert_eq!(s.req, SeqNum(5000));
+        assert_eq!(s.consumed, SeqNum(9000));
+        lib.on_completion(Completion::Received { flow, upto: SeqNum(9100) });
+        assert_eq!(lib.socket(flow).unwrap().readable(), 100);
+        assert!(lib.send(flow, 64).is_ok(), "send side uses its own base");
+        lib.deregister(flow);
+        assert!(lib.socket(flow).is_none());
+        assert_eq!(lib.send(flow, 1), Err(SendError::UnknownFlow));
     }
 
     #[test]

@@ -1,5 +1,7 @@
-//! The simulated link: serialization, propagation, queueing, loss.
+//! The simulated link: serialization, propagation, queueing, loss — and,
+//! via [`Impairments`], reordering, duplication, burst loss and jitter.
 
+use crate::impair::{ImpairDecision, ImpairState, Impairments};
 use f4t_sim::SimRng;
 
 /// How the link loses packets (applied to data packets only, matching the
@@ -36,6 +38,9 @@ pub struct LinkConfig {
     pub queue_pkts: usize,
     /// Loss injection.
     pub drops: DropPolicy,
+    /// Full impairment model (reorder/duplicate/burst-loss/jitter);
+    /// composes with `drops` (either mechanism can drop a packet).
+    pub impair: Impairments,
 }
 
 impl Default for LinkConfig {
@@ -45,8 +50,20 @@ impl Default for LinkConfig {
             delay_ns: 50_000, // 50 µs one way
             queue_pkts: 100,
             drops: DropPolicy::None,
+            impair: Impairments::none(),
         }
     }
+}
+
+/// What the link did with an offered packet: where (and whether) the
+/// primary copy arrives, and the arrival of a duplicate if the
+/// duplication impairment fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Offer {
+    /// Arrival time of the packet at the far end; `None` when dropped.
+    pub arrival: Option<u64>,
+    /// Arrival time of a duplicate delivery, when one was injected.
+    pub dup_arrival: Option<u64>,
 }
 
 /// One direction of the link.
@@ -56,8 +73,12 @@ pub struct Link {
     /// Time the transmitter becomes free.
     busy_until_ns: u64,
     data_pkts: u64,
-    dropped: u64,
+    dropped_loss: u64,
+    dropped_queue: u64,
+    duplicated: u64,
+    reordered: u64,
     rng: Option<SimRng>,
+    impair: Option<ImpairState>,
 }
 
 impl Link {
@@ -67,7 +88,18 @@ impl Link {
             DropPolicy::Random { seed, .. } => Some(SimRng::new(seed)),
             _ => None,
         };
-        Link { config, busy_until_ns: 0, data_pkts: 0, dropped: 0, rng }
+        let impair = config.impair.is_active().then(|| ImpairState::new(config.impair));
+        Link {
+            config,
+            busy_until_ns: 0,
+            data_pkts: 0,
+            dropped_loss: 0,
+            dropped_queue: 0,
+            duplicated: 0,
+            reordered: 0,
+            rng,
+            impair,
+        }
     }
 
     fn serialize_ns(&self, wire_bytes: u64) -> u64 {
@@ -76,8 +108,22 @@ impl Link {
 
     /// Offers a packet at `now`; returns its arrival time at the far end,
     /// or `None` if it was dropped (queue overflow or injected loss).
-    /// `is_data` selects whether the drop policy applies.
+    /// `is_data` selects whether the drop policy applies. Duplicates
+    /// injected by the impairment model are not visible through this
+    /// legacy entry point — callers that honour duplication use
+    /// [`Link::offer`].
     pub fn transmit(&mut self, now_ns: u64, wire_bytes: u64, is_data: bool) -> Option<u64> {
+        self.offer(now_ns, wire_bytes, is_data).arrival
+    }
+
+    /// Offers a packet through the full impairment pipeline. Reordering
+    /// is expressed as extra delay (the caller's event queue delivers in
+    /// timestamp order, so a held-back packet lands behind later ones);
+    /// the displacement is bounded by `reorder_depth` MTU serialization
+    /// times. A duplicate trails the primary by one serialization time.
+    pub fn offer(&mut self, now_ns: u64, wire_bytes: u64, is_data: bool) -> Offer {
+        const NO: Offer = Offer { arrival: None, dup_arrival: None };
+        let mut decision = ImpairDecision::default();
         if is_data {
             self.data_pkts += 1;
             let injected = match self.config.drops {
@@ -89,26 +135,62 @@ impl Link {
                     self.rng.as_mut().map(|r| r.chance(p)).unwrap_or(false)
                 }
             };
-            if injected {
-                self.dropped += 1;
-                return None;
+            // The decision is drawn for every offered data packet, even
+            // one the legacy policy already doomed, so the streams stay
+            // indexed by the offer sequence alone.
+            if let Some(st) = self.impair.as_mut() {
+                decision = st.decide();
+            }
+            if injected || decision.drop {
+                self.dropped_loss += 1;
+                return NO;
             }
         }
         // Drop-tail queue: bound the backlog in serialization time.
-        let queue_cap_ns =
-            self.serialize_ns(1538) * self.config.queue_pkts as u64;
+        let queue_cap_ns = self.serialize_ns(1538) * self.config.queue_pkts as u64;
         if self.busy_until_ns.saturating_sub(now_ns) > queue_cap_ns {
-            self.dropped += 1;
-            return None;
+            self.dropped_queue += 1;
+            return NO;
         }
         let start = self.busy_until_ns.max(now_ns);
         self.busy_until_ns = start + self.serialize_ns(wire_bytes);
-        Some(self.busy_until_ns + self.config.delay_ns)
+        let mut arrival = self.busy_until_ns + self.config.delay_ns;
+        if decision.reorder > 0 {
+            arrival += decision.reorder * self.serialize_ns(1538);
+            self.reordered += 1;
+        }
+        arrival += decision.jitter_ns;
+        let dup_arrival = decision.duplicate.then(|| {
+            self.duplicated += 1;
+            arrival + self.serialize_ns(wire_bytes)
+        });
+        Offer { arrival: Some(arrival), dup_arrival }
     }
 
     /// Packets dropped so far (all causes).
     pub fn dropped(&self) -> u64 {
-        self.dropped
+        self.dropped_loss + self.dropped_queue
+    }
+
+    /// Packets dropped by injected loss (`DropPolicy` or the impairment
+    /// model's Bernoulli/burst mechanisms).
+    pub fn dropped_loss(&self) -> u64 {
+        self.dropped_loss
+    }
+
+    /// Packets dropped by drop-tail queue overflow.
+    pub fn dropped_queue(&self) -> u64 {
+        self.dropped_queue
+    }
+
+    /// Duplicate deliveries injected so far.
+    pub fn duplicated(&self) -> u64 {
+        self.duplicated
+    }
+
+    /// Packets held back (reordered) so far.
+    pub fn reordered(&self) -> u64 {
+        self.reordered
     }
 
     /// Data packets offered so far.
@@ -127,7 +209,7 @@ mod tests {
             bandwidth_gbps: 10.0,
             delay_ns: 1_000,
             queue_pkts: 10,
-            drops: DropPolicy::None,
+            ..LinkConfig::default()
         });
         // 1250 bytes at 10 Gbps = 1 µs serialization.
         let arrival = l.transmit(0, 1250, true).unwrap();
@@ -146,6 +228,8 @@ mod tests {
         // Packets 2 and 5 dropped (1-based).
         assert_eq!(results, vec![true, false, true, true, false, true, true]);
         assert_eq!(l.dropped(), 2);
+        assert_eq!(l.dropped_loss(), 2, "all drops were injected");
+        assert_eq!(l.dropped_queue(), 0);
     }
 
     #[test]
@@ -164,12 +248,12 @@ mod tests {
     }
 
     #[test]
-    fn queue_overflow_drops() {
+    fn queue_overflow_drops_counted_separately() {
         let cfg = LinkConfig {
             bandwidth_gbps: 1.0,
             delay_ns: 0,
             queue_pkts: 2,
-            drops: DropPolicy::None,
+            ..LinkConfig::default()
         };
         let mut l = Link::new(cfg);
         let mut ok = 0;
@@ -180,6 +264,8 @@ mod tests {
         }
         assert!(ok <= 4, "queue bounded, accepted {ok}");
         assert!(l.dropped() > 0);
+        assert_eq!(l.dropped(), l.dropped_queue(), "overflow, not loss");
+        assert_eq!(l.dropped_loss(), 0);
     }
 
     #[test]
@@ -188,5 +274,85 @@ mod tests {
         let mut l = Link::new(cfg);
         assert!(l.transmit(0, 78, false).is_some(), "ACK survives 100% data loss");
         assert!(l.transmit(0, 100, true).is_none());
+    }
+
+    #[test]
+    fn acks_bypass_impairments() {
+        let cfg = LinkConfig {
+            impair: Impairments { loss_p: 1.0, seed: 1, ..Impairments::none() },
+            ..LinkConfig::default()
+        };
+        let mut l = Link::new(cfg);
+        assert!(l.transmit(0, 78, false).is_some(), "ACK survives 100% impair loss");
+        assert!(l.transmit(0, 100, true).is_none());
+        assert_eq!(l.dropped_loss(), 1);
+    }
+
+    #[test]
+    fn duplication_yields_trailing_copy() {
+        let cfg = LinkConfig {
+            delay_ns: 1_000,
+            impair: Impairments { dup_p: 1.0, seed: 2, ..Impairments::none() },
+            ..LinkConfig::default()
+        };
+        let mut l = Link::new(cfg);
+        let o = l.offer(0, 1250, true);
+        let first = o.arrival.unwrap();
+        let dup = o.dup_arrival.unwrap();
+        assert!(dup > first, "duplicate trails the original");
+        assert_eq!(l.duplicated(), 1);
+        // The legacy entry point still reports the primary arrival.
+        assert!(l.transmit(0, 1250, true).is_some());
+    }
+
+    #[test]
+    fn reordering_displaces_within_bound() {
+        let cfg = LinkConfig {
+            bandwidth_gbps: 10.0,
+            delay_ns: 1_000,
+            queue_pkts: 1_000,
+            impair: Impairments {
+                reorder_p: 1.0,
+                reorder_depth: 3,
+                seed: 3,
+                ..Impairments::none()
+            },
+            ..LinkConfig::default()
+        };
+        let mut l = Link::new(cfg);
+        let base = Link::new(LinkConfig {
+            bandwidth_gbps: 10.0,
+            delay_ns: 1_000,
+            queue_pkts: 1_000,
+            ..LinkConfig::default()
+        });
+        let mtu_ns = base.serialize_ns(1538);
+        for i in 0..100u64 {
+            let now = i * 10_000;
+            let held = l.offer(now, 100, true).arrival.unwrap();
+            let clean = now + l.serialize_ns(100) + 1_000;
+            let extra = held - clean;
+            assert!(extra >= mtu_ns && extra <= 3 * mtu_ns, "displacement {extra}");
+        }
+        assert_eq!(l.reordered(), 100);
+    }
+
+    #[test]
+    fn jitter_bounded_and_deterministic() {
+        let cfg = LinkConfig {
+            delay_ns: 1_000,
+            impair: Impairments { jitter_ns: 500, seed: 4, ..Impairments::none() },
+            ..LinkConfig::default()
+        };
+        let mut a = Link::new(cfg);
+        let mut b = Link::new(cfg);
+        for i in 0..1_000u64 {
+            let now = i * 100_000;
+            let aa = a.offer(now, 100, true).arrival.unwrap();
+            let bb = b.offer(now, 100, true).arrival.unwrap();
+            assert_eq!(aa, bb, "same seed, same arrivals");
+            let clean = now + a.serialize_ns(100) + 1_000;
+            assert!((0..500).contains(&(aa - clean)), "jitter {}", aa - clean);
+        }
     }
 }

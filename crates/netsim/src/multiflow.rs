@@ -147,6 +147,7 @@ mod tests {
             delay_ns: 50_000,
             queue_pkts: 60,
             drops: DropPolicy::None,
+            ..LinkConfig::default()
         }
     }
 

@@ -3,21 +3,83 @@
 //! The evaluation connects nodes back-to-back (§5: "we set up the network
 //! by directly connecting ... two FtEngines"). Each direction serializes
 //! segments at line rate (observed from the 250 MHz engine domain) and
-//! delivers them after a fixed propagation + MAC/PHY delay. The link does
-//! not drop: loss experiments inject drops explicitly at the system layer.
+//! delivers them after a fixed propagation + MAC/PHY delay. The pristine
+//! link does not drop; hostile-network scenarios attach an
+//! [`Impairments`] profile (FtStorm, DESIGN.md §14) that can lose,
+//! duplicate, reorder and jitter **data** segments — ACKs are never
+//! impaired, and decisions are drawn from per-direction deterministic
+//! streams so every run replays bit-identically from its seed.
 
+use f4t_netsim::{ImpairState, Impairments};
 use f4t_sim::clock::BytePacer;
 use f4t_sim::ClockDomain;
 use f4t_tcp::Segment;
 use std::collections::VecDeque;
+
+/// A reordered segment held aside: it re-enters the delivery queue after
+/// `countdown` further data segments pass it, or at `deadline_ns` if the
+/// direction goes quiet first (so a held tail segment cannot dangle).
+#[derive(Debug)]
+struct HeldSegment {
+    countdown: u64,
+    deadline_ns: u64,
+    arrival_ns: u64,
+    seg: Segment,
+}
 
 /// One direction of the link.
 #[derive(Debug)]
 struct LinkDir {
     pacer: BytePacer,
     in_flight: VecDeque<(u64, Segment)>,
+    held: Vec<HeldSegment>,
     bytes: u64,
     segments: u64,
+    impair: Option<ImpairState>,
+    dropped_loss: u64,
+    duplicated: u64,
+    reordered: u64,
+}
+
+impl LinkDir {
+    /// Enqueues a delivery, clamping the arrival so the queue stays
+    /// non-decreasing (delivery only ever inspects the front).
+    fn enqueue(&mut self, arrival_ns: u64, seg: Segment) {
+        let at = match self.in_flight.back() {
+            Some(&(back, _)) => back.max(arrival_ns),
+            None => arrival_ns,
+        };
+        self.in_flight.push_back((at, seg));
+    }
+
+    /// One data segment passed the held buffer: countdowns tick, and any
+    /// segment whose displacement is spent re-enters behind the queue.
+    fn pass_held(&mut self) {
+        let mut i = 0;
+        while i < self.held.len() {
+            self.held[i].countdown = self.held[i].countdown.saturating_sub(1);
+            if self.held[i].countdown == 0 {
+                let h = self.held.remove(i);
+                self.enqueue(h.arrival_ns, h.seg);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Releases held segments whose flush deadline passed (the liveness
+    /// bound for a held tail segment on a quiet direction).
+    fn flush_held(&mut self, now_ns: u64) {
+        let mut i = 0;
+        while i < self.held.len() {
+            if self.held[i].deadline_ns <= now_ns {
+                let h = self.held.remove(i);
+                self.enqueue(h.arrival_ns, h.seg);
+            } else {
+                i += 1;
+            }
+        }
+    }
 }
 
 /// A full-duplex fixed-latency link.
@@ -39,8 +101,13 @@ impl DuplexLink {
         let mk = || LinkDir {
             pacer: BytePacer::for_link(gbps, ClockDomain::ENGINE_CORE, 2 * 1538),
             in_flight: VecDeque::new(),
+            held: Vec::new(),
             bytes: 0,
             segments: 0,
+            impair: None,
+            dropped_loss: 0,
+            duplicated: 0,
+            reordered: 0,
         };
         DuplexLink { dirs: [mk(), mk()], delay_ns }
     }
@@ -48,6 +115,22 @@ impl DuplexLink {
     /// The paper's testbed link.
     pub fn hundred_gig() -> DuplexLink {
         DuplexLink::new(100, 1_000)
+    }
+
+    /// Attaches an impairment profile to both directions. Each direction
+    /// draws from its own reseeded decision stream; `clean` (inactive)
+    /// profiles detach impairment entirely.
+    pub fn set_impairments(&mut self, imp: Impairments) {
+        for (i, d) in self.dirs.iter_mut().enumerate() {
+            d.impair = imp.is_active().then(|| ImpairState::new(imp.reseeded(i as u64)));
+        }
+    }
+
+    /// How long a reordered segment may be held before the flush
+    /// deadline forces delivery (keeps quiet directions live while
+    /// staying far below the 5 ms RTO floor).
+    fn hold_flush_ns(&self) -> u64 {
+        8 * self.delay_ns.max(1_000)
     }
 
     /// Accrues one engine cycle of serialization budget.
@@ -66,17 +149,54 @@ impl DuplexLink {
 
     /// Sends a segment (caller must have checked [`Self::can_send`]).
     pub fn send(&mut self, dir: usize, seg: Segment, now_ns: u64) {
+        let flush_ns = self.hold_flush_ns();
         let d = &mut self.dirs[dir];
         let consumed = d.pacer.try_consume(u64::from(seg.wire_len()));
         debug_assert!(consumed, "send without can_send");
         d.bytes += u64::from(seg.wire_len());
         d.segments += 1;
-        d.in_flight.push_back((now_ns + self.delay_ns, seg));
+        let arrival = now_ns + self.delay_ns;
+        // Impairments judge data segments only; ACKs pass clean and do
+        // not count toward reorder displacement.
+        if !seg.has_payload() {
+            d.enqueue(arrival, seg);
+            return;
+        }
+        let decision = match d.impair.as_mut() {
+            Some(st) => st.decide(),
+            None => f4t_netsim::ImpairDecision::default(),
+        };
+        if decision.drop {
+            // The wire time was spent; the segment dies on the link.
+            d.dropped_loss += 1;
+            d.pass_held();
+            return;
+        }
+        let arrival = arrival + decision.jitter_ns;
+        if decision.reorder > 0 {
+            d.reordered += 1;
+            d.held.push(HeldSegment {
+                countdown: decision.reorder,
+                deadline_ns: arrival + flush_ns,
+                arrival_ns: arrival,
+                seg,
+            });
+            return;
+        }
+        d.enqueue(arrival, seg);
+        if decision.duplicate {
+            d.duplicated += 1;
+            d.enqueue(arrival, seg);
+        }
+        d.pass_held();
     }
 
     /// Pops the next segment due for delivery in `dir` at `now_ns`.
     pub fn deliver(&mut self, dir: usize, now_ns: u64) -> Option<Segment> {
         let d = &mut self.dirs[dir];
+        if !d.held.is_empty() {
+            d.flush_held(now_ns);
+        }
         if d.in_flight.front().is_some_and(|&(at, _)| at <= now_ns) {
             d.in_flight.pop_front().map(|(_, s)| s)
         } else {
@@ -93,6 +213,31 @@ impl DuplexLink {
     pub fn segments(&self, dir: usize) -> u64 {
         self.dirs[dir].segments
     }
+
+    /// Data segments lost to the impairment model in `dir`.
+    pub fn dropped_loss(&self, dir: usize) -> u64 {
+        self.dirs[dir].dropped_loss
+    }
+
+    /// Duplicate deliveries injected in `dir`.
+    pub fn duplicated(&self, dir: usize) -> u64 {
+        self.dirs[dir].duplicated
+    }
+
+    /// Data segments held back (reordered) in `dir`.
+    pub fn reordered(&self, dir: usize) -> u64 {
+        self.dirs[dir].reordered
+    }
+
+    /// Total impairment events (loss + duplication + reordering) across
+    /// both directions — the scenario matrix asserts this is non-zero
+    /// under every non-clean profile.
+    pub fn impairment_events(&self) -> u64 {
+        self.dirs
+            .iter()
+            .map(|d| d.dropped_loss + d.duplicated + d.reordered)
+            .sum()
+    }
 }
 
 #[cfg(test)]
@@ -102,6 +247,21 @@ mod tests {
 
     fn seg(len: u32) -> Segment {
         Segment::data(FourTuple::default(), SeqNum(0), SeqNum(0), len)
+    }
+
+    fn data_at(seq: u32, len: u32) -> Segment {
+        Segment::data(FourTuple::default(), SeqNum(seq), SeqNum(0), len)
+    }
+
+    fn ack() -> Segment {
+        Segment::pure_ack(FourTuple::default(), SeqNum(0), SeqNum(0), 65_535)
+    }
+
+    fn ticked(mut l: DuplexLink, n: u64) -> DuplexLink {
+        for _ in 0..n {
+            l.tick();
+        }
+        l
     }
 
     #[test]
@@ -121,10 +281,7 @@ mod tests {
 
     #[test]
     fn delivery_after_delay() {
-        let mut l = DuplexLink::new(100, 500);
-        for _ in 0..10 {
-            l.tick();
-        }
+        let mut l = ticked(DuplexLink::new(100, 500), 10);
         l.send(A_TO_B, seg(100), 1_000);
         assert!(l.deliver(A_TO_B, 1_400).is_none(), "still propagating");
         assert!(l.deliver(A_TO_B, 1_500).is_some());
@@ -133,10 +290,7 @@ mod tests {
 
     #[test]
     fn directions_independent() {
-        let mut l = DuplexLink::hundred_gig();
-        for _ in 0..10 {
-            l.tick();
-        }
+        let mut l = ticked(DuplexLink::hundred_gig(), 10);
         l.send(A_TO_B, seg(64), 0);
         l.send(B_TO_A, seg(64), 0);
         assert_eq!(l.segments(A_TO_B), 1);
@@ -160,5 +314,155 @@ mod tests {
         }
         let gbps = f4t_sim::gbps(sent * 1538, 1_000_000);
         assert!((98.0..=100.5).contains(&gbps), "got {gbps:.1}");
+    }
+
+    #[test]
+    fn impaired_loss_spares_acks() {
+        let mut l = ticked(DuplexLink::hundred_gig(), 200);
+        l.set_impairments(Impairments { loss_p: 1.0, seed: 9, ..Impairments::none() });
+        l.send(A_TO_B, seg(100), 0);
+        l.send(A_TO_B, ack(), 0);
+        assert_eq!(l.dropped_loss(A_TO_B), 1, "data lost");
+        let delivered = l.deliver(A_TO_B, 10_000).expect("ACK passes clean");
+        assert!(!delivered.has_payload());
+        assert!(l.deliver(A_TO_B, 10_000).is_none());
+    }
+
+    #[test]
+    fn duplication_delivers_twice() {
+        let mut l = ticked(DuplexLink::hundred_gig(), 200);
+        l.set_impairments(Impairments { dup_p: 1.0, seed: 9, ..Impairments::none() });
+        l.send(A_TO_B, seg(100), 0);
+        assert!(l.deliver(A_TO_B, 10_000).is_some());
+        assert!(l.deliver(A_TO_B, 10_000).is_some(), "duplicate copy");
+        assert!(l.deliver(A_TO_B, 10_000).is_none());
+        assert_eq!(l.duplicated(A_TO_B), 1);
+    }
+
+    #[test]
+    fn reordering_displaces_behind_later_sends() {
+        let mut l = ticked(DuplexLink::hundred_gig(), 500);
+        l.set_impairments(Impairments {
+            reorder_p: 1.0,
+            reorder_depth: 1,
+            seed: 9,
+            ..Impairments::none()
+        });
+        // The first segment is judged "hold for 1 data pass"; detach
+        // impairment so the second passes clean and releases it.
+        l.send(A_TO_B, data_at(0, 100), 0);
+        assert_eq!(l.reordered(A_TO_B), 1);
+        assert!(l.deliver(A_TO_B, 5_000).is_none(), "held, not delivered");
+        l.set_impairments(Impairments::none());
+        l.send(A_TO_B, data_at(100, 100), 100);
+        let first = l.deliver(A_TO_B, 5_000).expect("passing segment delivers");
+        assert_eq!(first.seq, SeqNum(100), "later send overtakes the held one");
+        let second = l.deliver(A_TO_B, 5_000).expect("held segment re-enters behind it");
+        assert_eq!(second.seq, SeqNum(0));
+    }
+
+    #[test]
+    fn held_tail_segment_flushes_on_quiet_direction() {
+        let mut l = ticked(DuplexLink::hundred_gig(), 500);
+        l.set_impairments(Impairments {
+            reorder_p: 1.0,
+            reorder_depth: 3,
+            seed: 9,
+            ..Impairments::none()
+        });
+        l.send(A_TO_B, data_at(0, 100), 0);
+        assert_eq!(l.reordered(A_TO_B), 1);
+        // Nothing else is ever sent: the flush deadline (8x delay) must
+        // release the segment rather than wedging the flow.
+        assert!(l.deliver(A_TO_B, 8_000).is_none());
+        let s = l.deliver(A_TO_B, 20_000).expect("deadline flush releases the tail");
+        assert_eq!(s.seq, SeqNum(0));
+    }
+
+    #[test]
+    fn reorder_swaps_wire_order() {
+        let mut l = ticked(DuplexLink::hundred_gig(), 500);
+        // Seeded so only some segments are held: verify at least one
+        // delivery happens out of send order.
+        l.set_impairments(Impairments {
+            reorder_p: 0.5,
+            reorder_depth: 2,
+            seed: 1,
+            ..Impairments::none()
+        });
+        let mut order = Vec::new();
+        for i in 0..20u32 {
+            for _ in 0..100 {
+                l.tick();
+            }
+            l.send(A_TO_B, data_at(i * 100, 100), u64::from(i) * 2_000);
+            while let Some(s) = l.deliver(A_TO_B, u64::from(i) * 2_000 + 1_500) {
+                order.push(s.seq.0);
+            }
+        }
+        while let Some(s) = l.deliver(A_TO_B, u64::MAX) {
+            order.push(s.seq.0);
+        }
+        assert_eq!(order.len(), 20, "nothing lost");
+        assert!(order.windows(2).any(|w| w[1] < w[0]), "no reordering in {order:?}");
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).map(|i| i * 100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn impaired_runs_replay_deterministically() {
+        let imp = Impairments::profile("burst-loss").unwrap();
+        let run = || {
+            let mut l = ticked(DuplexLink::hundred_gig(), 4_000);
+            l.set_impairments(imp);
+            let mut delivered = Vec::new();
+            for i in 0..2_000u32 {
+                for _ in 0..100 {
+                    l.tick();
+                }
+                let now = u64::from(i) * 1_000;
+                l.send(A_TO_B, data_at(i * 100, 100), now);
+                while let Some(s) = l.deliver(A_TO_B, now) {
+                    delivered.push(s.seq.0);
+                }
+            }
+            (delivered, l.dropped_loss(A_TO_B))
+        };
+        let (a, la) = run();
+        let (b, lb) = run();
+        assert_eq!(a, b);
+        assert_eq!(la, lb);
+        assert!(la > 0, "burst loss engaged");
+    }
+
+    #[test]
+    fn delivery_times_stay_monotonic_under_impairments() {
+        let mut l = ticked(DuplexLink::hundred_gig(), 4_000);
+        l.set_impairments(Impairments {
+            reorder_p: 0.3,
+            reorder_depth: 3,
+            dup_p: 0.2,
+            jitter_ns: 1_500,
+            seed: 77,
+            ..Impairments::none()
+        });
+        let mut count = 0;
+        for i in 0..500u32 {
+            for _ in 0..100 {
+                l.tick();
+            }
+            let now = u64::from(i) * 500;
+            l.send(A_TO_B, data_at(i, 100), now);
+            // Any due segment must actually pop (front-only delivery
+            // would wedge if arrivals regressed).
+            while l.deliver(A_TO_B, now).is_some() {
+                count += 1;
+            }
+        }
+        while l.deliver(A_TO_B, u64::MAX).is_some() {
+            count += 1;
+        }
+        assert!(count > 400, "delivered {count}");
     }
 }

@@ -8,7 +8,8 @@ use f4t_host::{
 use f4t_tcp::{FlowId, FourTuple, SeqNum};
 use f4t_workloads::http::{NGINX_APP_CYCLES, NGINX_VFS_CYCLES};
 use f4t_workloads::{
-    BulkReceiver, BulkSender, EchoClient, EchoServer, HttpClient, HttpServer, RoundRobinSender,
+    BulkReceiver, BulkSender, ChurnClient, ChurnServer, EchoClient, EchoServer, HttpClient,
+    HttpServer, IncastSender, RoundRobinSender, SinkServer, SlowlorisClient,
 };
 use std::collections::{HashMap, VecDeque};
 
@@ -59,6 +60,38 @@ pub enum Driver {
         /// Next flow index.
         next: usize,
     },
+    /// Synchronized N-to-1 incast sender (FtStorm).
+    Incast(IncastSender),
+    /// Fan-in receiver draining whatever is readable (FtStorm).
+    Sink {
+        /// The driver.
+        server: SinkServer,
+        /// Flow rotation.
+        flows: Vec<FlowId>,
+        /// Next flow index.
+        next: usize,
+    },
+    /// Connect/close cycling client; flow membership is dynamic
+    /// (FtStorm churnstorm).
+    ChurnClient {
+        /// The driver.
+        client: ChurnClient,
+        /// Live flow rotation (node-maintained).
+        flows: Vec<FlowId>,
+        /// Next flow index.
+        next: usize,
+    },
+    /// Accept/drain/passive-close server for churning peers.
+    ChurnServer {
+        /// The driver.
+        server: ChurnServer,
+        /// Live flow rotation (node-maintained).
+        flows: Vec<FlowId>,
+        /// Next flow index.
+        next: usize,
+    },
+    /// Near-idle residency stressor dripping bytes at a long interval.
+    Slowloris(SlowlorisClient),
 }
 
 /// One application thread's core.
@@ -94,8 +127,12 @@ pub struct Node {
     last_req: HashMap<FlowId, SeqNum>,
     /// RX payload DMA bytes already charged.
     rx_dma_charged: u64,
-    /// Completions waiting for PCIe d2h budget.
-    completion_backlog: VecDeque<Completion>,
+    /// Completions waiting for PCIe d2h budget, with their destination
+    /// core captured at enqueue time (so churn teardown cannot re-route
+    /// an in-flight completion when a flow id is recycled).
+    completion_backlog: VecDeque<(usize, Completion)>,
+    /// Round-robin core assignment for engine-accepted connections.
+    accept_rr: usize,
     /// Round-robin start for command DMA, so one busy core cannot
     /// monopolize the PCIe budget.
     dma_rr: usize,
@@ -139,6 +176,7 @@ impl Node {
             last_req: HashMap::new(),
             rx_dma_charged: 0,
             completion_backlog: VecDeque::new(),
+            accept_rr: 0,
             dma_rr: 0,
             sleep_after_poll: false,
             runtime,
@@ -182,6 +220,30 @@ impl Node {
         Some(flow)
     }
 
+    /// Actively opens a connection owned by `core`: allocates the engine
+    /// flow, registers the socket, and enqueues the Connect command that
+    /// launches the handshake. Returns `None` when the engine is at its
+    /// flow limit or the core's command ring is full (the churn manager
+    /// retries next tick).
+    pub fn open_active_flow(&mut self, tuple: FourTuple, core: usize) -> Option<FlowId> {
+        if self.cores[core].lib.commands.is_full() {
+            return None;
+        }
+        let flow = self.engine.open_active(tuple)?;
+        let isn = self.engine.peek_tcb(flow).map(|t| t.snd_una).unwrap_or(SeqNum::ZERO);
+        let c = &mut self.cores[core];
+        c.lib.register(flow, isn, false);
+        let connected = c.lib.connect(flow);
+        debug_assert!(connected.is_ok(), "ring fullness checked above");
+        self.rss.insert(flow, core);
+        self.last_req.insert(flow, isn);
+        if let Driver::ChurnClient { client, flows, .. } = &mut c.driver {
+            client.on_open(flow);
+            flows.push(flow);
+        }
+        Some(flow)
+    }
+
     /// Installs a driver on a core.
     pub fn set_driver(&mut self, core: usize, driver: Driver) {
         self.cores[core].driver = driver;
@@ -222,6 +284,23 @@ impl Node {
                 Driver::HttpClient { client, .. } => client.completed(),
                 Driver::HttpServer { server, .. } => server.served(),
                 Driver::EchoServer { server, .. } => server.replies(),
+                Driver::Incast(s) => s.requests(),
+                Driver::Slowloris(s) => s.requests(),
+                Driver::ChurnClient { client, .. } => client.completed(),
+                Driver::ChurnServer { server, .. } => server.served(),
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Connections currently somewhere in their lifecycle across all
+    /// churn drivers (0 when every opened flow has fully closed).
+    pub fn churn_live(&self) -> usize {
+        self.cores
+            .iter()
+            .map(|c| match &c.driver {
+                Driver::ChurnClient { client, .. } => client.live(),
+                Driver::ChurnServer { server, .. } => server.live(),
                 _ => 0,
             })
             .sum()
@@ -233,6 +312,8 @@ impl Node {
             .iter()
             .map(|c| match &c.driver {
                 Driver::BulkReceiver(r) => r.consumed(),
+                Driver::Sink { server, .. } => server.consumed(),
+                Driver::ChurnServer { server, .. } => server.consumed(),
                 _ => 0,
             })
             .sum()
@@ -313,16 +394,93 @@ impl Node {
             }
         }
 
-        // 4. Completions to cores (d2h, 16 B each).
+        // 4. Completions to cores (d2h, 16 B each). Engine-side connection
+        //    lifecycle (accept / teardown) is intercepted here, in the same
+        //    tick the engine acts, because flow ids are recycled
+        //    immediately: by the time a PCIe-delayed completion reaches a
+        //    core, its flow id may already name a different connection.
         while let Some(n) = self.engine.pop_notification() {
-            self.completion_backlog.push_back(Self::notification_to_completion(n));
+            match n {
+                HostNotification::NewConnection { flow, .. } => {
+                    let core = self.accept_rr % n_cores.max(1);
+                    self.accept_rr += 1;
+                    self.rss.insert(flow, core);
+                    // Server-side sockets have asymmetric sequence bases:
+                    // each direction picked its own ISN in the handshake.
+                    if let Some(t) = self.engine.peek_tcb(flow) {
+                        self.cores[core].lib.register_accepted(flow, t.snd_nxt, t.rcv_nxt);
+                        self.last_req.insert(flow, t.snd_nxt);
+                    }
+                    if let Driver::ChurnServer { server, flows, .. } = &mut self.cores[core].driver
+                    {
+                        server.on_accept(flow);
+                        flows.push(flow);
+                    }
+                    self.completion_backlog.push_back((core, Completion::Accepted { flow }));
+                }
+                HostNotification::Closed { flow } => {
+                    let core = self.rss.get(&flow).copied().unwrap_or(0);
+                    let churned = match &mut self.cores[core].driver {
+                        Driver::ChurnClient { client, flows, .. } => {
+                            client.on_closed(flow);
+                            if let Some(p) = flows.iter().position(|&f| f == flow) {
+                                flows.swap_remove(p);
+                            }
+                            true
+                        }
+                        Driver::ChurnServer { server, flows, .. } => {
+                            server.on_closed(flow);
+                            if let Some(p) = flows.iter().position(|&f| f == flow) {
+                                flows.swap_remove(p);
+                            }
+                            true
+                        }
+                        _ => false,
+                    };
+                    if churned {
+                        // Eager teardown: forget the flow everywhere and
+                        // drop its still-undelivered completions, so the
+                        // id can be reissued without aliasing state.
+                        self.rss.remove(&flow);
+                        self.last_req.remove(&flow);
+                        self.cores[core].lib.deregister(flow);
+                        self.completion_backlog.retain(|&(_, c)| c.flow() != flow);
+                        // Completions already DMA'd to a core but not yet
+                        // consumed (budget starvation) alias the reissued
+                        // id too — their `upto` pointers are in the dead
+                        // incarnation's sequence space.
+                        for c in &mut self.cores {
+                            c.completions.retain(|q| q.flow() != flow);
+                        }
+                    } else {
+                        self.completion_backlog.push_back((core, Completion::Closed { flow }));
+                    }
+                }
+                HostNotification::Connected { flow } => {
+                    // Handshake complete: only now are both directions'
+                    // sequence bases known (each side picked its own ISN
+                    // and the SYN/SYN|ACK each consume one sequence
+                    // number). Re-seed before any data completion can
+                    // apply a pointer from the provisional space.
+                    let core = self.rss.get(&flow).copied().unwrap_or(0);
+                    if let Some(t) = self.engine.peek_tcb(flow) {
+                        self.cores[core].lib.seed_handshake(flow, t.snd_una, t.rcv_nxt);
+                        self.last_req.insert(flow, t.snd_una);
+                    }
+                    self.completion_backlog.push_back((core, Completion::Connected { flow }));
+                }
+                other => {
+                    let c = Self::notification_to_completion(other);
+                    let core = self.rss.get(&c.flow()).copied().unwrap_or(0);
+                    self.completion_backlog.push_back((core, c));
+                }
+            }
         }
-        while let Some(&c) = self.completion_backlog.front() {
+        while let Some(&(core, c)) = self.completion_backlog.front() {
             if !self.pcie.try_transfer(PcieDir::DeviceToHost, 16) {
                 break;
             }
             self.completion_backlog.pop_front();
-            let core = self.rss.get(&c.flow()).copied().unwrap_or(0);
             self.cores[core].completions.push_back(c);
         }
 
@@ -350,8 +508,14 @@ impl Node {
                 }
                 core.acct.charge(CpuCategory::F4tLib, LIB_COMPLETION_CYCLES);
                 core.lib.on_completion(c);
-                if let Completion::Received { flow, .. } = c {
-                    core.ready.push_back(flow);
+                match c {
+                    // Readability, connection establishment and FIN all
+                    // make a flow actionable for closed-loop drivers.
+                    Completion::Received { flow, .. }
+                    | Completion::Accepted { flow }
+                    | Completion::Connected { flow }
+                    | Completion::Eof { flow } => core.ready.push_back(flow),
+                    _ => {}
                 }
                 core.completions.pop_front();
             }
@@ -369,6 +533,12 @@ impl Node {
                     Driver::HttpServer { .. } => {
                         (NGINX_APP_CYCLES + NGINX_VFS_CYCLES, 2 * LIB_CMD_CYCLES)
                     }
+                    Driver::Incast(_) | Driver::Sink { .. } | Driver::Slowloris(_) => {
+                        (0, LIB_CMD_CYCLES)
+                    }
+                    Driver::ChurnClient { .. } | Driver::ChurnServer { .. } => {
+                        (100, 2 * LIB_CMD_CYCLES)
+                    }
                 };
                 if core.budget.available() < cost_app + cost_lib {
                     break;
@@ -380,7 +550,10 @@ impl Node {
                     Driver::EchoClient { .. }
                     | Driver::EchoServer { .. }
                     | Driver::HttpClient { .. }
-                    | Driver::HttpServer { .. } => core.ready.pop_front(),
+                    | Driver::HttpServer { .. }
+                    | Driver::Sink { .. }
+                    | Driver::ChurnClient { .. }
+                    | Driver::ChurnServer { .. } => core.ready.pop_front(),
                     _ => None,
                 };
                 let from_ready = ready_flow.is_some();
@@ -413,6 +586,34 @@ impl Node {
                     Driver::HttpServer { server, flows, next } => {
                         let f = pick(flows, next);
                         server.step_flow(f, &mut core.lib)
+                    }
+                    Driver::Incast(s) => s.step(&mut core.lib, now_ns),
+                    Driver::Slowloris(s) => s.step(&mut core.lib, now_ns),
+                    // Dynamic-membership drivers can have an empty
+                    // rotation (all flows torn down); pick would panic.
+                    Driver::Sink { server, flows, next } => {
+                        if ready_flow.is_none() && flows.is_empty() {
+                            false
+                        } else {
+                            let f = pick(flows, next);
+                            server.step_flow(f, &mut core.lib)
+                        }
+                    }
+                    Driver::ChurnClient { client, flows, next } => {
+                        if ready_flow.is_none() && flows.is_empty() {
+                            false
+                        } else {
+                            let f = pick(flows, next);
+                            client.step_flow(f, &mut core.lib)
+                        }
+                    }
+                    Driver::ChurnServer { server, flows, next } => {
+                        if ready_flow.is_none() && flows.is_empty() {
+                            false
+                        } else {
+                            let f = pick(flows, next);
+                            server.step_flow(f, &mut core.lib)
+                        }
                     }
                 };
                 if !did_work && from_ready {

@@ -8,8 +8,10 @@ use f4t_host::CpuAccounting;
 use f4t_sim::{Histogram, MetricsRegistry};
 use f4t_tcp::pcap::PcapWriter;
 use f4t_tcp::{FlowId, FourTuple, SeqNum};
+use f4t_netsim::Impairments;
 use f4t_workloads::{
-    BulkReceiver, BulkSender, EchoClient, EchoServer, HttpClient, HttpServer, RoundRobinSender,
+    BulkReceiver, BulkSender, ChurnClient, ChurnServer, EchoClient, EchoServer, HttpClient,
+    HttpServer, IncastSender, RoundRobinSender, SinkServer, SlowlorisClient, CHURN_REQUEST_BYTES,
 };
 use std::net::Ipv4Addr;
 
@@ -20,6 +22,37 @@ pub(crate) const CYCLE_NS: u64 = 4;
 /// runs cannot balloon the in-memory capture (tcpdump `-c` style).
 const PCAP_MAX_PACKETS: u64 = 10_000;
 
+/// Sustains a target population of short-lived connections: every tick
+/// it tops the client node back up to `target_live` in-flight lifecycles
+/// (bounded opens per tick so connection setup stays paced rather than
+/// bursting the command rings).
+#[derive(Debug)]
+struct ChurnManager {
+    target_live: usize,
+    max_opens_per_tick: usize,
+    /// Monotone tuple index: every connection gets a fresh 4-tuple so a
+    /// closing flow's tuple is never reused while it drains.
+    next_tuple: u32,
+    core_rr: usize,
+    cores: usize,
+}
+
+impl ChurnManager {
+    fn step(&mut self, a: &mut Node) {
+        let live = a.churn_live();
+        let mut opens = 0;
+        while live + opens < self.target_live && opens < self.max_opens_per_tick {
+            let core = self.core_rr % self.cores;
+            if a.open_active_flow(tuple(self.next_tuple), core).is_none() {
+                break; // flow table or command ring full: retry next tick
+            }
+            self.next_tuple = self.next_tuple.wrapping_add(1);
+            self.core_rr += 1;
+            opens += 1;
+        }
+    }
+}
+
 /// Two nodes connected by a 100 Gbps link, running a workload.
 #[derive(Debug)]
 pub struct F4tSystem {
@@ -29,6 +62,8 @@ pub struct F4tSystem {
     pub b: Node,
     link: DuplexLink,
     cycle: u64,
+    /// Connection churn generator (churnstorm workload only).
+    churn: Option<ChurnManager>,
     /// Optional packet capture of link traffic (both directions, capped
     /// at [`PCAP_MAX_PACKETS`]); see [`F4tSystem::enable_pcap`].
     pcap: Option<PcapWriter<Vec<u8>>>,
@@ -47,7 +82,20 @@ fn tuple(i: u32) -> FourTuple {
 impl F4tSystem {
     /// Wires two freshly configured nodes together.
     pub fn new(a: Node, b: Node) -> F4tSystem {
-        F4tSystem { a, b, link: DuplexLink::hundred_gig(), cycle: 0, pcap: None }
+        F4tSystem { a, b, link: DuplexLink::hundred_gig(), cycle: 0, churn: None, pcap: None }
+    }
+
+    /// Attaches a hostile-network impairment profile to the link (both
+    /// directions, independent decision streams). Call after
+    /// [`F4tSystem::set_link`] if both are used.
+    pub fn set_impairments(&mut self, imp: Impairments) {
+        self.link.set_impairments(imp);
+    }
+
+    /// Total link impairment events (loss + duplication + reordering)
+    /// across both directions — non-zero proves a profile engaged.
+    pub fn impairment_events(&self) -> u64 {
+        self.link.impairment_events()
     }
 
     /// Starts capturing link traffic (both directions) as a libpcap
@@ -97,6 +145,12 @@ impl F4tSystem {
         self.link.tick();
         self.a.tick(now);
         self.b.tick(now);
+        // Churn opens happen after the node ticks: any flow ids the
+        // engine freed this tick were already fully forgotten by the
+        // node's teardown interception, so reissued ids start clean.
+        if let Some(m) = &mut self.churn {
+            m.step(&mut self.a);
+        }
         // Drain TX at line rate (MAC backpressure otherwise).
         while let Some(seg) = self.a.engine.peek_tx() {
             if self.link.can_send(A_TO_B, seg.wire_len()) {
@@ -339,6 +393,115 @@ impl F4tSystem {
         sys
     }
 
+    // --- FtStorm hostile-scenario constructors (DESIGN.md §14) ---
+
+    /// N-to-1 incast: `senders` flows spread over `cores` client cores,
+    /// all releasing a `burst_bytes` burst at every `epoch_ns` boundary,
+    /// converging on a single receiver core.
+    pub fn incast(
+        senders: usize,
+        cores: usize,
+        burst_bytes: u32,
+        epoch_ns: u64,
+        engine: EngineConfig,
+    ) -> F4tSystem {
+        let a = Node::new(cores, engine.clone());
+        let b = Node::new(1, engine);
+        let mut sys = F4tSystem::new(a, b);
+        let mut per_core_a: Vec<Vec<FlowId>> = vec![Vec::new(); cores];
+        let mut b_flows = Vec::new();
+        for i in 0..senders {
+            let core = i % cores;
+            let (fa, fb) = sys.open_pair(i as u32, core, 0);
+            per_core_a[core].push(fa);
+            b_flows.push(fb);
+        }
+        for (core, flows) in per_core_a.iter().enumerate() {
+            sys.a.set_driver(
+                core,
+                Driver::Incast(IncastSender::new(flows.clone(), burst_bytes, epoch_ns)),
+            );
+        }
+        sys.b.set_driver(0, Driver::Sink { server: SinkServer::new(), flows: b_flows, next: 0 });
+        sys
+    }
+
+    /// Sustained connect/close cycling: the churn manager keeps
+    /// `target_live` connection lifecycles in flight across `cores`
+    /// client cores; each connection sends one request and actively
+    /// closes, the server drains and passively closes on FIN.
+    pub fn churnstorm(cores: usize, target_live: usize, engine: EngineConfig) -> F4tSystem {
+        let a = Node::new(cores, engine.clone());
+        let b = Node::new(cores, engine);
+        let mut sys = F4tSystem::new(a, b);
+        sys.b.engine.listen(80);
+        for core in 0..cores {
+            sys.a.set_driver(
+                core,
+                Driver::ChurnClient {
+                    client: ChurnClient::new(CHURN_REQUEST_BYTES),
+                    flows: Vec::new(),
+                    next: 0,
+                },
+            );
+            sys.b.set_driver(
+                core,
+                Driver::ChurnServer { server: ChurnServer::new(), flows: Vec::new(), next: 0 },
+            );
+        }
+        sys.churn = Some(ChurnManager {
+            target_live,
+            max_opens_per_tick: 4,
+            next_tuple: 0,
+            core_rr: 0,
+            cores,
+        });
+        sys
+    }
+
+    /// Slowloris-style residency stress: `total_flows` established
+    /// connections spread across `cores` cores, each client core
+    /// dripping `drip_bytes` from one of its flows every `interval_ns`.
+    /// The flows stay pinned in TCBs and LUTs while the data path idles.
+    pub fn slowloris(
+        cores: usize,
+        total_flows: usize,
+        drip_bytes: u32,
+        interval_ns: u64,
+        engine: EngineConfig,
+    ) -> F4tSystem {
+        let a = Node::new(cores, engine.clone());
+        let b = Node::new(cores, engine);
+        let mut sys = F4tSystem::new(a, b);
+        let mut per_core_a: Vec<Vec<FlowId>> = vec![Vec::new(); cores];
+        let mut per_core_b: Vec<Vec<FlowId>> = vec![Vec::new(); cores];
+        for i in 0..total_flows {
+            let core = i % cores;
+            let (fa, fb) = sys.open_pair(i as u32, core, core);
+            per_core_a[core].push(fa);
+            per_core_b[core].push(fb);
+        }
+        for core in 0..cores {
+            sys.a.set_driver(
+                core,
+                Driver::Slowloris(SlowlorisClient::new(
+                    per_core_a[core].clone(),
+                    drip_bytes,
+                    interval_ns,
+                )),
+            );
+            sys.b.set_driver(
+                core,
+                Driver::Sink {
+                    server: SinkServer::new(),
+                    flows: per_core_b[core].clone(),
+                    next: 0,
+                },
+            );
+        }
+        sys
+    }
+
     /// Server-side requests served (HTTP) — the Fig. 10 metric.
     pub fn server_requests(&self) -> u64 {
         self.b.requests()
@@ -394,6 +557,51 @@ mod tests {
         // RTT floor: 2x 1 µs link + engine/PCIe; must be >2 µs and sane.
         assert!(m.median_latency_us() > 2.0);
         assert!(m.median_latency_us() < 100.0, "got {} µs", m.median_latency_us());
+    }
+
+    #[test]
+    fn incast_fans_in_synchronized_bursts() {
+        let mut sys = F4tSystem::incast(8, 2, 1_024, 50_000, small_engine());
+        sys.run_ns(400_000);
+        assert!(sys.a.requests() >= 8 * 4, "bursts released: {}", sys.a.requests());
+        assert!(sys.b.consumed_bytes() > 8 * 1_024, "fan-in drained");
+    }
+
+    #[test]
+    fn churnstorm_cycles_connections_through_reuse() {
+        let mut sys = F4tSystem::churnstorm(2, 8, small_engine());
+        sys.run_ns(2_000_000);
+        let completed = sys.a.requests();
+        assert!(completed > 16, "full lifecycles completed: {completed}");
+        assert!(sys.b.requests() > 16, "server served: {}", sys.b.requests());
+        assert!(
+            sys.b.consumed_bytes() >= completed * u64::from(CHURN_REQUEST_BYTES) / 2,
+            "requests drained"
+        );
+        // With 8 in-flight lifecycles and dozens completed, flow ids
+        // were necessarily recycled many times.
+        assert!(sys.a.churn_live() <= 8 + 4);
+    }
+
+    #[test]
+    fn slowloris_holds_flows_with_trickle_traffic() {
+        let mut sys = F4tSystem::slowloris(1, 32, 8, 2_000, small_engine());
+        sys.run_ns(600_000);
+        let drips = sys.a.requests();
+        assert!(drips > 50, "dripping: {drips}");
+        assert!(sys.b.consumed_bytes() > 0);
+        // Residency: all 32 flows still established on both engines.
+        assert_eq!(sys.a.engine.live_flows(), 32);
+        assert_eq!(sys.b.engine.live_flows(), 32);
+    }
+
+    #[test]
+    fn impaired_link_still_converges() {
+        let mut sys = F4tSystem::bulk(1, 1460, small_engine());
+        sys.set_impairments(Impairments::profile("reorder").expect("profile"));
+        let m = sys.measure(40_000, 400_000);
+        assert!(m.goodput_gbps() > 1.0, "got {:.2} Gbps", m.goodput_gbps());
+        assert!(sys.impairment_events() > 0, "profile engaged");
     }
 
     #[test]

@@ -285,6 +285,94 @@ mod tests {
         }
     }
 
+    /// Exact-once delivery under a hostile schedule: a contiguous
+    /// stream pushed through bounded-displacement reordering,
+    /// duplication and loss-with-retransmission must advance the
+    /// in-order pointer by every byte exactly once — the sum of
+    /// `Advanced` amounts equals the stream length, never more (a
+    /// duplicate that re-advanced would corrupt the application
+    /// stream) and never less (a lost range that never completes
+    /// would wedge the flow).
+    #[test]
+    fn impaired_schedule_delivers_exactly_once() {
+        let mut rng = SimRng::new(0x5702_4A11);
+        for case in 0..64u64 {
+            let base = SeqNum(rng.next_u64() as u32);
+            let total_segs = 40u32;
+            let seg_len = 100u32;
+            let mut r = ReassemblyTracker::new(base, 1 << 20);
+            let mut advanced_total = 0u64;
+            // Segments still owed to the receiver (retransmission queue).
+            let mut pending: Vec<u32> = (0..total_segs).collect();
+            // Reordered segments held back with a displacement countdown,
+            // mirroring the link model's bounded-displacement contract.
+            let mut held: Vec<(u64, u32)> = Vec::new();
+            let mut rounds = 0;
+            while r.rcv_nxt() != base.add(total_segs * seg_len) {
+                rounds += 1;
+                assert!(rounds < 50, "case {case}: reassembly failed to converge");
+                let mut undelivered = Vec::new();
+                for &i in &pending {
+                    // Loss: the segment stays owed for the next round.
+                    if rng.chance(0.1) {
+                        undelivered.push(i);
+                        continue;
+                    }
+                    // Bounded reorder: hold for up to 3 later deliveries.
+                    if rng.chance(0.2) {
+                        held.push((1 + rng.next_below(3), i));
+                        continue;
+                    }
+                    let mut deliver = vec![i];
+                    // Duplication: the wire repeats the segment verbatim.
+                    if rng.chance(0.1) {
+                        deliver.push(i);
+                    }
+                    for j in deliver {
+                        if let ReassemblyResult::Advanced(n) =
+                            r.on_segment(base.add(j * seg_len), seg_len)
+                        {
+                            advanced_total += u64::from(n);
+                        }
+                    }
+                    let mut k = 0;
+                    while k < held.len() {
+                        held[k].0 -= 1;
+                        if held[k].0 == 0 {
+                            let (_, j) = held.remove(k);
+                            if let ReassemblyResult::Advanced(n) =
+                                r.on_segment(base.add(j * seg_len), seg_len)
+                            {
+                                advanced_total += u64::from(n);
+                            }
+                        } else {
+                            k += 1;
+                        }
+                    }
+                }
+                // Tail flush, then retransmit what the wire ate.
+                for (_, j) in held.drain(..) {
+                    if let ReassemblyResult::Advanced(n) =
+                        r.on_segment(base.add(j * seg_len), seg_len)
+                    {
+                        advanced_total += u64::from(n);
+                    }
+                }
+                pending = undelivered;
+                if pending.is_empty() && r.rcv_nxt() != base.add(total_segs * seg_len) {
+                    // Dropped by the chunk bound: owed again.
+                    pending = (0..total_segs).collect();
+                }
+            }
+            assert_eq!(
+                advanced_total,
+                u64::from(total_segs * seg_len),
+                "case {case}: bytes delivered a different number of times than once"
+            );
+            assert_eq!(r.chunk_count(), 0, "case {case}: leftover out-of-order state");
+        }
+    }
+
     /// The in-order pointer never moves backwards, and chunks stay
     /// strictly above it.
     #[test]

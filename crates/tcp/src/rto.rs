@@ -149,4 +149,55 @@ mod tests {
         r.on_rtt_sample(100_000_000_000); // 100 s
         assert_eq!(r.rto_ns(), RtoEstimator::MAX_RTO_NS);
     }
+
+    /// Property: under ANY interleaving of RTT samples and timeouts the
+    /// RTO stays inside [MIN, MAX], and a timeout never shrinks it (the
+    /// whole point of backoff is to retreat, not oscillate).
+    #[test]
+    fn rto_bounded_under_random_schedule() {
+        let mut rng = f4t_sim::SimRng::new(0x0870);
+        for _ in 0..128 {
+            let mut r = RtoEstimator::new();
+            for _ in 0..200 {
+                if rng.chance(0.3) {
+                    let before = r.rto_ns();
+                    r.on_timeout();
+                    assert!(r.rto_ns() >= before, "timeout shrank the RTO");
+                } else {
+                    // 1 µs .. ~1 s, log-uniform-ish via nested draws.
+                    let exp = rng.next_below(7);
+                    let rtt = 1_000 * 10u64.pow(exp as u32).max(1)
+                        + rng.next_below(1_000_000);
+                    r.on_rtt_sample(rtt);
+                }
+                let rto = r.rto_ns();
+                assert!(
+                    (RtoEstimator::MIN_RTO_NS..=RtoEstimator::MAX_RTO_NS).contains(&rto),
+                    "RTO {rto} escaped its bounds"
+                );
+            }
+        }
+    }
+
+    /// Property: timeouts only scale the RTO — they must not corrupt
+    /// the smoothed estimate. After any burst of timeouts, one fresh
+    /// sample makes the estimator agree exactly with a shadow estimator
+    /// that saw the same samples and no timeouts at all.
+    #[test]
+    fn backoff_is_stateless_noise() {
+        let mut rng = f4t_sim::SimRng::new(0x0871);
+        for _ in 0..64 {
+            let mut r = RtoEstimator::new();
+            let mut shadow = RtoEstimator::new();
+            for _ in 0..50 {
+                for _ in 0..rng.next_below(4) {
+                    r.on_timeout();
+                }
+                let rtt = 10_000 + rng.next_below(50_000_000);
+                r.on_rtt_sample(rtt);
+                shadow.on_rtt_sample(rtt);
+                assert_eq!(r, shadow, "timeouts leaked into the RTT estimate");
+            }
+        }
+    }
 }

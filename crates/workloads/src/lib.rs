@@ -17,6 +17,9 @@
 //! * [`HttpClient`] / [`HttpServer`] — the wrk + Nginx pair: closed-loop
 //!   HTTP requests answered with 256 B responses, the server paying
 //!   application + VFS cycles per request (§5.2, Figs. 1, 10–12).
+//! * [`storm`] — the FtStorm hostile-scenario drivers: synchronized
+//!   incast fan-in, sustained connect/close churn, and slowloris-style
+//!   near-idle residency (DESIGN.md §14).
 //!
 //! Every driver is pure bookkeeping over library pointers; CPU cycle
 //! costs are returned to the caller (the per-core loop in `f4t-system`)
@@ -26,11 +29,16 @@ pub mod bulk;
 pub mod echo;
 pub mod http;
 pub mod round_robin;
+pub mod storm;
 
 pub use bulk::{BulkReceiver, BulkSender};
 pub use echo::{EchoClient, EchoServer};
 pub use http::{HttpClient, HttpServer, NGINX_RESPONSE_BYTES, WRK_REQUEST_BYTES};
 pub use round_robin::RoundRobinSender;
+pub use storm::{
+    ChurnClient, ChurnServer, IncastSender, SinkServer, SlowlorisClient, CHURN_REQUEST_BYTES,
+    INCAST_BURST_BYTES, INCAST_EPOCH_NS, SLOWLORIS_DRIP_BYTES,
+};
 
 /// The default echo/ping-pong message size (§5.3).
 pub const ECHO_MSG_BYTES: u32 = 128;

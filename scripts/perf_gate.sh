@@ -22,7 +22,15 @@ cd "$(dirname "$0")/.."
 BULK="--workload bulk --cores 1 --size 4096 --warmup-ms 1 --duration-ms 1"
 ECHO="--workload echo --cores 1 --flows 64 --size 128 --warmup-ms 1 --duration-ms 1"
 SCALE="--workload scale --flows 2048 --size 256 --duration-ms 1"
-WORKLOADS="bulk echo scale"
+# Hostile-network scenarios (DESIGN.md section 14): each storm workload
+# is gated under a different impairment profile so the baselines pin
+# loss-recovery latency, not just the clean path. Impairments are
+# seeded and deterministic, so these baselines are byte-stable too.
+INCAST="--workload incast --cores 2 --flows 24 --size 2048 --impair reorder --warmup-ms 1 --duration-ms 1"
+CHURNSTORM="--workload churnstorm --cores 2 --flows 32 --impair lossy --warmup-ms 1 --duration-ms 2"
+SLOWLORIS="--workload slowloris --cores 2 --flows 256 --impair jitter --warmup-ms 1 --duration-ms 1"
+HTTPSTORM="--workload httpstorm --cores 2 --flows 256 --impair duplicate --warmup-ms 1 --duration-ms 1"
+WORKLOADS="bulk echo scale incast churnstorm slowloris httpstorm"
 SAMPLE=64            # keep in sync with results/latency_breakdown.json
 OVERHEAD_BUDGET=1.10 # flight-on wall budget at 1/64 sampling (--update)
 WALL_TOLERANCE=5     # x committed wall-clock; absolute slack below
@@ -36,10 +44,14 @@ PERF=./target/release/f4tperf
 
 args_for() {
     case "$1" in
-        bulk)  echo "$BULK" ;;
-        echo)  echo "$ECHO" ;;
-        scale) echo "$SCALE" ;;
-        *)     echo "unknown workload $1" >&2; exit 2 ;;
+        bulk)       echo "$BULK" ;;
+        echo)       echo "$ECHO" ;;
+        scale)      echo "$SCALE" ;;
+        incast)     echo "$INCAST" ;;
+        churnstorm) echo "$CHURNSTORM" ;;
+        slowloris)  echo "$SLOWLORIS" ;;
+        httpstorm)  echo "$HTTPSTORM" ;;
+        *)          echo "unknown workload $1" >&2; exit 2 ;;
     esac
 }
 

@@ -83,6 +83,14 @@ rm -rf "$out"
 echo "==> FtTurbo smoke (slab + threaded scale paths)"
 sh scripts/turbo_baseline.sh --smoke
 
+echo "==> FtStorm hostile-network smoke (scenario x impairment)"
+# The full matrix lives in tests/scenario_matrix.rs (runs under cargo
+# test above); this re-drives one cell end-to-end through the CLI with
+# the checker, journal, and watchdog armed.
+cargo run --release -q -p f4t-bench --bin f4tperf -- \
+    --workload incast --cores 2 --flows 24 --size 2048 --impair burst-loss \
+    --warmup-ms 1 --duration-ms 1 --check --journal --watchdog >/dev/null
+
 echo "==> FtFlight perf gate (committed baselines + self-test)"
 sh scripts/perf_gate.sh
 sh scripts/perf_gate.sh --self-test

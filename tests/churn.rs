@@ -88,3 +88,130 @@ fn short_connections_churn_and_reclaim() {
     }
     assert_eq!(completed, rounds);
 }
+
+/// Like [`pump`] but eats every `drop_nth`-th *data* segment once per
+/// crossing (deterministic loss). ACKs and control segments pass, so
+/// dup-ACK fast retransmit — not just the RTO — gets exercised.
+fn pump_lossy(client: &mut Engine, server: &mut Engine, seen: &mut u64, drop_nth: u64) {
+    client.tick();
+    server.tick();
+    loop {
+        let mut moved = false;
+        while let Some(seg) = client.pop_tx() {
+            moved = true;
+            if seg.has_payload() {
+                *seen += 1;
+                if (*seen).is_multiple_of(drop_nth) {
+                    continue;
+                }
+            }
+            server.push_rx(seg);
+        }
+        while let Some(seg) = server.pop_tx() {
+            client.push_rx(seg);
+            moved = true;
+        }
+        if !moved {
+            break;
+        }
+        client.tick();
+        server.tick();
+    }
+}
+
+/// Churn where every connection's payload takes losses on the way: the
+/// lifecycle must still complete (fast retransmit under dup-ACKs), and
+/// after the last connection drains, BOTH engines must be structurally
+/// empty — zero live flows and a zero LUT census. Loss recovery keeps
+/// per-flow state (retransmit queues, reassembly chunks, LUT entries)
+/// alive longer than the clean path, which is exactly when reclamation
+/// bugs leak.
+#[test]
+fn churn_under_loss_reclaims_all_state() {
+    let cfg = EngineConfig {
+        num_fpcs: 2,
+        flows_per_fpc: 16,
+        lut_groups: 2,
+        check: true,
+        ..EngineConfig::reference()
+    };
+    let mut client = Engine::new(cfg.clone());
+    let mut server = Engine::new(cfg);
+    server.listen(80);
+
+    let rounds = 12;
+    let mut data_seen = 0u64;
+    for i in 0..rounds {
+        let t = FourTuple::new(
+            Ipv4Addr::new(10, 0, 0, 1),
+            41_000 + (i % 4) as u16,
+            Ipv4Addr::new(10, 0, 0, 2),
+            80,
+        );
+        let fc = client.open_active(t).expect("capacity reclaimed each round");
+        client.push_host(fc, EventKind::Connect);
+
+        let mut connected = false;
+        let mut closed = false;
+        let mut sent = false;
+        for _ in 0..3_000_000u64 {
+            // Drop every 5th data segment: with ~6 segments per 8 KB
+            // payload, every connection loses at least one.
+            pump_lossy(&mut client, &mut server, &mut data_seen, 5);
+            while let Some(n) = client.pop_notification() {
+                match n {
+                    HostNotification::Connected { flow } if flow == fc => connected = true,
+                    HostNotification::Closed { flow } if flow == fc => closed = true,
+                    _ => {}
+                }
+            }
+            while let Some(n) = server.pop_notification() {
+                match n {
+                    HostNotification::PeerFin { flow } => {
+                        server.push_host(flow, EventKind::Close);
+                    }
+                    HostNotification::DataReceived { flow, upto } => {
+                        server.push_host(flow, EventKind::RecvConsumed { consumed: upto });
+                    }
+                    _ => {}
+                }
+            }
+            if connected && !sent {
+                let tcb = client.peek_tcb(fc).expect("live connection");
+                // 8 KB so the transfer spans several segments: enough
+                // traffic behind a lost one to trigger fast retransmit.
+                client.push_host(fc, EventKind::SendReq { req: tcb.snd_nxt.add(8_192) });
+                client.push_host(fc, EventKind::Close);
+                sent = true;
+            }
+            if closed {
+                break;
+            }
+        }
+        assert!(connected, "round {i}: handshake completed under loss");
+        assert!(closed, "round {i}: lifecycle completed under loss");
+        assert!(client.peek_tcb(fc).is_none(), "round {i}: client state reclaimed");
+        for _ in 0..20_000 {
+            pump_lossy(&mut client, &mut server, &mut data_seen, 5);
+            while server.pop_notification().is_some() {}
+            while client.pop_notification().is_some() {}
+        }
+    }
+    assert!(data_seen / 5 > 0, "the loss schedule actually dropped segments");
+
+    // Structural audit: nothing may survive the last teardown.
+    for (side, e) in [("client", &client), ("server", &server)] {
+        assert_eq!(e.live_flows(), 0, "{side}: flow table entries leaked");
+        let (in_fpc, in_dram, moving) = e.lut_census();
+        assert_eq!(
+            (in_fpc, in_dram, moving),
+            (0, 0, 0),
+            "{side}: LUT entries leaked (fpc/dram/moving)"
+        );
+    }
+    assert_eq!(
+        client.check_total_violations() + server.check_total_violations(),
+        0,
+        "invariant checker fired during lossy churn"
+    );
+}

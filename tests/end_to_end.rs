@@ -104,6 +104,97 @@ fn handshake_then_data_between_engines() {
     assert_ne!(delivered, SeqNum::ZERO);
 }
 
+/// Property: reordering with displacement below the dup-ACK threshold
+/// (3) must cause ZERO retransmissions — the receiver emits at most two
+/// duplicate ACKs before the held segment lands, so neither fast
+/// retransmit nor (with delivery this prompt) the RTO may fire. A
+/// spurious-retransmit storm under mild reorder is exactly the failure
+/// mode FlexTOE-class offloads are criticised for.
+#[test]
+fn bounded_reorder_causes_no_spurious_retransmits() {
+    let mut client = Engine::new(small_engine());
+    let mut server = Engine::new(small_engine());
+    server.listen(80);
+    let t = FourTuple::new(Ipv4Addr::new(10, 0, 0, 1), 40_100, Ipv4Addr::new(10, 0, 0, 2), 80);
+    let fc = client.open_active(t).unwrap();
+    client.push_host(fc, EventKind::Connect);
+
+    let total = 131_072u32; // ~90 full segments
+    let mut held: Option<f4t::tcp::Segment> = None;
+    let mut since_held = 0u32;
+    let mut data_segs = 0u64;
+    let mut target: Option<SeqNum> = None;
+    for _ in 0..400_000u64 {
+        client.tick();
+        server.tick();
+        while let Some(seg) = client.pop_tx() {
+            if seg.has_payload() {
+                data_segs += 1;
+                // Hold every 7th data segment back by exactly two
+                // later data segments (displacement 2 < dup-ACK 3).
+                if held.is_none() && data_segs.is_multiple_of(7) {
+                    held = Some(seg);
+                    since_held = 0;
+                    continue;
+                }
+                since_held += 1;
+            }
+            server.push_rx(seg);
+            if since_held >= 2 {
+                if let Some(h) = held.take() {
+                    server.push_rx(h);
+                }
+            }
+        }
+        while let Some(seg) = server.pop_tx() {
+            client.push_rx(seg);
+        }
+        while let Some(n) = client.pop_notification() {
+            if matches!(n, HostNotification::Connected { .. }) && target.is_none() {
+                let tcb = client.peek_tcb(fc).unwrap();
+                let req = tcb.snd_nxt.add(total);
+                client.push_host(fc, EventKind::SendReq { req });
+                target = Some(req);
+            }
+        }
+        while let Some(n) = server.pop_notification() {
+            if let HostNotification::DataReceived { flow, upto } = n {
+                server.push_host(flow, EventKind::RecvConsumed { consumed: upto });
+            }
+        }
+        if let Some(req) = target {
+            if client.peek_tcb(fc).unwrap().snd_una == req {
+                break;
+            }
+        }
+    }
+    // A segment held at the very tail has no later traffic to displace
+    // it behind; flush it so the transfer can complete.
+    if let Some(h) = held.take() {
+        server.push_rx(h);
+        for _ in 0..50_000u64 {
+            client.tick();
+            server.tick();
+            while let Some(seg) = client.pop_tx() {
+                server.push_rx(seg);
+            }
+            while let Some(seg) = server.pop_tx() {
+                client.push_rx(seg);
+            }
+            while client.pop_notification().is_some() {}
+            while server.pop_notification().is_some() {}
+        }
+    }
+    let tcb = client.peek_tcb(fc).expect("flow still open");
+    assert_eq!(tcb.flight_size(), 0, "transfer fully acknowledged");
+    assert_eq!(tcb.unsent(), 0, "entire request sent");
+    assert!(data_segs > 80, "transfer actually spanned many segments: {data_segs}");
+    assert_eq!(
+        client.stats().retransmissions, 0,
+        "displacement-2 reorder must not trigger fast retransmit or RTO"
+    );
+}
+
 #[test]
 fn sixty_four_k_flows_open_and_echo_sample_works() {
     // The headline connectivity number: open 64K flows on the reference

@@ -14,8 +14,9 @@
 //! divergence.
 
 use f4t::core::{Engine, EngineConfig, EventKind, HostNotification};
+use f4t::netsim::{ImpairState, Impairments};
 use f4t::sim::SimRng;
-use f4t::tcp::{FourTuple, SeqNum};
+use f4t::tcp::{FourTuple, Segment, SeqNum};
 use std::net::Ipv4Addr;
 
 /// Cycles per `Engine::run` call between segment ferries. Large enough
@@ -52,21 +53,109 @@ fn filtered_telemetry(e: &Engine) -> String {
         .join("\n")
 }
 
+/// A hostile ferry direction: applies an impairment decision stream to
+/// the segment sequence itself. Decisions are indexed by data-segment
+/// count — never by cycle or wall time — so the fast-forwarded and
+/// tick-by-tick runs draw identical verdicts for identical traffic,
+/// which is exactly the equivalence property under test.
+struct Ferry {
+    st: ImpairState,
+    /// Reordered segments awaiting their displacement countdown.
+    held: Vec<(u64, Segment)>,
+}
+
+impl Ferry {
+    fn new(imp: &Impairments, salt: u64) -> Ferry {
+        Ferry { st: ImpairState::new(imp.reseeded(salt)), held: Vec::new() }
+    }
+
+    /// Transforms one offered segment into zero or more delivered ones.
+    /// ACKs pass clean (same contract as the system link: impairments
+    /// shape the data path, the reverse path stays reliable).
+    fn offer(&mut self, seg: Segment, out: &mut Vec<Segment>) {
+        if !seg.has_payload() {
+            out.push(seg);
+            return;
+        }
+        let d = self.st.decide();
+        if d.drop {
+            return;
+        }
+        if d.reorder > 0 {
+            self.held.push((d.reorder, seg));
+            return;
+        }
+        out.push(seg);
+        if d.duplicate {
+            out.push(seg);
+        }
+        // A data segment went past: count down the held ones and release
+        // any that have served their displacement, behind it.
+        let mut i = 0;
+        while i < self.held.len() {
+            self.held[i].0 -= 1;
+            if self.held[i].0 == 0 {
+                let (_, held) = self.held.remove(i);
+                out.push(held);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Releases everything still held (end-of-schedule flush).
+    fn flush(&mut self, out: &mut Vec<Segment>) {
+        for (_, seg) in self.held.drain(..) {
+            out.push(seg);
+        }
+    }
+}
+
 /// Runs both sides `steps` chunks, ferrying segments at chunk
 /// boundaries and keeping receive windows open. The ferry points are a
 /// function of the chunk schedule only, so they land on the same cycle
 /// in the fast-forwarded and tick-by-tick runs.
 fn exchange(a: &mut Engine, b: &mut Engine, wire: &mut Vec<String>, steps: u64) {
+    exchange_via(a, b, wire, steps, &mut None)
+}
+
+/// [`exchange`] with an optional impaired ferry per direction
+/// (`ferries[0]` carries a→b, `ferries[1]` b→a). The wire log records
+/// *delivered* segments — what survives the impairment — so comparing
+/// logs across runs checks both the engine traffic and the transformed
+/// stream.
+fn exchange_via(
+    a: &mut Engine,
+    b: &mut Engine,
+    wire: &mut Vec<String>,
+    steps: u64,
+    ferries: &mut Option<[Ferry; 2]>,
+) {
+    let mut delivered = Vec::new();
     for _ in 0..steps {
         a.run(CHUNK);
         b.run(CHUNK);
         while let Some(seg) = a.pop_tx() {
-            wire.push(format!("{} a->b {seg:?}", a.cycles()));
-            b.push_rx(seg);
+            delivered.clear();
+            match ferries {
+                Some(f) => f[0].offer(seg, &mut delivered),
+                None => delivered.push(seg),
+            }
+            for seg in delivered.drain(..) {
+                wire.push(format!("{} a->b {seg:?}", a.cycles()));
+                b.push_rx(seg);
+            }
         }
         while let Some(seg) = b.pop_tx() {
-            wire.push(format!("{} b->a {seg:?}", b.cycles()));
-            a.push_rx(seg);
+            delivered.clear();
+            match ferries {
+                Some(f) => f[1].offer(seg, &mut delivered),
+                None => delivered.push(seg),
+            }
+            for seg in delivered.drain(..) {
+                wire.push(format!("{} b->a {seg:?}", b.cycles()));
+                a.push_rx(seg);
+            }
         }
         while let Some(n) = a.pop_notification() {
             if let HostNotification::DataReceived { flow, upto } = n {
@@ -82,6 +171,14 @@ fn exchange(a: &mut Engine, b: &mut Engine, wire: &mut Vec<String>, steps: u64) 
 }
 
 fn run_scenario(case: u64, fast_forward: bool) -> Snapshot {
+    run_scenario_impaired(case, fast_forward, None)
+}
+
+fn run_scenario_impaired(case: u64, fast_forward: bool, profile: Option<&str>) -> Snapshot {
+    let mut ferries = profile.map(|p| {
+        let imp = Impairments::profile(p).expect("known profile");
+        [Ferry::new(&imp, 0), Ferry::new(&imp, 1)]
+    });
     let mut rng = SimRng::new(0xFF1A_0000 + case);
     // 2 FPCs x 4 slots vs 10 flows: DRAM residency and migration are
     // guaranteed, so the skip logic is audited under the hard cases.
@@ -124,7 +221,7 @@ fn run_scenario(case: u64, fast_forward: bool) -> Snapshot {
         pairs.push((fa, fb, SeqNum(0), SeqNum(0)));
     }
     let mut wire = Vec::new();
-    exchange(&mut a, &mut b, &mut wire, 4);
+    exchange_via(&mut a, &mut b, &mut wire, 4, &mut ferries);
     for _ in 0..120 {
         match rng.next_below(8) {
             // Bulk: push more request pointer on a random a-side flow.
@@ -156,7 +253,7 @@ fn run_scenario(case: u64, fast_forward: bool) -> Snapshot {
                 wire.push(format!("churn close pair {i}"));
                 a.push_host(fa, EventKind::Close);
                 b.push_host(fb, EventKind::Close);
-                exchange(&mut a, &mut b, &mut wire, 6);
+                exchange_via(&mut a, &mut b, &mut wire, 6, &mut ferries);
                 let t = tuple_for(next_port);
                 next_port += 1;
                 if let (Some(fa), Some(fb)) = (
@@ -169,7 +266,23 @@ fn run_scenario(case: u64, fast_forward: bool) -> Snapshot {
             // Time passes.
             _ => {}
         }
-        exchange(&mut a, &mut b, &mut wire, 1 + rng.next_below(4));
+        exchange_via(&mut a, &mut b, &mut wire, 1 + rng.next_below(4), &mut ferries);
+    }
+    // Schedule over: release anything the ferries still hold (a fixed
+    // point in the op schedule, so both runs flush identically), then
+    // drain clean so both sides converge before the snapshot.
+    if let Some(f) = &mut ferries {
+        let mut out = Vec::new();
+        f[0].flush(&mut out);
+        for seg in out.drain(..) {
+            wire.push(format!("flush a->b {seg:?}"));
+            b.push_rx(seg);
+        }
+        f[1].flush(&mut out);
+        for seg in out.drain(..) {
+            wire.push(format!("flush b->a {seg:?}"));
+            a.push_rx(seg);
+        }
     }
     // Mostly-idle tail: retransmission timers and drain, where skipping
     // pays off and any horizon bug would desynchronize the RTO clock.
@@ -278,6 +391,60 @@ fn fast_forward_is_bit_identical_under_bulk_echo_churn() {
         assert!(
             ff.skipped > 1_000 && ff.windows > 10,
             "case {case}: fast-forward barely engaged ({} cycles / {} windows)",
+            ff.skipped,
+            ff.windows
+        );
+    }
+}
+
+/// The equivalence contract must survive a hostile network: losses,
+/// duplicates and reordering change *which* cycles are idle (retransmit
+/// timers arm, dup-ACKs fly, recovery extends flows' active windows), so
+/// a fast-forward horizon bug that only manifests when an RTO is the
+/// next scheduled event would escape the clean-link test. Every
+/// impairment profile must leave the two runs byte-identical.
+#[test]
+fn fast_forward_is_bit_identical_under_impairments() {
+    for (i, profile) in ["reorder", "duplicate", "lossy", "burst-loss"].iter().enumerate() {
+        let case = i as u64;
+        let ff = run_scenario_impaired(case, true, Some(profile));
+        let tbt = run_scenario_impaired(case, false, Some(profile));
+        assert_same_lines(case, &format!("wire trace ({profile})"), &ff.wire, &tbt.wire);
+        assert_same_lines(case, &format!("final TCBs ({profile})"), &ff.tcbs, &tbt.tcbs);
+        for side in 0..2 {
+            let (l, r): (Vec<_>, Vec<_>) = (
+                ff.telemetry[side].lines().map(String::from).collect(),
+                tbt.telemetry[side].lines().map(String::from).collect(),
+            );
+            assert_same_lines(case, &format!("telemetry ({profile})"), &l, &r);
+            assert_eq!(
+                ff.traces[side], tbt.traces[side],
+                "{profile} side {side}: Chrome trace drift"
+            );
+            let (l, r): (Vec<_>, Vec<_>) = (
+                ff.flights[side].lines().map(String::from).collect(),
+                tbt.flights[side].lines().map(String::from).collect(),
+            );
+            assert_same_lines(case, &format!("flight breakdown ({profile})"), &l, &r);
+            assert_same_lines(
+                case,
+                &format!("journal ({profile})"),
+                &ff.journals[side],
+                &tbt.journals[side],
+            );
+            assert_eq!(
+                ff.journal_digests[side], tbt.journal_digests[side],
+                "{profile} side {side}: journal digest drift"
+            );
+        }
+        assert_eq!(ff.violations, 0, "{profile}: checker fired under fast-forward");
+        assert_eq!(tbt.violations, 0, "{profile}: checker fired tick-by-tick");
+        assert_eq!(ff.alarms, 0, "{profile}: watchdog alarmed under fast-forward");
+        assert_eq!(tbt.alarms, 0, "{profile}: watchdog alarmed tick-by-tick");
+        assert_eq!(tbt.skipped, 0, "{profile}: tick-by-tick run skipped cycles");
+        assert!(
+            ff.skipped > 1_000 && ff.windows > 10,
+            "{profile}: fast-forward barely engaged ({} cycles / {} windows)",
             ff.skipped,
             ff.windows
         );

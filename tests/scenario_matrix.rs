@@ -1,0 +1,143 @@
+//! FtStorm scenario matrix: every hostile-traffic scenario crossed with
+//! every link impairment profile, with the full observability stack
+//! (FtVerify invariants, FtJournal, health watchdog) armed. The claim
+//! under test is not a performance number — it is that the engine's
+//! design rules hold and no flow wedges no matter how hostile the
+//! network is.
+//!
+//! Runs are kept short (≲2 ms simulated) so a tail loss recovers inside
+//! the run via fast retransmit or falls past the end of the window — it
+//! must never trip the 10 ms stall watchdog, which would indicate a
+//! genuinely stuck flow rather than a slow one.
+
+use f4t::core::EngineConfig;
+use f4t::netsim::Impairments;
+use f4t::system::F4tSystem;
+use f4t::workloads::SLOWLORIS_DRIP_BYTES;
+
+/// The impairment grid every scenario must survive.
+const PROFILES: &[&str] = &["clean", "reorder", "burst-loss", "duplicate"];
+
+fn armed_engine() -> EngineConfig {
+    EngineConfig {
+        num_fpcs: 2,
+        flows_per_fpc: 32,
+        lut_groups: 2,
+        check: true,
+        journal: true,
+        watchdog: true,
+        ..EngineConfig::reference()
+    }
+}
+
+/// Applies `profile`, runs the system, and asserts the invariant /
+/// health contract: zero FtVerify violations, zero watchdog alarms,
+/// and (off the clean profile) the link actually exercised the
+/// impairment machinery.
+fn run_cell(
+    scenario: &str,
+    profile: &str,
+    mut sys: F4tSystem,
+    warmup_ns: u64,
+    run_ns: u64,
+) -> f4t::system::Metrics {
+    let imp = Impairments::profile(profile).expect("profile exists");
+    if imp.is_active() {
+        sys.set_impairments(imp);
+    }
+    let m = sys.measure(warmup_ns, run_ns);
+
+    let violations =
+        sys.a.engine.check_total_violations() + sys.b.engine.check_total_violations();
+    assert_eq!(violations, 0, "{scenario}/{profile}: FtVerify violations");
+    let alarms = sys.a.engine.watchdog_alarm_count() + sys.b.engine.watchdog_alarm_count();
+    if alarms > 0 {
+        for e in [&sys.a.engine, &sys.b.engine] {
+            if let Some(w) = e.watchdog() {
+                for a in w.alarms() {
+                    eprintln!("{scenario}/{profile}: watchdog alarm: {}", a.line());
+                }
+            }
+        }
+        panic!("{scenario}/{profile}: {alarms} watchdog alarm(s)");
+    }
+    // Per-packet profiles must visibly fire. The Gilbert–Elliott chain
+    // behind burst-loss may legitimately stay in its good state for an
+    // entire short run — burstiness, not a wiring bug — so it is only
+    // required to survive, not to trigger.
+    if imp.is_active() && profile != "burst-loss" {
+        assert!(
+            sys.impairment_events() > 0,
+            "{scenario}/{profile}: impairment profile active but no events fired"
+        );
+    }
+    for (side, e) in [("a", &sys.a.engine), ("b", &sys.b.engine)] {
+        let j = e.journal().expect("journal armed");
+        assert!(j.events_recorded() > 0, "{scenario}/{profile}: journal[{side}] empty");
+    }
+    m
+}
+
+#[test]
+fn incast_survives_every_impairment() {
+    for profile in PROFILES {
+        let sys = F4tSystem::incast(24, 2, 2_048, 50_000, armed_engine());
+        let m = run_cell("incast", profile, sys, 100_000, 1_200_000);
+        assert!(
+            m.goodput_bytes > 8 * 1_024,
+            "incast/{profile}: fan-in made no progress ({} B)",
+            m.goodput_bytes
+        );
+    }
+}
+
+#[test]
+fn churnstorm_survives_every_impairment() {
+    for profile in PROFILES {
+        let sys = F4tSystem::churnstorm(2, 32, armed_engine());
+        let m = run_cell("churnstorm", profile, sys, 200_000, 2_300_000);
+        assert!(
+            m.requests >= 4,
+            "churnstorm/{profile}: only {} connections completed a lifecycle",
+            m.requests
+        );
+    }
+}
+
+#[test]
+fn slowloris_survives_every_impairment() {
+    for profile in PROFILES {
+        let mut sys =
+            F4tSystem::slowloris(2, 64, SLOWLORIS_DRIP_BYTES, 1_000, armed_engine());
+        let imp = Impairments::profile(profile).expect("profile exists");
+        if imp.is_active() {
+            sys.set_impairments(imp);
+        }
+        let m = sys.measure(100_000, 1_500_000);
+        let violations =
+            sys.a.engine.check_total_violations() + sys.b.engine.check_total_violations();
+        assert_eq!(violations, 0, "slowloris/{profile}: FtVerify violations");
+        let alarms =
+            sys.a.engine.watchdog_alarm_count() + sys.b.engine.watchdog_alarm_count();
+        assert_eq!(alarms, 0, "slowloris/{profile}: watchdog alarms");
+        // The residency claim: every near-idle flow stays established on
+        // both engines for the whole run — impairments must not evict or
+        // wedge them.
+        assert_eq!(sys.a.engine.live_flows(), 64, "slowloris/{profile}: client flows");
+        assert_eq!(sys.b.engine.live_flows(), 64, "slowloris/{profile}: server flows");
+        assert!(m.requests > 100, "slowloris/{profile}: only {} drips issued", m.requests);
+    }
+}
+
+#[test]
+fn httpstorm_survives_every_impairment() {
+    for profile in PROFILES {
+        let sys = F4tSystem::http(4, 2, 256, armed_engine());
+        let m = run_cell("httpstorm", profile, sys, 200_000, 1_500_000);
+        assert!(
+            m.requests > 50,
+            "httpstorm/{profile}: only {} responses completed",
+            m.requests
+        );
+    }
+}
