@@ -30,6 +30,12 @@ USAGE:
                                        retained journal lines and compare it
                                        with the dump's recorded stream digest
   f4tdbg diff <A.json> <B.json>        compare two dumps line by line
+  f4tdbg pulse <PULSE.json>            render the FtPulse series document
+                                       (written by f4tperf --pulse-json) as
+                                       per-engine ASCII sparklines
+  f4tdbg pulse <A.json> <B.json>       diff two pulse documents series by
+                                       series; exit 1 at the first window
+                                       where any series diverges
 
 FILTERS (print):
   --flow <N>                           only events for flow N
@@ -40,8 +46,13 @@ FILTERS (print):
                                        event_routed, tcb_migrate_start, ...)
   --cycles <LO..HI>                    only events with LO <= cycle <= HI
 
-EXIT CODES: 0 success (digest matches / dumps identical) /
-            1 digest mismatch or dumps differ / 2 usage or I/O error
+FILTERS (pulse):
+  --series <SUBSTR>                    only series whose name contains SUBSTR
+                                       (e.g. --series goodput, --series p99)
+
+EXIT CODES: 0 success (digest matches / dumps or pulse series identical) /
+            1 digest mismatch, dumps differ or pulse series differ /
+            2 usage or I/O error
 
 NOTE: the stream digest covers every recorded event, including ones the
 bounded ring has since overwritten; a recomputed digest only matches when
@@ -409,6 +420,168 @@ fn cmd_diff(path_a: &str, path_b: &str) {
     println!("dumps identical ({} journal entries, digest {:016x})", a.journal.len(), a.journal_digest);
 }
 
+/// Sparkline glyphs, lowest to highest.
+const SPARKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+/// Maximum sparkline width; longer series are bucketed (max per bucket)
+/// so a 1024-window ring still fits a terminal line.
+const SPARK_WIDTH: usize = 64;
+
+/// Renders `vals` as a sparkline, scaled to the series' own max.
+fn sparkline(vals: &[u64]) -> String {
+    if vals.is_empty() {
+        return "(empty)".into();
+    }
+    // Bucket down to SPARK_WIDTH, keeping each bucket's max (a dropped
+    // spike would defeat the whole point of the shape view).
+    let bucketed: Vec<u64> = if vals.len() > SPARK_WIDTH {
+        (0..SPARK_WIDTH)
+            .map(|b| {
+                let lo = vals.len() * b / SPARK_WIDTH;
+                let hi = vals.len() * (b + 1) / SPARK_WIDTH;
+                vals[lo..hi.max(lo + 1)].iter().copied().max().unwrap_or(0)
+            })
+            .collect()
+    } else {
+        vals.to_vec()
+    };
+    let max = bucketed.iter().copied().max().unwrap_or(0);
+    bucketed
+        .iter()
+        .map(|&v| {
+            if max == 0 {
+                SPARKS[0]
+            } else {
+                SPARKS[(v.saturating_mul(7).div_ceil(max.max(1))).min(7) as usize]
+            }
+        })
+        .collect()
+}
+
+/// Parses the pulse-specific filter args (`--series <SUBSTR>`).
+fn parse_series_filter(args: &[String]) -> Option<String> {
+    let mut filter = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--series" => {
+                filter = Some(
+                    it.next()
+                        .unwrap_or_else(|| die("--series needs a value"))
+                        .clone(),
+                )
+            }
+            other => die(&format!("unknown pulse filter {other} (try --help)")),
+        }
+    }
+    filter
+}
+
+fn load_pulse(path: &str) -> Vec<f4t_bench::pulsejson::PulseSection> {
+    match f4t_bench::pulsejson::sections(&read(path)) {
+        Ok(s) => s,
+        Err(e) => die(&format!("{path}: {e}")),
+    }
+}
+
+fn cmd_pulse_show(path: &str, filter: Option<&str>) {
+    let text = read(path);
+    let secs = match f4t_bench::pulsejson::sections(&text) {
+        Ok(s) => s,
+        Err(e) => die(&format!("{path}: {e}")),
+    };
+    println!("pulse       {path}");
+    if let Some(d) = f4t_bench::pulsejson::field_u64(&text, "merged_digest") {
+        println!("merged      {d:016x}");
+    }
+    for sec in &secs {
+        println!();
+        match sec.digest {
+            Some(d) => println!("[{}]  digest {d:016x}", sec.label),
+            None => println!("[{}]", sec.label),
+        }
+        let mut shown = 0usize;
+        for (name, vals) in &sec.series {
+            if filter.is_some_and(|f| !name.contains(f)) {
+                continue;
+            }
+            shown += 1;
+            let max = vals.iter().copied().max().unwrap_or(0);
+            let last = vals.last().copied().unwrap_or(0);
+            println!(
+                "  {:<32} {}  max {max} last {last}",
+                name,
+                sparkline(vals)
+            );
+        }
+        println!("  ({shown} of {} series shown, {} windows)", sec.series.len(), sec
+            .series
+            .values()
+            .map(Vec::len)
+            .max()
+            .unwrap_or(0));
+    }
+}
+
+fn cmd_pulse_diff(path_a: &str, path_b: &str, filter: Option<&str>) {
+    let a = load_pulse(path_a);
+    let b = load_pulse(path_b);
+    let mut differs = false;
+    let b_by_label: HashMap<&str, &f4t_bench::pulsejson::PulseSection> =
+        b.iter().map(|s| (s.label.as_str(), s)).collect();
+    for sa in &a {
+        let Some(sb) = b_by_label.get(sa.label.as_str()) else {
+            println!("[{}] only in {path_a}", sa.label);
+            differs = true;
+            continue;
+        };
+        if sa.digest != sb.digest {
+            println!(
+                "[{}] digest: {:016x} vs {:016x}",
+                sa.label,
+                sa.digest.unwrap_or(0),
+                sb.digest.unwrap_or(0)
+            );
+            differs = true;
+        }
+        for (name, va) in &sa.series {
+            if filter.is_some_and(|f| !name.contains(f)) {
+                continue;
+            }
+            let Some(vb) = sb.series.get(name) else {
+                println!("[{}] {name}: only in {path_a}", sa.label);
+                differs = true;
+                continue;
+            };
+            if va == vb {
+                continue;
+            }
+            differs = true;
+            match va.iter().zip(vb.iter()).position(|(x, y)| x != y) {
+                Some(w) => println!(
+                    "[{}] {name}: diverges at window {w} ({} vs {})",
+                    sa.label, va[w], vb[w]
+                ),
+                None => println!(
+                    "[{}] {name}: lengths differ ({} vs {} windows)",
+                    sa.label,
+                    va.len(),
+                    vb.len()
+                ),
+            }
+        }
+    }
+    for sb in &b {
+        if !a.iter().any(|s| s.label == sb.label) {
+            println!("[{}] only in {path_b}", sb.label);
+            differs = true;
+        }
+    }
+    if differs {
+        std::process::exit(EXIT_DIFFERS);
+    }
+    println!("pulse documents identical ({} sections)", a.len());
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match argv.first().map(String::as_str) {
@@ -428,6 +601,16 @@ fn main() {
                 die("digest takes exactly one dump path");
             }
             cmd_digest(path);
+        }
+        Some("pulse") => {
+            let paths: Vec<&String> =
+                argv[1..].iter().take_while(|a| !a.starts_with("--")).collect();
+            let rest = &argv[1 + paths.len()..];
+            match paths.as_slice() {
+                [path] => cmd_pulse_show(path, parse_series_filter(rest).as_deref()),
+                [a, b] => cmd_pulse_diff(a, b, parse_series_filter(rest).as_deref()),
+                _ => die("pulse needs one or two pulse-document paths"),
+            }
         }
         Some("diff") => {
             let (Some(a), Some(b)) = (argv.get(1), argv.get(2)) else {

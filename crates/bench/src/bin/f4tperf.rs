@@ -53,6 +53,11 @@ struct Args {
     breakdown_json: Option<String>,
     gate: Option<String>,
     inject_slowdown: u64,
+    inject_slowdown_after: Option<u64>,
+    pulse: bool,
+    pulse_interval: u64,
+    pulse_json: Option<String>,
+    pulse_gate: Option<String>,
     pcap: Option<String>,
     journal: bool,
     journal_sample: u32,
@@ -94,6 +99,11 @@ impl Default for Args {
             breakdown_json: None,
             gate: None,
             inject_slowdown: 0,
+            inject_slowdown_after: None,
+            pulse: false,
+            pulse_interval: f4t_sim::pulse::PULSE_DEFAULT_INTERVAL,
+            pulse_json: None,
+            pulse_gate: None,
             pcap: None,
             journal: false,
             journal_sample: 64,
@@ -112,6 +122,17 @@ impl Args {
             || self.breakdown_json.is_some()
             || self.gate.is_some()
             || self.inject_slowdown > 0
+    }
+
+    /// Whether the FtPulse time-series recorder must be attached:
+    /// requested directly, or implied by an output/gate that needs its
+    /// windowed series (`--inject-slowdown-after` defers the bias on a
+    /// pulse-window boundary, so it needs the recorder too).
+    fn pulse_enabled(&self) -> bool {
+        self.pulse
+            || self.pulse_json.is_some()
+            || self.pulse_gate.is_some()
+            || self.inject_slowdown_after.is_some()
     }
 
     /// Whether the FtJournal must be attached: requested directly, or
@@ -193,6 +214,26 @@ USAGE: f4tperf [OPTIONS]
   --inject-slowdown <CYCLES>       bias every recorded flight span by N
                                    cycles (perf-gate exit-path testing;
                                    implies --flight)
+  --inject-slowdown-after <W>      defer --inject-slowdown until W pulse
+                                   windows have been recorded — a mid-run
+                                   degradation the end-of-run gate misses
+                                   (shape-gate exit-path testing; implies
+                                   --pulse)
+  --pulse                          attach the FtPulse time-series recorder:
+                                   windowed rates/gauges on the simulated
+                                   clock, byte-identical across
+                                   fast-forward, tick-by-tick and any
+                                   --threads pool
+  --pulse-interval <CYCLES>        engine cycles per pulse window  [8192]
+  --pulse-json <PATH>              write the pulse series document
+                                   ({workload, engines: {...}}) to PATH;
+                                   implies --pulse
+  --pulse-gate <BASELINE.json>     compare this run's windowed series shape
+                                   against a committed pulse baseline
+                                   (window count, time-to-steady-state,
+                                   steady goodput variance, retransmit
+                                   ceilings, per-window stage p99); exit 3
+                                   on regression. Implies --pulse
   --impair <PROFILE>               apply a hostile-network impairment profile
                                    to both link directions: clean, reorder,
                                    burst-loss, duplicate, jitter, lossy
@@ -243,6 +284,12 @@ fn parse() -> Result<Args, String> {
         if args.threads == 0 {
             return Err("--threads must be at least 1".into());
         }
+        if args.pulse_interval == 0 {
+            return Err("--pulse-interval must be at least 1".into());
+        }
+        if args.inject_slowdown_after.is_some() && args.inject_slowdown == 0 {
+            return Err("--inject-slowdown-after needs --inject-slowdown <CYCLES>".into());
+        }
         if Impairments::profile(&args.impair).is_none() {
             return Err(format!(
                 "unknown impairment profile {} (expected one of: {})",
@@ -267,6 +314,12 @@ fn parse() -> Result<Args, String> {
             }
             if args.gate.is_some() {
                 return Err("--gate baselines are single-engine; not supported with --threads > 1".into());
+            }
+            if args.pulse_gate.is_some() {
+                return Err("--pulse-gate baselines are single-engine; not supported with --threads > 1".into());
+            }
+            if args.inject_slowdown_after.is_some() {
+                return Err("--inject-slowdown-after is not supported with --threads > 1".into());
             }
             if args.telemetry_format == TelemetryFormat::Prometheus {
                 return Err("--telemetry-format prometheus is not supported with --threads > 1".into());
@@ -333,6 +386,17 @@ fn parse() -> Result<Args, String> {
                 args.inject_slowdown =
                     val("--inject-slowdown")?.parse().map_err(|e| format!("{e}"))?
             }
+            "--inject-slowdown-after" => {
+                args.inject_slowdown_after =
+                    Some(val("--inject-slowdown-after")?.parse().map_err(|e| format!("{e}"))?)
+            }
+            "--pulse" => args.pulse = true,
+            "--pulse-interval" => {
+                args.pulse_interval =
+                    val("--pulse-interval")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--pulse-json" => args.pulse_json = Some(val("--pulse-json")?),
+            "--pulse-gate" => args.pulse_gate = Some(val("--pulse-gate")?),
             "--pcap" => args.pcap = Some(val("--pcap")?),
             "--journal" => args.journal = true,
             "--journal-sample" => {
@@ -391,6 +455,8 @@ fn main() {
         journal: args.journal_enabled(),
         journal_sample: args.journal_sample,
         watchdog: args.watchdog_enabled(),
+        pulse: args.pulse_enabled(),
+        pulse_interval: args.pulse_interval,
         ..EngineConfig::reference()
     };
 
@@ -448,8 +514,22 @@ fn main() {
         inject_fault(&mut sys.a.engine, kind);
     }
     if args.inject_slowdown > 0 {
-        sys.a.engine.set_flight_bias(args.inject_slowdown);
-        println!("  slowdown injected  {} cycles per flight span", args.inject_slowdown);
+        match args.inject_slowdown_after {
+            Some(w) => {
+                sys.a.engine.set_flight_bias_after(w, args.inject_slowdown);
+                println!(
+                    "  slowdown armed     {} cycles per flight span after pulse window {w}",
+                    args.inject_slowdown
+                );
+            }
+            None => {
+                sys.a.engine.set_flight_bias(args.inject_slowdown);
+                println!(
+                    "  slowdown injected  {} cycles per flight span",
+                    args.inject_slowdown
+                );
+            }
+        }
     }
     if args.pcap.is_some() {
         sys.enable_pcap(96);
@@ -568,9 +648,13 @@ fn main() {
         std::process::exit(EXIT_VIOLATIONS);
     }
 
-    // Breakdown + gate run last so an FtVerify failure (exit 1) wins
-    // over a perf regression (exit 3) when both fire.
+    // Pulse series + breakdown + gates run last so an FtVerify failure
+    // (exit 1) wins over a perf regression (exit 3) when both fire. The
+    // pulse document is written before either gate can exit so the
+    // artifact survives a flight-gate failure.
+    let pulse_doc = finish_pulse(&args, &[("a", &sys.a.engine), ("b", &sys.b.engine)]);
     finish_flight(&args, &sys.a.engine);
+    run_pulse_gate(&args, pulse_doc.as_deref(), &sys.a.engine);
 }
 
 /// Writes the FtJournal black-box dump to the `--dump-on-failure` path
@@ -625,6 +709,81 @@ fn finish_flight(args: &Args, e: &Engine) {
             }
             write_dump(args, e, "gate-failure");
             std::process::exit(EXIT_PERF_REGRESSION);
+        }
+    }
+}
+
+/// Prints the FtPulse summary and writes the `--pulse-json` series
+/// document for a finished run. `engines` are the labelled engines in
+/// fixed order (`a`/`b` for system workloads, `engine` for scale,
+/// `shard0`… for sharded scale); engines without a recorder are skipped.
+/// Returns the pulse document for [`run_pulse_gate`], or `None` when
+/// pulse is off.
+fn finish_pulse(args: &Args, engines: &[(&str, &Engine)]) -> Option<String> {
+    if !args.pulse_enabled() {
+        return None;
+    }
+    let mut sections = Vec::new();
+    let mut windows = 0u64;
+    let mut digests = Vec::new();
+    for (label, e) in engines {
+        let Some(p) = e.pulse() else { continue };
+        windows += p.windows_recorded();
+        digests.push(p.digest());
+        let Some(json) = e.pulse_json() else { continue };
+        sections.push(format!("\"{label}\": {}", json.trim_end()));
+    }
+    let digest = fold_digests(digests);
+    println!(
+        "  pulse              {windows:>10} windows recorded / digest {digest:016x} (every {} cycles)",
+        args.pulse_interval
+    );
+    let recorders: Vec<&f4t_sim::PulseRecorder> =
+        engines.iter().filter_map(|(_, e)| e.pulse()).collect();
+    let doc = format!(
+        "{{\"workload\": \"{}\",\n\"merged_digest\": {digest},\n\"engines\": {{\n{}\n}},\n\"aggregate\": {}}}\n",
+        args.workload,
+        sections.join(",\n"),
+        f4t_sim::PulseRecorder::aggregate_json(&recorders).trim_end()
+    );
+    if let Some(path) = &args.pulse_json {
+        if let Err(err) = std::fs::write(path, &doc) {
+            eprintln!("error: writing {path}: {err}");
+            std::process::exit(EXIT_USAGE);
+        }
+        println!("  pulse series       → {path}");
+    }
+    Some(doc)
+}
+
+/// Runs the `--pulse-gate` shape comparison against a committed pulse
+/// baseline. Exits 3 on any shape regression — the windowed rules catch
+/// mid-run degradations the end-of-run `--gate` aggregate misses.
+fn run_pulse_gate(args: &Args, pulse_doc: Option<&str>, e: &Engine) {
+    let Some(baseline) = &args.pulse_gate else { return };
+    let Some(doc) = pulse_doc else { return };
+    let base_text = match std::fs::read_to_string(baseline) {
+        Ok(t) => t,
+        Err(err) => {
+            eprintln!("error: reading {baseline}: {err}");
+            std::process::exit(EXIT_USAGE);
+        }
+    };
+    match f4t_bench::pulsejson::shape_gate(&args.workload, &base_text, doc) {
+        Ok(violations) if violations.is_empty() => {
+            println!("  pulse gate         PASS vs {baseline}");
+        }
+        Ok(violations) => {
+            eprintln!("error: pulse gate FAIL vs {baseline}:");
+            for v in &violations {
+                eprintln!("  - {v}");
+            }
+            write_dump(args, e, "pulse-gate-failure");
+            std::process::exit(EXIT_PERF_REGRESSION);
+        }
+        Err(err) => {
+            eprintln!("error: pulse baseline {baseline}: {err}");
+            std::process::exit(EXIT_USAGE);
         }
     }
 }
@@ -767,8 +926,22 @@ fn run_scale(args: &Args, mut cfg: EngineConfig) -> ! {
         inject_fault(&mut e, kind);
     }
     if args.inject_slowdown > 0 {
-        e.set_flight_bias(args.inject_slowdown);
-        println!("  slowdown injected  {} cycles per flight span", args.inject_slowdown);
+        match args.inject_slowdown_after {
+            Some(w) => {
+                e.set_flight_bias_after(w, args.inject_slowdown);
+                println!(
+                    "  slowdown armed     {} cycles per flight span after pulse window {w}",
+                    args.inject_slowdown
+                );
+            }
+            None => {
+                e.set_flight_bias(args.inject_slowdown);
+                println!(
+                    "  slowdown injected  {} cycles per flight span",
+                    args.inject_slowdown
+                );
+            }
+        }
     }
     let mut pcap: Option<PcapWriter<Vec<u8>>> =
         if args.pcap.is_some() { PcapWriter::new(Vec::new(), 96).ok() } else { None };
@@ -910,7 +1083,9 @@ fn run_scale(args: &Args, mut cfg: EngineConfig) -> ! {
         eprintln!("error: flows stuck after {} cycles", e.cycles());
         std::process::exit(EXIT_USAGE);
     }
+    let pulse_doc = finish_pulse(args, &[("engine", &e)]);
     finish_flight(args, &e);
+    run_pulse_gate(args, pulse_doc.as_deref(), &e);
     std::process::exit(0);
 }
 
@@ -1169,6 +1344,17 @@ fn run_scale_sharded(args: &Args, cfg: EngineConfig) -> ! {
             eprintln!("error: flows stuck after {} cycles", bad.engine.cycles());
         }
         std::process::exit(EXIT_USAGE);
+    }
+    if args.pulse_enabled() {
+        // Merged in fixed shard order — same fold as the journal digest,
+        // so the result is thread-count independent.
+        let labels: Vec<String> = (0..shards.len()).map(|s| format!("shard{s}")).collect();
+        let engines: Vec<(&str, &Engine)> = labels
+            .iter()
+            .map(String::as_str)
+            .zip(shards.iter().map(|s| &s.engine))
+            .collect();
+        finish_pulse(args, &engines);
     }
     if args.flight_enabled() {
         let spans: u64 =

@@ -49,6 +49,8 @@ pub mod micro {
     }
 }
 
+pub mod pulsejson;
+
 pub mod flatjson {
     //! A minimal JSON flattener for the perf gate (the build has no
     //! serde). Parses a JSON document and returns every numeric leaf as

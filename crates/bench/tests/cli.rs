@@ -293,3 +293,129 @@ fn prometheus_telemetry_format() {
     let trace = format!("{}.trace.json", path.trim_end_matches(".json"));
     std::fs::remove_file(&trace).ok();
 }
+
+#[test]
+fn pulse_usage_errors_exit_two() {
+    for bad in [
+        &["--pulse-interval", "0"][..],
+        &["--inject-slowdown-after", "4"][..], // needs --inject-slowdown
+        &["--workload", "scale", "--threads", "2", "--pulse-gate", "base.json"][..],
+        &[
+            "--workload", "scale", "--threads", "2",
+            "--inject-slowdown", "12", "--inject-slowdown-after", "4",
+        ][..],
+    ] {
+        let out = f4tperf(bad);
+        assert_eq!(out.status.code(), Some(2), "args {bad:?}:\n{}", stderr(&out));
+    }
+    let out = f4tperf(&["--help"]);
+    let text = stdout(&out);
+    for flag in ["--pulse", "--pulse-interval", "--pulse-json", "--pulse-gate"] {
+        assert!(text.contains(flag), "help must list {flag}:\n{text}");
+    }
+}
+
+/// FtPulse round trip: a pulse-enabled run writes a series document,
+/// `f4tdbg pulse` renders it (exit 0), a self-diff is identical (0),
+/// a diff against a different run reports divergence (1), and a
+/// missing file is an I/O error (2).
+#[test]
+fn pulse_smoke_and_f4tdbg_exit_contract() {
+    let doc = tmp("pulse.json");
+    let out = f4tperf(&[SMALL_SCALE, &["--pulse-json", &doc, "--check"]].concat());
+    assert_eq!(out.status.code(), Some(0), "{}\n{}", stdout(&out), stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("pulse"), "{text}");
+    assert!(text.contains("windows recorded"), "{text}");
+
+    let out = f4tdbg(&["pulse", &doc]);
+    assert_eq!(out.status.code(), Some(0), "{}\n{}", stdout(&out), stderr(&out));
+    assert!(stdout(&out).contains("goodput_bytes"), "{}", stdout(&out));
+
+    let out = f4tdbg(&["pulse", &doc, "--series", "goodput"]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+
+    let out = f4tdbg(&["pulse", &doc, &doc]);
+    assert_eq!(out.status.code(), Some(0), "{}\n{}", stdout(&out), stderr(&out));
+    assert!(stdout(&out).contains("identical"), "{}", stdout(&out));
+
+    // A run with a different flow count diverges (exit 1).
+    let other = tmp("pulse-other.json");
+    let out = f4tperf(&[
+        "--workload", "scale", "--flows", "64", "--size", "256", "--duration-ms", "1",
+        "--pulse-json", &other,
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    let out = f4tdbg(&["pulse", &doc, &other]);
+    assert_eq!(out.status.code(), Some(1), "{}\n{}", stdout(&out), stderr(&out));
+
+    let out = f4tdbg(&["pulse", "/nonexistent-dir/pulse.json"]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+
+    std::fs::remove_file(&doc).ok();
+    std::fs::remove_file(&other).ok();
+}
+
+/// The sharded path records per-shard pulse series and a merged digest.
+#[test]
+fn threaded_pulse_smoke() {
+    let out = f4tperf(&[SMALL_SCALE, &["--threads", "2", "--pulse", "--check"]].concat());
+    assert_eq!(out.status.code(), Some(0), "{}\n{}", stdout(&out), stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("pulse"), "{text}");
+    assert!(text.contains("windows recorded"), "{text}");
+}
+
+/// The headline FtPulse acceptance criterion: a slowdown injected only
+/// after pulse window 4 is invisible to the end-of-run flight gate
+/// (whole-run percentiles stay inside the 1.25x+16 envelope) but the
+/// shape-aware pulse gate flags the degraded windows and exits 3.
+#[test]
+fn pulse_gate_catches_mid_run_shift_the_flight_gate_misses() {
+    let flight_base = tmp("pulse-flight-base.json");
+    let pulse_base = tmp("pulse-shape-base.json");
+    const BULK: &[&str] = &["--workload", "bulk", "--duration-ms", "1", "--pulse-interval", "1024"];
+
+    let out = f4tperf(
+        &[BULK, &["--flight", "--breakdown-json", &flight_base, "--pulse-json", &pulse_base]]
+            .concat(),
+    );
+    assert_eq!(out.status.code(), Some(0), "{}\n{}", stdout(&out), stderr(&out));
+
+    // Deferred bias, both gates armed: flight gate passes, pulse gate trips.
+    let out = f4tperf(
+        &[BULK, &[
+            "--inject-slowdown", "12", "--inject-slowdown-after", "4",
+            "--gate", &flight_base, "--pulse-gate", &pulse_base,
+        ]]
+        .concat(),
+    );
+    assert_eq!(out.status.code(), Some(3), "{}\n{}", stdout(&out), stderr(&out));
+    assert!(stdout(&out).contains("perf gate          PASS"), "{}", stdout(&out));
+    let err = stderr(&out);
+    assert!(err.contains("pulse gate FAIL"), "{err}");
+    let violation = err
+        .lines()
+        .find(|l| l.contains("metric=window_p99_cycles"))
+        .unwrap_or_else(|| panic!("no windowed p99 violation line in:\n{err}"));
+    assert!(violation.contains("workload=bulk"), "{violation}");
+    assert!(violation.contains("window="), "{violation}");
+    assert!(violation.contains("allowed<="), "{violation}");
+
+    // Same biased run with only the flight gate: it sails through (0).
+    let out = f4tperf(
+        &[BULK, &[
+            "--inject-slowdown", "12", "--inject-slowdown-after", "4",
+            "--gate", &flight_base,
+        ]]
+        .concat(),
+    );
+    assert_eq!(out.status.code(), Some(0), "{}\n{}", stdout(&out), stderr(&out));
+
+    // A missing pulse baseline is an I/O error (2), not a regression.
+    let out = f4tperf(&[BULK, &["--pulse-gate", "/nonexistent-dir/p.json"]].concat());
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+
+    std::fs::remove_file(&flight_base).ok();
+    std::fs::remove_file(&pulse_base).ok();
+}

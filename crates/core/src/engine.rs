@@ -25,9 +25,11 @@ use f4t_mem::{DramKind, Location};
 use f4t_sim::check::{InvariantChecker, Violation, ViolationKind};
 use f4t_sim::clock::merge_horizon;
 use f4t_sim::telemetry::{MetricsRegistry, TraceKind, TraceRing};
+use f4t_sim::flight::{FlightStage, STAGE_COUNT};
+use f4t_sim::pulse::{PulseSeries, FLOW_SERIES_COUNT, SERIES_COUNT};
 use f4t_sim::{
     FlightRecorder, FlowObservation, FlowSet, FlowSlab, Journal, JournalKind, JournalModule,
-    QueueObservation, Watchdog, WatchdogConfig,
+    PulseRecorder, QueueObservation, Watchdog, WatchdogConfig,
 };
 use f4t_tcp::wire::{ArpMessage, IcmpEcho};
 use f4t_tcp::{
@@ -113,6 +115,18 @@ pub struct EngineConfig {
     pub watchdog_interval: u64,
     /// Watchdog thresholds; see [`WatchdogConfig`].
     pub watchdog_cfg: WatchdogConfig,
+    /// FtPulse: attach the windowed time-series recorder (DESIGN.md
+    /// §15). Off by default; the disabled path costs one branch per
+    /// tick.
+    pub pulse: bool,
+    /// Cycles between pulse samples. Fast-forward windows are capped at
+    /// the next sample boundary, so small intervals trade skip length
+    /// for time resolution (default 8 192 cycles ≈ 32.8 µs).
+    pub pulse_interval: u64,
+    /// FtPulse per-flow sampling divisor: record cwnd/ssthresh/srtt/
+    /// flightsize series for flows whose id is `0 (mod
+    /// pulse_flow_sample)`, up to the track cap.
+    pub pulse_flow_sample: u32,
 }
 
 impl EngineConfig {
@@ -142,6 +156,9 @@ impl EngineConfig {
             watchdog: false,
             watchdog_interval: 65_536,
             watchdog_cfg: WatchdogConfig::default(),
+            pulse: false,
+            pulse_interval: f4t_sim::pulse::PULSE_DEFAULT_INTERVAL,
+            pulse_flow_sample: f4t_sim::pulse::PULSE_DEFAULT_FLOW_SAMPLE,
         }
     }
 
@@ -305,6 +322,17 @@ pub struct Engine {
     /// Online health watchdog; attached when `EngineConfig::watchdog` is
     /// set. Boxed like the checker.
     watchdog: Option<Box<Watchdog>>,
+    /// FtPulse windowed time-series recorder; attached when
+    /// `EngineConfig::pulse` is set. Boxed like the checker.
+    pulse: Option<Box<PulseRecorder>>,
+    /// Deferred flight-span bias `(window, cycles)`: armed by
+    /// `set_flight_bias_after`, applied by `run_pulse` once that many
+    /// windows have been recorded (shape-gate self-testing).
+    pulse_bias_pending: Option<(u64, u64)>,
+    /// Cumulative-counter snapshot at the previous pulse window, used to
+    /// turn running totals into per-window rates. Only maintained while
+    /// the pulse recorder is attached.
+    pulse_prev: PulseCounters,
     /// FtScope pipeline trace (disabled — capacity 0 — by default).
     trace: TraceRing,
     /// Counter snapshots from the previous tick, used to derive per-tick
@@ -323,6 +351,22 @@ struct TraceCounters {
     dropped: u64,
     migrations: u64,
     retransmissions: u64,
+}
+
+/// Running-total snapshot at the previous pulse window (see
+/// `Engine::pulse_prev`): FtPulse rate series are deltas of these.
+#[derive(Debug, Clone, Copy, Default)]
+struct PulseCounters {
+    bytes_out: u64,
+    segments_out: u64,
+    segments_in: u64,
+    retransmissions: u64,
+    host_events: u64,
+    stall_fifo_empty: u64,
+    stall_tcb_wait: u64,
+    stall_backpressure: u64,
+    cache_hits: u64,
+    cache_lookups: u64,
 }
 
 /// Engine-core period in nanoseconds (250 MHz).
@@ -407,6 +451,11 @@ impl Engine {
                 .journal
                 .then(|| Box::new(Journal::with_capacity(config.journal_sample, config.journal_cap))),
             watchdog: config.watchdog.then(|| Box::new(Watchdog::new(config.watchdog_cfg))),
+            pulse: config
+                .pulse
+                .then(|| Box::new(PulseRecorder::new(config.pulse_interval, config.pulse_flow_sample))),
+            pulse_prev: PulseCounters::default(),
+            pulse_bias_pending: None,
             trace: TraceRing::disabled(),
             trace_prev: TraceCounters::default(),
             mac: MacAddr([0x02, 0xf4, 0x70, 0, 0, 1]),
@@ -418,6 +467,9 @@ impl Engine {
         // cycle" so a zeroed config still sweeps.
         if engine.config.watchdog_interval == 0 {
             engine.config.watchdog_interval = 1;
+        }
+        if engine.config.pulse_interval == 0 {
+            engine.config.pulse_interval = 1;
         }
         if engine.config.flight {
             engine.attach_flight();
@@ -715,6 +767,9 @@ impl Engine {
         if let Some(w) = &self.watchdog {
             w.collect(&format!("{prefix}.watchdog"), reg);
         }
+        if let Some(p) = &self.pulse {
+            p.collect(&format!("{prefix}.pulse"), reg);
+        }
     }
 
     /// The FtFlight recorder, when [`EngineConfig::flight`] is set.
@@ -740,6 +795,17 @@ impl Engine {
         }
     }
 
+    /// Shape-gate self-test hook: arms a *deferred* flight-span bias that
+    /// `run_pulse` applies once `window` pulse windows have been recorded
+    /// (`f4tperf --inject-slowdown-after`). Tied to sample boundaries, so
+    /// the injected mid-run ramp is deterministic across execution modes.
+    /// No-op when the pulse recorder is off.
+    pub fn set_flight_bias_after(&mut self, window: u64, cycles: u64) {
+        if self.pulse.is_some() {
+            self.pulse_bias_pending = Some((window, cycles));
+        }
+    }
+
     /// The FtJournal, when [`EngineConfig::journal`] is set.
     pub fn journal(&self) -> Option<&Journal> {
         self.journal.as_deref()
@@ -760,6 +826,27 @@ impl Engine {
     /// Total watchdog alarms raised (0 when the watchdog is off).
     pub fn watchdog_alarm_count(&self) -> u64 {
         self.watchdog.as_ref().map_or(0, |w| w.alarm_count())
+    }
+
+    /// The FtPulse recorder, when [`EngineConfig::pulse`] is set.
+    pub fn pulse(&self) -> Option<&PulseRecorder> {
+        self.pulse.as_deref()
+    }
+
+    /// FtPulse time-series JSON (every retained window per series), when
+    /// the recorder is attached. Byte-stable and integer-only: a
+    /// fast-forwarded, a tick-by-tick, and any worker-pool run of the
+    /// same workload return identical text (`tests/fastforward_equiv.rs`,
+    /// `tests/determinism.rs`).
+    pub fn pulse_json(&self) -> Option<String> {
+        self.pulse.as_ref().map(|p| p.to_json(CYCLE_NS))
+    }
+
+    /// The pulse recorder's running determinism digest (0 when pulse is
+    /// off). Covers every recorded window including ones the bounded
+    /// rings have overwritten.
+    pub fn pulse_digest(&self) -> u64 {
+        self.pulse.as_ref().map_or(0, |p| p.digest())
     }
 
     /// FtJournal post-mortem black-box dump: a self-contained JSON
@@ -869,7 +956,19 @@ impl Engine {
     /// Exports the trace ring as Chrome-trace JSON (load in Perfetto or
     /// `chrome://tracing`).
     pub fn export_chrome_trace(&self) -> String {
-        self.trace.to_chrome_json(CYCLE_NS)
+        let mut out = self.trace.to_chrome_json(CYCLE_NS);
+        // Splice FtPulse counter events ("ph": "C") into the event array
+        // so the series render as counter tracks alongside the pipeline
+        // instants in the same trace viewer.
+        if let Some(p) = &self.pulse {
+            let counters = p.chrome_counter_events(CYCLE_NS);
+            if !counters.is_empty() {
+                if let Some(pos) = out.rfind("\n]") {
+                    out.insert_str(pos, &format!(",\n{counters}"));
+                }
+            }
+        }
+        out
     }
 
     /// Scheduler queue diagnostics: `(intake backlog, swap-in backlog,
@@ -1238,6 +1337,14 @@ impl Engine {
             self.run_watchdog(cycle);
         }
 
+        // 9. FtPulse window sample, on its own fixed period (same
+        //    boundary discipline as the audit and the watchdog: the
+        //    fast-forward path never skips a sample cycle, so the series
+        //    are byte-identical across execution modes).
+        if self.pulse.is_some() && cycle.is_multiple_of(self.config.pulse_interval) {
+            self.run_pulse(cycle);
+        }
+
         self.cycle += 1;
     }
 
@@ -1294,6 +1401,111 @@ impl Engine {
         ];
         wd.observe(cycle, &flow_obs, &queues, self.pkt_gen.retransmissions());
         self.watchdog = Some(wd);
+    }
+
+    /// One FtPulse window: snapshots the cumulative counters, derives
+    /// per-window rates against `pulse_prev`, reads the instantaneous
+    /// gauges, and records per-flow congestion state for the sampled
+    /// flows. Everything read here is a pure function of engine state at
+    /// the sample cycle, so fast-forwarded and tick-by-tick runs (which
+    /// both stop at every sample boundary) record identical windows.
+    fn run_pulse(&mut self, cycle: u64) {
+        let Some(mut p) = self.pulse.take() else { return };
+        if let Some((window, bias)) = self.pulse_bias_pending {
+            if p.windows_recorded() >= window {
+                self.set_flight_bias(bias);
+                self.pulse_bias_pending = None;
+            }
+        }
+        let stats = self.stats();
+        let cache_hits = self.mm.cache_hits();
+        let cache_lookups = cache_hits + self.mm.cache_misses();
+        let (lut_fpc, lut_dram, lut_moving) = self.scheduler.lut_census();
+        let prev = self.pulse_prev;
+
+        let mut scalars = [0u64; SERIES_COUNT];
+        let mut set = |s: PulseSeries, v: u64| scalars[s.index()] = v;
+        set(PulseSeries::GoodputBytes, stats.bytes_out.wrapping_sub(prev.bytes_out));
+        set(PulseSeries::SegmentsTx, stats.segments_out.wrapping_sub(prev.segments_out));
+        set(PulseSeries::SegmentsRx, stats.segments_in.wrapping_sub(prev.segments_in));
+        set(
+            PulseSeries::Retransmits,
+            stats.retransmissions.wrapping_sub(prev.retransmissions),
+        );
+        set(PulseSeries::HostEvents, stats.host_events.wrapping_sub(prev.host_events));
+        set(
+            PulseSeries::StallFifoEmpty,
+            stats.stall_fifo_empty.wrapping_sub(prev.stall_fifo_empty),
+        );
+        set(PulseSeries::StallTcbWait, stats.stall_tcb_wait.wrapping_sub(prev.stall_tcb_wait));
+        set(
+            PulseSeries::StallBackpressure,
+            stats.stall_backpressure.wrapping_sub(prev.stall_backpressure),
+        );
+        set(
+            PulseSeries::EventTableValid,
+            self.fpcs.iter().map(|f| f.event_table_valid() as u64).sum(),
+        );
+        set(PulseSeries::FpuOccupancy, self.fpcs.iter().map(|f| f.fpu_depth() as u64).sum());
+        set(PulseSeries::LutInFpc, lut_fpc as u64);
+        set(PulseSeries::LutInDram, lut_dram as u64);
+        set(PulseSeries::LutMoving, lut_moving as u64);
+        set(PulseSeries::TcbCacheHits, cache_hits.wrapping_sub(prev.cache_hits));
+        set(PulseSeries::TcbCacheLookups, cache_lookups.wrapping_sub(prev.cache_lookups));
+        set(PulseSeries::FlowsOpen, self.flows.len() as u64);
+
+        // Per-stage p99-so-far from the flight histograms (zero when the
+        // flight recorder is off): the aggregate percentile sampled at
+        // each window boundary, which the shape gate replays per window.
+        let mut stage_p99 = [0u64; STAGE_COUNT];
+        if let Some(f) = &self.flight {
+            for stage in FlightStage::ALL {
+                stage_p99[stage.index()] = f.stage_histogram(stage).percentile(99.0);
+            }
+        }
+
+        // Per-flow congestion series: ascending flow-id walk (slab order
+        // is deterministic), bounded by the recorder's remaining track
+        // budget so a 64K-flow engine never peeks thousands of TCBs.
+        let mut budget = p.track_budget();
+        let mut flow_samples: Vec<(u32, [u64; FLOW_SERIES_COUNT])> = Vec::new();
+        for flow in self.flows.ids() {
+            if !p.sampled(flow) {
+                continue;
+            }
+            if !p.tracks(flow) {
+                if budget == 0 {
+                    continue;
+                }
+                budget -= 1;
+            }
+            if let Some(tcb) = self.peek_tcb(FlowId(flow)) {
+                flow_samples.push((
+                    flow,
+                    [
+                        u64::from(tcb.cwnd),
+                        u64::from(tcb.ssthresh),
+                        tcb.rto.srtt_ns(),
+                        u64::from(tcb.flight_size()),
+                    ],
+                ));
+            }
+        }
+
+        p.record_window(cycle, &scalars, &stage_p99, &flow_samples);
+        self.pulse_prev = PulseCounters {
+            bytes_out: stats.bytes_out,
+            segments_out: stats.segments_out,
+            segments_in: stats.segments_in,
+            retransmissions: stats.retransmissions,
+            host_events: stats.host_events,
+            stall_fifo_empty: stats.stall_fifo_empty,
+            stall_tcb_wait: stats.stall_tcb_wait,
+            stall_backpressure: stats.stall_backpressure,
+            cache_hits,
+            cache_lookups,
+        };
+        self.pulse = Some(p);
     }
 
     /// FtVerify cross-module audit. Per-cycle rules live inline in the
@@ -1494,6 +1706,15 @@ impl Engine {
             let next_sweep =
                 if cycle.is_multiple_of(iv) { cycle } else { (cycle / iv + 1) * iv };
             target = target.min(next_sweep);
+        }
+        // FtPulse samples at fixed cycle boundaries; stop every window at
+        // the next sample cycle so the recorded series are byte-identical
+        // across execution modes (DESIGN.md §15).
+        if self.pulse.is_some() {
+            let iv = self.config.pulse_interval;
+            let next_sample =
+                if cycle.is_multiple_of(iv) { cycle } else { (cycle / iv + 1) * iv };
+            target = target.min(next_sample);
         }
         if target <= cycle {
             return false;

@@ -246,6 +246,17 @@ impl Fpc {
         self.input_events.len()
     }
 
+    /// Instantaneous valid event-table entries (FtPulse occupancy gauge;
+    /// the per-cycle average lives in `event_table.valid_entries_avg`).
+    pub fn event_table_valid(&self) -> usize {
+        self.table.pending.len()
+    }
+
+    /// Instantaneous FPU pipeline slots in use (FtPulse occupancy gauge).
+    pub fn fpu_depth(&self) -> usize {
+        self.fpu.depth_used()
+    }
+
     /// Whether the swap-in port can accept a TCB.
     pub fn can_accept_tcb(&self) -> bool {
         !self.input_tcbs.is_full() && self.free_slots() > self.input_tcbs.len()

@@ -184,6 +184,17 @@ impl MemoryManager {
         self.cache.hit_rate()
     }
 
+    /// Cumulative TCB-cache hits (integer form of the hit rate, used by
+    /// the FtPulse rate series so no floats enter digested state).
+    pub fn cache_hits(&self) -> u64 {
+        self.cache.hits()
+    }
+
+    /// Cumulative TCB-cache misses.
+    pub fn cache_misses(&self) -> u64 {
+        self.cache.misses()
+    }
+
     /// Reports memory-manager telemetry into `reg` under `prefix`:
     /// TCB-cache hit/miss, DRAM channel traffic and refusals, write-back
     /// queue occupancy, and the migration (write-back) latency histogram.

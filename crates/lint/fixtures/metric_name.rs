@@ -21,3 +21,10 @@ fn journal_kinds() -> [&'static str; 3] {
         journal_event("event_routed"),
     ]
 }
+
+fn pulse_series() -> [&'static str; 2] {
+    [
+        series_name("goodput_bytes"),
+        series_name("GoodputBytes"),
+    ]
+}

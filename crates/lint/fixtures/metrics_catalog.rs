@@ -1,9 +1,11 @@
 // Fixture for the `metrics_catalog` rule: registration literals checked
 // against METRICS.md. With the self-test catalog (engine.rx.segments,
 // engine.<i>.drops, engine.flight.rx_ingest.cycles,
-// engine.journal.kind.tcb_migrate_start), expected findings: the
-// uncatalogued counter "engine.rx.bytes_total" and the uncatalogued
-// stage "tx_emit"; the other three registrations match.
+// engine.journal.kind.tcb_migrate_start,
+// engine.pulse.last.goodput_bytes), expected findings: the uncatalogued
+// counter "engine.rx.bytes_total", the uncatalogued stage "tx_emit" and
+// the uncatalogued pulse series "bogus_series"; the other four
+// registrations match.
 pub fn register(scope: &mut Scope, i: usize) {
     scope.counter("engine.rx.segments");
     scope.counter("engine.rx.bytes_total");
@@ -15,5 +17,12 @@ pub fn stages() -> (&'static str, &'static str, &'static str) {
         stage_name("rx_ingest"),
         stage_name("tx_emit"),
         event_name("tcb_migrate_start"),
+    )
+}
+
+pub fn pulse() -> (&'static str, &'static str) {
+    (
+        series_name("goodput_bytes"),
+        series_name("bogus_series"),
     )
 }

@@ -64,11 +64,19 @@ pub struct MetricLit {
 ///
 /// `stage_name(` is the FtFlight identity wrapper around stage-name
 /// literals (crates/sim/src/flight.rs); `event_name(` / `journal_event(`
-/// are the FtJournal equivalents (crates/sim/src/journal.rs). All feed
-/// telemetry, dump lines and METRICS.md, so they obey the same naming
-/// and cataloguing contract as FtScope registrations.
-pub const METRIC_METHODS: &[&str] =
-    &[".counter(", ".gauge(", ".histogram(", "stage_name(", "event_name(", "journal_event("];
+/// are the FtJournal equivalents (crates/sim/src/journal.rs);
+/// `series_name(` is the FtPulse equivalent (crates/sim/src/pulse.rs).
+/// All feed telemetry, dump lines and METRICS.md, so they obey the same
+/// naming and cataloguing contract as FtScope registrations.
+pub const METRIC_METHODS: &[&str] = &[
+    ".counter(",
+    ".gauge(",
+    ".histogram(",
+    "stage_name(",
+    "event_name(",
+    "journal_event(",
+    "series_name(",
+];
 
 /// The symbol index over a whole workspace.
 pub struct SymbolIndex {

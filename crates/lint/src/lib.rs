@@ -490,16 +490,19 @@ mod tests {
             "engine.<i>.drops".to_string(),
             "engine.flight.rx_ingest.cycles".to_string(),
             "engine.journal.kind.tcb_migrate_start".to_string(),
+            "engine.pulse.last.goodput_bytes".to_string(),
         ];
         let all = scan_files(&[("metrics_catalog.rs", "sim", &src)], Some(catalog));
         let f = of(&all, "metrics_catalog");
-        // Exactly the two planted strays: the uncatalogued counter and the
-        // uncatalogued stage name. The catalogued counter, the
-        // placeholder-bearing gauge (matches engine.<i>.drops) and the
-        // catalogued event kind are clean.
-        assert_eq!(f.len(), 2, "{all:#?}");
+        // Exactly the three planted strays: the uncatalogued counter, the
+        // uncatalogued stage name and the uncatalogued pulse series. The
+        // catalogued counter, the placeholder-bearing gauge (matches
+        // engine.<i>.drops), the catalogued event kind and the catalogued
+        // pulse series are clean.
+        assert_eq!(f.len(), 3, "{all:#?}");
         assert!(f.iter().any(|x| x.message.contains("engine.rx.bytes_total")), "{all:#?}");
         assert!(f.iter().any(|x| x.message.contains("tx_emit")), "{all:#?}");
+        assert!(f.iter().any(|x| x.message.contains("bogus_series")), "{all:#?}");
         assert!(f[0].message.contains("UPDATE_METRICS=1"), "{all:#?}");
         // No catalog loaded -> rule stays silent.
         let silent = scan_files(&[("metrics_catalog.rs", "sim", &src)], None);
@@ -523,7 +526,7 @@ mod tests {
     fn fixture_metric_name_detected() {
         let all = scan_source("metric_name.rs", "sim", &fixture("metric_name.rs"));
         let f = of(&all, "metric_name");
-        assert_eq!(f.len(), 4, "{all:#?}");
+        assert_eq!(f.len(), 5, "{all:#?}");
         assert!(f[0].message.contains("snake_case"), "{all:#?}");
         assert!(f[1].message.contains("already registered"), "{all:#?}");
         // FtFlight stage names go through the same rule via stage_name().
@@ -532,6 +535,8 @@ mod tests {
         // journal_event(); the well-formed literals around the bad one
         // must stay clean.
         assert!(f[3].message.contains("TcbMigrateStart"), "{all:#?}");
+        // FtPulse series names go through it via series_name().
+        assert!(f[4].message.contains("GoodputBytes"), "{all:#?}");
     }
 
     #[test]

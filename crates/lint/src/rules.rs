@@ -654,6 +654,7 @@ pub fn metrics_catalog(ws: &mut Workspace, idx: &SymbolIndex, out: &mut Vec<Find
         let full = match m.method {
             "stage_name(" => format!("engine.flight.{}.cycles", m.literal),
             "event_name(" | "journal_event(" => format!("engine.journal.kind.{}", m.literal),
+            "series_name(" => format!("engine.pulse.last.{}", m.literal),
             _ => m.literal.clone(),
         };
         let pat = placeholder_glob(&full);

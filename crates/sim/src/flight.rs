@@ -110,7 +110,8 @@ impl FlightStage {
         }
     }
 
-    fn index(self) -> usize {
+    /// Dense index into per-stage arrays ([`FlightStage::ALL`] order).
+    pub fn index(self) -> usize {
         match self {
             FlightStage::RxIngest => 0,
             FlightStage::CuckooLookup => 1,

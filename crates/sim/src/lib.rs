@@ -22,6 +22,10 @@
 //! * [`check`] — FtVerify: the optional cycle-level hazard checker
 //!   ([`InvariantChecker`], [`PortTracker`]) that simulated memories and
 //!   queues register accesses against.
+//! * [`pulse`] — FtPulse: windowed time-series telemetry
+//!   ([`PulseRecorder`], [`PulseSeries`]) — bounded per-series rings
+//!   sampled at fixed cycle intervals, byte-identical across execution
+//!   modes, with per-shard aggregation and Chrome counter export.
 //! * [`journal`] — FtJournal: the bounded per-flow causal event journal
 //!   ([`Journal`], [`JournalEvent`]) behind post-mortem black-box dumps.
 //! * [`watchdog`] — FtJournal's online health watchdog ([`Watchdog`]):
@@ -52,6 +56,7 @@ pub mod des;
 pub mod fifo;
 pub mod flight;
 pub mod journal;
+pub mod pulse;
 pub mod rng;
 pub mod slab;
 pub mod stats;
@@ -64,6 +69,7 @@ pub use des::EventQueue;
 pub use fifo::Fifo;
 pub use flight::{FlightRecorder, FlightStage};
 pub use journal::{Journal, JournalEvent, JournalKind, JournalModule};
+pub use pulse::{PulseRecorder, PulseSeries};
 pub use rng::SimRng;
 pub use slab::{FlowSet, FlowSlab, Slab, SlabCursor, SlabHandle, SlabQueue};
 pub use stats::{Counter, Histogram, MeanVar};

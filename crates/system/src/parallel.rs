@@ -105,6 +105,34 @@ impl SystemFleet {
             ]
         }))
     }
+
+    /// Merged FtPulse digest over both engines of every system, folded in
+    /// fixed fleet order (0 for engines without a pulse recorder) —
+    /// thread-count independent like the journal digest.
+    pub fn merged_pulse_digest(&self) -> u64 {
+        fold_digests(
+            self.systems()
+                .iter()
+                .flat_map(|s| [s.a.engine.pulse_digest(), s.b.engine.pulse_digest()]),
+        )
+    }
+
+    /// Merged FtPulse view in fixed fleet order: per-shard series for the
+    /// a-side engine of every system plus the integer-only fleet
+    /// aggregate ([`f4t_sim::PulseRecorder::aggregate_json`]). Empty
+    /// `shards` array when no engine has a recorder attached.
+    pub fn merged_pulse_json(&self) -> String {
+        let recorders: Vec<&f4t_sim::PulseRecorder> =
+            self.systems().iter().filter_map(|s| s.a.engine.pulse()).collect();
+        let shards: Vec<String> =
+            recorders.iter().map(|p| p.to_json(CYCLE_NS)).collect();
+        format!(
+            "{{\"merged_digest\": {},\n\"aggregate\": {},\n\"shards\": [{}]}}\n",
+            self.merged_pulse_digest(),
+            f4t_sim::PulseRecorder::aggregate_json(&recorders),
+            shards.join(", ")
+        )
+    }
 }
 
 #[cfg(test)]
@@ -113,7 +141,14 @@ mod tests {
     use f4t_core::EngineConfig;
 
     fn fleet() -> SystemFleet {
-        let cfg = EngineConfig { journal: true, journal_sample: 1, ..EngineConfig::reference() };
+        let cfg = EngineConfig {
+            journal: true,
+            journal_sample: 1,
+            pulse: true,
+            pulse_interval: 1_024,
+            pulse_flow_sample: 1,
+            ..EngineConfig::reference()
+        };
         SystemFleet::new(
             (0..3u32)
                 .map(|i| F4tSystem::bulk(1, 64 + i * 96, cfg.clone()))
@@ -126,10 +161,20 @@ mod tests {
         let run = |threads: usize| {
             let mut f = fleet();
             let rounds = f.run_ns(threads, 300_000);
-            (rounds, f.merged_telemetry_json(), f.merged_journal_digest())
+            (
+                rounds,
+                f.merged_telemetry_json(),
+                f.merged_journal_digest(),
+                f.merged_pulse_json(),
+            )
         };
         let reference = run(1);
         assert!(reference.0 > 0, "fleet must actually run");
+        assert!(
+            reference.3.contains("\"goodput_bytes\""),
+            "fleet pulse view must carry series: {}",
+            reference.3
+        );
         for threads in [2, 3, 8] {
             assert_eq!(run(threads), reference, "pool of {threads} diverged");
         }

@@ -9,12 +9,22 @@
 # is checked here instead, against results/latency_breakdown.json with
 # a deliberately loose multiplier because CI machines vary.
 #
+# Every workload is also gated on time-series *shape* (DESIGN.md
+# section 15): the run records FtPulse windows and `--pulse-gate` diffs
+# them against results/pulse/<workload>.json, so a mid-run degradation
+# that averages out of the whole-run percentiles still fails CI.
+#
 # Usage:
 #   sh scripts/perf_gate.sh              gate the current build
-#   sh scripts/perf_gate.sh --update     regenerate results/flight/*.json
-#                                        and results/latency_breakdown.json
-#   sh scripts/perf_gate.sh --self-test  prove the gate trips: inject a
-#                                        400-cycle span bias, expect exit 3
+#   sh scripts/perf_gate.sh --update     regenerate results/flight/*.json,
+#                                        results/pulse/*.json and
+#                                        results/latency_breakdown.json
+#   sh scripts/perf_gate.sh --self-test  prove both gates trip: a
+#                                        400-cycle span bias must exit 3,
+#                                        and a 12-cycle bias deferred past
+#                                        pulse window 4 must pass the
+#                                        flight gate yet trip the shape
+#                                        gate (exit 3)
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -84,16 +94,19 @@ gate)
     status=0
     for w in $WORKLOADS; do
         base="results/flight/$w.json"
+        pulse_base="results/pulse/$w.json"
         [ -s "$base" ] || { echo "FAIL: $base missing (run --update)" >&2; exit 2; }
+        [ -s "$pulse_base" ] || { echo "FAIL: $pulse_base missing (run --update)" >&2; exit 2; }
         t0=$(now_ms)
         if $PERF $(args_for "$w") --flight-sample "$SAMPLE" --gate "$base" \
+            --pulse-gate "$pulse_base" --pulse-json "$ARTIFACTS/$w-pulse.json" \
             --breakdown-json "$ARTIFACTS/$w-breakdown.json" \
             --dump-on-failure "$ARTIFACTS/$w-dump.json" >/dev/null; then
             :
         else
             rc=$?
             echo "FAIL: $w perf gate regression (f4tperf exit $rc)" >&2
-            echo "      observed breakdown: $ARTIFACTS/$w-breakdown.json, dump: $ARTIFACTS/$w-dump.json" >&2
+            echo "      observed breakdown: $ARTIFACTS/$w-breakdown.json, pulse: $ARTIFACTS/$w-pulse.json, dump: $ARTIFACTS/$w-dump.json" >&2
             status=$rc
             continue
         fi
@@ -117,7 +130,7 @@ gate)
     ;;
 
 --update)
-    mkdir -p results/flight
+    mkdir -p results/flight results/pulse
     tmp=$(mktemp)
     {
         printf '{\n'
@@ -128,9 +141,12 @@ gate)
             off=$(best_ms $args)
             on=$(best_ms $args --flight --flight-sample "$SAMPLE")
             # The baseline write is a separate (untimed) run so file I/O
-            # never pollutes the overhead measurement.
+            # never pollutes the overhead measurement. Pulse capping is
+            # semantics-preserving, so recording the pulse baseline in
+            # the same run leaves the flight baseline byte-identical.
             $PERF $args --flight-sample "$SAMPLE" \
-                --breakdown-json "results/flight/$w.json" >/dev/null
+                --breakdown-json "results/flight/$w.json" \
+                --pulse-json "results/pulse/$w.json" >/dev/null
             ratio=$(awk "BEGIN { printf \"%.3f\", $on / $off }")
             echo "  $w: off=${off}ms on=${on}ms ratio=${ratio}x" >&2
             printf ',\n "%s": {\n' "$w"
@@ -163,6 +179,28 @@ gate)
         exit 1
     fi
     echo "perf gate self-test: OK (injected slowdown trips exit 3)"
+
+    # The shape gate must catch what the flight gate cannot: a
+    # 12-cycle bias armed only after pulse window 4 stays inside the
+    # whole-run 1.25x+16 envelope (flight gate passes) but shifts the
+    # per-window p99 series past base + base/8 + 8 (pulse gate exit 3).
+    pulse_base="results/pulse/bulk.json"
+    [ -s "$pulse_base" ] || { echo "FAIL: $pulse_base missing (run --update)" >&2; exit 2; }
+    rc=0
+    $PERF $BULK --flight-sample "$SAMPLE" --gate "$base" \
+        --inject-slowdown 12 --inject-slowdown-after 4 >/dev/null 2>&1 || rc=$?
+    if [ "$rc" -ne 0 ]; then
+        echo "FAIL: deferred slowdown tripped the flight gate alone (exit $rc)" >&2
+        exit 1
+    fi
+    rc=0
+    $PERF $BULK --flight-sample "$SAMPLE" --gate "$base" --pulse-gate "$pulse_base" \
+        --inject-slowdown 12 --inject-slowdown-after 4 >/dev/null 2>&1 || rc=$?
+    if [ "$rc" -ne 3 ]; then
+        echo "FAIL: deferred slowdown exited $rc, expected pulse gate exit 3" >&2
+        exit 1
+    fi
+    echo "pulse gate self-test: OK (mid-run shift passes flight gate, trips shape gate)"
     ;;
 
 *)

@@ -1,0 +1,80 @@
+#!/usr/bin/env sh
+# FtPulse overhead baseline (DESIGN.md section 15).
+#
+# The pulse recorder samples every engine window into bounded rings and
+# caps fast-forward windows at sample boundaries, so its cost is the
+# one thing the simulated clock cannot see: wall time. This script
+# measures pulse-off vs pulse-on wall clock (best-of-$REPS, default
+# 8192-cycle interval) per reference workload and commits the ratios to
+# results/pulse_baseline.json. The run fails if any workload exceeds
+# the $OVERHEAD_BUDGET x budget, so a regression in the sampling path
+# cannot land silently.
+#
+# Usage: sh scripts/pulse_baseline.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BULK="--workload bulk --cores 1 --size 4096 --warmup-ms 1 --duration-ms 1"
+SCALE="--workload scale --flows 2048 --size 256 --duration-ms 1"
+CHURNSTORM="--workload churnstorm --cores 2 --flows 32 --impair lossy --warmup-ms 1 --duration-ms 2"
+WORKLOADS="bulk scale churnstorm"
+OVERHEAD_BUDGET=1.10
+REPS=3
+
+cargo build --release -q -p f4t-bench
+PERF=./target/release/f4tperf
+
+args_for() {
+    case "$1" in
+        bulk)       echo "$BULK" ;;
+        scale)      echo "$SCALE" ;;
+        churnstorm) echo "$CHURNSTORM" ;;
+        *)          echo "unknown workload $1" >&2; exit 2 ;;
+    esac
+}
+
+now_ms() {
+    echo $(( $(date +%s%N) / 1000000 ))
+}
+
+# best_ms <args...> : best-of-$REPS wall-clock ms for one f4tperf run.
+best_ms() {
+    best=""
+    i=0
+    while [ "$i" -lt "$REPS" ]; do
+        t0=$(now_ms)
+        $PERF "$@" >/dev/null
+        t1=$(now_ms)
+        dt=$(( t1 - t0 ))
+        if [ -z "$best" ] || [ "$dt" -lt "$best" ]; then best=$dt; fi
+        i=$(( i + 1 ))
+    done
+    echo "$best"
+}
+
+tmp=$(mktemp)
+{
+    printf '{\n'
+    printf ' "_note": "FtPulse overhead baselines: wall-clock with the pulse recorder off vs on at the default 8192-cycle sample interval (best-of-%s, budget <= %sx per workload). Shape baselines live in results/pulse/<workload>.json. Regenerate with: sh scripts/pulse_baseline.sh",\n' "$REPS" "$OVERHEAD_BUDGET"
+    printf ' "overhead_budget": %s' "$OVERHEAD_BUDGET"
+    for w in $WORKLOADS; do
+        args=$(args_for "$w")
+        off=$(best_ms $args)
+        on=$(best_ms $args --pulse)
+        ratio=$(awk "BEGIN { printf \"%.3f\", $on / $off }")
+        echo "  $w: off=${off}ms on=${on}ms ratio=${ratio}x" >&2
+        printf ',\n "%s": {\n' "$w"
+        printf '  "_params": "%s",\n' "$args"
+        printf '  "wall_ms_pulse_off": %s,\n' "$off"
+        printf '  "wall_ms_pulse_on": %s,\n' "$on"
+        printf '  "overhead_ratio": %s\n' "$ratio"
+        printf ' }'
+    done
+    printf '\n}\n'
+} > "$tmp"
+ratio_max=$(awk '/"overhead_ratio"/ { gsub(/[^0-9.]/, "", $2); if ($2 > m) m = $2 } END { print m }' "$tmp")
+awk "BEGIN { exit !($ratio_max <= $OVERHEAD_BUDGET) }" \
+    || { echo "FAIL: pulse overhead ${ratio_max}x exceeds ${OVERHEAD_BUDGET}x budget" >&2; exit 1; }
+mv "$tmp" results/pulse_baseline.json
+echo "wrote results/pulse_baseline.json (max pulse overhead ${ratio_max}x)"

@@ -91,7 +91,24 @@ cargo run --release -q -p f4t-bench --bin f4tperf -- \
     --workload incast --cores 2 --flows 24 --size 2048 --impair burst-loss \
     --warmup-ms 1 --duration-ms 1 --check --journal --watchdog >/dev/null
 
-echo "==> FtFlight perf gate (committed baselines + self-test)"
+echo "==> FtPulse time-series smoke (threaded, checked)"
+# DESIGN.md section 15: a sharded pulse run must merge per-shard series
+# deterministically, and the document must render through f4tdbg pulse.
+out="$(mktemp -d)"
+cargo run --release -q -p f4t-bench --bin f4tperf -- \
+    --workload scale --flows 256 --size 1024 --duration-ms 1 \
+    --threads 2 --pulse --check \
+    --pulse-json "$out/pulse.json" >/dev/null
+grep -q '"merged_digest"' "$out/pulse.json" \
+    || { echo "FAIL: pulse document lacks merged digest" >&2; exit 1; }
+grep -q '"goodput_bytes"' "$out/pulse.json" \
+    || { echo "FAIL: pulse document lacks series" >&2; exit 1; }
+cargo run --release -q -p f4t-bench --bin f4tdbg -- \
+    pulse "$out/pulse.json" >/dev/null \
+    || { echo "FAIL: f4tdbg pulse cannot render the document" >&2; exit 1; }
+rm -rf "$out"
+
+echo "==> FtFlight perf gate + FtPulse shape gate (committed baselines + self-tests)"
 sh scripts/perf_gate.sh
 sh scripts/perf_gate.sh --self-test
 

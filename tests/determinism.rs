@@ -240,6 +240,9 @@ fn parallel_pool_size_does_not_change_artifacts() {
                     check: true,
                     journal: true,
                     journal_sample: 1,
+                    pulse: true,
+                    pulse_interval: 256,
+                    pulse_flow_sample: 1,
                     ..EngineConfig::reference()
                 };
                 let mut a = Engine::new(cfg.clone());
@@ -283,8 +286,9 @@ fn parallel_pool_size_does_not_change_artifacts() {
         }
     }
 
-    /// (telemetry, chrome traces, journal digest a, journal digest b).
-    type ShardArtifacts = (String, String, u64, u64);
+    /// (telemetry, chrome traces, journal digest a, journal digest b,
+    /// pulse series a+b, pulse digest a, pulse digest b).
+    type ShardArtifacts = (String, String, u64, u64, String, u64, u64);
 
     fn run(pool: usize) -> (u64, Vec<ShardArtifacts>, u64) {
         let mut r = ParallelRunner::new(make_shards());
@@ -303,10 +307,19 @@ fn parallel_pool_size_does_not_change_artifacts() {
                     format!("{}{}", sh.a.export_chrome_trace(), sh.b.export_chrome_trace()),
                     sh.a.journal_digest(),
                     sh.b.journal_digest(),
+                    format!(
+                        "{}{}",
+                        sh.a.pulse_json().unwrap_or_default(),
+                        sh.b.pulse_json().unwrap_or_default()
+                    ),
+                    sh.a.pulse_digest(),
+                    sh.b.pulse_digest(),
                 )
             })
             .collect();
-        let merged = fold_digests(arts.iter().flat_map(|(_, _, ja, jb)| [*ja, *jb]));
+        let merged = fold_digests(
+            arts.iter().flat_map(|&(_, _, ja, jb, _, pa, pb)| [ja, jb, pa, pb]),
+        );
         (rounds, arts, merged)
     }
 
@@ -318,6 +331,8 @@ fn parallel_pool_size_does_not_change_artifacts() {
             assert_eq!(g.0, r.0, "pool of {pool}: shard {s} telemetry diverged");
             assert_eq!(g.1, r.1, "pool of {pool}: shard {s} Chrome trace diverged");
             assert_eq!((g.2, g.3), (r.2, r.3), "pool of {pool}: shard {s} journal digest diverged");
+            assert_eq!(g.4, r.4, "pool of {pool}: shard {s} pulse series diverged");
+            assert_eq!((g.5, g.6), (r.5, r.6), "pool of {pool}: shard {s} pulse digest diverged");
         }
         assert_eq!(got.2, reference.2, "pool of {pool}: merged digest diverged");
     }

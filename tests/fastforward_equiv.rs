@@ -34,6 +34,9 @@ struct Snapshot {
     flight_spans: u64,
     journals: [Vec<String>; 2],
     journal_digests: [u64; 2],
+    pulses: [String; 2],
+    pulse_digests: [u64; 2],
+    pulse_windows: u64,
     journal_events: u64,
     watchdog_observations: u64,
     alarms: u64,
@@ -201,6 +204,12 @@ fn run_scenario_impaired(case: u64, fast_forward: bool, profile: Option<&str>) -
         // fast-forward windows must stop at every sweep boundary.
         watchdog: true,
         watchdog_interval: 4_096,
+        // FtPulse on a short interval so many windows land inside the
+        // run; fast-forward must stop at every sample boundary, and the
+        // recorded series must be byte-identical across modes.
+        pulse: true,
+        pulse_interval: 1_024,
+        pulse_flow_sample: 1,
         fast_forward,
         ..EngineConfig::reference()
     };
@@ -306,6 +315,10 @@ fn run_scenario_impaired(case: u64, fast_forward: bool, profile: Option<&str>) -
         journal_digests: [a.journal_digest(), b.journal_digest()],
         journal_events: a.journal().unwrap().events_recorded()
             + b.journal().unwrap().events_recorded(),
+        pulses: [a.pulse_json().unwrap(), b.pulse_json().unwrap()],
+        pulse_digests: [a.pulse_digest(), b.pulse_digest()],
+        pulse_windows: a.pulse().unwrap().windows_recorded()
+            + b.pulse().unwrap().windows_recorded(),
         watchdog_observations: a.watchdog().unwrap().observations()
             + b.watchdog().unwrap().observations(),
         alarms: a.watchdog_alarm_count() + b.watchdog_alarm_count(),
@@ -361,7 +374,25 @@ fn fast_forward_is_bit_identical_under_bulk_echo_churn() {
                 ff.journal_digests[side], tbt.journal_digests[side],
                 "case {case} side {side}: journal digest drift"
             );
+            // The FtPulse contract: samples land only on exact interval
+            // multiples and fast-forward caps at every boundary, so the
+            // windowed series — and the running digest covering every
+            // recorded window — are byte-identical across modes.
+            let (l, r): (Vec<_>, Vec<_>) = (
+                ff.pulses[side].lines().map(String::from).collect(),
+                tbt.pulses[side].lines().map(String::from).collect(),
+            );
+            assert_same_lines(case, "pulse series", &l, &r);
+            assert_eq!(
+                ff.pulse_digests[side], tbt.pulse_digests[side],
+                "case {case} side {side}: pulse digest drift"
+            );
         }
+        assert!(
+            ff.pulse_windows > 50,
+            "case {case}: pulse barely engaged ({} windows)",
+            ff.pulse_windows
+        );
         assert!(
             ff.journal_events > 1_000,
             "case {case}: journal barely engaged ({} events)",
@@ -436,6 +467,15 @@ fn fast_forward_is_bit_identical_under_impairments() {
                 ff.journal_digests[side], tbt.journal_digests[side],
                 "{profile} side {side}: journal digest drift"
             );
+            let (l, r): (Vec<_>, Vec<_>) = (
+                ff.pulses[side].lines().map(String::from).collect(),
+                tbt.pulses[side].lines().map(String::from).collect(),
+            );
+            assert_same_lines(case, &format!("pulse series ({profile})"), &l, &r);
+            assert_eq!(
+                ff.pulse_digests[side], tbt.pulse_digests[side],
+                "{profile} side {side}: pulse digest drift"
+            );
         }
         assert_eq!(ff.violations, 0, "{profile}: checker fired under fast-forward");
         assert_eq!(tbt.violations, 0, "{profile}: checker fired tick-by-tick");
@@ -490,6 +530,10 @@ fn parallel_shards_reproduce_inline_runs() {
             assert_eq!(
                 got.journal_digests[side], want.journal_digests[side],
                 "case {case} side {side}: journal digest drift on worker thread"
+            );
+            assert_eq!(
+                got.pulses[side], want.pulses[side],
+                "case {case} side {side}: pulse series drift on worker thread"
             );
         }
         assert_eq!(got.skipped, want.skipped, "case {case}: skip-cycle drift on worker thread");

@@ -17,9 +17,10 @@ use std::net::Ipv4Addr;
 
 /// The reference run: tiny FPCs so flows overflow to DRAM and migrate
 /// (engaging the memory-manager and swap-in metric families), FtFlight
-/// at 1/1 sampling, FtJournal at 1/1 with the watchdog sweeping, and
-/// the FtVerify checker attached, so every metric family the engine
-/// can register is present in one registry.
+/// at 1/1 sampling, FtJournal at 1/1 with the watchdog sweeping, FtPulse
+/// sampling every window at 1/1 flow tracking, and the FtVerify checker
+/// attached, so every metric family the engine can register is present
+/// in one registry.
 fn reference_registry() -> MetricsRegistry {
     let cfg = EngineConfig {
         num_fpcs: 2,
@@ -32,6 +33,9 @@ fn reference_registry() -> MetricsRegistry {
         journal_sample: 1,
         watchdog: true,
         watchdog_interval: 4_096,
+        pulse: true,
+        pulse_interval: 1_024,
+        pulse_flow_sample: 1,
         ..EngineConfig::reference()
     };
     let mut a = Engine::new(cfg.clone());
@@ -126,7 +130,10 @@ fn catalog(reg: &MetricsRegistry) -> String {
          families (`engine.journal.*` per-kind event counts and ring\n\
          occupancy, `engine.watchdog.*` sweep and per-alarm counts)\n\
          appear when the forensic journal/watchdog are enabled; see\n\
-         DESIGN.md §11.\n\
+         DESIGN.md §11. FtPulse families (`engine.pulse.*` ring\n\
+         occupancy plus `engine.pulse.last.*` most-recent-window\n\
+         values of every time series) appear when the pulse recorder\n\
+         is enabled; see DESIGN.md §15.\n\
          \n\
          | metric | kind |\n\
          |--------|------|\n",
@@ -170,10 +177,14 @@ fn reference_run_engages_every_family() {
         "engine.journal.kind.tcb_migrate_done",
         "engine.watchdog.observations",
         "engine.watchdog.alarm.stuck_flow",
+        "engine.pulse.windows_recorded",
+        "engine.pulse.last.goodput_bytes",
+        "engine.pulse.last.stage.tcb_fetch_dram.tail_cycles",
     ] {
         assert!(reg.get(needle).is_some(), "reference run never registered {needle}");
     }
     assert!(reg.counter_value("engine.journal.events_recorded") > 0);
     assert!(reg.counter_value("engine.watchdog.observations") > 0);
     assert!(reg.counter_value("engine.flight.spans_recorded") > 0);
+    assert!(reg.counter_value("engine.pulse.windows_recorded") > 0);
 }
